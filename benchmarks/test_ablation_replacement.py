@@ -1,0 +1,22 @@
+"""Ablation (DESIGN.md): the Weight-Election replacement probability.
+
+Compares the paper's ``P = 1/W_min`` policy against always-replace and
+never-replace at tight Stage-2 budgets, where eviction decisions matter.
+"""
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import replacement_ablation
+
+
+def test_ablation_replacement_policies(benchmark, show):
+    table = run_once(
+        benchmark,
+        lambda: replacement_ablation(
+            k=1, memories_paper=(40, 80, 150), geometry=SWEEP_GEOMETRY, seed=BENCH_SEED
+        ),
+    )
+    show(table)
+    prob = table.column("probabilistic")
+    always = table.column("always")
+    # Weight election should not lose to indiscriminate replacement.
+    assert sum(prob) >= sum(always) - 0.15

@@ -1,0 +1,48 @@
+"""Memory-scale calibration sweep (quoted in EXPERIMENTS.md).
+
+Sweeps raw memory (KB, unscaled) for XS-CU and the baseline on the
+ip_trace substitute so the F1 knee is visible; MEMORY_SCALE = 1/7 maps
+the paper's 150-350 KB labels onto this knee.
+"""
+
+from conftest import BENCH_SEED, DATASET_GEOMETRY, run_once
+from repro.experiments.harness import OracleCache, SeriesTable, evaluate_algorithm
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+
+MEMORIES_KB = (6, 10, 14, 21, 29, 36, 50)
+
+
+def _calibration_table():
+    trace = make_dataset(
+        "ip_trace",
+        n_windows=DATASET_GEOMETRY.n_windows,
+        window_size=DATASET_GEOMETRY.window_size,
+        seed=BENCH_SEED,
+    )
+    task = SimplexTask.paper_default(1)
+    oracle = OracleCache().get(trace, task)
+    table = SeriesTable(
+        title="calibration: F1 vs raw memory (k=1, ip_trace, unscaled)",
+        x_label="Memory(KB, actual)",
+        x_values=list(MEMORIES_KB),
+    )
+    for name, label in (("xs-cu", "XS-CU"), ("baseline", "Baseline")):
+        table.add(
+            label,
+            [
+                evaluate_algorithm(name, trace, task, float(memory), oracle, seed=BENCH_SEED).f1
+                for memory in MEMORIES_KB
+            ],
+        )
+    return table
+
+
+def test_calibration_memory_knee(benchmark, show):
+    table = run_once(benchmark, _calibration_table)
+    show(table)
+    xs = table.column("XS-CU")
+    baseline = table.column("Baseline")
+    # the knee: X-Sketch already accurate where the baseline still fails
+    assert xs[3] > baseline[3] + 0.3  # at the 150KB-label point (21 KB)
+    assert xs[-1] > 0.8

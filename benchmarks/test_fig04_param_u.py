@@ -1,0 +1,26 @@
+"""Figure 4: effect of cells-per-bucket u on F1 (k = 0, 1, 2).
+
+Paper shape: F1 rises with u up to ~3-4 and then plateaus (larger
+buckets make the minimum-weight victim selection more accurate).
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import param_sweep
+
+U_VALUES = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig04_effect_of_u(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: param_sweep("u", U_VALUES, k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    for name in table.series:
+        column = table.column(name)
+        assert all(0.0 <= v <= 1.0 for v in column)
+        # the plateau: the u>=4 region should not collapse below small-u
+        assert max(column[3:]) >= column[0] - 0.1

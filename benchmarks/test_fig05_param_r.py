@@ -1,0 +1,23 @@
+"""Figure 5: effect of the Stage-1 memory ratio r on F1 (k = 0, 1, 2).
+
+Paper shape: best F1 near r = 0.7-0.8; too little Stage-1 memory lets
+noise through, too little Stage-2 memory loses tracked items.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import param_sweep
+
+R_VALUES = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig05_effect_of_r(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: param_sweep("r", R_VALUES, k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    for name in table.series:
+        assert all(0.0 <= v <= 1.0 for v in table.column(name))

@@ -1,0 +1,23 @@
+"""Figure 6: effect of the Stage-1 window count s on F1 (k = 0, 1, 2).
+
+Paper shape: F1 mostly decreases as s grows (longer sub-counter rings
+cost memory that Stage 1 needs for counters); s = 3-4 is optimal.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import param_sweep
+
+S_VALUES = [3, 4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig06_effect_of_s(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: param_sweep("s", S_VALUES, k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    for name in table.series:
+        assert all(0.0 <= v <= 1.0 for v in table.column(name))

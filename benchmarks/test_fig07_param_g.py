@@ -1,0 +1,26 @@
+"""Figure 7: effect of the Potential threshold G on F1 (k = 0, 1, 2).
+
+Paper shape: F1 rises as G leaves 0 (noise stops flooding Stage 2) and
+is stable for G >= 0.5 -- the replacement mechanism tolerates a wide G.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import param_sweep
+
+G_VALUES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig07_effect_of_g(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: param_sweep("G", G_VALUES, k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    for name in table.series:
+        column = table.column(name)
+        assert all(0.0 <= v <= 1.0 for v in column)
+        # stability region: G = 0.5 vs G = 1.0 must stay close
+        assert abs(column[2] - column[4]) < 0.25

@@ -1,0 +1,24 @@
+"""Figure 8: effect of the MSE threshold T on F1 (k = 0, 1, 2).
+
+Paper shape: k=0 is insensitive to T; for k=1/2 a larger T tolerates
+more fitting error and mildly helps.  (T changes the problem definition,
+so the ground truth moves with it.)
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import param_sweep
+
+T_VALUES = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig08_effect_of_t(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: param_sweep("T", T_VALUES, k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    for name in table.series:
+        assert all(0.0 <= v <= 1.0 for v in table.column(name))

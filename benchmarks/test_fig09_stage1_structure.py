@@ -1,0 +1,24 @@
+"""Figure 9: Stage-1 structure comparison (Tower CM/CU vs CF vs LLF).
+
+Paper shape: TowerSketch outperforms Cold Filter and LogLog Filter as
+the Stage-1 filtering structure at every memory point.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED, SWEEP_GEOMETRY, run_once
+from repro.experiments.figures import stage1_structure_comparison
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_fig09_stage1_structures(benchmark, show, k):
+    table = run_once(
+        benchmark,
+        lambda: stage1_structure_comparison(k=k, geometry=SWEEP_GEOMETRY, seed=BENCH_SEED),
+    )
+    show(table)
+    # Tower must dominate the LogLog Filter (the paper's weakest option)
+    # on average across memory points.
+    tower = table.column("Tower(CM)")
+    llf = table.column("LLF")
+    assert sum(tower) / len(tower) > sum(llf) / len(llf)

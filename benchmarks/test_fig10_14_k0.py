@@ -1,0 +1,33 @@
+"""Figures 10-14: PR / RR / F1 / ARE / throughput for k = 0.
+
+One dataset_comparison grid feeds all five metric tables (the paper
+plots them as five figures over the same runs).
+
+Paper shapes asserted: X-Sketch beats the baseline on F1 on every
+dataset; X-Sketch's lasting-time ARE is no worse than the baseline's.
+"""
+
+from conftest import BENCH_SEED, DATASET_GEOMETRY, run_once
+from repro.experiments.figures import dataset_comparison, metric_tables
+
+K = 0
+
+
+def test_fig10_to_fig14_k0_grid(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: dataset_comparison(K, geometry=DATASET_GEOMETRY, seed=BENCH_SEED),
+    )
+    tables = {
+        metric: metric_tables(results, metric, K) for metric in ("pr", "rr", "f1", "are", "mops")
+    }
+    for metric in ("pr", "rr", "f1", "are", "mops"):
+        for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+            show(tables[metric][dataset])
+    for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+        f1 = tables["f1"][dataset]
+        assert min(f1.column("XS-CM")) > 0.3
+        assert sum(f1.column("XS-CM")) > sum(f1.column("Baseline"))
+        assert sum(f1.column("XS-CU")) > sum(f1.column("Baseline"))
+        are = tables["are"][dataset]
+        assert sum(are.column("XS-CM")) <= sum(are.column("Baseline")) + 0.1

@@ -1,0 +1,29 @@
+"""Figures 15-19: PR / RR / F1 / ARE / throughput for k = 1.
+
+Paper shapes asserted: X-Sketch beats the baseline on F1 on every
+dataset; its ARE is no worse; its throughput is at least comparable.
+"""
+
+from conftest import BENCH_SEED, DATASET_GEOMETRY, run_once
+from repro.experiments.figures import dataset_comparison, metric_tables
+
+K = 1
+
+
+def test_fig15_to_fig19_k1_grid(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: dataset_comparison(K, geometry=DATASET_GEOMETRY, seed=BENCH_SEED),
+    )
+    tables = {
+        metric: metric_tables(results, metric, K) for metric in ("pr", "rr", "f1", "are", "mops")
+    }
+    for metric in ("pr", "rr", "f1", "are", "mops"):
+        for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+            show(tables[metric][dataset])
+    for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+        f1 = tables["f1"][dataset]
+        assert sum(f1.column("XS-CM")) > sum(f1.column("Baseline"))
+        assert sum(f1.column("XS-CU")) > sum(f1.column("Baseline"))
+        mops = tables["mops"][dataset]
+        assert sum(mops.column("XS-CM")) > 0.5 * sum(mops.column("Baseline"))

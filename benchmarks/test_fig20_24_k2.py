@@ -1,0 +1,27 @@
+"""Figures 20-24: PR / RR / F1 / ARE / throughput for k = 2.
+
+Paper shapes asserted: X-Sketch's advantage persists but is the
+smallest of the three degrees (Section V-C6), so the F1 assertion only
+requires parity-or-better on aggregate.
+"""
+
+from conftest import BENCH_SEED, DATASET_GEOMETRY, run_once
+from repro.experiments.figures import dataset_comparison, metric_tables
+
+K = 2
+
+
+def test_fig20_to_fig24_k2_grid(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: dataset_comparison(K, geometry=DATASET_GEOMETRY, seed=BENCH_SEED),
+    )
+    tables = {
+        metric: metric_tables(results, metric, K) for metric in ("pr", "rr", "f1", "are", "mops")
+    }
+    for metric in ("pr", "rr", "f1", "are", "mops"):
+        for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+            show(tables[metric][dataset])
+    for dataset in ("ip_trace", "mawi", "datacenter", "synthetic"):
+        f1 = tables["f1"][dataset]
+        assert sum(f1.column("XS-CM")) > sum(f1.column("Baseline")) - 0.3

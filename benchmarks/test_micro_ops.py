@@ -1,0 +1,63 @@
+"""Micro-benchmarks: per-operation cost of the core structures.
+
+These are classic pytest-benchmark measurements (multiple rounds) of
+the data-path primitives: sketch insert/query and the Stage-1 fit.
+They complement the figure benches by showing where the per-item time
+goes.
+"""
+
+import random
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.baseline import BaselineConfig, BaselineSolution
+from repro.core.xsketch import XSketch
+from repro.fitting.polyfit import fit_leading_and_mse
+from repro.fitting.simplex import SimplexTask
+from repro.sketch.cm import CMSketch
+from repro.sketch.cu import CUSketch
+from repro.sketch.tower import TowerSketch
+
+ITEMS = [f"flow-{i}" for i in range(512)]
+
+
+def _spray(sketch):
+    rng = random.Random(7)
+    for _ in range(len(ITEMS)):
+        sketch.insert(ITEMS[rng.randrange(len(ITEMS))])
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda: CMSketch(40000, d=3, seed=1), id="cm-insert"),
+        pytest.param(lambda: CUSketch(40000, d=3, seed=1), id="cu-insert"),
+        pytest.param(lambda: TowerSketch(40000, d=3, seed=1), id="tower-cm-insert"),
+        pytest.param(lambda: TowerSketch(40000, d=3, update_rule="cu", seed=1), id="tower-cu-insert"),
+    ],
+)
+def test_sketch_insert_throughput(benchmark, factory):
+    sketch = factory()
+    benchmark(_spray, sketch)
+
+
+def test_stage1_fit_cost(benchmark):
+    values = [5, 8, 11, 14]
+    benchmark(lambda: fit_leading_and_mse(values, 1))
+
+
+def test_xsketch_window_throughput(benchmark):
+    task = SimplexTask.paper_default(1)
+    sketch = XSketch(XSketchConfig(task=task, memory_kb=30), seed=2)
+    rng = random.Random(3)
+    window = [ITEMS[rng.randrange(len(ITEMS))] for _ in range(2000)]
+    benchmark(lambda: sketch.run_window(window))
+
+
+def test_baseline_window_throughput(benchmark):
+    task = SimplexTask.paper_default(1)
+    baseline = BaselineSolution(BaselineConfig(task=task, memory_kb=30), seed=2)
+    rng = random.Random(3)
+    window = [ITEMS[rng.randrange(len(ITEMS))] for _ in range(2000)]
+    benchmark(lambda: baseline.run_window(window))

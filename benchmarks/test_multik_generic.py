@@ -1,0 +1,72 @@
+"""The genericity claim (Section I-B): one sketch for all three degrees.
+
+Compares one :class:`MultiKXSketch` pass against three independent
+per-degree X-Sketch passes at the same *total* memory: accuracy must be
+comparable at a third of the memory and a third of the stream passes.
+"""
+
+from conftest import BENCH_SEED, DATASET_GEOMETRY, run_once
+from repro.config import XSketchConfig
+from repro.core.multik import MultiKConfig, MultiKXSketch
+from repro.core.oracle import SimplexOracle
+from repro.core.xsketch import XSketch
+from repro.experiments.harness import SeriesTable
+from repro.experiments.params import scaled_memory_kb
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.streams.datasets import make_dataset
+
+MEMORY_KB = scaled_memory_kb(250)
+
+
+def _run():
+    trace = make_dataset(
+        "ip_trace",
+        n_windows=DATASET_GEOMETRY.n_windows,
+        window_size=DATASET_GEOMETRY.window_size,
+        seed=BENCH_SEED,
+    )
+    oracles = {
+        k: SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(k))
+        for k in (0, 1, 2)
+    }
+
+    multi = MultiKXSketch(MultiKConfig.paper_default(memory_kb=MEMORY_KB), seed=BENCH_SEED)
+    for window in trace.windows():
+        multi.run_window(window)
+
+    singles = {}
+    for k in (0, 1, 2):
+        sketch = XSketch(
+            XSketchConfig(task=SimplexTask.paper_default(k), memory_kb=MEMORY_KB),
+            seed=BENCH_SEED,
+        )
+        for window in trace.windows():
+            sketch.run_window(window)
+        singles[k] = sketch
+
+    table = SeriesTable(
+        title=f"one multi-k pass ({MEMORY_KB:.1f} KB) vs three per-k passes "
+        f"({3 * MEMORY_KB:.1f} KB total)",
+        x_label="k",
+        x_values=[0, 1, 2],
+    )
+    table.add(
+        "multi-k F1",
+        [score_reports(multi.reports(k), oracles[k].instances).f1 for k in (0, 1, 2)],
+    )
+    table.add(
+        "3x single F1",
+        [score_reports(singles[k].reports, oracles[k].instances).f1 for k in (0, 1, 2)],
+    )
+    return table
+
+
+def test_one_sketch_for_all_degrees(benchmark, show):
+    table = run_once(benchmark, _run)
+    show(table)
+    multi = table.column("multi-k F1")
+    single = table.column("3x single F1")
+    # comparable accuracy at a third of the memory and passes
+    assert sum(multi) > sum(single) - 0.6
+    assert min(multi) > 0.4

@@ -1,0 +1,23 @@
+"""Substrate validation bench: frequency-estimation ARE of all sketches.
+
+Not a paper figure -- this validates the sketch library every figure
+depends on.  Expected ordering: CU no worse than CM; every sketch's ARE
+falls as memory grows.
+"""
+
+from conftest import BENCH_SEED, run_once
+from repro.experiments.substrate import frequency_estimation_comparison
+
+
+def test_substrate_frequency_estimation(benchmark, show):
+    table = run_once(
+        benchmark,
+        lambda: frequency_estimation_comparison(seed=BENCH_SEED),
+    )
+    show(table)
+    cm = table.column("CM")
+    cu = table.column("CU")
+    assert all(b <= a + 1e-9 for a, b in zip(cm, cu)), "CU must not exceed CM's ARE"
+    for name in table.series:
+        column = table.column(name)
+        assert column[-1] <= column[0] + 0.5, f"{name} should improve with memory"

@@ -1,0 +1,19 @@
+"""Table III: ML acceleration on the Transactional (IBM-Quest-style)
+dataset substitute.
+
+Same protocol and shape expectations as Table II.
+"""
+
+from conftest import BENCH_SEED, run_once
+from repro.experiments.figures import ml_comparison_table
+
+
+def test_tab3_ml_acceleration_transactional(benchmark, show):
+    text, results = run_once(
+        benchmark,
+        lambda: ml_comparison_table(dataset="transactional", memory_kb=40, seed=BENCH_SEED),
+    )
+    show(text)
+    for k, result in results.items():
+        assert result.n_tasks > 0, f"no simplex prediction tasks at k={k}"
+        assert result.speedup_over_arima() > 1.0

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Cache prefetching with 0-simplex items (paper Section I-A, k=0).
+
+Stable cache lines -- fetched a near-constant number of times per window
+-- are exactly the 0-simplex items of the access stream.  A small LRU
+cache under heavy scan pressure evicts them between touches; feeding the
+sketch's stable-line reports into a pinned prefetch buffer recovers
+those hits.
+
+Run:  python examples/cache_prefetch.py
+"""
+
+from repro.apps import run_prefetch_experiment
+from repro.apps.cache_prefetch import make_access_trace
+
+
+def main() -> None:
+    trace = make_access_trace(n_windows=40, window_size=2000, n_stable_lines=150, seed=5)
+    print(
+        f"access stream: {trace.geometry.n_windows} windows x "
+        f"{trace.geometry.window_size} accesses, {trace.distinct_items()} distinct lines"
+    )
+
+    for capacity in (128, 256, 512):
+        result = run_prefetch_experiment(
+            trace, cache_capacity=capacity, memory_kb=40.0, seed=5
+        )
+        print(
+            f"cache {capacity:4d} lines: LRU hit ratio {result.baseline_hit_ratio:.3f} "
+            f"-> with 0-simplex prefetch {result.prefetch_hit_ratio:.3f} "
+            f"({result.improvement:+.3f}; {result.prefetched_lines} prefetches)"
+        )
+
+
+if __name__ == "__main__":
+    main()

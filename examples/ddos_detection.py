@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""DDoS detection with 1-simplex items (paper Section I-A, k=1 use case).
+
+Generates a backbone-like trace in which 12 attack flows start ramping
+linearly at window 20, runs the streaming detector, and reports
+detection coverage, latency, and false alarms.
+
+Run:  python examples/ddos_detection.py
+"""
+
+from repro.apps import DDoSDetector, evaluate_detector
+from repro.streams import ddos_stream
+
+
+def main() -> None:
+    trace, scenario = ddos_stream(
+        n_windows=60,
+        window_size=2000,
+        n_attackers=12,
+        onset_window=20,
+        duration=25,
+        seed=11,
+    )
+    print(
+        f"trace: {trace.geometry.n_windows} windows; attack of "
+        f"{len(scenario.attack_items)} flows starts at window {scenario.onset_window}"
+    )
+
+    detector = DDoSDetector(memory_kb=40.0, min_slope=1.5, seed=11)
+    for window_index, window_items in enumerate(trace.windows()):
+        for item in window_items:
+            detector.insert(item)
+        for alarm in detector.end_window():
+            marker = "ATTACK" if alarm.item in scenario.attack_items else "benign"
+            print(f"window {window_index:3d}: ALARM {alarm.item} "
+                  f"(slope {alarm.slope:+.2f} pkts/window^2) [{marker}]")
+
+    score = evaluate_detector(detector.alarms, scenario)
+    print(
+        f"\ndetected {score.detected}/{score.n_attackers} attack flows "
+        f"({score.detection_rate:.0%}), {score.false_alarms} false alarms, "
+        f"mean latency {score.mean_latency_windows:.1f} windows "
+        f"(the definition needs p-1={detector.task.p - 1} windows of history, "
+        "so that is the floor)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Section VI case study: X-Sketch "accelerating" frequency prediction.
+
+Compares three next-window frequency predictors on the simplex items of
+an IP-trace-like stream:
+
+* X-Sketch -- one stream pass; predictions fall out of the fitted
+  polynomials for free;
+* per-item linear regression -- must sweep every active item, because
+  it cannot know in advance which items are predictable;
+* per-item ARIMA (time-series model) -- same sweep, heavier fit.
+
+Run:  python examples/ml_acceleration.py
+"""
+
+from repro.experiments import ml_comparison_table
+
+
+def main() -> None:
+    for dataset in ("ip_trace", "transactional"):
+        text, results = ml_comparison_table(dataset=dataset, memory_kb=40.0, seed=3)
+        print(text)
+        for k, result in results.items():
+            print(
+                f"  k={k}: X-Sketch is {result.speedup_over_linreg():.1f}x faster than "
+                f"LinReg and {result.speedup_over_arima():.1f}x faster than ARIMA "
+                f"({result.n_model_predictions} per-item model fits vs one stream pass)"
+            )
+        print()
+    print(
+        "Note: the paper's 100x+ ratios come from 10k-item windows and "
+        "per-window model refits; scaled-down streams shrink the ratio, "
+        "but the ordering and the reason (per-item models must fit every "
+        "active item) are the same.  See EXPERIMENTS.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

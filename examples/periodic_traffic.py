@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Monitoring periodic wireless traffic with 2-simplex items (k=2).
+
+802.15.4-style sensor nodes emit parabolic traffic bursts on a fixed
+period.  A k=2 X-Sketch tracks each burst as a 2-simplex item; the
+monitor merges consecutive reports into burst events with an estimated
+peak window and height.
+
+Run:  python examples/periodic_traffic.py
+"""
+
+from collections import defaultdict
+
+from repro.apps import PeriodicMonitor
+from repro.apps.periodic_monitor import make_periodic_trace
+
+
+def main() -> None:
+    trace = make_periodic_trace(
+        n_windows=70, window_size=2000, n_nodes=6, period=16, burst_len=9, seed=9
+    )
+    print(f"trace: {trace.geometry.n_windows} windows, 6 nodes bursting every 16 windows")
+
+    monitor = PeriodicMonitor(memory_kb=40.0, seed=9)
+    events = monitor.run(trace)
+
+    per_node = defaultdict(list)
+    for event in events:
+        per_node[event.item].append(event)
+    for item in sorted(per_node, key=str):
+        bursts = per_node[item]
+        peaks = ", ".join(f"w{e.peak_window:.0f} (h={e.peak_height:.0f})" for e in bursts)
+        print(f"{item}: {len(bursts)} bursts, peaks at {peaks}")
+
+    gaps = []
+    for item, bursts in per_node.items():
+        if not str(item).startswith("node-"):
+            continue
+        peaks = sorted(e.peak_window for e in bursts)
+        gaps.extend(b - a for a, b in zip(peaks, peaks[1:]))
+    if gaps:
+        mean_gap = sum(gaps) / len(gaps)
+        print(f"\nestimated burst period from peak gaps: {mean_gap:.1f} windows (truth: 16)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Reproduction of "Finding Simplex Items in Data Streams" (ICDE 2023).
+
+The package implements X-Sketch -- a two-stage sketch for finding k-simplex
+items (items whose per-window frequencies follow a degree-k polynomial,
+k = 0, 1, 2) -- together with every substrate the paper builds on or
+compares against: the frequency-estimation sketches (CM, CU, Count, CSM,
+TowerSketch, Cold Filter, LogLog Filter), the polynomial-fitting machinery,
+synthetic stream generators standing in for the paper's traces, the exact
+ground-truth oracle, the baseline solution, evaluation metrics, and the
+Section-VI machine-learning case study.
+
+Quickstart::
+
+    from repro import XSketch, XSketchConfig, SimplexTask
+    from repro.streams import ip_trace_stream
+
+    task = SimplexTask(k=1, p=7, T=2.0, L=1.0)
+    sketch = XSketch(XSketchConfig(task=task, memory_kb=200), seed=7)
+    stream = ip_trace_stream(n_windows=60, window_size=2000, seed=7)
+    for window in stream.windows():
+        for item in window:
+            sketch.insert(item)
+        reports = sketch.end_window()
+"""
+
+from repro.version import __version__
+from repro.config import StreamGeometry, XSketchConfig
+from repro.fitting import PolynomialFit, SimplexTask, fit_polynomial
+from repro.core import (
+    BaselineConfig,
+    BaselineSolution,
+    SimplexOracle,
+    SimplexReport,
+    XSketch,
+)
+
+__all__ = [
+    "__version__",
+    "BaselineConfig",
+    "BaselineSolution",
+    "PolynomialFit",
+    "SimplexOracle",
+    "SimplexReport",
+    "SimplexTask",
+    "StreamGeometry",
+    "XSketch",
+    "XSketchConfig",
+    "fit_polynomial",
+]

@@ -1,0 +1,34 @@
+"""Applications of k-simplex detection (Section I-A use cases).
+
+* :mod:`~repro.apps.ddos_detector` -- k=1: flows with linear traffic
+  ramps flag DDoS onsets in real time.
+* :mod:`~repro.apps.cache_prefetch` -- k=0: stable cache lines found by
+  the sketch are prefetched, raising the hit ratio of an LRU cache.
+* :mod:`~repro.apps.bandwidth` -- k=0: per-flow bandwidth pre-allocation
+  from predicted next-window frequencies.
+* :mod:`~repro.apps.periodic_monitor` -- k=2: parabolic traffic bursts
+  (802.15.4-style periodic wireless traffic) are tracked as 2-simplex
+  items.
+"""
+
+from repro.apps.ddos_detector import DDoSAlarm, DDoSDetector, evaluate_detector
+from repro.apps.cache_prefetch import LRUCache, PrefetchResult, run_prefetch_experiment
+from repro.apps.bandwidth import AllocationPlan, BandwidthAllocator, evaluate_allocation
+from repro.apps.periodic_monitor import BurstEvent, PeriodicMonitor
+from repro.apps.telemetry import TelemetryAggregator, WindowSummary
+
+__all__ = [
+    "AllocationPlan",
+    "BandwidthAllocator",
+    "BurstEvent",
+    "DDoSAlarm",
+    "DDoSDetector",
+    "LRUCache",
+    "PeriodicMonitor",
+    "PrefetchResult",
+    "TelemetryAggregator",
+    "WindowSummary",
+    "evaluate_allocation",
+    "evaluate_detector",
+    "run_prefetch_experiment",
+]

@@ -1,0 +1,183 @@
+"""Cache prefetching from 0-simplex items (Section I-A, k=0 use case).
+
+"If we consider a cache line as an item, then 0-simplex items mean that
+these stable cache lines will be fetched in the near future.  Therefore,
+we can apply 0-simplex items to prefetch the upcoming cache line,
+thereby improving the cache hit ratio."
+
+The experiment: an access stream hits an LRU cache; with prefetching on,
+every window's 0-simplex reports are prefetched into the cache before
+the next window.  Stable-but-not-recently-used lines (which plain LRU
+evicts under scan pressure) then hit instead of missing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import StreamGeometry, XSketchConfig
+from repro.core.xsketch import XSketch
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.hashing.family import ItemId
+from repro.streams.model import Trace
+from repro.streams.planted import BackgroundTraffic, PlantedItem, PlantedWorkload, constant_pattern
+
+
+class LRUCache:
+    """A counting LRU cache of cache-line IDs."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lines: "OrderedDict[ItemId, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: ItemId) -> bool:
+        """Reference a line; returns True on hit.  Misses insert it."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(line)
+        return False
+
+    def prefetch(self, line: ItemId) -> None:
+        """Bring a line in (or refresh it) without counting a reference."""
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            return
+        self._insert(line)
+
+    def _insert(self, line: ItemId) -> None:
+        self._lines[line] = None
+        if len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, line: ItemId) -> bool:
+        return line in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+@dataclass(frozen=True)
+class PrefetchResult:
+    """Hit ratios with and without simplex-guided prefetching."""
+
+    baseline_hit_ratio: float
+    prefetch_hit_ratio: float
+    prefetched_lines: int
+
+    @property
+    def improvement(self) -> float:
+        """Absolute hit-ratio gain from prefetching."""
+        return self.prefetch_hit_ratio - self.baseline_hit_ratio
+
+
+def make_access_trace(
+    n_windows: int = 40,
+    window_size: int = 2000,
+    n_stable_lines: int = 150,
+    seed: int = 0,
+) -> Trace:
+    """Cache-line access stream: stable hot lines + heavy scan noise.
+
+    Stable lines are touched a constant handful of times per window
+    (0-simplex); the scan noise is a large rotating pool that evicts
+    them from a small LRU between touches.
+    """
+    geometry = StreamGeometry(n_windows=n_windows, window_size=window_size)
+    rng = np.random.default_rng(seed)
+    plants: List[PlantedItem] = []
+    for index in range(n_stable_lines):
+        level = float(rng.uniform(2, 5))
+        plants.append(
+            PlantedItem(
+                item=f"line-{index}",
+                start_window=0,
+                duration=n_windows,
+                pattern=constant_pattern(level),
+                noise=0.4,
+            )
+        )
+    background = BackgroundTraffic(
+        n_flows=max(2000, 8 * window_size),
+        skew=0.4,  # nearly-uniform scan: maximal LRU pressure
+        n_stable=0,
+        rotation_period=2,
+        prefix="scan",
+    )
+    return PlantedWorkload(
+        name="cache-lines", geometry=geometry, background=background, planted=plants
+    ).build(seed=seed + 1)
+
+
+def run_prefetch_experiment(
+    trace: Trace,
+    cache_capacity: int = 256,
+    memory_kb: float = 40.0,
+    task: Optional[SimplexTask] = None,
+    seed: int = 0,
+    pinned_fraction: float = 0.5,
+) -> PrefetchResult:
+    """Compare LRU hit ratio with and without 0-simplex prefetching.
+
+    Both configurations get ``cache_capacity`` lines in total.  The
+    guided configuration spends ``pinned_fraction`` of them on a
+    *prefetch buffer*: at every window boundary the buffer is refilled
+    with the sketch's reported stable lines (the "upcoming fetches" the
+    paper predicts), where scan traffic cannot evict them; the remaining
+    capacity stays a plain LRU.  This is the standard pinned-prefetch
+    design -- without pinning, a scan-heavy window flushes the prefetched
+    lines before their first touch.
+    """
+    task = task if task is not None else SimplexTask.paper_default(0)
+
+    plain = LRUCache(cache_capacity)
+    for window in trace.windows():
+        for line in window:
+            plain.access(line)
+
+    buffer_capacity = max(1, int(cache_capacity * pinned_fraction))
+    guided = LRUCache(cache_capacity - buffer_capacity)
+    pinned: "OrderedDict[ItemId, None]" = OrderedDict()
+    sketch = XSketch(XSketchConfig(task=task, memory_kb=memory_kb), seed=seed)
+    prefetched = 0
+    hits = 0
+    misses = 0
+    for window in trace.windows():
+        for line in window:
+            if line in pinned:
+                hits += 1
+            elif guided.access(line):
+                hits += 1
+            else:
+                misses += 1
+            sketch.insert(line)
+        # Refill the prefetch buffer with this window's stable lines;
+        # the freshest reports win when the buffer overflows.
+        pinned.clear()
+        for report in sketch.end_window():
+            if len(pinned) < buffer_capacity:
+                pinned[report.item] = None
+                prefetched += 1
+
+    total = hits + misses
+    return PrefetchResult(
+        baseline_hit_ratio=plain.hit_ratio,
+        prefetch_hit_ratio=hits / total if total else 0.0,
+        prefetched_lines=prefetched,
+    )

@@ -1,0 +1,96 @@
+"""Streaming telemetry built on simplex reports.
+
+The network-management use cases of Section I-A all reduce to the same
+operational question: *what is trending right now?*  This aggregator
+consumes one window's reports (any engine, any k) and maintains a
+rolling operational picture: how many patterns are active, which items
+ramp fastest up/down, and pattern churn (starts / continuations /
+endings) -- the data a monitoring dashboard would poll each window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.reports import SimplexReport
+from repro.hashing.family import ItemId
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Telemetry for one closed window."""
+
+    window: int
+    active: int
+    started: Tuple[ItemId, ...]
+    ended: Tuple[ItemId, ...]
+    top_rising: Tuple[Tuple[ItemId, float], ...]
+    top_falling: Tuple[Tuple[ItemId, float], ...]
+
+    @property
+    def churn(self) -> int:
+        """Pattern turnover this window (starts + endings)."""
+        return len(self.started) + len(self.ended)
+
+
+@dataclass
+class TelemetryAggregator:
+    """Rolling aggregation of per-window simplex reports.
+
+    Feed every window via :meth:`observe`; read the latest
+    :class:`WindowSummary` or the full history.  ``top_n`` bounds the
+    rising/falling leaderboards.
+    """
+
+    top_n: int = 5
+    history: List[WindowSummary] = field(default_factory=list)
+    _previous_active: Set[ItemId] = field(default_factory=set)
+
+    def observe(self, window: int, reports: Iterable[SimplexReport]) -> WindowSummary:
+        """Aggregate one window's reports into a summary."""
+        slopes: Dict[ItemId, float] = {}
+        active: Set[ItemId] = set()
+        for report in reports:
+            active.add(report.item)
+            if len(report.coefficients) >= 2:
+                slopes[report.item] = float(report.coefficients[1])
+        started = tuple(sorted(active - self._previous_active, key=str))
+        ended = tuple(sorted(self._previous_active - active, key=str))
+        rising = sorted(
+            ((item, slope) for item, slope in slopes.items() if slope > 0),
+            key=lambda pair: -pair[1],
+        )[: self.top_n]
+        falling = sorted(
+            ((item, slope) for item, slope in slopes.items() if slope < 0),
+            key=lambda pair: pair[1],
+        )[: self.top_n]
+        summary = WindowSummary(
+            window=window,
+            active=len(active),
+            started=started,
+            ended=ended,
+            top_rising=tuple(rising),
+            top_falling=tuple(falling),
+        )
+        self._previous_active = active
+        self.history.append(summary)
+        return summary
+
+    @property
+    def latest(self) -> WindowSummary:
+        if not self.history:
+            raise LookupError("no windows observed yet")
+        return self.history[-1]
+
+    def total_churn(self) -> int:
+        """Total pattern turnover across all observed windows."""
+        return sum(summary.churn for summary in self.history)
+
+    def run(self, sketch, trace) -> List[WindowSummary]:
+        """Drive a sketch over a trace, aggregating every window."""
+        for window_items in trace.windows():
+            for item in window_items:
+                sketch.insert(item)
+            self.observe(sketch.window, sketch.end_window())
+        return list(self.history)

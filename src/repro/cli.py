@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``run``
+    Run X-Sketch (or the baseline) over a dataset substitute and print
+    reports and accuracy against the exact oracle.
+``datasets``
+    List the available dataset substitutes, or generate one to CSV.
+``figure``
+    Regenerate one of the paper's figures (see ``--list``).
+``ml``
+    Run the Section-VI ML comparison (Tables II/III).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import StreamGeometry
+from repro.core.oracle import SimplexOracle
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.metrics.error import lasting_time_are
+from repro.streams.datasets import DATASET_GENERATORS, make_dataset
+from repro.streams.io import save_trace_csv
+from repro.version import __version__
+
+ALL_DATASETS = sorted(DATASET_GENERATORS) + ["transactional"]
+
+
+def _add_stream_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=ALL_DATASETS, default="ip_trace")
+    parser.add_argument("--windows", type=int, default=40, help="number of windows")
+    parser.add_argument("--window-size", type=int, default=2000, help="items per window")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import make_algorithm
+
+    task = SimplexTask(k=args.k, p=args.p, T=args.T, L=args.L)
+    trace = make_dataset(args.dataset, args.windows, args.window_size, args.seed)
+    algorithm = make_algorithm(args.algorithm, task, args.memory_kb, seed=args.seed)
+    for window in trace.windows():
+        algorithm.run_window(window)
+    reports = algorithm.reports
+    if not args.quiet:
+        for report in reports:
+            coeffs = ", ".join(f"{c:+.3f}" for c in report.coefficients)
+            print(
+                f"w={report.report_window:4d} item={report.item} "
+                f"start={report.start_window} lasting={report.lasting_time} "
+                f"fit=[{coeffs}] mse={report.mse:.3f}"
+            )
+    oracle = SimplexOracle.from_stream(trace.windows(), task)
+    scores = score_reports(reports, oracle.instances)
+    are = lasting_time_are(reports, oracle)
+    print(
+        f"\n{args.algorithm} on {args.dataset} ({args.windows}x{args.window_size}, "
+        f"k={args.k}, {args.memory_kb}KB): "
+        f"PR={scores.precision:.3f} RR={scores.recall:.3f} F1={scores.f1:.3f} "
+        f"ARE={are:.3f} ({scores.true_positives}/{scores.actual} instances)"
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.generate is None:
+        print("available dataset substitutes (see DESIGN.md section 3):")
+        for name in ALL_DATASETS:
+            print(f"  {name}")
+        return 0
+    trace = make_dataset(args.generate, args.windows, args.window_size, args.seed)
+    save_trace_csv(trace, args.output)
+    print(
+        f"wrote {args.generate} ({args.windows}x{args.window_size}, "
+        f"{trace.distinct_items()} distinct items) to {args.output}"
+    )
+    return 0
+
+
+FIGURES = {
+    "fig3": ("param_sweep p (F1 vs p)", lambda k, g, s: _sweep("p", [4, 5, 6, 7, 8], k, g, s)),
+    "fig4": ("param_sweep u", lambda k, g, s: _sweep("u", [1, 2, 3, 4, 5, 6, 7, 8], k, g, s)),
+    "fig5": ("param_sweep r", lambda k, g, s: _sweep("r", [0.1 * i for i in range(1, 10)], k, g, s)),
+    "fig6": ("param_sweep s", lambda k, g, s: _sweep("s", [3, 4, 5, 6, 7], k, g, s)),
+    "fig7": ("param_sweep G", lambda k, g, s: _sweep("G", [0.0, 0.25, 0.5, 0.75, 1.0], k, g, s)),
+    "fig8": ("param_sweep T", lambda k, g, s: _sweep("T", [1, 2, 3, 4, 5, 6, 7, 8], k, g, s)),
+    "fig9": ("Stage-1 structure comparison", None),
+    "grid": ("PR/RR/F1/ARE/Mops vs memory over all datasets", None),
+    "ablation": ("Stage-2 replacement-policy ablation", None),
+}
+
+
+def _sweep(param, values, k, geometry, seed):
+    from repro.experiments.figures import param_sweep
+
+    return [param_sweep(param, values, k=k, geometry=geometry, seed=seed)]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        print("figures:")
+        for name, (description, _) in FIGURES.items():
+            print(f"  {name:10s} {description}")
+        return 0
+    geometry = StreamGeometry(n_windows=args.windows, window_size=args.window_size)
+    tables = []
+    if args.name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+        tables = FIGURES[args.name][1](args.k, geometry, args.seed)
+    elif args.name == "fig9":
+        from repro.experiments.figures import stage1_structure_comparison
+
+        tables = [stage1_structure_comparison(k=args.k, geometry=geometry, seed=args.seed)]
+    elif args.name == "grid":
+        from repro.experiments.figures import dataset_comparison, metric_tables
+
+        results = dataset_comparison(args.k, geometry=geometry, seed=args.seed)
+        for metric in ("pr", "rr", "f1", "are", "mops"):
+            tables.extend(metric_tables(results, metric, args.k).values())
+    elif args.name == "ablation":
+        from repro.experiments.figures import replacement_ablation
+
+        tables = [replacement_ablation(k=args.k, geometry=geometry, seed=args.seed)]
+    else:
+        print(f"unknown figure {args.name!r}; use --list", file=sys.stderr)
+        return 2
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    generate_report(path=args.output, scale=args.scale, seed=args.seed)
+    print(f"wrote {args.scale}-scale evaluation report to {args.output}")
+    return 0
+
+
+def _cmd_ml(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ml_comparison_table
+
+    geometry = StreamGeometry(n_windows=args.windows, window_size=args.window_size)
+    text, results = ml_comparison_table(
+        dataset=args.dataset, memory_kb=args.memory_kb, geometry=geometry, seed=args.seed
+    )
+    print(text)
+    for k, result in results.items():
+        print(
+            f"k={k}: speedup vs LinReg {result.speedup_over_linreg():.1f}x, "
+            f"vs ARIMA {result.speedup_over_arima():.1f}x"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="X-Sketch reproduction: find k-simplex items in data streams",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run = subparsers.add_parser("run", help="run an algorithm over a dataset")
+    _add_stream_args(run)
+    run.add_argument(
+        "--algorithm",
+        choices=["xs-cm", "xs-cu", "xs-batched", "xs-vectorized", "baseline"],
+        default="xs-cu",
+    )
+    run.add_argument("-k", type=int, default=1, help="polynomial degree")
+    run.add_argument("-p", type=int, default=7, help="windows in the definition")
+    run.add_argument("-T", type=float, default=2.0, help="MSE threshold")
+    run.add_argument("-L", type=float, default=1.0, help="|a_k| lower bound")
+    run.add_argument("--memory-kb", type=float, default=30.0)
+    run.add_argument("--quiet", action="store_true", help="metrics only, no reports")
+    run.set_defaults(handler=_cmd_run)
+
+    datasets = subparsers.add_parser("datasets", help="list or export dataset substitutes")
+    datasets.add_argument("--generate", choices=ALL_DATASETS, default=None)
+    datasets.add_argument("--output", default="trace.csv")
+    datasets.add_argument("--windows", type=int, default=40)
+    datasets.add_argument("--window-size", type=int, default=2000)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", nargs="?", default=None)
+    figure.add_argument("--list", action="store_true")
+    figure.add_argument("-k", type=int, default=1)
+    figure.add_argument("--windows", type=int, default=40)
+    figure.add_argument("--window-size", type=int, default=2000)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.set_defaults(handler=_cmd_figure)
+
+    report = subparsers.add_parser("report", help="run the full evaluation, write markdown")
+    report.add_argument("--output", default="RESULTS.md")
+    report.add_argument("--scale", choices=["small", "full"], default="small")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(handler=_cmd_report)
+
+    ml = subparsers.add_parser("ml", help="Section-VI ML comparison")
+    ml.add_argument("--dataset", choices=ALL_DATASETS, default="ip_trace")
+    ml.add_argument("--memory-kb", type=float, default=40.0)
+    ml.add_argument("--windows", type=int, default=30)
+    ml.add_argument("--window-size", type=int, default=2000)
+    ml.add_argument("--seed", type=int, default=0)
+    ml.set_defaults(handler=_cmd_ml)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Configuration objects shared across the package.
+
+Splits the paper's parameters the way Section III-E does:
+
+* *problem definition* parameters (``k``, ``p``, ``T``, ``L``) live in
+  :class:`repro.fitting.SimplexTask`;
+* *algorithm design* parameters (``s``, ``G``, ``d``, ``u``, ``r``,
+  memory budget, Stage-1 structure) live in :class:`XSketchConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.fitting.potential import DEFAULT_DELTA
+
+#: Bytes of a cell ID field in Stage 2 / baseline hash tables (32-bit).
+ID_BYTES = 4
+#: Bytes of the starting-window field of a Stage-2 cell.
+WSTR_BYTES = 4
+#: Bytes of one per-window frequency counter in Stage 2 (32-bit, exact).
+STAGE2_COUNTER_BYTES = 4
+
+
+@dataclass(frozen=True)
+class StreamGeometry:
+    """Count-based window geometry of an experiment (Definition 2).
+
+    The paper uses 3000 windows x 10000 items for Section V and
+    30 x 10000 for Section VI; pure-Python runs default far smaller and
+    scale up through these two knobs.
+    """
+
+    n_windows: int = 100
+    window_size: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.n_windows <= 0:
+            raise ConfigurationError(f"n_windows must be positive, got {self.n_windows}")
+        if self.window_size <= 0:
+            raise ConfigurationError(f"window_size must be positive, got {self.window_size}")
+
+    @property
+    def total_items(self) -> int:
+        """Total number of arrivals in the stream."""
+        return self.n_windows * self.window_size
+
+
+@dataclass(frozen=True)
+class XSketchConfig:
+    """Full parameterization of an X-Sketch instance.
+
+    Defaults follow Section V-B's conclusions: ``s=4``, ``u=4``, ``r=0.8``,
+    ``G=0.5``, ``d=3``; memory is the total across both stages, split
+    ``r : (1-r)`` between Stage 1 and Stage 2.
+
+    Attributes:
+        task: the k-simplex problem definition.
+        memory_kb: total memory budget in kilobytes.
+        s: number of recent windows tracked by Stage 1 (k+1 <= s <= p;
+            the paper uses s < p, s = p degenerates Stage 1 into a full
+            window record and is allowed for the Figure 6 sweep).
+        G: Potential threshold (Equation 6 gate).
+        d: number of Stage-1 arrays / hash functions.
+        u: cells per Stage-2 bucket.
+        r: fraction of memory given to Stage 1.
+        delta: the Δ of Equation 6.
+        update_rule: ``"cm"`` (XS-CM) or ``"cu"`` (XS-CU).
+        stage1_structure: Stage-1 filter structure; ``"tower"`` is the
+            paper's design, ``"cm"``, ``"cu"``, ``"cold"`` and ``"loglog"``
+            reproduce the Figure 9 comparison.
+        hash_family: name of the hash family (``bob``, ``murmur``, ``crc``).
+        replacement: Stage-2 replacement policy -- ``"probabilistic"``
+            (the paper's ``P = 1/W_min`` Weight Election), ``"always"``
+            or ``"never"``; the non-paper policies exist for the
+            ablation benchmark.
+    """
+
+    task: SimplexTask = field(default_factory=SimplexTask)
+    memory_kb: float = 200.0
+    s: int = 4
+    G: float = 0.5
+    d: int = 3
+    u: int = 4
+    r: float = 0.8
+    delta: float = DEFAULT_DELTA
+    update_rule: str = "cu"
+    stage1_structure: str = "tower"
+    hash_family: str = "crc"
+    replacement: str = "probabilistic"
+
+    def __post_init__(self) -> None:
+        if self.memory_kb <= 0:
+            raise ConfigurationError(f"memory_kb must be positive, got {self.memory_kb}")
+        if not self.task.k + 1 <= self.s <= self.task.p:
+            raise ConfigurationError(
+                f"s must satisfy k+1 <= s <= p (k={self.task.k}, p={self.task.p}), got s={self.s}"
+            )
+        if self.G < 0:
+            raise ConfigurationError(f"G must be >= 0, got {self.G}")
+        if self.d <= 0:
+            raise ConfigurationError(f"d must be positive, got {self.d}")
+        if self.u <= 0:
+            raise ConfigurationError(f"u must be positive, got {self.u}")
+        if not 0.0 < self.r < 1.0:
+            raise ConfigurationError(f"r must lie strictly between 0 and 1, got {self.r}")
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.update_rule not in ("cm", "cu"):
+            raise ConfigurationError(f"update_rule must be 'cm' or 'cu', got {self.update_rule!r}")
+        if self.replacement not in ("probabilistic", "always", "never"):
+            raise ConfigurationError(
+                "replacement must be 'probabilistic', 'always' or 'never', "
+                f"got {self.replacement!r}"
+            )
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_kb * 1024)
+
+    @property
+    def stage1_bytes(self) -> int:
+        """Memory handed to Stage 1 (the ratio ``r`` of the budget)."""
+        return int(self.memory_bytes * self.r)
+
+    @property
+    def stage2_bytes(self) -> int:
+        return self.memory_bytes - self.stage1_bytes
+
+    @property
+    def stage2_cell_bytes(self) -> int:
+        """Bytes of one Stage-2 cell: ID + w_str + p exact counters."""
+        return ID_BYTES + WSTR_BYTES + self.task.p * STAGE2_COUNTER_BYTES
+
+    @property
+    def stage2_buckets(self) -> int:
+        """Number of Stage-2 buckets ``m`` that fit the Stage-2 budget."""
+        bucket_bytes = self.u * self.stage2_cell_bytes
+        return max(1, self.stage2_bytes // bucket_bytes)

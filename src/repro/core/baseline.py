@@ -1,0 +1,200 @@
+"""The baseline solution of Section III-A.
+
+``p`` CM sketches arranged as a ring over windows (selected by ``w % p``),
+a per-window candidate set holding IDs of items observed to be continuous,
+and a hash table recording lasting times of reported simplex items.  On
+each arrival the item is counted in the current window's sketch and its
+continuity over the previous ``p - 1`` windows is checked by querying the
+other sketches; continuous items enter the candidate set.  At the end of
+each window every candidate's ``p`` estimated frequencies are fitted and
+reports are emitted for those satisfying the k-simplex definition.
+
+Implementation notes (the paper leaves these to the implementer; all are
+recorded in DESIGN.md):
+
+* The ring of ``p`` CM sketches shares one set of hash functions -- the
+  common way to implement a sketch ring -- realized as a single windowed
+  CM structure with ``p`` sub-counters per counter.
+* The candidate set and the hash table are capacity-limited by their
+  memory shares (4 bytes per set entry; 12 bytes per table entry), which
+  is what degrades the baseline at small memory budgets.
+* The memory budget splits ``sketch_fraction`` to the sketches and the
+  rest between set and table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.config import ID_BYTES
+from repro.errors import ConfigurationError
+from repro.core.reports import SimplexReport
+from repro.fitting.polyfit import fit_polynomial
+from repro.fitting.simplex import SimplexTask
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.windowed import WindowedCM
+
+#: Bytes per lasting-time table entry: ID + chain start + last report window.
+TABLE_ENTRY_BYTES = 12
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Parameters of the baseline solution.
+
+    Attributes:
+        task: the k-simplex problem definition (shares ``p`` with the ring).
+        memory_kb: total budget across sketches, set and table.
+        d: arrays per CM sketch.
+        sketch_fraction: share of memory given to the ``p`` sketches.
+        set_fraction: share given to the candidate set; the table gets
+            the remainder.
+    """
+
+    task: SimplexTask = field(default_factory=SimplexTask)
+    memory_kb: float = 200.0
+    d: int = 3
+    sketch_fraction: float = 0.7
+    set_fraction: float = 0.1
+    hash_family: str = "crc"
+
+    def __post_init__(self) -> None:
+        if self.memory_kb <= 0:
+            raise ConfigurationError(f"memory_kb must be positive, got {self.memory_kb}")
+        if not 0.0 < self.sketch_fraction < 1.0:
+            raise ConfigurationError(
+                f"sketch_fraction must be in (0, 1), got {self.sketch_fraction}"
+            )
+        if not 0.0 < self.set_fraction < 1.0 - self.sketch_fraction:
+            raise ConfigurationError(
+                "set_fraction must leave room for the lasting-time table; "
+                f"got set_fraction={self.set_fraction}, sketch_fraction={self.sketch_fraction}"
+            )
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_kb * 1024)
+
+    @property
+    def sketch_bytes(self) -> int:
+        return int(self.memory_bytes * self.sketch_fraction)
+
+    @property
+    def set_capacity(self) -> int:
+        return max(1, int(self.memory_bytes * self.set_fraction) // ID_BYTES)
+
+    @property
+    def table_capacity(self) -> int:
+        table_bytes = self.memory_bytes - self.sketch_bytes - int(
+            self.memory_bytes * self.set_fraction
+        )
+        return max(1, table_bytes // TABLE_ENTRY_BYTES)
+
+
+class _ChainEntry:
+    """Lasting-time table entry: start of the current reporting chain."""
+
+    __slots__ = ("chain_start", "last_report")
+
+    def __init__(self, chain_start: int, last_report: int):
+        self.chain_start = chain_start
+        self.last_report = last_report
+
+
+class BaselineSolution:
+    """The multi-CM-sketch baseline (Section III-A)."""
+
+    def __init__(self, config: BaselineConfig, seed: int = 0, family: HashFamily = None):
+        self.config = config
+        p = config.task.p
+        self.ring = WindowedCM(
+            memory_bytes=config.sketch_bytes,
+            s=p,
+            d=config.d,
+            family=family,
+            seed=seed,
+            hash_family=config.hash_family,
+        )
+        self.window = 0
+        self._candidates: Set[ItemId] = set()
+        self._table: Dict[ItemId, _ChainEntry] = {}
+        self._reports: List[SimplexReport] = []
+
+    def insert(self, item: ItemId) -> None:
+        """Count one arrival and run the continuity check."""
+        p = self.config.task.p
+        window = self.window
+        self.ring.insert(item, window % p)
+        if item in self._candidates:
+            return
+        if window < p - 1:
+            return
+        # Continuity over the p-1 previous windows: any zero interrupts it.
+        for back in range(1, p):
+            if self.ring.query_slot(item, (window - back) % p) == 0:
+                return
+        if len(self._candidates) < self.config.set_capacity:
+            self._candidates.add(item)
+
+    def end_window(self) -> List[SimplexReport]:
+        """Traverse the candidate set, fit, report; then rotate the ring."""
+        task = self.config.task
+        p = task.p
+        window = self.window
+        reports: List[SimplexReport] = []
+        for item in self._candidates:
+            frequencies = self.ring.query_slots(
+                item, [(window - p + 1 + j) % p for j in range(p)]
+            )
+            if any(f == 0 for f in frequencies):
+                continue
+            fit = fit_polynomial(frequencies, task.k)
+            if not task.passes(fit.leading, fit.mse):
+                continue
+            entry = self._table.get(item)
+            if entry is not None and entry.last_report == window - 1:
+                entry.last_report = window
+            else:
+                entry = _ChainEntry(chain_start=window - p + 1, last_report=window)
+                if item in self._table or len(self._table) < self.config.table_capacity:
+                    self._table[item] = entry
+            reports.append(
+                SimplexReport(
+                    item=item,
+                    start_window=window - p + 1,
+                    report_window=window,
+                    lasting_time=window - entry.chain_start,
+                    coefficients=fit.coefficients,
+                    mse=fit.mse,
+                )
+            )
+        # Periodic cleaning: the set is per-window; dead chains leave the
+        # table; the oldest sketch is cleared to take the next window.
+        self._candidates.clear()
+        dead = [item for item, entry in self._table.items() if entry.last_report < window]
+        for item in dead:
+            del self._table[item]
+        self.ring.clear_slot((window + 1) % p)
+        self._reports.extend(reports)
+        self.window += 1
+        return reports
+
+    def run_window(self, items) -> List[SimplexReport]:
+        """Convenience: insert a whole window of arrivals, then close it."""
+        insert = self.insert
+        for item in items:
+            insert(item)
+        return self.end_window()
+
+    @property
+    def reports(self) -> List[SimplexReport]:
+        return list(self._reports)
+
+    @property
+    def memory_bytes(self) -> float:
+        return (
+            self.ring.memory_bytes
+            + self.config.set_capacity * ID_BYTES
+            + self.config.table_capacity * TABLE_ENTRY_BYTES
+        )

@@ -1,0 +1,226 @@
+"""Multi-degree X-Sketch: one pass, all of k = 0, 1, 2.
+
+Section I-B claims X-Sketch "is generic: it only needs one X-Sketch to
+find the three types of k-simplex items with k = 0, 1, 2".  The claim
+holds because the *structure* is degree-independent -- Stage 1 records
+per-window counts, Stage 2 tracks exact counts -- and only the fitting
+degree differs.  :class:`MultiKXSketch` makes that concrete: a single
+Stage 1 + Stage 2 pass evaluates every requested degree's definition on
+the same counters and emits per-degree reports.
+
+Differences from running one :class:`XSketch` per degree:
+
+* **Memory**: one structure instead of three (the bench quantifies it).
+* **Promotion**: an item is promoted when its Potential reaches ``G``
+  for *any* requested degree (the union of the per-degree gates).
+* **Per-degree start windows**: each cell keeps one ``w_str`` per
+  degree, because Algorithm 2's slide-on-failed-fit is
+  degree-dependent; the replacement weight uses the largest of the
+  per-degree weights (the strongest surviving claim).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import XSketchConfig
+from repro.core.reports import SimplexReport
+from repro.core.stage1 import Stage1
+from repro.errors import ConfigurationError
+from repro.fitting.polyfit import fit_leading_and_mse, fit_polynomial
+from repro.fitting.simplex import SimplexTask
+from repro.hashing.family import HashFamily, ItemId, make_family
+
+
+class _MultiCell:
+    """Stage-2 cell with one starting window per tracked degree."""
+
+    __slots__ = ("item", "w_strs", "counts")
+
+    def __init__(self, item: ItemId, w_str: int, p: int, n_degrees: int):
+        self.item = item
+        self.w_strs = [w_str] * n_degrees
+        self.counts: List[int] = [0] * p
+
+    def weight(self, window: int) -> int:
+        """Largest per-degree weight: the strongest surviving claim."""
+        return window - min(self.w_strs)
+
+    def frequencies_ending_at(self, window: int) -> List[int]:
+        p = len(self.counts)
+        return [self.counts[(window - p + 1 + j) % p] for j in range(p)]
+
+
+@dataclass(frozen=True)
+class MultiKConfig:
+    """Configuration of a multi-degree run.
+
+    ``tasks`` must share ``p`` (they share the Stage-2 ring); ``base``
+    carries the memory/structure parameters and the Stage-1 geometry.
+    """
+
+    tasks: Tuple[SimplexTask, ...]
+    base: XSketchConfig = field(default_factory=XSketchConfig)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ConfigurationError("tasks must be non-empty")
+        ps = {task.p for task in self.tasks}
+        if len(ps) != 1:
+            raise ConfigurationError(f"all tasks must share p, got {sorted(ps)}")
+        max_k = max(task.k for task in self.tasks)
+        if self.base.s < max_k + 1:
+            raise ConfigurationError(
+                f"s={self.base.s} cannot fit degree {max_k} (need s >= {max_k + 1})"
+            )
+        if self.base.task.p != self.tasks[0].p:
+            raise ConfigurationError(
+                "base.task.p must equal the shared p of the tasks "
+                f"({self.base.task.p} != {self.tasks[0].p})"
+            )
+
+    @staticmethod
+    def paper_default(memory_kb: float = 60.0, ks: Sequence[int] = (0, 1, 2)) -> "MultiKConfig":
+        tasks = tuple(SimplexTask.paper_default(k) for k in ks)
+        base = XSketchConfig(task=tasks[-1], memory_kb=memory_kb)
+        return MultiKConfig(tasks=tasks, base=base)
+
+
+class MultiKXSketch:
+    """Single-pass simplex finder for several degrees at once."""
+
+    def __init__(
+        self,
+        config: MultiKConfig,
+        seed: int = 0,
+        family: HashFamily = None,
+        rng: random.Random = None,
+    ):
+        self.config = config
+        base = config.base
+        shared_family = family if family is not None else make_family(base.hash_family, seed)
+        self._rng = rng if rng is not None else random.Random(seed ^ 0x5BD1E995)
+        # Stage 1 is degree-independent storage; reuse it with the base
+        # config (its per-arrival gate is replaced by ours below).
+        self.stage1 = Stage1(base, family=shared_family, seed=seed, rng=self._rng)
+        self.family = shared_family
+        self.p = config.tasks[0].p
+        self.m = base.stage2_buckets
+        self.u = base.u
+        self.buckets: List[List[_MultiCell]] = [[] for _ in range(self.m)]
+        self._index: Dict[ItemId, _MultiCell] = {}
+        self._bucket_hash_index = base.d
+        self.window = 0
+        self._reports: Dict[int, List[SimplexReport]] = {task.k: [] for task in config.tasks}
+
+    def _bucket_of(self, item: ItemId) -> List[_MultiCell]:
+        return self.buckets[self.family.hash32(item, self._bucket_hash_index) % self.m]
+
+    def insert(self, item: ItemId) -> None:
+        """Process one arrival (union-gated Algorithm 1)."""
+        window = self.window
+        cell = self._index.get(item)
+        if cell is not None:
+            cell.counts[window % self.p] += 1
+            return
+        base = self.config.base
+        s = base.s
+        stage1 = self.stage1
+        stage1.arrivals += 1
+        stage1.filter.insert(item, window % s)
+        if window < s - 1:
+            return
+        frequencies = stage1.filter.query_slots_positive(item, stage1._recent_slots(window))
+        if frequencies is None:
+            return
+        stage1.fits += 1
+        promoted = False
+        for task in self.config.tasks:
+            leading, mse = fit_leading_and_mse(frequencies, task.k)
+            if abs(leading) / (mse + base.delta) >= base.G:
+                promoted = True
+                break
+        if not promoted:
+            return
+        stage1.promotions += 1
+        self._try_insert(item, frequencies, window)
+
+    def _try_insert(self, item: ItemId, frequencies, window: int) -> bool:
+        s = self.config.base.s
+        bucket = self._bucket_of(item)
+        if len(bucket) >= self.u:
+            victim = min(bucket, key=lambda c: c.weight(window))
+            w_min = victim.weight(window)
+            if w_min >= 1 and self._rng.random() >= 1.0 / w_min:
+                return False
+            bucket.remove(victim)
+            del self._index[victim.item]
+        cell = _MultiCell(item, window - s + 1, self.p, len(self.config.tasks))
+        for j, frequency in enumerate(frequencies):
+            cell.counts[(window - s + 1 + j) % self.p] = frequency
+        bucket.append(cell)
+        self._index[item] = cell
+        return True
+
+    def end_window(self) -> Dict[int, List[SimplexReport]]:
+        """Algorithm 2 per degree; returns this window's reports by k."""
+        window = self.window
+        p = self.p
+        current_slot = window % p
+        next_slot = (window + 1) % p
+        new_reports: Dict[int, List[SimplexReport]] = {
+            task.k: [] for task in self.config.tasks
+        }
+        for bucket in self.buckets:
+            survivors: List[_MultiCell] = []
+            for cell in bucket:
+                if cell.counts[current_slot] == 0:
+                    del self._index[cell.item]
+                    continue
+                frequencies = None
+                for degree_index, task in enumerate(self.config.tasks):
+                    if window - cell.w_strs[degree_index] + 1 < p:
+                        continue
+                    if frequencies is None:
+                        frequencies = cell.frequencies_ending_at(window)
+                    fit = fit_polynomial(frequencies, task.k)
+                    if task.passes(fit.leading, fit.mse):
+                        new_reports[task.k].append(
+                            SimplexReport(
+                                item=cell.item,
+                                start_window=window - p + 1,
+                                report_window=window,
+                                lasting_time=window - cell.w_strs[degree_index],
+                                coefficients=fit.coefficients,
+                                mse=fit.mse,
+                            )
+                        )
+                    else:
+                        cell.w_strs[degree_index] = window - p + 2
+                cell.counts[next_slot] = 0
+                survivors.append(cell)
+            bucket[:] = survivors
+        self.stage1.end_window(window)
+        for k, reports in new_reports.items():
+            self._reports[k].extend(reports)
+        self.window += 1
+        return new_reports
+
+    def run_window(self, items) -> Dict[int, List[SimplexReport]]:
+        """Convenience: insert a whole window of arrivals, then close it."""
+        insert = self.insert
+        for item in items:
+            insert(item)
+        return self.end_window()
+
+    def reports(self, k: int) -> List[SimplexReport]:
+        """All reports for degree ``k`` so far."""
+        return list(self._reports[k])
+
+    @property
+    def memory_bytes(self) -> float:
+        """Stage 1 + Stage 2 with the per-degree w_str fields accounted."""
+        cell_bytes = 4 + 4 * len(self.config.tasks) + self.p * 4
+        return self.stage1.memory_bytes + float(self.m * self.u * cell_bytes)

@@ -1,0 +1,182 @@
+"""Exact ground truth for k-simplex items.
+
+The oracle keeps exact per-window counts for every item (unbounded
+memory), then enumerates every *instance* -- an (item, start_window) pair
+satisfying the k-simplex definition over windows ``start .. start+p-1``.
+PR/RR/F1 match reported instances against this set; ARE compares each
+matched report's estimated lasting time with the true lasting time.
+
+True lasting time mirrors Equation 7: instances of one item at
+consecutive start windows form a *chain* (the sketch's ``w_str`` stays put
+while fits keep succeeding), and the true lasting time at report window
+``w = start + p - 1`` is ``w - chain_start``.
+
+The per-item sweep is vectorized: all start windows of a presence run are
+fitted at once with the cached pseudo-inverse / residual projector, which
+keeps exact ground truth affordable even for full-size streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.reports import SimplexReport
+from repro.errors import StreamError
+from repro.fitting.design import pseudo_inverse, residual_projector
+from repro.fitting.simplex import SimplexTask
+from repro.hashing.family import ItemId
+
+Instance = Tuple[ItemId, int]
+
+
+class SimplexOracle:
+    """Exact simplex-item finder (the evaluation's ground truth).
+
+    Drive it with the same protocol as the sketches (``insert`` +
+    ``end_window``), or build it in one call with :meth:`from_stream`.
+    Call :meth:`finalize` (idempotent) before reading results.
+    """
+
+    def __init__(self, task: SimplexTask):
+        self.task = task
+        self.window = 0
+        self._counts: Dict[ItemId, Dict[int, int]] = {}
+        self._instances: Optional[Set[Instance]] = None
+        self._chain_start: Dict[Instance, int] = {}
+
+    @classmethod
+    def from_stream(cls, windows: Iterable[Iterable[ItemId]], task: SimplexTask) -> "SimplexOracle":
+        """Consume an iterable of windows of arrivals and finalize."""
+        oracle = cls(task)
+        for window_items in windows:
+            for item in window_items:
+                oracle.insert(item)
+            oracle.end_window()
+        oracle.finalize()
+        return oracle
+
+    def insert(self, item: ItemId) -> None:
+        """Count one arrival in the current window."""
+        per_window = self._counts.get(item)
+        if per_window is None:
+            per_window = {}
+            self._counts[item] = per_window
+        per_window[self.window] = per_window.get(self.window, 0) + 1
+        self._instances = None
+
+    def end_window(self) -> None:
+        self.window += 1
+        self._instances = None
+
+    def frequency(self, item: ItemId, window: int) -> int:
+        """Exact frequency of ``item`` in ``window``."""
+        return self._counts.get(item, {}).get(window, 0)
+
+    def frequency_vector(self, item: ItemId, start: int, length: int) -> List[int]:
+        """Exact frequencies over ``length`` windows from ``start``."""
+        per_window = self._counts.get(item, {})
+        return [per_window.get(start + j, 0) for j in range(length)]
+
+    def items(self) -> List[ItemId]:
+        """All distinct items observed."""
+        return list(self._counts)
+
+    def finalize(self) -> None:
+        """Enumerate all instances and their chains (idempotent)."""
+        if self._instances is not None:
+            return
+        task = self.task
+        p = task.p
+        k = task.k
+        pinv_leading = np.asarray(pseudo_inverse(p, k)[k])
+        projector = residual_projector(p, k)
+        instances: Set[Instance] = set()
+        chain_start: Dict[Instance, int] = {}
+
+        for item, per_window in self._counts.items():
+            starts = self._instance_starts(per_window, p, pinv_leading, projector, task)
+            previous = None
+            for start in starts:
+                instances.add((item, start))
+                if previous is not None and previous == start - 1:
+                    chain_start[(item, start)] = chain_start[(item, previous)]
+                else:
+                    chain_start[(item, start)] = start
+                previous = start
+        self._instances = instances
+        self._chain_start = chain_start
+
+    @staticmethod
+    def _instance_starts(
+        per_window: Dict[int, int],
+        p: int,
+        pinv_leading: np.ndarray,
+        projector: np.ndarray,
+        task: SimplexTask,
+    ) -> List[int]:
+        """Sorted start windows of all satisfying spans of one item."""
+        if len(per_window) < p:
+            return []
+        windows = sorted(per_window)
+        starts: List[int] = []
+        # Split presence into maximal runs of consecutive windows; only
+        # runs of at least p windows can host instances.
+        run_begin = 0
+        for i in range(1, len(windows) + 1):
+            if i == len(windows) or windows[i] != windows[i - 1] + 1:
+                run = windows[run_begin:i]
+                run_begin = i
+                if len(run) < p:
+                    continue
+                values = np.array([per_window[w] for w in run], dtype=np.float64)
+                spans = np.lib.stride_tricks.sliding_window_view(values, p)
+                leading = spans @ pinv_leading
+                residuals = spans @ projector.T
+                mse = np.mean(residuals * residuals, axis=1)
+                mask = (mse <= task.T + 1e-9) & (np.abs(leading) >= task.L - 1e-9)
+                starts.extend(int(run[j]) for j in np.nonzero(mask)[0])
+        starts.sort()
+        return starts
+
+    @property
+    def instances(self) -> Set[Instance]:
+        """All true (item, start_window) instances."""
+        if self._instances is None:
+            raise StreamError("call finalize() before reading oracle results")
+        return self._instances
+
+    def is_instance(self, item: ItemId, start_window: int) -> bool:
+        return (item, start_window) in self.instances
+
+    def true_lasting(self, item: ItemId, start_window: int) -> Optional[int]:
+        """True lasting time at the report window of instance ``(item,
+        start_window)``: ``(start_window + p - 1) - chain_start``."""
+        if (item, start_window) not in self.instances:
+            return None
+        report_window = start_window + self.task.p - 1
+        return report_window - self._chain_start[(item, start_window)]
+
+    def reports(self) -> List[SimplexReport]:
+        """Ground-truth reports (one per instance) with exact fits."""
+        self.finalize()
+        p = self.task.p
+        k = self.task.k
+        out: List[SimplexReport] = []
+        for item, start in sorted(self.instances, key=lambda x: (x[1], str(x[0]))):
+            values = self.frequency_vector(item, start, p)
+            from repro.fitting.polyfit import fit_polynomial
+
+            fit = fit_polynomial(values, k)
+            out.append(
+                SimplexReport(
+                    item=item,
+                    start_window=start,
+                    report_window=start + p - 1,
+                    lasting_time=self.true_lasting(item, start),
+                    coefficients=fit.coefficients,
+                    mse=fit.mse,
+                )
+            )
+        return out

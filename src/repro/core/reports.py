@@ -1,0 +1,39 @@
+"""Report records emitted by simplex-finding algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hashing.family import ItemId
+
+
+@dataclass(frozen=True)
+class SimplexReport:
+    """One reported k-simplex instance.
+
+    A report at window ``w`` claims the item satisfied the k-simplex
+    definition over windows ``start_window .. w`` (a span of ``p``
+    windows), following the paper's ``report (e, w - p + 1)``.
+
+    Attributes:
+        item: the reported item ID.
+        start_window: first window of the satisfying span (``w - p + 1``).
+        report_window: the window at whose end the report was emitted.
+        lasting_time: the algorithm's estimate of the item's lasting time
+            ``t = w - w_str`` (Equation 7); ARE is measured on this.
+        coefficients: fitted polynomial coefficients ``(a_0, ..., a_k)``.
+        mse: MSE of the fit over the reported span.
+    """
+
+    item: ItemId
+    start_window: int
+    report_window: int
+    lasting_time: int
+    coefficients: Tuple[float, ...]
+    mse: float
+
+    @property
+    def instance(self) -> Tuple[ItemId, int]:
+        """The (item, start_window) pair used for truth matching."""
+        return (self.item, self.start_window)

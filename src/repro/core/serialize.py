@@ -1,0 +1,149 @@
+"""Checkpointing: snapshot and restore an X-Sketch's full state.
+
+Long-running stream monitors need to survive process restarts without
+losing their window history.  A snapshot captures the configuration,
+the window counter, every Stage-1 counter, every Stage-2 cell, the
+emitted reports and the replacement RNG state, as a JSON-serializable
+dict; :func:`restore_xsketch` rebuilds an equivalent sketch that
+continues the stream bit-for-bit.
+
+Only the Stage-1 structures backed by :class:`CounterArray` rings
+(tower / cm / cu / cold / loglog -- i.e. all of them) are supported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.config import XSketchConfig
+from repro.core.batched import BatchedXSketch
+from repro.core.reports import SimplexReport
+from repro.core.stage2 import Stage2Cell
+from repro.core.xsketch import XSketch
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.sketch.counters import CounterArray
+from repro.sketch.windowed import WindowedColdFilter, WindowedLogLog, _WindowedArrays
+
+FORMAT_VERSION = 1
+
+
+def _counter_arrays_of(filter_) -> List[CounterArray]:
+    """The CounterArray rings of a windowed filter, in a fixed order."""
+    if isinstance(filter_, _WindowedArrays):
+        return list(filter_.levels)
+    if isinstance(filter_, WindowedColdFilter):
+        return list(filter_.layer1) + list(filter_.layer2)
+    if isinstance(filter_, WindowedLogLog):
+        return list(filter_.registers)
+    raise ConfigurationError(
+        f"cannot snapshot Stage-1 structure {type(filter_).__name__}"
+    )
+
+
+def snapshot_xsketch(sketch) -> Dict:
+    """Capture the complete state of ``sketch`` as a JSON-able dict.
+
+    Accepts both :class:`XSketch` and :class:`BatchedXSketch` (the
+    batched variant must be snapshotted at a window boundary -- a
+    non-empty arrival buffer is working state, not sketch state).
+    """
+    if isinstance(sketch, BatchedXSketch) and sketch._buffer:
+        raise ConfigurationError(
+            "snapshot a BatchedXSketch only at a window boundary (buffer not empty)"
+        )
+    config = sketch.config
+    stage1_arrays = [list(array) for array in _counter_arrays_of(sketch.stage1.filter)]
+    cells = []
+    for bucket_index, bucket in enumerate(sketch.stage2.buckets):
+        for cell in bucket:
+            cells.append(
+                {
+                    "bucket": bucket_index,
+                    "item": cell.item,
+                    "w_str": cell.w_str,
+                    "counts": list(cell.counts),
+                }
+            )
+    reports = [dataclasses.asdict(report) for report in sketch.reports]
+    return {
+        "format_version": FORMAT_VERSION,
+        "variant": "batched" if isinstance(sketch, BatchedXSketch) else "per-arrival",
+        "task": dataclasses.asdict(config.task),
+        "config": {
+            field.name: getattr(config, field.name)
+            for field in dataclasses.fields(config)
+            if field.name != "task"
+        },
+        "seed_state": _encode_state(sketch.stage2._rng.getstate()),
+        "window": sketch.window,
+        "stage1_arrays": stage1_arrays,
+        "stage2_cells": cells,
+        "reports": reports,
+    }
+
+
+def restore_xsketch(snapshot: Dict, seed: int = 0) -> XSketch:
+    """Rebuild an X-Sketch from :func:`snapshot_xsketch` output.
+
+    ``seed`` must be the seed the original sketch was built with (the
+    hash family derives from it; the replacement RNG state is restored
+    exactly from the snapshot).
+    """
+    if snapshot.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot version {snapshot.get('format_version')!r}"
+        )
+    task = SimplexTask(**snapshot["task"])
+    config = XSketchConfig(task=task, **snapshot["config"])
+    variant = snapshot.get("variant", "per-arrival")
+    sketch = BatchedXSketch(config, seed=seed) if variant == "batched" else XSketch(config, seed=seed)
+    sketch.window = snapshot["window"]
+    sketch.stage2._rng.setstate(_decode_state(snapshot["seed_state"]))
+
+    arrays = _counter_arrays_of(sketch.stage1.filter)
+    saved = snapshot["stage1_arrays"]
+    if len(arrays) != len(saved) or any(
+        len(array) != len(values) for array, values in zip(arrays, saved)
+    ):
+        raise ConfigurationError("snapshot geometry does not match the rebuilt sketch")
+    for array, values in zip(arrays, saved):
+        for index, value in enumerate(values):
+            array.set(index, value)
+
+    for record in snapshot["stage2_cells"]:
+        cell = Stage2Cell(record["item"], record["w_str"], config.task.p)
+        cell.counts = list(record["counts"])
+        sketch.stage2.buckets[record["bucket"]].append(cell)
+        sketch.stage2._index[record["item"]] = cell
+
+    sketch._reports = [SimplexReport(**_report_kwargs(r)) for r in snapshot["reports"]]
+    return sketch
+
+
+def save_xsketch(sketch: XSketch, path: Union[str, Path]) -> None:
+    """Write a snapshot to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(snapshot_xsketch(sketch)))
+
+
+def load_xsketch(path: Union[str, Path], seed: int = 0) -> XSketch:
+    """Read a snapshot written by :func:`save_xsketch`."""
+    return restore_xsketch(json.loads(Path(path).read_text()), seed=seed)
+
+
+def _report_kwargs(record: Dict) -> Dict:
+    record = dict(record)
+    record["coefficients"] = tuple(record["coefficients"])
+    return record
+
+
+def _encode_state(state) -> List:
+    """random.Random state -> JSON-able nested lists."""
+    return [state[0], list(state[1]), state[2]]
+
+
+def _decode_state(encoded) -> tuple:
+    return (encoded[0], tuple(encoded[1]), encoded[2])

@@ -1,0 +1,156 @@
+"""Stage 1: Short-Term Filtering and the Potential gate.
+
+Stage 1 records per-window frequencies of the latest ``s < p`` windows in
+a windowed TowerSketch (or an alternative structure for the Figure-9
+comparison).  An arrival whose item is not tracked by Stage 2 is counted
+here, then checked against the *Preliminary Condition*: all of the latest
+``s`` window frequencies positive.  If so, the short span is
+polynomial-fitted and the Potential ``Λ = |a_k| / (ε + Δ)`` (Equation 6)
+is compared with the threshold ``G``; items reaching it are promoted to
+Stage 2 with their ``s`` estimated frequencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import XSketchConfig
+from repro.fitting.polyfit import fit_leading_and_mse
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.windowed import WindowedFilter, make_windowed_filter
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """A potential simplex item handed from Stage 1 to Stage 2.
+
+    ``frequencies`` are Stage 1's estimates for the latest ``s`` windows
+    (oldest first); ``w_str`` is the logical starting window ``w - s + 1``.
+    """
+
+    item: ItemId
+    frequencies: Tuple[int, ...]
+    w_str: int
+    potential: float
+
+
+class Stage1:
+    """Short-Term Filtering stage of X-Sketch.
+
+    Args:
+        config: the full X-Sketch configuration (uses ``stage1_bytes``,
+            ``s``, ``d``, ``update_rule``, ``stage1_structure``, ``G``,
+            ``delta`` and the task's ``k``).
+        family: hash family shared with the rest of the sketch.
+        rng: random source (only used by the LogLog structure).
+    """
+
+    def __init__(
+        self,
+        config: XSketchConfig,
+        family: HashFamily = None,
+        seed: int = 0,
+        rng: random.Random = None,
+    ):
+        self.config = config
+        self.filter: WindowedFilter = make_windowed_filter(
+            structure=config.stage1_structure,
+            memory_bytes=config.stage1_bytes,
+            s=config.s,
+            d=config.d,
+            update_rule=config.update_rule,
+            family=family,
+            seed=seed,
+            hash_family=config.hash_family,
+            rng=rng,
+        )
+        self._k = config.task.k
+        self._s = config.s
+        self._g = config.G
+        self._delta = config.delta
+        self._cached_window = -1
+        self._cached_slots: List[int] = []
+        #: arrivals routed through Stage 1 (item not tracked by Stage 2)
+        self.arrivals = 0
+        #: short-term fits performed (positivity held over s windows)
+        self.fits = 0
+        #: promotions emitted (Potential reached G)
+        self.promotions = 0
+
+    def _recent_slots(self, window: int) -> List[int]:
+        """Slots of windows ``window - s + 1 .. window``, oldest first.
+
+        Cached per window: the list is identical for every arrival of a
+        window, and this runs on the hot path.
+        """
+        if window != self._cached_window:
+            s = self._s
+            self._cached_window = window
+            self._cached_slots = [(window - s + 1 + j) % s for j in range(s)]
+        return self._cached_slots
+
+    def insert(self, item: ItemId, window: int) -> Optional[Promotion]:
+        """Count one arrival; return a :class:`Promotion` if the item now
+        passes Short-Term Filtering and the Potential gate (Algorithm 1,
+        lines 6-14)."""
+        s = self._s
+        self.arrivals += 1
+        self.filter.insert(item, window % s)
+        if window < s - 1:
+            # The stream has not yet produced s windows; the span cannot be
+            # fully positive, matching the all-zero initial sub-counters.
+            return None
+        frequencies = self.filter.query_slots_positive(item, self._recent_slots(window))
+        if frequencies is None:
+            return None
+        self.fits += 1
+        leading, mse = fit_leading_and_mse(frequencies, self._k)
+        lam = abs(leading) / (mse + self._delta)
+        if lam < self._g:
+            return None
+        self.promotions += 1
+        return Promotion(
+            item=item,
+            frequencies=tuple(frequencies),
+            w_str=window - s + 1,
+            potential=lam,
+        )
+
+    def insert_batch(self, item: ItemId, window: int, count: int) -> Optional[Promotion]:
+        """Batched variant of :meth:`insert`: ``count`` arrivals at once.
+
+        Used by :class:`repro.core.batched.BatchedXSketch`, which runs
+        the Preliminary-Condition / Potential check once per (item,
+        window) on the complete window count instead of per arrival.
+        """
+        s = self._s
+        self.arrivals += count
+        self.filter.insert_count(item, window % s, count)
+        if window < s - 1:
+            return None
+        frequencies = self.filter.query_slots_positive(item, self._recent_slots(window))
+        if frequencies is None:
+            return None
+        self.fits += 1
+        leading, mse = fit_leading_and_mse(frequencies, self._k)
+        lam = abs(leading) / (mse + self._delta)
+        if lam < self._g:
+            return None
+        self.promotions += 1
+        return Promotion(
+            item=item,
+            frequencies=tuple(frequencies),
+            w_str=window - s + 1,
+            potential=lam,
+        )
+
+    def end_window(self, window: int) -> None:
+        """Window transition: free the sub-counter slot the next window
+        will use (the paper's Stage-1 cleaning policy)."""
+        self.filter.clear_slot((window + 1) % self._s)
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.filter.memory_bytes

@@ -1,0 +1,182 @@
+"""Stage 2: exact tracking with Weight Election.
+
+A hash table of ``m`` buckets x ``u`` cells; each cell holds an item ID,
+its starting window ``w_str`` and ``p`` per-window counters (a ring
+indexed by ``w % p``).  Tracked items are counted exactly (Theorem 2: no
+estimation error while resident).  When a promoted item lands in a full
+bucket it replaces the minimum-weight resident with probability
+``1 / W_min`` where ``W = w - w_str`` (Equations 7 and the replacement
+strategy of Section III-D2), so long-lasting simplex items are protected.
+
+The window-transition procedure (Algorithm 2) evicts items silent in the
+closing window, reports cells whose last ``p`` windows satisfy the
+k-simplex definition, slides ``w_str`` forward on failed fits, and clears
+the ring slot the next window will use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.config import XSketchConfig
+from repro.core.reports import SimplexReport
+from repro.core.stage1 import Promotion
+from repro.fitting.polyfit import fit_polynomial
+from repro.hashing.family import HashFamily, ItemId, make_family
+
+
+class Stage2Cell:
+    """One Stage-2 cell: ⟨ID, Count (p ring counters), w_str⟩."""
+
+    __slots__ = ("item", "w_str", "counts")
+
+    def __init__(self, item: ItemId, w_str: int, p: int):
+        self.item = item
+        self.w_str = w_str
+        self.counts: List[int] = [0] * p
+
+    def weight(self, window: int) -> int:
+        """Weight ``W = w - w_str`` (Equation 7): the lasting time."""
+        return window - self.w_str
+
+    def frequencies_ending_at(self, window: int) -> List[int]:
+        """The last ``p`` window frequencies ``f_{w-p+1} .. f_w``."""
+        p = len(self.counts)
+        return [self.counts[(window - p + 1 + j) % p] for j in range(p)]
+
+
+class Stage2:
+    """Weight-Election stage of X-Sketch.
+
+    The hash function picking the bucket is drawn from the shared family
+    at an index disjoint from Stage 1's (index ``d``), mirroring the
+    paper's independent ``h(.)``.
+    """
+
+    def __init__(
+        self,
+        config: XSketchConfig,
+        family: HashFamily = None,
+        seed: int = 0,
+        rng: random.Random = None,
+    ):
+        self.config = config
+        self.family = family if family is not None else make_family(config.hash_family, seed)
+        self._rng = rng if rng is not None else random.Random(seed ^ 0x5BD1E995)
+        self.m = config.stage2_buckets
+        self.u = config.u
+        self.p = config.task.p
+        self.buckets: List[List[Stage2Cell]] = [[] for _ in range(self.m)]
+        # Direct item -> cell index, a simulation accelerator for the
+        # "is e in Stage 2?" test of Algorithm 1 line 2.  Semantics are
+        # identical to scanning bucket B[h(e)]: the index only ever holds
+        # items resident in their home bucket.
+        self._index: Dict[ItemId, Stage2Cell] = {}
+        self._bucket_hash_index = config.d
+        #: promoted items placed in empty cells
+        self.inserts_empty = 0
+        #: replacement contests won / lost (full-bucket insertions)
+        self.replacements_won = 0
+        self.replacements_lost = 0
+        #: evictions of items silent in the closing window
+        self.evictions_zero = 0
+
+    def _bucket_of(self, item: ItemId) -> List[Stage2Cell]:
+        return self.buckets[self.family.hash32(item, self._bucket_hash_index) % self.m]
+
+    def lookup(self, item: ItemId) -> Optional[Stage2Cell]:
+        """The cell tracking ``item``, or None."""
+        return self._index.get(item)
+
+    def record_arrival(self, item: ItemId, window: int) -> bool:
+        """Case 1 of Algorithm 1: if tracked, count the arrival exactly."""
+        cell = self._index.get(item)
+        if cell is None:
+            return False
+        cell.counts[window % self.p] += 1
+        return True
+
+    def try_insert(self, promotion: Promotion, window: int) -> bool:
+        """Insert a promoted item (Algorithm 1 lines 15-18).
+
+        Returns True when the item ended up in the table, either in an
+        empty cell or by winning the probabilistic replacement against the
+        minimum-weight resident.
+        """
+        bucket = self._bucket_of(promotion.item)
+        if len(bucket) < self.u:
+            cell = self._make_cell(promotion, window)
+            bucket.append(cell)
+            self._index[promotion.item] = cell
+            self.inserts_empty += 1
+            return True
+        victim = min(bucket, key=lambda c: c.weight(window))
+        policy = self.config.replacement
+        if policy == "never":
+            self.replacements_lost += 1
+            return False
+        if policy == "probabilistic":
+            w_min = victim.weight(window)
+            if w_min >= 1 and self._rng.random() >= 1.0 / w_min:
+                self.replacements_lost += 1
+                return False
+        bucket.remove(victim)
+        del self._index[victim.item]
+        cell = self._make_cell(promotion, window)
+        bucket.append(cell)
+        self._index[promotion.item] = cell
+        self.replacements_won += 1
+        return True
+
+    def _make_cell(self, promotion: Promotion, window: int) -> Stage2Cell:
+        """Cell seeded with Stage 1's s frequency estimates, zero elsewhere."""
+        cell = Stage2Cell(promotion.item, promotion.w_str, self.p)
+        s = len(promotion.frequencies)
+        for j, frequency in enumerate(promotion.frequencies):
+            cell.counts[(window - s + 1 + j) % self.p] = frequency
+        return cell
+
+    def end_window(self, window: int) -> List[SimplexReport]:
+        """Algorithm 2: evict, fit, report, slide, and open the next slot."""
+        task = self.config.task
+        p = self.p
+        current_slot = window % p
+        next_slot = (window + 1) % p
+        reports: List[SimplexReport] = []
+        for bucket in self.buckets:
+            survivors: List[Stage2Cell] = []
+            for cell in bucket:
+                if cell.counts[current_slot] == 0:
+                    del self._index[cell.item]
+                    self.evictions_zero += 1
+                    continue
+                if window - cell.w_str + 1 >= p:
+                    frequencies = cell.frequencies_ending_at(window)
+                    fit = fit_polynomial(frequencies, task.k)
+                    if task.passes(fit.leading, fit.mse):
+                        reports.append(
+                            SimplexReport(
+                                item=cell.item,
+                                start_window=window - p + 1,
+                                report_window=window,
+                                lasting_time=cell.weight(window),
+                                coefficients=fit.coefficients,
+                                mse=fit.mse,
+                            )
+                        )
+                    else:
+                        cell.w_str = window - p + 2
+                cell.counts[next_slot] = 0
+                survivors.append(cell)
+            bucket[:] = survivors
+        return reports
+
+    def __len__(self) -> int:
+        """Number of items currently tracked."""
+        return len(self._index)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Accounted memory: the full m x u cell capacity."""
+        return float(self.m * self.u * self.config.stage2_cell_bytes)

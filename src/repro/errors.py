@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can guard a whole pipeline with a single
+``except ReproError`` without swallowing genuine bugs (TypeError etc.).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its documented domain."""
+
+
+class CapacityError(ReproError):
+    """A structure was asked to hold more than its memory budget allows."""
+
+
+class FittingError(ReproError):
+    """Polynomial fitting was asked for an ill-posed problem."""
+
+
+class StreamError(ReproError):
+    """A stream or trace is malformed or used out of protocol."""

@@ -1,0 +1,55 @@
+"""Experiment harness: parameter sweeps, dataset registry, figure runners.
+
+Everything the ``benchmarks/`` tree prints is produced here, so the same
+experiments can also be driven from examples or a notebook.  Each
+``figures.py`` function reproduces one figure/table of the paper and
+returns a :class:`~repro.experiments.harness.SeriesTable` whose rows can
+be compared with the paper's curves (shape, not absolute values -- see
+EXPERIMENTS.md).
+"""
+
+from repro.experiments.params import (
+    DEFAULT_GEOMETRY,
+    MEMORY_SCALE,
+    ML_GEOMETRY,
+    PAPER_ACCURACY_MEMORY_KB,
+    PAPER_PARAM_MEMORY_KB,
+    scaled_memory_kb,
+)
+from repro.experiments.harness import (
+    EvaluationResult,
+    OracleCache,
+    SeriesTable,
+    evaluate_algorithm,
+    make_algorithm,
+)
+from repro.experiments.figures import (
+    accuracy_vs_memory,
+    are_vs_memory,
+    ml_comparison_table,
+    param_sweep,
+    replacement_ablation,
+    stage1_structure_comparison,
+    throughput_vs_memory,
+)
+
+__all__ = [
+    "DEFAULT_GEOMETRY",
+    "EvaluationResult",
+    "MEMORY_SCALE",
+    "ML_GEOMETRY",
+    "OracleCache",
+    "PAPER_ACCURACY_MEMORY_KB",
+    "PAPER_PARAM_MEMORY_KB",
+    "SeriesTable",
+    "accuracy_vs_memory",
+    "are_vs_memory",
+    "evaluate_algorithm",
+    "make_algorithm",
+    "ml_comparison_table",
+    "param_sweep",
+    "replacement_ablation",
+    "scaled_memory_kb",
+    "stage1_structure_comparison",
+    "throughput_vs_memory",
+]

@@ -1,0 +1,137 @@
+"""Empirical validation of Theorems 3-4 on live Stage-1 estimates.
+
+The paper bounds how far the fitted leading coefficient and MSE can
+drift when computed from sketched (instead of exact) frequencies, in
+terms of the L2 error of the frequency vector.  This experiment runs a
+real Stage-1 structure over a real stream, and for every fitted span
+compares:
+
+* the observed coefficient drift ``|a_k - â_k|`` against the Theorem-3
+  bound ``||(X^T X)^{-1} X^T|| * ||Y - Ŷ||``;
+* the observed MSE drift ``|ε - ε̂|`` against the Theorem-4 bound.
+
+The theorems are proved, so violations would indicate an implementation
+bug (wrong pseudo-inverse, wrong norm, or a Stage-1 estimate that is
+not the one fitted); the experiment doubles as a tightness report (how
+much slack the bounds leave in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import XSketchConfig
+from repro.core.oracle import SimplexOracle
+from repro.core.stage1 import Stage1
+from repro.fitting.bounds import ak_error_bound, mse_error_bound
+from repro.fitting.polyfit import fit_polynomial
+from repro.fitting.simplex import SimplexTask
+from repro.streams.model import Trace
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Outcome of one bounds-validation run."""
+
+    spans_checked: int
+    ak_violations: int
+    mse_violations: int
+    mean_ak_drift: float
+    mean_ak_bound: float
+    mean_mse_drift: float
+    mean_mse_bound: float
+
+    @property
+    def ak_tightness(self) -> float:
+        """Observed drift as a share of the bound (1.0 = tight)."""
+        return self.mean_ak_drift / self.mean_ak_bound if self.mean_ak_bound else 0.0
+
+    @property
+    def mse_tightness(self) -> float:
+        return self.mean_mse_drift / self.mean_mse_bound if self.mean_mse_bound else 0.0
+
+
+def validate_bounds(
+    trace: Trace,
+    task: SimplexTask,
+    memory_kb: float = 20.0,
+    seed: int = 0,
+    max_spans: int = 5000,
+) -> BoundsReport:
+    """Run Stage 1 over ``trace`` and check every fitted span's drift.
+
+    At each window end, every item with ``s`` positive estimated windows
+    contributes one span: its estimated frequency vector (what Stage 1
+    would fit) versus its exact one (from the oracle).
+    """
+    config = XSketchConfig(task=task, memory_kb=memory_kb)
+    stage1 = Stage1(config, seed=seed)
+    oracle = SimplexOracle(task)
+    s = config.s
+    k = task.k
+
+    ak_drifts: List[float] = []
+    ak_bounds: List[float] = []
+    mse_drifts: List[float] = []
+    mse_bounds: List[float] = []
+    ak_violations = 0
+    mse_violations = 0
+
+    for window_index, window in enumerate(trace.windows()):
+        current_counts = {}
+        for item in window:
+            stage1.insert(item, window_index)
+            current_counts[item] = current_counts.get(item, 0) + 1
+        if window_index >= s - 1 and len(ak_drifts) < max_spans:
+            slots = stage1._recent_slots(window_index)
+            for item in current_counts:
+                estimated = stage1.filter.query_slots_positive(item, slots)
+                if estimated is None:
+                    continue
+                exact = oracle_window_counts(
+                    oracle, item, window_index, s, current_counts[item]
+                )
+                if any(v == 0 for v in exact):
+                    continue
+                est_fit = fit_polynomial(estimated, k)
+                true_fit = fit_polynomial(exact, k)
+                ak_drift = abs(est_fit.leading - true_fit.leading)
+                ak_bound = ak_error_bound(exact, estimated, k)
+                mse_drift = abs(est_fit.mse - true_fit.mse)
+                mse_bound = mse_error_bound(exact, estimated, k)
+                ak_drifts.append(ak_drift)
+                ak_bounds.append(ak_bound)
+                mse_drifts.append(mse_drift)
+                mse_bounds.append(mse_bound)
+                if ak_drift > ak_bound + 1e-6:
+                    ak_violations += 1
+                if mse_drift > mse_bound + 1e-6:
+                    mse_violations += 1
+                if len(ak_drifts) >= max_spans:
+                    break
+        stage1.end_window(window_index)
+        for item in window:
+            oracle.insert(item)
+        oracle.end_window()
+
+    count = len(ak_drifts)
+    return BoundsReport(
+        spans_checked=count,
+        ak_violations=ak_violations,
+        mse_violations=mse_violations,
+        mean_ak_drift=sum(ak_drifts) / count if count else 0.0,
+        mean_ak_bound=sum(ak_bounds) / count if count else 0.0,
+        mean_mse_drift=sum(mse_drifts) / count if count else 0.0,
+        mean_mse_bound=sum(mse_bounds) / count if count else 0.0,
+    )
+
+
+def oracle_window_counts(
+    oracle: SimplexOracle, item, window_index: int, s: int, current_count: int
+) -> List[int]:
+    """Exact counts for the last ``s`` windows; the current window's
+    count is passed in directly (the oracle is fed at window end, after
+    the Stage-1 reads)."""
+    past = oracle.frequency_vector(item, window_index - s + 1, s - 1)
+    return past + [current_count]

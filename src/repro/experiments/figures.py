@@ -1,0 +1,331 @@
+"""Per-figure experiment definitions (Section V and VI of the paper).
+
+Each function reproduces one figure or table.  Workloads default to the
+scaled geometry of :mod:`repro.experiments.params`; memory points carry
+the paper's labels while the actual budget is scaled by ``MEMORY_SCALE``
+(the note on every table records both).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.config import StreamGeometry
+from repro.experiments.harness import (
+    EvaluationResult,
+    OracleCache,
+    SeriesTable,
+    evaluate_algorithm,
+)
+from repro.experiments.params import (
+    DEFAULT_GEOMETRY,
+    ML_GEOMETRY,
+    PAPER_ACCURACY_MEMORY_KB,
+    PAPER_PARAM_MEMORY_KB,
+    scaled_memory_kb,
+)
+from repro.fitting.simplex import SimplexTask
+from repro.ml.accelerate import MLComparisonResult, run_ml_comparison
+from repro.streams.datasets import make_dataset
+from repro.streams.model import Trace
+
+#: Config fields a parameter sweep may vary (Figures 3-8).
+SWEEPABLE_CONFIG = ("u", "r", "s", "G")
+#: Task fields a parameter sweep may vary.
+SWEEPABLE_TASK = ("p", "T")
+
+
+def _trace(dataset: str, geometry: StreamGeometry, seed: int) -> Trace:
+    return make_dataset(
+        dataset, n_windows=geometry.n_windows, window_size=geometry.window_size, seed=seed
+    )
+
+
+def _memory_note(memories_paper: Sequence[float]) -> str:
+    scaled = ", ".join(f"{scaled_memory_kb(m):.1f}" for m in memories_paper)
+    return (
+        f"memory labels are the paper's KB; actual scaled budgets: [{scaled}] KB "
+        "(MEMORY_SCALE, see EXPERIMENTS.md)"
+    )
+
+
+def param_sweep(
+    param: str,
+    values: Sequence,
+    k: int,
+    memories_paper: Sequence[float] = PAPER_PARAM_MEMORY_KB,
+    dataset: str = "ip_trace",
+    geometry: StreamGeometry = DEFAULT_GEOMETRY,
+    algorithm: str = "xs-cm",
+    seed: int = 0,
+    memory_scale: float = None,
+) -> SeriesTable:
+    """Figures 3-8: F1 of X-Sketch as one parameter varies.
+
+    ``param`` may be a task parameter (``p``, ``T`` -- the ground truth
+    changes with it) or an algorithm parameter (``u``, ``r``, ``s``,
+    ``G`` -- ground truth fixed).  One series per memory point, following
+    the paper's plots.
+
+    ``memory_scale`` overrides the global label scaling; Figure 3 uses
+    a tighter one because its 500-1500 KB label range must span the
+    same accuracy knee it does in the paper (EXPERIMENTS.md).
+    """
+    if param not in SWEEPABLE_CONFIG + SWEEPABLE_TASK:
+        raise ValueError(f"cannot sweep {param!r}; supported: {SWEEPABLE_CONFIG + SWEEPABLE_TASK}")
+    trace = _trace(dataset, geometry, seed)
+    oracles = OracleCache()
+    table = SeriesTable(
+        title=f"F1 vs {param} (k={k}, {dataset}, {algorithm})",
+        x_label=param,
+        x_values=list(values),
+    )
+    scale = memory_scale
+    if scale is None:
+        table.notes.append(_memory_note(memories_paper))
+    else:
+        scaled = ", ".join(f"{m * scale:.1f}" for m in memories_paper)
+        table.notes.append(
+            f"memory labels are the paper's KB; figure-specific scale {scale:.4f} "
+            f"-> actual budgets [{scaled}] KB (see EXPERIMENTS.md)"
+        )
+    base_task = SimplexTask.paper_default(k)
+    for memory in memories_paper:
+        column: List[float] = []
+        for value in values:
+            task = base_task
+            overrides = {}
+            if param in SWEEPABLE_TASK:
+                task = dataclasses.replace(base_task, **{param: value})
+            else:
+                overrides[param] = value
+            # Keep s admissible when p shrinks below the default s.
+            if param == "p":
+                overrides["s"] = min(4, value - 1) if value > k + 1 else k + 1
+            if param == "s":
+                overrides["s"] = value
+            oracle = oracles.get(trace, task)
+            actual_kb = memory * scale if scale is not None else scaled_memory_kb(memory)
+            result = evaluate_algorithm(
+                algorithm,
+                trace,
+                task,
+                memory_kb=actual_kb,
+                oracle=oracle,
+                seed=seed,
+                memory_label_kb=memory,
+                **overrides,
+            )
+            column.append(result.f1)
+        table.add(f"{int(memory)}KB", column)
+    return table
+
+
+def stage1_structure_comparison(
+    k: int,
+    memories_paper: Sequence[float] = PAPER_ACCURACY_MEMORY_KB,
+    dataset: str = "ip_trace",
+    geometry: StreamGeometry = DEFAULT_GEOMETRY,
+    seed: int = 0,
+) -> SeriesTable:
+    """Figure 9: F1 per Stage-1 structure (Tower CM/CU, CF, LLF)."""
+    trace = _trace(dataset, geometry, seed)
+    oracles = OracleCache()
+    task = SimplexTask.paper_default(k)
+    oracle = oracles.get(trace, task)
+    table = SeriesTable(
+        title=f"F1 vs memory by Stage-1 structure (k={k}, {dataset})",
+        x_label="Memory(KB)",
+        x_values=[int(m) for m in memories_paper],
+    )
+    table.notes.append(_memory_note(memories_paper))
+    structures = (
+        ("Tower(CM)", "xs-cm", "tower"),
+        ("Tower(CU)", "xs-cu", "tower"),
+        ("CF", "xs-cm", "cold"),
+        ("LLF", "xs-cm", "loglog"),
+    )
+    for label, algorithm, structure in structures:
+        column = [
+            evaluate_algorithm(
+                algorithm,
+                trace,
+                task,
+                memory_kb=scaled_memory_kb(memory),
+                oracle=oracle,
+                seed=seed,
+                memory_label_kb=memory,
+                stage1_structure=structure,
+            ).f1
+            for memory in memories_paper
+        ]
+        table.add(label, column)
+    return table
+
+
+def dataset_comparison(
+    k: int,
+    datasets: Sequence[str] = ("ip_trace", "mawi", "datacenter", "synthetic"),
+    memories_paper: Sequence[float] = PAPER_ACCURACY_MEMORY_KB,
+    algorithms: Sequence[str] = ("xs-cm", "xs-cu", "baseline"),
+    geometry: StreamGeometry = DEFAULT_GEOMETRY,
+    seed: int = 0,
+) -> Dict[str, List[EvaluationResult]]:
+    """Run the full Figures 10-24 grid once; metric tables slice it."""
+    results: Dict[str, List[EvaluationResult]] = {}
+    oracles = OracleCache()
+    task = SimplexTask.paper_default(k)
+    for dataset in datasets:
+        trace = _trace(dataset, geometry, seed)
+        oracle = oracles.get(trace, task)
+        rows: List[EvaluationResult] = []
+        for algorithm in algorithms:
+            for memory in memories_paper:
+                rows.append(
+                    evaluate_algorithm(
+                        algorithm,
+                        trace,
+                        task,
+                        memory_kb=scaled_memory_kb(memory),
+                        oracle=oracle,
+                        seed=seed,
+                        memory_label_kb=memory,
+                    )
+                )
+        results[dataset] = rows
+    return results
+
+
+_METRIC_GETTERS = {
+    "pr": lambda r: r.scores.precision,
+    "rr": lambda r: r.scores.recall,
+    "f1": lambda r: r.scores.f1,
+    "are": lambda r: r.are,
+    "mops": lambda r: r.mops,
+}
+
+_ALGO_LABELS = {"xs-cm": "XS-CM", "xs-cu": "XS-CU", "baseline": "Baseline"}
+
+
+def metric_tables(
+    results: Dict[str, List[EvaluationResult]],
+    metric: str,
+    k: int,
+    memories_paper: Sequence[float] = PAPER_ACCURACY_MEMORY_KB,
+) -> Dict[str, SeriesTable]:
+    """Slice a :func:`dataset_comparison` grid into per-dataset tables."""
+    getter = _METRIC_GETTERS[metric]
+    tables: Dict[str, SeriesTable] = {}
+    for dataset, rows in results.items():
+        table = SeriesTable(
+            title=f"{metric.upper()} vs memory (k={k}, {dataset})",
+            x_label="Memory(KB)",
+            x_values=[int(m) for m in memories_paper],
+        )
+        table.notes.append(_memory_note(memories_paper))
+        for algorithm, label in _ALGO_LABELS.items():
+            column = [
+                getter(row)
+                for row in rows
+                if row.algorithm == algorithm
+            ]
+            if column:
+                table.add(label, column)
+        tables[dataset] = table
+    return tables
+
+
+def accuracy_vs_memory(
+    k: int,
+    metric: str = "f1",
+    datasets: Sequence[str] = ("ip_trace", "mawi", "datacenter", "synthetic"),
+    memories_paper: Sequence[float] = PAPER_ACCURACY_MEMORY_KB,
+    geometry: StreamGeometry = DEFAULT_GEOMETRY,
+    seed: int = 0,
+) -> Dict[str, SeriesTable]:
+    """Figures 10-12/15-17/20-22: PR, RR or F1 vs memory, per dataset."""
+    results = dataset_comparison(
+        k, datasets=datasets, memories_paper=memories_paper, geometry=geometry, seed=seed
+    )
+    return metric_tables(results, metric, k, memories_paper)
+
+
+def are_vs_memory(k: int, **kwargs) -> Dict[str, SeriesTable]:
+    """Figures 13/18/23: ARE of lasting time vs memory, per dataset."""
+    return accuracy_vs_memory(k, metric="are", **kwargs)
+
+
+def throughput_vs_memory(k: int, **kwargs) -> Dict[str, SeriesTable]:
+    """Figures 14/19/24: throughput (Mops) vs memory, per dataset."""
+    return accuracy_vs_memory(k, metric="mops", **kwargs)
+
+
+def replacement_ablation(
+    k: int = 1,
+    memories_paper: Sequence[float] = PAPER_PARAM_MEMORY_KB,
+    dataset: str = "ip_trace",
+    geometry: StreamGeometry = DEFAULT_GEOMETRY,
+    seed: int = 0,
+) -> SeriesTable:
+    """Ablation (DESIGN.md): Weight Election vs always/never replacement."""
+    trace = _trace(dataset, geometry, seed)
+    task = SimplexTask.paper_default(k)
+    oracle = OracleCache().get(trace, task)
+    table = SeriesTable(
+        title=f"F1 by Stage-2 replacement policy (k={k}, {dataset})",
+        x_label="Memory(KB)",
+        x_values=[int(m) for m in memories_paper],
+    )
+    table.notes.append(_memory_note(memories_paper))
+    for policy in ("probabilistic", "always", "never"):
+        column = [
+            evaluate_algorithm(
+                "xs-cm",
+                trace,
+                task,
+                memory_kb=scaled_memory_kb(memory),
+                oracle=oracle,
+                seed=seed,
+                memory_label_kb=memory,
+                replacement=policy,
+            ).f1
+            for memory in memories_paper
+        ]
+        table.add(policy, column)
+    return table
+
+
+def ml_comparison_table(
+    dataset: str = "ip_trace",
+    ks: Iterable[int] = (0, 1, 2),
+    memory_kb: float = 60.0,
+    geometry: StreamGeometry = ML_GEOMETRY,
+    seed: int = 0,
+    n_eval_windows: int = 6,
+) -> Tuple[str, Dict[int, MLComparisonResult]]:
+    """Tables II-III: accuracy and running time of the three predictors."""
+    trace = _trace(dataset, geometry, seed)
+    results: Dict[int, MLComparisonResult] = {}
+    lines = [f"== ML acceleration on {dataset} (Tables II/III shape) =="]
+    lines.append(f"{'Model':<22}{'Accuracy (%)':>14}{'Running Time (s)':>18}")
+    for k in ks:
+        result = run_ml_comparison(
+            trace,
+            SimplexTask.paper_default(k),
+            memory_kb=memory_kb,
+            seed=seed,
+            n_eval_windows=n_eval_windows,
+        )
+        results[k] = result
+        lines.append(f"k = {k}  ({result.n_tasks} prediction tasks)")
+        lines.append(
+            f"  {'X-Sketch (py)':<20}{result.xsketch_accuracy * 100:>13.2f}{result.xsketch_seconds:>18.3f}"
+        )
+        lines.append(
+            f"  {'Linear Regression':<20}{result.linreg_accuracy * 100:>13.2f}{result.linreg_seconds:>18.3f}"
+        )
+        lines.append(
+            f"  {'Time Series':<20}{result.arima_accuracy * 100:>13.2f}{result.arima_seconds:>18.3f}"
+        )
+    return "\n".join(lines), results

@@ -1,0 +1,133 @@
+"""One-shot evaluation report: every experiment into one markdown file.
+
+``generate_report`` runs the full evaluation suite at a chosen scale
+and renders a single markdown document -- the programmatic counterpart
+of EXPERIMENTS.md, regenerated from scratch on any machine with
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.config import StreamGeometry
+from repro.experiments.figures import (
+    dataset_comparison,
+    metric_tables,
+    ml_comparison_table,
+    replacement_ablation,
+    stage1_structure_comparison,
+)
+from repro.experiments.params import PAPER_ACCURACY_MEMORY_KB, scaled_memory_kb
+from repro.experiments.variance import seed_stability
+from repro.experiments.bounds_validation import validate_bounds
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import DATASET_GENERATORS, make_dataset
+from repro.streams.validation import trace_statistics
+
+
+@dataclass(frozen=True)
+class ReportScale:
+    """Workload sizes of one report run."""
+
+    geometry: StreamGeometry
+    ml_geometry: StreamGeometry
+    n_seeds: int
+    datasets: tuple
+
+    @staticmethod
+    def small() -> "ReportScale":
+        return ReportScale(
+            geometry=StreamGeometry(n_windows=20, window_size=800),
+            ml_geometry=StreamGeometry(n_windows=16, window_size=600),
+            n_seeds=2,
+            datasets=("ip_trace", "synthetic"),
+        )
+
+    @staticmethod
+    def full() -> "ReportScale":
+        return ReportScale(
+            geometry=StreamGeometry(n_windows=40, window_size=2000),
+            ml_geometry=StreamGeometry(n_windows=30, window_size=2000),
+            n_seeds=5,
+            datasets=tuple(sorted(DATASET_GENERATORS)),
+        )
+
+
+def generate_report(
+    path: Optional[Union[str, Path]] = None,
+    scale: str = "small",
+    seed: int = 0,
+) -> str:
+    """Run the evaluation suite and return (and optionally write) the
+    markdown report."""
+    scales = {"small": ReportScale.small, "full": ReportScale.full}
+    if scale not in scales:
+        raise ValueError(f"scale must be one of {sorted(scales)}, got {scale!r}")
+    config = scales[scale]()
+
+    sections = [f"# X-Sketch evaluation report (scale: {scale}, seed: {seed})\n"]
+
+    sections.append("## Workload statistics\n")
+    for dataset in config.datasets:
+        trace = make_dataset(
+            dataset, config.geometry.n_windows, config.geometry.window_size, seed
+        )
+        stats = trace_statistics(trace, [SimplexTask.paper_default(k) for k in (0, 1, 2)])
+        sections.append("```\n" + stats.render() + "\n```\n")
+
+    sections.append("## Accuracy / error / throughput vs memory (Figures 10-24)\n")
+    for k in (0, 1, 2):
+        results = dataset_comparison(
+            k, datasets=config.datasets, geometry=config.geometry, seed=seed
+        )
+        for metric in ("f1", "are", "mops"):
+            for table in metric_tables(results, metric, k).values():
+                sections.append("```\n" + table.render() + "\n```\n")
+
+    sections.append("## Stage-1 structure (Figure 9)\n")
+    table = stage1_structure_comparison(
+        k=1, memories_paper=PAPER_ACCURACY_MEMORY_KB[:3], geometry=config.geometry, seed=seed
+    )
+    sections.append("```\n" + table.render() + "\n```\n")
+
+    sections.append("## Replacement ablation\n")
+    table = replacement_ablation(k=1, geometry=config.geometry, seed=seed)
+    sections.append("```\n" + table.render() + "\n```\n")
+
+    sections.append("## ML acceleration (Tables II-III)\n")
+    for dataset in ("ip_trace", "transactional"):
+        text, _ = ml_comparison_table(
+            dataset=dataset, memory_kb=scaled_memory_kb(250),
+            geometry=config.ml_geometry, seed=seed, n_eval_windows=3,
+        )
+        sections.append("```\n" + text + "\n```\n")
+
+    sections.append("## Theorem 3-4 validation\n")
+    trace = make_dataset(
+        "ip_trace", config.geometry.n_windows, config.geometry.window_size, seed
+    )
+    for k in (0, 1, 2):
+        report = validate_bounds(
+            trace, SimplexTask.paper_default(k), memory_kb=10, seed=seed, max_spans=1500
+        )
+        sections.append(
+            f"* k={k}: {report.spans_checked} spans, "
+            f"{report.ak_violations} a_k violations, "
+            f"{report.mse_violations} MSE violations "
+            f"(tightness {report.ak_tightness:.2f} / {report.mse_tightness:.2f})\n"
+        )
+
+    sections.append("\n## Seed stability\n")
+    stability = seed_stability(
+        dataset="ip_trace", k=1, memory_kb=scaled_memory_kb(150),
+        n_seeds=config.n_seeds, geometry=config.geometry, base_seed=seed,
+    )
+    sections.append("```\n" + stability.render() + "\n```\n")
+
+    report_text = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report_text)
+    return report_text

@@ -1,0 +1,107 @@
+"""Seed-stability experiment: are the headline results seed-artifacts?
+
+Every figure in the paper (and in this reproduction) is one draw of the
+hash functions, replacement coin flips and workload generator.  This
+experiment re-runs a configuration across independent seeds -- both the
+algorithm seed and the trace seed vary -- and reports the mean and
+standard deviation of each metric, so EXPERIMENTS.md's claims can be
+qualified with their run-to-run spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import OracleCache, evaluate_algorithm
+from repro.fitting.simplex import SimplexTask
+from repro.config import StreamGeometry
+from repro.streams.datasets import make_dataset
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Mean and spread of one metric across seeds."""
+
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.values))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+@dataclass(frozen=True)
+class VarianceReport:
+    """Per-algorithm metric spreads for one configuration."""
+
+    dataset: str
+    k: int
+    memory_kb: float
+    n_seeds: int
+    f1: Dict[str, MetricSpread]
+    are: Dict[str, MetricSpread]
+
+    def render(self) -> str:
+        lines = [
+            f"== seed stability: {self.dataset}, k={self.k}, "
+            f"{self.memory_kb:.1f} KB, {self.n_seeds} seeds =="
+        ]
+        lines.append(f"{'algorithm':<12}{'F1 mean±std':>16}{'F1 min..max':>16}{'ARE mean':>10}")
+        for name, spread in self.f1.items():
+            are = self.are[name]
+            lines.append(
+                f"{name:<12}{spread.mean:>9.3f}±{spread.std:<6.3f}"
+                f"{spread.minimum:>8.3f}..{spread.maximum:<6.3f}{are.mean:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+def seed_stability(
+    dataset: str = "ip_trace",
+    k: int = 1,
+    memory_kb: float = 21.4,
+    algorithms: Sequence[str] = ("xs-cm", "xs-cu", "baseline"),
+    n_seeds: int = 5,
+    geometry: StreamGeometry = StreamGeometry(n_windows=40, window_size=2000),
+    base_seed: int = 0,
+) -> VarianceReport:
+    """Run each algorithm across ``n_seeds`` independent (trace, algo)
+    seeds and collect the F1 / ARE spreads."""
+    task = SimplexTask.paper_default(k)
+    f1_values: Dict[str, List[float]] = {name: [] for name in algorithms}
+    are_values: Dict[str, List[float]] = {name: [] for name in algorithms}
+    oracles = OracleCache()
+    for offset in range(n_seeds):
+        seed = base_seed + 1000 * offset
+        trace = make_dataset(
+            dataset, n_windows=geometry.n_windows, window_size=geometry.window_size, seed=seed
+        )
+        oracle = oracles.get(trace, task)
+        for name in algorithms:
+            result = evaluate_algorithm(
+                name, trace, task, memory_kb, oracle, seed=seed + 7
+            )
+            f1_values[name].append(result.f1)
+            are_values[name].append(result.are)
+    return VarianceReport(
+        dataset=dataset,
+        k=k,
+        memory_kb=memory_kb,
+        n_seeds=n_seeds,
+        f1={name: MetricSpread(tuple(v)) for name, v in f1_values.items()},
+        are={name: MetricSpread(tuple(v)) for name, v in are_values.items()},
+    )

@@ -1,0 +1,44 @@
+"""Least-squares polynomial fitting on per-window frequency vectors.
+
+Implements Section III-B of the paper: the degree-k fit over ``n``
+consecutive windows is ``beta = (X^T X)^{-1} X^T Y`` where ``X`` is the
+Vandermonde design matrix on abscissae ``0..n-1``.  Because every item and
+every start window share the same design matrix, the pseudo-inverse is
+precomputed once per ``(n, k)`` pair and cached; each fit is then a handful
+of dot products (``O(n k)``), which is what makes per-arrival fitting in
+Stage 1 affordable.
+
+Also here: the k-simplex decision rule (``ε ≤ T`` and ``|a_k| ≥ L``,
+Sections II-A2 and III-C), the Potential indicator ``Λ = |a_k| / (ε + Δ)``
+(Equation 6), and the error bounds of Theorems 3-4.
+"""
+
+from repro.fitting.design import (
+    design_matrix,
+    pseudo_inverse,
+    pseudo_inverse_norm,
+    residual_projector,
+    residual_projector_norm,
+)
+from repro.fitting.polyfit import PolynomialFit, fit_polynomial
+from repro.fitting.simplex import SimplexTask, SimplexVerdict, evaluate_simplex, is_simplex
+from repro.fitting.potential import DEFAULT_DELTA, potential
+from repro.fitting.bounds import ak_error_bound, mse_error_bound
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "PolynomialFit",
+    "SimplexTask",
+    "SimplexVerdict",
+    "ak_error_bound",
+    "design_matrix",
+    "evaluate_simplex",
+    "fit_polynomial",
+    "is_simplex",
+    "mse_error_bound",
+    "potential",
+    "pseudo_inverse",
+    "pseudo_inverse_norm",
+    "residual_projector",
+    "residual_projector_norm",
+]

@@ -1,0 +1,36 @@
+"""Error bounds of Theorems 3 and 4.
+
+Both theorems bound how far the coefficients / MSE computed from sketched
+frequencies can drift from those computed on true frequencies, in terms of
+the L2 error of the frequency vector.  The property tests in
+``tests/fitting/test_bounds.py`` verify the bounds hold on random inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.fitting.design import pseudo_inverse_norm, residual_projector_norm
+
+
+def _l2(values: Sequence[float]) -> float:
+    return math.sqrt(sum(v * v for v in values))
+
+
+def ak_error_bound(true_freqs: Sequence[float], est_freqs: Sequence[float], k: int) -> float:
+    """Theorem 3: ``|a_k - â_k| ≤ ||(X^T X)^{-1} X^T|| * ||Y - Ŷ||``."""
+    if len(true_freqs) != len(est_freqs):
+        raise ValueError("frequency vectors must have equal length")
+    diff = [t - e for t, e in zip(true_freqs, est_freqs)]
+    return pseudo_inverse_norm(len(true_freqs), k) * _l2(diff)
+
+
+def mse_error_bound(true_freqs: Sequence[float], est_freqs: Sequence[float], k: int) -> float:
+    """Theorem 4: ``|ε - ε̂| ≤ (2/p) max(||Y||, ||Ŷ||) ||A|| ||Y - Ŷ||``."""
+    if len(true_freqs) != len(est_freqs):
+        raise ValueError("frequency vectors must have equal length")
+    p = len(true_freqs)
+    diff = [t - e for t, e in zip(true_freqs, est_freqs)]
+    a_norm = residual_projector_norm(p, k)
+    return (2.0 / p) * max(_l2(true_freqs), _l2(est_freqs)) * a_norm * _l2(diff)

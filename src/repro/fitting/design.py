@@ -1,0 +1,68 @@
+"""Design matrices and their cached pseudo-inverses.
+
+The abscissae are always ``0, 1, ..., n-1`` (window offsets inside the
+fitting span), exactly as in Equation 4 of the paper, so everything about
+the regression except the frequency vector can be precomputed per
+``(n, k)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FittingError
+
+
+def _check_shape(n: int, k: int) -> None:
+    if k < 0:
+        raise FittingError(f"polynomial degree must be non-negative, got {k}")
+    if n < k + 1:
+        raise FittingError(
+            f"need at least k+1={k + 1} points to fit a degree-{k} polynomial, got {n}"
+        )
+
+
+@lru_cache(maxsize=None)
+def design_matrix(n: int, k: int) -> np.ndarray:
+    """The ``n x (k+1)`` Vandermonde matrix ``X`` with ``X[i, j] = i**j``."""
+    _check_shape(n, k)
+    x = np.arange(n, dtype=np.float64)
+    return np.vander(x, k + 1, increasing=True)
+
+
+@lru_cache(maxsize=None)
+def pseudo_inverse(n: int, k: int) -> Tuple[Tuple[float, ...], ...]:
+    """``(X^T X)^{-1} X^T`` as a tuple-of-rows, shape ``(k+1, n)``.
+
+    Returned as plain tuples so the hot fitting path can use Python float
+    arithmetic without numpy call overhead (the matrices are tiny: at most
+    4 x 8 in any experiment in the paper).
+    """
+    x = design_matrix(n, k)
+    pinv = np.linalg.solve(x.T @ x, x.T)
+    return tuple(tuple(float(v) for v in row) for row in pinv)
+
+
+@lru_cache(maxsize=None)
+def pseudo_inverse_norm(n: int, k: int) -> float:
+    """Spectral norm of ``(X^T X)^{-1} X^T`` (the constant in Theorem 3)."""
+    x = design_matrix(n, k)
+    pinv = np.linalg.solve(x.T @ x, x.T)
+    return float(np.linalg.norm(pinv, ord=2))
+
+
+@lru_cache(maxsize=None)
+def residual_projector(n: int, k: int) -> np.ndarray:
+    """``A = I_n - X (X^T X)^{-1} X^T``, the residual projector of Theorem 4."""
+    x = design_matrix(n, k)
+    pinv = np.linalg.solve(x.T @ x, x.T)
+    return np.eye(n) - x @ pinv
+
+
+@lru_cache(maxsize=None)
+def residual_projector_norm(n: int, k: int) -> float:
+    """Spectral norm of the residual projector (always 1 for n > k+1)."""
+    return float(np.linalg.norm(residual_projector(n, k), ord=2))

@@ -1,0 +1,110 @@
+"""Minimum-MSE polynomial fitting (Section III-B).
+
+The hot path (:func:`fit_polynomial`) is pure Python over the cached
+pseudo-inverse rows: profiling showed numpy's per-call overhead dominates
+at these sizes (n <= 8, k <= 3), and Stage 1 fits on nearly every arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import FittingError
+from repro.fitting.design import pseudo_inverse
+
+
+@dataclass(frozen=True)
+class PolynomialFit:
+    """Result of a least-squares polynomial fit.
+
+    Attributes:
+        coefficients: ``(a_0, ..., a_k)`` of the fitted polynomial
+            ``f(x) = a_0 + a_1 x + ... + a_k x^k``.
+        mse: mean squared error ``(1/n) * sum (f(i) - y_i)^2``.
+        n_points: number of fitted points.
+    """
+
+    coefficients: Tuple[float, ...]
+    mse: float
+    n_points: int
+
+    @property
+    def degree(self) -> int:
+        """The requested degree k (``len(coefficients) - 1``)."""
+        return len(self.coefficients) - 1
+
+    @property
+    def leading(self) -> float:
+        """The highest-order coefficient ``a_k``."""
+        return self.coefficients[-1]
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted polynomial at ``x`` (Horner's scheme)."""
+        acc = 0.0
+        for coeff in reversed(self.coefficients):
+            acc = acc * x + coeff
+        return acc
+
+    def predict_many(self, xs: Sequence[float]) -> Tuple[float, ...]:
+        """Evaluate the fitted polynomial at each point of ``xs``."""
+        return tuple(self.predict(x) for x in xs)
+
+
+def fit_leading_and_mse(values: Sequence[float], k: int) -> Tuple[float, float]:
+    """Fast path: only ``(a_k, mse)`` of the degree-``k`` fit.
+
+    Same mathematics as :func:`fit_polynomial` but without building the
+    result object; Stage 1 calls this once per arrival of every untracked
+    item, so the allocation matters.  Kept consistent with
+    :func:`fit_polynomial` by a property test.
+    """
+    n = len(values)
+    if n == 0:
+        raise FittingError("cannot fit an empty frequency vector")
+    pinv = pseudo_inverse(n, k)
+
+    coeffs = []
+    for row in pinv:
+        acc = 0.0
+        for weight, value in zip(row, values):
+            acc += weight * value
+        coeffs.append(acc)
+
+    sse = 0.0
+    for i, value in enumerate(values):
+        pred = 0.0
+        for coeff in reversed(coeffs):
+            pred = pred * i + coeff
+        diff = pred - value
+        sse += diff * diff
+    return coeffs[-1], sse / n
+
+
+def fit_polynomial(values: Sequence[float], k: int) -> PolynomialFit:
+    """Fit a degree-``k`` polynomial to ``values`` taken at ``x = 0..n-1``.
+
+    Returns the polynomial minimizing the MSE (Equation 3 of the paper).
+    Raises :class:`~repro.errors.FittingError` when ``len(values) < k + 1``.
+    """
+    n = len(values)
+    if n == 0:
+        raise FittingError("cannot fit an empty frequency vector")
+    pinv = pseudo_inverse(n, k)  # validates n >= k + 1
+
+    coeffs = []
+    for row in pinv:
+        acc = 0.0
+        for weight, value in zip(row, values):
+            acc += weight * value
+        coeffs.append(acc)
+
+    sse = 0.0
+    for i, value in enumerate(values):
+        pred = 0.0
+        for coeff in reversed(coeffs):
+            pred = pred * i + coeff
+        diff = pred - value
+        sse += diff * diff
+
+    return PolynomialFit(coefficients=tuple(coeffs), mse=sse / n, n_points=n)

@@ -1,0 +1,19 @@
+"""The Potential indicator Λ (Equation 6).
+
+``Λ = |a_k| / (ε + Δ)`` scores how likely an item that survived Short-Term
+Filtering is to remain a true simplex item once promoted to Stage 2: a
+large leading coefficient with a small fitting error is strong evidence of
+a genuine degree-k trend rather than noise.
+"""
+
+from __future__ import annotations
+
+from repro.fitting.polyfit import PolynomialFit
+
+#: Δ of Equation 6 -- keeps the denominator positive when the fit is exact.
+DEFAULT_DELTA = 1e-6
+
+
+def potential(fit: PolynomialFit, delta: float = DEFAULT_DELTA) -> float:
+    """Potential Λ of a fitted polynomial (Equation 6)."""
+    return abs(fit.leading) / (fit.mse + delta)

@@ -1,0 +1,105 @@
+"""The k-simplex decision rule.
+
+An item is k-simplex from window ``w`` (Definition, Section II-A2, plus the
+over-fitting guard of Section III-C) when over ``p`` consecutive windows:
+
+1. every per-window frequency is positive,
+2. the minimum-MSE degree-k fit has ``ε ≤ T``, and
+3. ``|a_k| ≥ L`` (so a (k-1)-simplex item is not also reported as
+   k-simplex; the paper sets ``L = 1`` by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.fitting.polyfit import PolynomialFit, fit_polynomial
+
+#: Tolerance of the threshold comparisons (see :meth:`SimplexTask.passes`).
+_BOUNDARY_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SimplexTask:
+    """Problem-definition parameters for finding k-simplex items.
+
+    Attributes:
+        k: polynomial degree (the paper studies 0, 1, 2; 3 in the appendix).
+        p: number of consecutive windows in the definition (default 7).
+        T: MSE threshold ``ε ≤ T``.
+        L: lower bound on ``|a_k|`` (Section III-C; default 1.0).
+    """
+
+    k: int = 1
+    p: int = 7
+    T: float = 1.0
+    L: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {self.k}")
+        if self.p < self.k + 1:
+            raise ConfigurationError(
+                f"p must be at least k+1={self.k + 1} to make fitting well-posed, got {self.p}"
+            )
+        if self.T < 0:
+            raise ConfigurationError(f"T must be >= 0, got {self.T}")
+        if self.L < 0:
+            raise ConfigurationError(f"L must be >= 0, got {self.L}")
+
+    @staticmethod
+    def paper_default(k: int) -> "SimplexTask":
+        """The parameterization Section V settles on: p=7, L=1, T=1/2/4."""
+        default_t = {0: 1.0, 1: 2.0, 2: 4.0}
+        return SimplexTask(k=k, p=7, T=default_t.get(k, 4.0), L=1.0)
+
+    def passes(self, leading: float, mse: float) -> bool:
+        """The threshold test ``ε ≤ T`` and ``|a_k| ≥ L``.
+
+        Applied with a small epsilon so exact boundary patterns (e.g. a
+        slope of exactly ``L``) are classified identically everywhere --
+        sketch, baseline and oracle -- regardless of float round-off in
+        the individual fit paths.
+        """
+        return mse <= self.T + _BOUNDARY_EPS and abs(leading) >= self.L - _BOUNDARY_EPS
+
+
+@dataclass(frozen=True)
+class SimplexVerdict:
+    """Outcome of checking a frequency vector against a :class:`SimplexTask`.
+
+    ``fit`` is None exactly when the positivity precondition failed (no
+    fitting is performed in that case, matching Algorithm 1 line 10).
+    """
+
+    is_simplex: bool
+    all_positive: bool
+    fit: Optional[PolynomialFit]
+
+    @property
+    def mse(self) -> Optional[float]:
+        return self.fit.mse if self.fit is not None else None
+
+    @property
+    def leading(self) -> Optional[float]:
+        return self.fit.leading if self.fit is not None else None
+
+
+def evaluate_simplex(frequencies: Sequence[float], task: SimplexTask) -> SimplexVerdict:
+    """Check the k-simplex definition on ``len(frequencies)`` windows.
+
+    The span length need not equal ``task.p`` -- Stage 1 applies the same
+    rule to its shorter ``s``-window view (the Preliminary Condition).
+    """
+    if any(f <= 0 for f in frequencies):
+        return SimplexVerdict(is_simplex=False, all_positive=False, fit=None)
+    fit = fit_polynomial(frequencies, task.k)
+    ok = task.passes(fit.leading, fit.mse)
+    return SimplexVerdict(is_simplex=ok, all_positive=True, fit=fit)
+
+
+def is_simplex(frequencies: Sequence[float], task: SimplexTask) -> bool:
+    """Convenience wrapper: does ``frequencies`` satisfy the definition?"""
+    return evaluate_simplex(frequencies, task).is_simplex

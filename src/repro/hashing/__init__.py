@@ -1,0 +1,33 @@
+"""Hash functions and seeded hash families.
+
+The paper implements every algorithm with the 32-bit Bob Hash (Jenkins
+lookup2, the "evahash" published at burtleburtle.net) seeded differently
+per array.  :mod:`repro.hashing` provides a faithful port of that function,
+a Murmur3-32 alternative, and a CRC-backed fast family for throughput runs,
+all behind the common :class:`HashFamily` interface used by every sketch in
+the package.
+"""
+
+from repro.hashing.bobhash import bob_hash
+from repro.hashing.murmur import murmur3_32
+from repro.hashing.family import (
+    HASH_FAMILIES,
+    BobHashFamily,
+    CrcHashFamily,
+    HashFamily,
+    MurmurHashFamily,
+    encode_item,
+    make_family,
+)
+
+__all__ = [
+    "HASH_FAMILIES",
+    "BobHashFamily",
+    "CrcHashFamily",
+    "HashFamily",
+    "MurmurHashFamily",
+    "bob_hash",
+    "encode_item",
+    "make_family",
+    "murmur3_32",
+]

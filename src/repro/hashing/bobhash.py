@@ -1,0 +1,93 @@
+"""32-bit Bob Hash (Bob Jenkins' lookup2 / "evahash").
+
+This is the hash function the paper uses for all sketches ("we use 32-bit
+Bob Hash obtained from the open-source website with different initial
+seeds").  The port below follows the reference C implementation
+(burtleburtle.net/bob/hash/evahash.html): three 32-bit lanes mixed over
+12-byte blocks with a 12-way switch on the tail.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFF
+_GOLDEN_RATIO = 0x9E3779B9
+
+
+def _mix(a: int, b: int, c: int) -> tuple:
+    """The lookup2 96-bit mixing step, all arithmetic mod 2**32."""
+    a = (a - b - c) & _MASK
+    a ^= c >> 13
+    b = (b - c - a) & _MASK
+    b ^= (a << 8) & _MASK
+    c = (c - a - b) & _MASK
+    c ^= b >> 13
+    a = (a - b - c) & _MASK
+    a ^= c >> 12
+    b = (b - c - a) & _MASK
+    b ^= (a << 16) & _MASK
+    c = (c - a - b) & _MASK
+    c ^= b >> 5
+    a = (a - b - c) & _MASK
+    a ^= c >> 3
+    b = (b - c - a) & _MASK
+    b ^= (a << 10) & _MASK
+    c = (c - a - b) & _MASK
+    c ^= b >> 15
+    return a, b, c
+
+
+def bob_hash(data: bytes, seed: int = 0) -> int:
+    """Hash ``data`` to a 32-bit unsigned integer with initial value ``seed``.
+
+    Matches the reference ``hash(k, length, initval)`` from evahash: the
+    same (data, seed) pair always produces the same value, and different
+    seeds give independent-looking functions, which is how the sketches
+    derive their per-array hash functions.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"bob_hash expects bytes, got {type(data).__name__}")
+    data = bytes(data)
+    length = len(data)
+    a = b = _GOLDEN_RATIO
+    c = seed & _MASK
+
+    pos = 0
+    remaining = length
+    while remaining >= 12:
+        a = (a + int.from_bytes(data[pos : pos + 4], "little")) & _MASK
+        b = (b + int.from_bytes(data[pos + 4 : pos + 8], "little")) & _MASK
+        c = (c + int.from_bytes(data[pos + 8 : pos + 12], "little")) & _MASK
+        a, b, c = _mix(a, b, c)
+        pos += 12
+        remaining -= 12
+
+    c = (c + length) & _MASK
+    tail = data[pos:]
+    # The reference switch adds tail bytes into the lanes; byte 8 of the
+    # tail is shifted into the high bytes of c because the low byte of c
+    # holds the length.
+    if remaining >= 1:
+        a = (a + tail[0]) & _MASK
+    if remaining >= 2:
+        a = (a + (tail[1] << 8)) & _MASK
+    if remaining >= 3:
+        a = (a + (tail[2] << 16)) & _MASK
+    if remaining >= 4:
+        a = (a + (tail[3] << 24)) & _MASK
+    if remaining >= 5:
+        b = (b + tail[4]) & _MASK
+    if remaining >= 6:
+        b = (b + (tail[5] << 8)) & _MASK
+    if remaining >= 7:
+        b = (b + (tail[6] << 16)) & _MASK
+    if remaining >= 8:
+        b = (b + (tail[7] << 24)) & _MASK
+    if remaining >= 9:
+        c = (c + (tail[8] << 8)) & _MASK
+    if remaining >= 10:
+        c = (c + (tail[9] << 16)) & _MASK
+    if remaining >= 11:
+        c = (c + (tail[10] << 24)) & _MASK
+
+    _, _, c = _mix(a, b, c)
+    return c

@@ -1,0 +1,113 @@
+"""Seeded hash families used by every sketch in the package.
+
+A *family* exposes ``hash_into(item, index, size)``: the position of
+``item`` in the ``index``-th array of ``size`` slots.  Families are
+deterministic given their seed, so every experiment in the repository is
+reproducible run-to-run.
+
+Three families are provided:
+
+``bob``
+    The paper's choice -- 32-bit Bob Hash with per-index derived seeds.
+``murmur``
+    Murmur3-32, an independent family for sensitivity checks.
+``crc``
+    ``zlib.crc32`` with seed mixing.  Roughly an order of magnitude faster
+    than the pure-Python hashes, used by default in throughput benchmarks;
+    its distribution quality is adequate for the table sizes used here.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Union
+
+from repro.errors import ConfigurationError
+from repro.hashing.bobhash import bob_hash
+from repro.hashing.murmur import murmur3_32
+
+ItemId = Union[int, str, bytes]
+
+_MASK = 0xFFFFFFFF
+# Odd multipliers for deriving per-index seeds from the family seed; the
+# exact constants are arbitrary, they only need to differ per index.
+_SEED_STRIDE = 0x9E3779B1
+
+
+def encode_item(item: ItemId) -> bytes:
+    """Canonical byte encoding of an item identifier.
+
+    Integers encode as 8 little-endian bytes (covering IPv4 five-tuple
+    hashes and 64-bit flow IDs), strings as UTF-8, bytes pass through.
+    """
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, int):
+        return item.to_bytes(8, "little", signed=True)
+    raise TypeError(f"unsupported item type: {type(item).__name__}")
+
+
+class HashFamily:
+    """A deterministic family of hash functions indexed by a small integer."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def _derive_seed(self, index: int) -> int:
+        return (self.seed + (index + 1) * _SEED_STRIDE) & _MASK
+
+    def hash32(self, item: ItemId, index: int) -> int:
+        """32-bit hash of ``item`` under the ``index``-th function."""
+        raise NotImplementedError
+
+    def hash_into(self, item: ItemId, index: int, size: int) -> int:
+        """Slot of ``item`` in an array of ``size`` slots (``index``-th fn)."""
+        if size <= 0:
+            raise ConfigurationError(f"array size must be positive, got {size}")
+        return self.hash32(item, index) % size
+
+
+class BobHashFamily(HashFamily):
+    """Bob Hash (lookup2) family -- the paper's hash function."""
+
+    def hash32(self, item: ItemId, index: int) -> int:
+        return bob_hash(encode_item(item), self._derive_seed(index))
+
+
+class MurmurHashFamily(HashFamily):
+    """Murmur3-32 family."""
+
+    def hash32(self, item: ItemId, index: int) -> int:
+        return murmur3_32(encode_item(item), self._derive_seed(index))
+
+
+class CrcHashFamily(HashFamily):
+    """CRC32-based family; fastest option, used for throughput runs."""
+
+    def hash32(self, item: ItemId, index: int) -> int:
+        raw = zlib.crc32(encode_item(item), self._derive_seed(index)) & _MASK
+        # One round of integer finalization: bare CRC is too linear for
+        # adjacent integer IDs, which would correlate sketch collisions.
+        raw ^= raw >> 16
+        raw = (raw * 0x85EBCA6B) & _MASK
+        raw ^= raw >> 13
+        return raw
+
+
+HASH_FAMILIES: Dict[str, Callable[[int], HashFamily]] = {
+    "bob": BobHashFamily,
+    "murmur": MurmurHashFamily,
+    "crc": CrcHashFamily,
+}
+
+
+def make_family(name: str = "crc", seed: int = 0) -> HashFamily:
+    """Construct a hash family by name (``bob``, ``murmur`` or ``crc``)."""
+    try:
+        factory = HASH_FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(HASH_FAMILIES))
+        raise ConfigurationError(f"unknown hash family {name!r}; expected one of: {known}") from None
+    return factory(seed)

@@ -1,0 +1,55 @@
+"""MurmurHash3 (32-bit, x86 variant).
+
+Provided as an alternative to Bob Hash so the hash-sensitivity of the
+sketches can be tested with an independent function family.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFF
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """Hash ``data`` to a 32-bit unsigned integer (MurmurHash3_x86_32)."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"murmur3_32 expects bytes, got {type(data).__name__}")
+    data = bytes(data)
+    length = len(data)
+    h = seed & _MASK
+
+    n_blocks = length // 4
+    for i in range(n_blocks):
+        k = int.from_bytes(data[4 * i : 4 * i + 4], "little")
+        k = (k * _C1) & _MASK
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK
+
+    tail = data[4 * n_blocks :]
+    k = 0
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * _C1) & _MASK
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK
+        h ^= k
+
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK
+    h ^= h >> 16
+    return h

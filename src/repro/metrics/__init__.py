@@ -1,0 +1,27 @@
+"""Evaluation metrics of Section V-A.
+
+PR / RR / F1 over (item, start_window) instances, ARE over lasting
+times, and wall-clock throughput in Mops.
+"""
+
+from repro.metrics.classification import (
+    ClassificationScores,
+    f1_score,
+    precision_rate,
+    recall_rate,
+    score_reports,
+)
+from repro.metrics.error import average_relative_error, lasting_time_are
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+
+__all__ = [
+    "ClassificationScores",
+    "ThroughputResult",
+    "average_relative_error",
+    "f1_score",
+    "lasting_time_are",
+    "measure_throughput",
+    "precision_rate",
+    "recall_rate",
+    "score_reports",
+]

@@ -1,0 +1,70 @@
+"""Precision, recall and F1 over reported simplex instances.
+
+An *instance* is an (item, start_window) pair: a report at window ``w``
+claims the item was k-simplex over ``w-p+1 .. w``, so its instance is
+``(item, w-p+1)``; ground truth is the oracle's instance set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+from repro.core.oracle import Instance
+from repro.core.reports import SimplexReport
+
+
+@dataclass(frozen=True)
+class ClassificationScores:
+    """PR / RR / F1 plus the raw counts they derive from."""
+
+    true_positives: int
+    reported: int
+    actual: int
+
+    @property
+    def precision(self) -> float:
+        """PR: true positives over all reported instances (1.0 when
+        nothing was reported, the usual empty-report convention)."""
+        return self.true_positives / self.reported if self.reported else 1.0
+
+    @property
+    def recall(self) -> float:
+        """RR: true positives over all actual instances (1.0 when there
+        was nothing to find)."""
+        return self.true_positives / self.actual if self.actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """F1 = 2 * PR * RR / (PR + RR)."""
+        pr, rr = self.precision, self.recall
+        return 2 * pr * rr / (pr + rr) if pr + rr > 0 else 0.0
+
+
+def score_reports(
+    reports: Iterable[SimplexReport], truth: Set[Instance]
+) -> ClassificationScores:
+    """Score a report list against the oracle's instance set.
+
+    Duplicate reports of the same instance are collapsed first (neither
+    algorithm re-reports an instance, but the metric should not depend
+    on it).
+    """
+    reported: Set[Tuple] = {report.instance for report in reports}
+    return ClassificationScores(
+        true_positives=len(reported & truth),
+        reported=len(reported),
+        actual=len(truth),
+    )
+
+
+def precision_rate(reports: Iterable[SimplexReport], truth: Set[Instance]) -> float:
+    return score_reports(reports, truth).precision
+
+
+def recall_rate(reports: Iterable[SimplexReport], truth: Set[Instance]) -> float:
+    return score_reports(reports, truth).recall
+
+
+def f1_score(reports: Iterable[SimplexReport], truth: Set[Instance]) -> float:
+    return score_reports(reports, truth).f1

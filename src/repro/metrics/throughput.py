@@ -1,0 +1,47 @@
+"""Insertion throughput in millions of operations per second (Mops).
+
+The paper's numbers come from C++ on a fixed server; pure Python is
+100-1000x slower in absolute terms, so throughput results here are only
+meaningful *relative to each other* (XS-CM vs XS-CU vs baseline on the
+same machine and stream), which is the comparison Figures 14/19/24 make.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.streams.model import Trace
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Wall-clock insertion throughput of one run."""
+
+    total_items: int
+    elapsed_seconds: float
+
+    @property
+    def mops(self) -> float:
+        """Millions of insert operations per second."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.total_items / self.elapsed_seconds / 1e6
+
+
+def measure_throughput(algorithm, trace: Trace) -> ThroughputResult:
+    """Run ``algorithm`` over ``trace`` and time the full processing loop.
+
+    ``algorithm`` follows the stream protocol (``insert`` +
+    ``end_window``); window-transition work is included in the measured
+    time, as in the paper (insertions dominate either way).
+    """
+    start = time.perf_counter()
+    insert = algorithm.insert
+    end_window = algorithm.end_window
+    for window in trace.windows():
+        for item in window:
+            insert(item)
+        end_window()
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(total_items=len(trace), elapsed_seconds=elapsed)

@@ -1,0 +1,43 @@
+"""Section VI: "X-Sketch for ML" -- frequency prediction case study.
+
+Three predictors of an item's next-window frequency are compared:
+
+* :class:`XSketchPredictor` -- run X-Sketch, and for every reported
+  simplex item extrapolate its fitted polynomial one window ahead
+  (essentially free: the fit already exists);
+* :class:`LinearRegressionModel` -- per-item least-squares regression
+  over the item's full frequency history;
+* :class:`ArimaModel` -- per-item ARIMA (Hannan-Rissanen estimation,
+  implemented from scratch).
+
+:func:`run_ml_comparison` reproduces the Table II / Table III experiment:
+accuracy and running time of the three schemes on the simplex items of a
+dataset.
+"""
+
+from repro.ml.linreg import LinearRegression, LinearRegressionModel
+from repro.ml.arima import ArimaModel, arima_forecast, fit_arima
+from repro.ml.holt import HoltFit, HoltModel, fit_holt
+from repro.ml.features import FEATURE_NAMES, FeatureRow, extract_features, feature_matrix
+from repro.ml.evaluation import prediction_accuracy
+from repro.ml.accelerate import MLComparisonResult, PredictionTask, XSketchPredictor, run_ml_comparison
+
+__all__ = [
+    "ArimaModel",
+    "FEATURE_NAMES",
+    "FeatureRow",
+    "HoltFit",
+    "HoltModel",
+    "LinearRegression",
+    "LinearRegressionModel",
+    "MLComparisonResult",
+    "PredictionTask",
+    "XSketchPredictor",
+    "arima_forecast",
+    "extract_features",
+    "feature_matrix",
+    "fit_arima",
+    "fit_holt",
+    "prediction_accuracy",
+    "run_ml_comparison",
+]

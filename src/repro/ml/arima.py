@@ -1,0 +1,163 @@
+"""ARIMA(p, d, q) from scratch.
+
+The time-series comparison model of Section VI (Box & Jenkins [18]).
+Estimation uses the Hannan-Rissanen two-step procedure, which is robust
+on the short (tens of windows) series this experiment produces:
+
+1. difference the series ``d`` times;
+2. fit a long autoregression by OLS and take its residuals as innovation
+   estimates;
+3. regress the differenced series on its own lags *and* the residual
+   lags to obtain the AR and MA coefficients jointly;
+4. forecast recursively (future innovations set to zero) and invert the
+   differencing.
+
+Degenerate inputs (constant or too-short series) fall back to the series
+mean, as a production forecaster would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FittingError
+
+
+def _difference(series: np.ndarray, d: int) -> np.ndarray:
+    for _ in range(d):
+        series = np.diff(series)
+    return series
+
+
+def _undifference(forecasts: List[float], history: np.ndarray, d: int) -> List[float]:
+    """Integrate ``d``-times-differenced forecasts back to the original scale."""
+    if d == 0:
+        return forecasts
+    # Reconstruct the final values of each differencing level.
+    levels = [history]
+    for _ in range(d):
+        levels.append(np.diff(levels[-1]))
+    # levels[j] is the j-times differenced history; integrate upward.
+    restored = forecasts
+    for j in range(d, 0, -1):
+        anchor = float(levels[j - 1][-1])
+        integrated = []
+        for value in restored:
+            anchor = anchor + value
+            integrated.append(anchor)
+        restored = integrated
+    return restored
+
+
+@dataclass(frozen=True)
+class ArimaFit:
+    """Fitted ARIMA parameters (on the differenced scale)."""
+
+    order: Tuple[int, int, int]
+    ar_coefficients: Tuple[float, ...]
+    ma_coefficients: Tuple[float, ...]
+    intercept: float
+    residuals: Tuple[float, ...]
+    differenced: Tuple[float, ...]
+
+
+def fit_arima(series: Sequence[float], order: Tuple[int, int, int] = (2, 1, 1)) -> ArimaFit:
+    """Fit ARIMA(p, d, q) by Hannan-Rissanen.
+
+    Raises :class:`~repro.errors.FittingError` when the series is too
+    short to estimate the requested order (callers typically fall back
+    to the mean; :class:`ArimaModel` does so automatically).
+    """
+    p, d, q = order
+    if p < 0 or d < 0 or q < 0:
+        raise FittingError(f"ARIMA order components must be >= 0, got {order}")
+    y = np.asarray(series, dtype=np.float64)
+    if y.ndim != 1:
+        raise FittingError(f"series must be 1-D, got shape {y.shape}")
+    z = _difference(y, d)
+    long_ar = max(p + q, min(10, len(z) // 3))
+    if len(z) < long_ar + max(p, q) + 2 or long_ar == 0:
+        raise FittingError(
+            f"series of length {len(y)} too short for ARIMA{order} estimation"
+        )
+
+    # Step 1: long AR by OLS -> innovation estimates.
+    rows = [z[i - long_ar : i][::-1] for i in range(long_ar, len(z))]
+    design = np.asarray(rows)
+    target = z[long_ar:]
+    design1 = np.hstack([np.ones((design.shape[0], 1)), design])
+    beta, *_ = np.linalg.lstsq(design1, target, rcond=None)
+    residuals = np.zeros_like(z)
+    residuals[long_ar:] = target - design1 @ beta
+
+    # Step 2: regress z_t on its own p lags and q residual lags.
+    start = long_ar + q
+    rows2 = []
+    target2 = []
+    for t in range(max(start, p), len(z)):
+        row = [z[t - j] for j in range(1, p + 1)]
+        row += [residuals[t - j] for j in range(1, q + 1)]
+        rows2.append(row)
+        target2.append(z[t])
+    if not rows2:
+        raise FittingError(f"series of length {len(y)} too short for ARIMA{order} estimation")
+    lag_matrix = np.asarray(rows2, dtype=np.float64).reshape(len(rows2), -1)
+    design2 = np.hstack([np.ones((len(rows2), 1)), lag_matrix])
+    beta2, *_ = np.linalg.lstsq(design2, np.asarray(target2), rcond=None)
+    intercept = float(beta2[0])
+    ar = tuple(float(v) for v in beta2[1 : 1 + p])
+    ma = tuple(float(v) for v in beta2[1 + p : 1 + p + q])
+    return ArimaFit(
+        order=order,
+        ar_coefficients=ar,
+        ma_coefficients=ma,
+        intercept=intercept,
+        residuals=tuple(float(v) for v in residuals),
+        differenced=tuple(float(v) for v in z),
+    )
+
+
+def arima_forecast(fit: ArimaFit, history: Sequence[float], steps: int = 1) -> List[float]:
+    """Forecast ``steps`` values ahead from a fitted model."""
+    if steps <= 0:
+        raise FittingError(f"steps must be positive, got {steps}")
+    p, d, q = fit.order
+    z = list(fit.differenced)
+    residuals = list(fit.residuals)
+    forecasts: List[float] = []
+    for _ in range(steps):
+        value = fit.intercept
+        for j, coeff in enumerate(fit.ar_coefficients, start=1):
+            if len(z) - j >= 0:
+                value += coeff * z[len(z) - j]
+        for j, coeff in enumerate(fit.ma_coefficients, start=1):
+            if len(residuals) - j >= 0:
+                value += coeff * residuals[len(residuals) - j]
+        z.append(value)
+        residuals.append(0.0)  # future innovations have zero expectation
+        forecasts.append(value)
+    return _undifference(forecasts, np.asarray(history, dtype=np.float64), d)
+
+
+class ArimaModel:
+    """Per-item next-window predictor wrapping :func:`fit_arima`.
+
+    Falls back to the series mean when estimation is ill-posed (constant
+    or short series), so it always returns a forecast.
+    """
+
+    def __init__(self, order: Tuple[int, int, int] = (2, 1, 1)):
+        self.order = order
+
+    def predict_next(self, series: Sequence[float]) -> float:
+        values = list(series)
+        if len(values) < 3 or len(set(values)) == 1:
+            return float(np.mean(values)) if values else 0.0
+        try:
+            fit = fit_arima(values, self.order)
+            return float(arima_forecast(fit, values, steps=1)[0])
+        except (FittingError, np.linalg.LinAlgError):
+            return float(np.mean(values))

@@ -1,0 +1,35 @@
+"""Prediction-accuracy metric of Section VI.
+
+The paper counts a prediction accurate when it "does not deviate from the
+ground truth too much"; we make the tolerance explicit: a prediction is
+accurate when its error is within ``rel_tol`` of the truth or within
+``abs_tol`` absolutely (the absolute floor keeps tiny frequencies from
+dominating).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Default relative tolerance of an accurate prediction.
+DEFAULT_REL_TOL = 0.3
+#: Default absolute tolerance floor.
+DEFAULT_ABS_TOL = 2.0
+
+
+def prediction_accuracy(
+    truths: Sequence[float],
+    predictions: Sequence[float],
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> float:
+    """Fraction of predictions within tolerance of the truth."""
+    if len(truths) != len(predictions):
+        raise ValueError("truths and predictions must have equal length")
+    if not truths:
+        return 1.0
+    accurate = 0
+    for truth, prediction in zip(truths, predictions):
+        if abs(prediction - truth) <= max(abs_tol, rel_tol * abs(truth)):
+            accurate += 1
+    return accurate / len(truths)

@@ -1,0 +1,83 @@
+"""Simplex-item feature extraction for downstream ML models.
+
+Section I-A (k=1): "We can consider the slopes of the 1-simplex items
+as important features for the input of machine learning models."  This
+module turns a stream of :class:`SimplexReport` objects into a feature
+matrix keyed by (item, window): fitted coefficients, MSE, lasting time,
+and the fit's one-step extrapolation -- ready for any regressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.reports import SimplexReport
+from repro.hashing.family import ItemId
+
+#: Feature column names, in matrix order.
+FEATURE_NAMES = (
+    "level",          # a_0: the fitted base level
+    "slope",          # a_1 (0.0 for k=0 fits)
+    "curvature",      # a_2 (0.0 for k<2 fits)
+    "mse",            # fit error over the span
+    "lasting_time",   # windows the pattern has lasted
+    "next_prediction",  # polynomial extrapolated one window ahead
+)
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """Features of one simplex report."""
+
+    item: ItemId
+    window: int
+    values: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(FEATURE_NAMES, self.values))
+
+
+def report_features(report: SimplexReport, p: int) -> FeatureRow:
+    """Feature vector of one report (coefficients padded to degree 2)."""
+    coefficients = list(report.coefficients) + [0.0, 0.0, 0.0]
+    prediction = 0.0
+    for coefficient in reversed(report.coefficients):
+        prediction = prediction * p + coefficient
+    return FeatureRow(
+        item=report.item,
+        window=report.report_window,
+        values=(
+            float(coefficients[0]),
+            float(coefficients[1]),
+            float(coefficients[2]),
+            float(report.mse),
+            float(report.lasting_time),
+            float(prediction),
+        ),
+    )
+
+
+def extract_features(
+    reports: Iterable[SimplexReport], p: int
+) -> List[FeatureRow]:
+    """Feature rows for every report, in report order."""
+    return [report_features(report, p) for report in reports]
+
+
+def feature_matrix(
+    rows: Sequence[FeatureRow],
+    columns: Sequence[str] = FEATURE_NAMES,
+) -> List[List[float]]:
+    """Plain nested-list matrix with the selected columns.
+
+    Feed it to :class:`repro.ml.linreg.LinearRegression` or any
+    array-consuming model.
+    """
+    indices = []
+    for column in columns:
+        try:
+            indices.append(FEATURE_NAMES.index(column))
+        except ValueError:
+            raise KeyError(f"unknown feature {column!r}; known: {FEATURE_NAMES}") from None
+    return [[row.values[i] for i in indices] for row in rows]

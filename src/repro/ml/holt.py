@@ -1,0 +1,74 @@
+"""Holt's linear (double exponential) smoothing.
+
+An extension predictor for the Section-VI comparison: between plain
+linear regression (one global trend) and ARIMA (full Box-Jenkins) sits
+Holt's method -- exponentially-weighted level and trend, the workhorse
+of operational forecasting.  Included to show the acceleration story is
+not an artifact of the two models the paper chose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, FittingError
+
+
+@dataclass(frozen=True)
+class HoltFit:
+    """Final smoothed state of a Holt pass."""
+
+    level: float
+    trend: float
+    alpha: float
+    beta: float
+
+    def forecast(self, steps: int = 1) -> List[float]:
+        """h-step-ahead forecasts: ``level + h * trend``."""
+        if steps <= 0:
+            raise FittingError(f"steps must be positive, got {steps}")
+        return [self.level + h * self.trend for h in range(1, steps + 1)]
+
+
+def fit_holt(series: Sequence[float], alpha: float = 0.5, beta: float = 0.3) -> HoltFit:
+    """Run Holt smoothing over ``series`` (needs >= 2 points).
+
+    Initialization follows the standard convention: level = first
+    observation, trend = first difference.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 < beta <= 1.0:
+        raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+    if len(series) < 2:
+        raise FittingError(f"need at least 2 observations, got {len(series)}")
+    level = float(series[0])
+    trend = float(series[1]) - float(series[0])
+    for value in series[1:]:
+        previous_level = level
+        level = alpha * float(value) + (1 - alpha) * (level + trend)
+        trend = beta * (level - previous_level) + (1 - beta) * trend
+    return HoltFit(level=level, trend=trend, alpha=alpha, beta=beta)
+
+
+class HoltModel:
+    """Per-item next-window predictor via Holt smoothing.
+
+    Mirrors the :class:`~repro.ml.linreg.LinearRegressionModel` /
+    :class:`~repro.ml.arima.ArimaModel` interface; short series fall
+    back to the mean.
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.3):
+        self.alpha = alpha
+        self.beta = beta
+
+    def predict_next(self, series: Sequence[float]) -> float:
+        values = list(series)
+        if not values:
+            return 0.0
+        if len(values) < 2:
+            return float(values[0])
+        fit = fit_holt(values, self.alpha, self.beta)
+        return fit.forecast(1)[0]

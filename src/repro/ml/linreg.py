@@ -1,0 +1,72 @@
+"""Linear regression, from scratch (normal equations with ridge fallback).
+
+Two layers: :class:`LinearRegression` is a generic multivariate OLS
+solver; :class:`LinearRegressionModel` is the Section-VI per-item
+predictor that regresses an item's window-frequency series on the window
+index and extrapolates one window ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FittingError
+
+
+class LinearRegression:
+    """Ordinary least squares ``y = X beta`` with optional intercept."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coefficients: np.ndarray = None
+        self.intercept: float = 0.0
+
+    def fit(self, features: Sequence[Sequence[float]], targets: Sequence[float]) -> "LinearRegression":
+        """Fit by the normal equations; singular designs fall back to a
+        tiny ridge penalty rather than failing."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2:
+            raise FittingError(f"features must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise FittingError(f"{x.shape[0]} rows of features vs {y.shape[0]} targets")
+        if x.shape[0] == 0:
+            raise FittingError("cannot fit on an empty dataset")
+        if self.fit_intercept:
+            x = np.hstack([np.ones((x.shape[0], 1)), x])
+        gram = x.T @ x
+        try:
+            beta = np.linalg.solve(gram, x.T @ y)
+        except np.linalg.LinAlgError:
+            beta = np.linalg.solve(gram + 1e-8 * np.eye(gram.shape[0]), x.T @ y)
+        if self.fit_intercept:
+            self.intercept = float(beta[0])
+            self.coefficients = beta[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = beta
+        return self
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        if self.coefficients is None:
+            raise FittingError("predict() called before fit()")
+        x = np.asarray(features, dtype=np.float64)
+        return x @ self.coefficients + self.intercept
+
+
+class LinearRegressionModel:
+    """Per-item frequency predictor: regress counts on the window index.
+
+    This is the Section-VI comparison model: given an item's frequencies
+    in windows ``0 .. n-1``, predict window ``n``.
+    """
+
+    def predict_next(self, series: Sequence[float]) -> float:
+        """Forecast the next value of ``series`` (requires >= 2 points)."""
+        n = len(series)
+        if n < 2:
+            raise FittingError(f"need at least 2 observations, got {n}")
+        model = LinearRegression().fit([[float(i)] for i in range(n)], series)
+        return float(model.predict([[float(n)]])[0])

@@ -1,0 +1,21 @@
+"""Persistent-item detection (Section II-B1's related problem).
+
+The paper distinguishes *simplex* items from *persistent* items: a
+persistent item merely appears in many windows (its per-window counts
+and their shape are irrelevant), while a simplex item's frequencies
+must follow a degree-k polynomial over *consecutive* windows.  This
+subpackage implements the On-Off Sketch [33] for persistence so the
+distinction can be demonstrated empirically (see
+``examples/persistent_vs_simplex.py`` and
+:func:`compare_persistent_and_simplex`).
+"""
+
+from repro.persistence.onoff import OnOffSketch, PersistentItemFinder
+from repro.persistence.compare import PersistenceComparison, compare_persistent_and_simplex
+
+__all__ = [
+    "OnOffSketch",
+    "PersistenceComparison",
+    "PersistentItemFinder",
+    "compare_persistent_and_simplex",
+]

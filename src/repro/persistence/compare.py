@@ -1,0 +1,73 @@
+"""Empirical persistent-vs-simplex comparison (Section II-B1).
+
+The paper argues persistence and simplexity are different properties:
+a persistent item may appear erratically (never simplex), and a simplex
+item's run may be short (low persistence rank).  This experiment makes
+the claim measurable: run a persistence finder and a k-simplex oracle
+over one trace and report the overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.core.oracle import SimplexOracle
+from repro.fitting.simplex import SimplexTask
+from repro.hashing.family import ItemId
+from repro.persistence.onoff import PersistentItemFinder
+from repro.streams.model import Trace
+
+
+@dataclass(frozen=True)
+class PersistenceComparison:
+    """Overlap between top-persistent items and true simplex items."""
+
+    persistent_items: Set[ItemId]
+    simplex_items: Set[ItemId]
+
+    @property
+    def overlap(self) -> Set[ItemId]:
+        return self.persistent_items & self.simplex_items
+
+    @property
+    def jaccard(self) -> float:
+        union = self.persistent_items | self.simplex_items
+        return len(self.overlap) / len(union) if union else 1.0
+
+    @property
+    def persistent_only(self) -> Set[ItemId]:
+        """Persistent but never simplex -- erratic regulars."""
+        return self.persistent_items - self.simplex_items
+
+    @property
+    def simplex_only(self) -> Set[ItemId]:
+        """Simplex but not top-persistent -- short clean runs."""
+        return self.simplex_items - self.persistent_items
+
+
+def compare_persistent_and_simplex(
+    trace: Trace,
+    task: SimplexTask,
+    persistence_fraction: float = 0.8,
+    memory_bytes: int = 40960,
+    capacity: int = 256,
+    seed: int = 0,
+) -> PersistenceComparison:
+    """Run both detectors over ``trace`` and return the set comparison.
+
+    Persistent items are those whose estimated persistence reaches
+    ``persistence_fraction`` of the trace's windows -- the thresholded
+    definition the persistent-item literature (and Section II-B1) uses.
+    """
+    finder = PersistentItemFinder(memory_bytes=memory_bytes, capacity=capacity, seed=seed)
+    for window in trace.windows():
+        for item in window:
+            finder.insert(item)
+        finder.end_window()
+    threshold = persistence_fraction * trace.geometry.n_windows
+    persistent = {item for item, persistence in finder.top() if persistence >= threshold}
+
+    oracle = SimplexOracle.from_stream(trace.windows(), task)
+    simplex = {item for item, _ in oracle.instances}
+    return PersistenceComparison(persistent_items=persistent, simplex_items=simplex)

@@ -1,0 +1,137 @@
+"""On-Off Sketch (Zhang et al., VLDB'21 [33]) for persistent items.
+
+Persistence of an item = number of windows in which it appears at least
+once.  Each counter carries an *on/off* state: the first arrival that
+touches a counter in a window switches it on and increments it once;
+further arrivals in the same window are ignored; window transitions
+reset all states to off.  The top-k part keeps (item, persistence)
+pairs using the same idea, with the sketch as fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId, make_family
+
+#: Accounted bytes per counter: 4-byte count + on/off bit (rounded in).
+COUNTER_BYTES = 4.125
+#: Accounted bytes per top-k cell: key + persistence + state bit.
+CELL_BYTES = 8.125
+
+
+class OnOffSketch:
+    """Persistence estimator: d arrays of on/off counters."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 2,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        if d <= 0:
+            raise ConfigurationError(f"d must be positive, got {d}")
+        width = int(memory_bytes / d / COUNTER_BYTES)
+        if width <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for an On-Off sketch")
+        self.family = family if family is not None else make_family(hash_family, seed)
+        self.d = d
+        self.width = width
+        self._counts: List[List[int]] = [[0] * width for _ in range(d)]
+        self._on: List[Set[int]] = [set() for _ in range(d)]
+
+    def insert(self, item: ItemId) -> None:
+        """Record an arrival; only the first per window moves a counter."""
+        for row in range(self.d):
+            pos = self.family.hash32(item, row) % self.width
+            if pos not in self._on[row]:
+                self._on[row].add(pos)
+                self._counts[row][pos] += 1
+
+    def end_window(self) -> None:
+        """Reset every counter's state to off."""
+        for row in range(self.d):
+            self._on[row].clear()
+
+    def query(self, item: ItemId) -> int:
+        """Estimated persistence (number of windows with >= 1 arrival)."""
+        return min(
+            self._counts[row][self.family.hash32(item, row) % self.width]
+            for row in range(self.d)
+        )
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.d * self.width * COUNTER_BYTES
+
+
+class PersistentItemFinder:
+    """On-Off top-k part: tracks the items with highest persistence.
+
+    A small keyed table; untracked items fall back to the sketch, and a
+    candidate whose sketched persistence exceeds the weakest resident's
+    takes its cell (the paper's replacement idea, simplified to the
+    deterministic variant).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        capacity: int = 128,
+        d: int = 2,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        table_bytes = int(capacity * CELL_BYTES)
+        if table_bytes >= memory_bytes:
+            raise ConfigurationError(
+                f"capacity {capacity} cells do not leave sketch memory from {memory_bytes} bytes"
+            )
+        self.capacity = capacity
+        self.sketch = OnOffSketch(
+            memory_bytes - table_bytes, d=d, family=family, seed=seed, hash_family=hash_family
+        )
+        self._persistence: Dict[ItemId, int] = {}
+        self._seen_this_window: Set[ItemId] = set()
+
+    def insert(self, item: ItemId) -> None:
+        if item in self._persistence:
+            if item not in self._seen_this_window:
+                self._seen_this_window.add(item)
+                self._persistence[item] += 1
+            return
+        self.sketch.insert(item)
+        if item in self._seen_this_window:
+            return
+        self._seen_this_window.add(item)
+        estimate = self.sketch.query(item)
+        if len(self._persistence) < self.capacity:
+            self._persistence[item] = estimate
+            return
+        weakest = min(self._persistence, key=self._persistence.get)
+        if estimate > self._persistence[weakest]:
+            del self._persistence[weakest]
+            self._persistence[item] = estimate
+
+    def end_window(self) -> None:
+        self._seen_this_window.clear()
+        self.sketch.end_window()
+
+    def query(self, item: ItemId) -> int:
+        tracked = self._persistence.get(item)
+        return tracked if tracked is not None else self.sketch.query(item)
+
+    def top(self, n: int = None) -> List[Tuple[ItemId, int]]:
+        """Tracked items by decreasing persistence estimate."""
+        ranked = sorted(self._persistence.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked if n is None else ranked[:n]
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.sketch.memory_bytes + self.capacity * CELL_BYTES

@@ -1,0 +1,35 @@
+"""Common interface of single-window frequency sketches."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.hashing.family import HashFamily, ItemId, make_family
+
+
+class FrequencySketch(abc.ABC):
+    """A structure estimating per-item frequencies within one window.
+
+    Concrete sketches share the constructor convention ``(memory_bytes,
+    d, ..., seed/family)`` so the experiment harness can swap them freely.
+    """
+
+    def __init__(self, family: HashFamily = None, seed: int = 0, hash_family: str = "crc"):
+        self.family = family if family is not None else make_family(hash_family, seed)
+
+    @abc.abstractmethod
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        """Record ``count`` arrivals of ``item``."""
+
+    @abc.abstractmethod
+    def query(self, item: ItemId) -> int:
+        """Estimated frequency of ``item``."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Reset all counters to zero."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bytes(self) -> float:
+        """Accounted memory footprint of the counter storage."""

@@ -1,0 +1,67 @@
+"""The Count-Min sketch (Cormode & Muthukrishnan [23]).
+
+``d`` counter arrays, one hash function each; insertion increments all
+``d`` mapped counters, a query reports their minimum.  Never
+underestimates (for non-negative streams); the baseline solution of
+Section III-A is built from ``p`` of these.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+class CMSketch(FrequencySketch):
+    """Count-Min sketch over a byte budget.
+
+    Args:
+        memory_bytes: total counter memory; split equally over ``d`` arrays.
+        d: number of arrays / hash functions.
+        counter_bits: width of each counter (default 32).
+        family: shared hash family (or ``seed``/``hash_family`` to build one).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        counter_bits: int = 32,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if d <= 0:
+            raise ConfigurationError(f"d must be positive, got {d}")
+        per_array = memory_bytes / d
+        width = int(per_array * 8 // counter_bits)
+        if width <= 0:
+            raise ConfigurationError(
+                f"memory_bytes={memory_bytes} too small for {d} arrays of {counter_bits}-bit counters"
+            )
+        self.d = d
+        self.arrays = [CounterArray(width, counter_bits) for _ in range(d)]
+        self.width = width
+
+    def _positions(self, item: ItemId):
+        width = self.width
+        family = self.family
+        return [family.hash32(item, i) % width for i in range(self.d)]
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        for i, pos in enumerate(self._positions(item)):
+            self.arrays[i].increment(pos, count)
+
+    def query(self, item: ItemId) -> int:
+        return min(self.arrays[i].get(pos) for i, pos in enumerate(self._positions(item)))
+
+    def clear(self) -> None:
+        for array in self.arrays:
+            array.clear()
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(array.memory_bytes for array in self.arrays)

@@ -1,0 +1,99 @@
+"""Cold Filter (Zhou et al., SIGMOD'18 [40]).
+
+A two-layer conservative-update structure: arrivals charge the small
+counters of layer 1 until they saturate at threshold ``2**bits1 - 1``, then
+spill into layer 2's larger counters.  Queried frequency is ``L1`` if the
+layer-1 reading is below threshold, else ``threshold + L2``.  The paper
+evaluates it as an alternative Stage-1 structure (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+class ColdFilter(FrequencySketch):
+    """Two-layer CU filter.
+
+    Args:
+        memory_bytes: total budget; ``layer1_fraction`` goes to layer 1.
+        d1, d2: hash functions per layer.
+        bits1, bits2: counter widths per layer (defaults 4 and 16, the
+            configuration the Cold Filter paper recommends).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d1: int = 3,
+        d2: int = 3,
+        bits1: int = 4,
+        bits2: int = 16,
+        layer1_fraction: float = 0.5,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if not 0.0 < layer1_fraction < 1.0:
+            raise ConfigurationError(f"layer1_fraction must be in (0, 1), got {layer1_fraction}")
+        bytes1 = memory_bytes * layer1_fraction
+        bytes2 = memory_bytes - bytes1
+        w1 = int(bytes1 / d1 * 8 // bits1)
+        w2 = int(bytes2 / d2 * 8 // bits2)
+        if w1 <= 0 or w2 <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for a Cold Filter")
+        self.d1, self.d2 = d1, d2
+        self.layer1 = [CounterArray(w1, bits1) for _ in range(d1)]
+        self.layer2 = [CounterArray(w2, bits2) for _ in range(d2)]
+        self.threshold = (1 << bits1) - 1
+
+    def _positions(self, item: ItemId, arrays, index_offset: int):
+        return [
+            (arrays[i], self.family.hash32(item, index_offset + i) % arrays[i].size)
+            for i in range(len(arrays))
+        ]
+
+    @staticmethod
+    def _cu_update(mapped, count: int) -> int:
+        """Conservative update on the mapped counters; returns new minimum."""
+        values = [array.get(pos) for array, pos in mapped]
+        target = min(values) + count
+        for (array, pos), value in zip(mapped, values):
+            if value < target:
+                array.set(pos, target)
+        return min(array.get(pos) for array, pos in mapped)
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        mapped1 = self._positions(item, self.layer1, 0)
+        min1 = min(array.get(pos) for array, pos in mapped1)
+        if min1 < self.threshold:
+            room = self.threshold - min1
+            used = min(count, room)
+            self._cu_update(mapped1, used)
+            count -= used
+        if count > 0:
+            mapped2 = self._positions(item, self.layer2, self.d1)
+            self._cu_update(mapped2, count)
+
+    def query(self, item: ItemId) -> int:
+        mapped1 = self._positions(item, self.layer1, 0)
+        min1 = min(array.get(pos) for array, pos in mapped1)
+        if min1 < self.threshold:
+            return min1
+        mapped2 = self._positions(item, self.layer2, self.d1)
+        min2 = min(array.get(pos) for array, pos in mapped2)
+        return self.threshold + min2
+
+    def clear(self) -> None:
+        for array in self.layer1:
+            array.clear()
+        for array in self.layer2:
+            array.clear()
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(a.memory_bytes for a in self.layer1) + sum(a.memory_bytes for a in self.layer2)

@@ -1,0 +1,87 @@
+"""Fixed-width saturating counter arrays.
+
+All sketches account memory in terms of counters of a declared bit width.
+A :class:`CounterArray` stores values in a plain Python list (fastest for
+the per-item hot loops) while enforcing the width: a counter saturates at
+``2**bits - 1`` and stays there.  In tower semantics the saturated value
+doubles as the *overflow marker*, so the array exposes it explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+
+
+class CounterArray:
+    """``size`` saturating unsigned counters of ``bits`` bits each."""
+
+    __slots__ = ("bits", "size", "max_value", "_values")
+
+    def __init__(self, size: int, bits: int = 32):
+        if size <= 0:
+            raise ConfigurationError(f"counter array size must be positive, got {size}")
+        if not 1 <= bits <= 64:
+            raise ConfigurationError(f"counter width must be 1..64 bits, got {bits}")
+        self.size = size
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self._values: List[int] = [0] * size
+
+    @property
+    def memory_bytes(self) -> float:
+        """Accounted memory of the array (bit-exact, may be fractional)."""
+        return self.size * self.bits / 8.0
+
+    @property
+    def values(self) -> List[int]:
+        """The backing list (shared, not a copy).
+
+        Exposed for the hot loops of the windowed structures; treat it as
+        read-only outside this package -- writes bypass saturation.
+        """
+        return self._values
+
+    def get(self, index: int) -> int:
+        return self._values[index]
+
+    def set(self, index: int, value: int) -> None:
+        """Store ``value`` clamped into the counter's range."""
+        if value < 0:
+            raise ValueError(f"counters are unsigned, got {value}")
+        self._values[index] = min(value, self.max_value)
+
+    def increment(self, index: int, amount: int = 1) -> int:
+        """Add ``amount`` with saturation; returns the new value."""
+        new = self._values[index] + amount
+        if new > self.max_value:
+            new = self.max_value
+        self._values[index] = new
+        return new
+
+    def is_saturated(self, index: int) -> bool:
+        """True when the counter sits at its overflow marker."""
+        return self._values[index] == self.max_value
+
+    def clear(self) -> None:
+        size = self.size
+        self._values = [0] * size
+
+    def clear_stride(self, offset: int, stride: int) -> None:
+        """Zero every ``stride``-th counter starting at ``offset``.
+
+        Used by windowed structures to wipe one window slot across all
+        logical counters in a single slice assignment.
+        """
+        count = len(range(offset, self.size, stride))
+        self._values[offset::stride] = [0] * count
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"CounterArray(size={self.size}, bits={self.bits})"

@@ -1,0 +1,66 @@
+"""The CSM sketch (Counter Sum estimation Method, Li, Chen & Ling [39]).
+
+Randomized counter sharing: each arrival increments *one* of the item's
+``d`` mapped counters, chosen uniformly at random.  The query sums the
+``d`` counters and subtracts the expected contribution of other items,
+``d * N / w`` where ``N`` is the total insertions and ``w`` the row width.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+class CSMSketch(FrequencySketch):
+    """CSM sketch over a byte budget."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        counter_bits: int = 32,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+        rng: random.Random = None,
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if d <= 0:
+            raise ConfigurationError(f"d must be positive, got {d}")
+        width = int(memory_bytes / d * 8 // counter_bits)
+        if width <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for a CSM sketch")
+        self.d = d
+        self.width = width
+        self.arrays = [CounterArray(width, counter_bits) for _ in range(d)]
+        self.total_insertions = 0
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        for _ in range(count):
+            row = self._rng.randrange(self.d)
+            pos = self.family.hash32(item, row) % self.width
+            self.arrays[row].increment(pos, 1)
+            self.total_insertions += 1
+
+    def query(self, item: ItemId) -> int:
+        total = 0
+        for row in range(self.d):
+            pos = self.family.hash32(item, row) % self.width
+            total += self.arrays[row].get(pos)
+        noise = self.d * self.total_insertions / (self.d * self.width)
+        return max(0, round(total - noise))
+
+    def clear(self) -> None:
+        for array in self.arrays:
+            array.clear()
+        self.total_insertions = 0
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(array.memory_bytes for array in self.arrays)

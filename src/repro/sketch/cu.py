@@ -1,0 +1,23 @@
+"""The CU sketch (Estan & Varghese's conservative update [37]).
+
+Identical layout to Count-Min, but insertion only increments the mapped
+counters currently holding the minimum value, which tightens the
+overestimate at the cost of not supporting deletions.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.family import ItemId
+from repro.sketch.cm import CMSketch
+
+
+class CUSketch(CMSketch):
+    """Conservative-update variant of :class:`CMSketch`."""
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        positions = self._positions(item)
+        values = [self.arrays[i].get(pos) for i, pos in enumerate(positions)]
+        target = min(values) + count
+        for i, pos in enumerate(positions):
+            if values[i] < target:
+                self.arrays[i].set(pos, target)

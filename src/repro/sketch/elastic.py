@@ -1,0 +1,125 @@
+"""ElasticSketch (Yang et al., SIGCOMM'18 [46]).
+
+Related-work frequency estimator (Section II-B2).  Traffic splits into
+a *heavy part* -- a hash table whose buckets defend their resident flow
+with a vote mechanism -- and a *light part* -- a small CM sketch
+absorbing everything else.  A flow that out-votes a resident by the
+eviction ratio λ takes the bucket; the evicted flow's count moves to
+the light part and the bucket is flagged so queries know to combine
+both parts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.cm import CMSketch
+
+#: Accounted bytes per heavy bucket: key (4) + pos (4) + neg (4) + flag.
+HEAVY_BUCKET_BYTES = 13
+
+
+class _HeavyBucket:
+    __slots__ = ("key", "positive", "negative", "flag")
+
+    def __init__(self):
+        self.key: ItemId = None
+        self.positive = 0
+        self.negative = 0
+        self.flag = False  # True when part of the flow's count is in light
+
+
+class ElasticSketch(FrequencySketch):
+    """Heavy/light elastic sketch.
+
+    Args:
+        memory_bytes: total budget; ``heavy_fraction`` goes to the
+            heavy hash table, the rest to the light CM (1-byte counters,
+            as in the original).
+        eviction_ratio: the λ vote threshold (original uses 8).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        heavy_fraction: float = 0.25,
+        eviction_ratio: int = 8,
+        d_light: int = 3,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if not 0.0 < heavy_fraction < 1.0:
+            raise ConfigurationError(f"heavy_fraction must be in (0,1), got {heavy_fraction}")
+        if eviction_ratio <= 0:
+            raise ConfigurationError(f"eviction_ratio must be positive, got {eviction_ratio}")
+        heavy_bytes = int(memory_bytes * heavy_fraction)
+        self.n_buckets = heavy_bytes // HEAVY_BUCKET_BYTES
+        if self.n_buckets <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for ElasticSketch")
+        self.buckets: List[_HeavyBucket] = [_HeavyBucket() for _ in range(self.n_buckets)]
+        self.eviction_ratio = eviction_ratio
+        self.light = CMSketch(
+            memory_bytes - heavy_bytes, d=d_light, counter_bits=8,
+            family=self.family, hash_family=hash_family,
+        )
+
+    def _bucket(self, item: ItemId) -> _HeavyBucket:
+        # The heavy part uses its own hash index (after the light part's d).
+        return self.buckets[self.family.hash32(item, self.light.d) % self.n_buckets]
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        bucket = self._bucket(item)
+        if bucket.key is None:
+            bucket.key = item
+            bucket.positive = count
+            bucket.negative = 0
+            bucket.flag = False
+            return
+        if bucket.key == item:
+            bucket.positive += count
+            return
+        bucket.negative += count
+        if bucket.negative >= self.eviction_ratio * bucket.positive:
+            # The resident loses the vote: its count spills to the light
+            # part and the challenger takes over (flagged: part of the
+            # challenger's history is in the light part too).
+            self.light.insert(bucket.key, bucket.positive)
+            bucket.key = item
+            bucket.positive = count
+            bucket.negative = 1
+            bucket.flag = True
+        else:
+            self.light.insert(item, count)
+
+    def query(self, item: ItemId) -> int:
+        bucket = self._bucket(item)
+        if bucket.key == item:
+            if bucket.flag:
+                return bucket.positive + self.light.query(item)
+            return bucket.positive
+        return self.light.query(item)
+
+    def heavy_flows(self, threshold: int) -> dict:
+        """Resident flows whose estimate reaches ``threshold``."""
+        return {
+            bucket.key: self.query(bucket.key)
+            for bucket in self.buckets
+            if bucket.key is not None and self.query(bucket.key) >= threshold
+        }
+
+    def clear(self) -> None:
+        for bucket in self.buckets:
+            bucket.key = None
+            bucket.positive = 0
+            bucket.negative = 0
+            bucket.flag = False
+        self.light.clear()
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.n_buckets * HEAVY_BUCKET_BYTES + self.light.memory_bytes

@@ -1,0 +1,82 @@
+"""LogLog Filter (Jia et al., ICDE'21 [41]).
+
+LLF replaces Cold Filter's layer-1 counters with tiny logarithmic
+registers so a much wider range of cold items fits the same memory.  Our
+port keeps the published structure -- ``d`` register arrays of ``bits``-bit
+registers -- and uses probabilistic log-scale registers: an arrival
+increments a register ``r`` with probability ``2**-r`` (Morris counting,
+the same update rule LLF's registers realize through geometric hash
+ranks), and a register decodes to the unbiased estimate ``2**r - 1``.
+
+The deliberately coarse decode is the point of the Figure-9 comparison:
+log-scale registers are great at cold/hot separation but feed the
+polynomial fit quantized frequencies, which is why LLF trails TowerSketch
+as a Stage-1 structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+class LogLogFilter(FrequencySketch):
+    """Log-scale register filter.
+
+    Args:
+        memory_bytes: register memory budget, split over ``d`` arrays.
+        d: number of register arrays / hash functions.
+        bits: register width (default 4: values saturate at rank 15,
+            i.e. estimates up to ``2**15 - 1``).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        bits: int = 4,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+        rng: random.Random = None,
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        width = int(memory_bytes / d * 8 // bits)
+        if width <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for a LogLog Filter")
+        self.d = d
+        self.registers = [CounterArray(width, bits) for _ in range(d)]
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def _mapped(self, item: ItemId):
+        return [
+            (self.registers[i], self.family.hash32(item, i) % self.registers[i].size)
+            for i in range(self.d)
+        ]
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        mapped = self._mapped(item)
+        for _ in range(count):
+            minimum = min(array.get(pos) for array, pos in mapped)
+            # Morris update: the register advances with probability 2**-r.
+            if minimum > 0 and self._rng.random() >= 2.0 ** -minimum:
+                continue
+            for array, pos in mapped:
+                if array.get(pos) == minimum:
+                    array.increment(pos, 1)
+
+    def query(self, item: ItemId) -> int:
+        minimum = min(array.get(pos) for array, pos in self._mapped(item))
+        return (1 << minimum) - 1
+
+    def clear(self) -> None:
+        for array in self.registers:
+            array.clear()
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(array.memory_bytes for array in self.registers)

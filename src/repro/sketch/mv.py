@@ -1,0 +1,112 @@
+"""MV-Sketch (Tang, Huang & Lee, INFOCOM'19 [45]).
+
+A fast *invertible* sketch for heavy flows (related work, Section
+II-B2).  Each bucket keeps a total counter ``V``, a candidate key ``K``
+and an indicator ``C`` maintained with the Boyer-Moore majority vote:
+arrivals of the candidate raise ``C``, others lower it, and a depleted
+indicator hands the candidacy over.  Heavy flows end up as candidates,
+so the sketch can be *decoded* (listing probable heavy flows) without
+enumerating the key space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+
+#: Accounted bytes per bucket: V (4) + C (4) + K (4, a key fingerprint).
+BUCKET_BYTES = 12
+
+
+class _Bucket:
+    __slots__ = ("total", "key", "indicator")
+
+    def __init__(self):
+        self.total = 0
+        self.key: ItemId = None
+        self.indicator = 0
+
+
+class MVSketch(FrequencySketch):
+    """Majority-vote sketch over a byte budget.
+
+    Args:
+        memory_bytes: bucket memory (12 bytes each, split over d rows).
+        d: rows / hash functions.
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        width = int(memory_bytes / d // BUCKET_BYTES)
+        if width <= 0:
+            raise ConfigurationError(f"memory_bytes={memory_bytes} too small for an MV-Sketch")
+        self.d = d
+        self.width = width
+        self.rows: List[List[_Bucket]] = [
+            [_Bucket() for _ in range(width)] for _ in range(d)
+        ]
+
+    def _buckets(self, item: ItemId) -> List[_Bucket]:
+        return [
+            self.rows[row][self.family.hash32(item, row) % self.width] for row in range(self.d)
+        ]
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        for bucket in self._buckets(item):
+            bucket.total += count
+            if bucket.key == item:
+                bucket.indicator += count
+            elif bucket.indicator >= count:
+                bucket.indicator -= count
+            else:
+                # candidacy flips to the newcomer (Boyer-Moore step)
+                bucket.key = item
+                bucket.indicator = count - bucket.indicator
+
+    def query(self, item: ItemId) -> int:
+        estimate = None
+        for bucket in self._buckets(item):
+            if bucket.key == item:
+                value = (bucket.total + bucket.indicator) // 2
+            else:
+                value = (bucket.total - bucket.indicator) // 2
+            if estimate is None or value < estimate:
+                estimate = value
+        return max(0, estimate)
+
+    def heavy_candidates(self, threshold: int) -> Dict[ItemId, int]:
+        """Decode: candidate keys whose estimate reaches ``threshold``.
+
+        This is the invertibility that plain CM/CU lacks -- the reason
+        MV-Sketch exists.
+        """
+        found: Dict[ItemId, int] = {}
+        for row in self.rows:
+            for bucket in row:
+                if bucket.key is None:
+                    continue
+                estimate = self.query(bucket.key)
+                if estimate >= threshold:
+                    found[bucket.key] = estimate
+        return found
+
+    def clear(self) -> None:
+        for row in self.rows:
+            for bucket in row:
+                bucket.total = 0
+                bucket.key = None
+                bucket.indicator = 0
+
+    @property
+    def memory_bytes(self) -> float:
+        return float(self.d * self.width * BUCKET_BYTES)

@@ -1,0 +1,121 @@
+"""PyramidSketch (Yang et al., VLDB'17 [44]).
+
+One of the related-work frequency estimators (Section II-B2).  Counters
+form a pyramid: the leaf layer has many small counters; when a counter
+wraps it carries into its parent (half as many counters per layer) and
+sets the child's overflow flag, so hot items automatically get wider
+effective counters.  A query walks up while overflow flags are set and
+reassembles the value from the per-layer digits.
+
+This port keeps the core carry/flag mechanism with ``d`` leaf hashes
+and simple binary fan-in; the original's word packing is replaced by
+explicit flag arrays (memory accounting includes them).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+class PyramidSketch(FrequencySketch):
+    """Pyramid of carry-propagating counters.
+
+    Args:
+        memory_bytes: budget across all layers (counter + flag bits).
+        d: leaf-layer hash functions.
+        layer_bits: count bits per layer digit (default 4).
+        n_layers: pyramid height (default 5; the top layer saturates).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        layer_bits: int = 4,
+        n_layers: int = 5,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if n_layers < 2:
+            raise ConfigurationError(f"a pyramid needs >= 2 layers, got {n_layers}")
+        # Geometric layer sizes: leaf w, then w/2, w/4, ...; each slot
+        # costs layer_bits count bits + 1 overflow flag bit.
+        per_slot_bits = layer_bits + 1
+        weight = sum(0.5**i for i in range(n_layers))
+        leaf_size = int(memory_bytes * 8 / (per_slot_bits * weight))
+        if leaf_size < 2 ** (n_layers - 1):
+            raise ConfigurationError(
+                f"memory_bytes={memory_bytes} too small for a {n_layers}-layer pyramid"
+            )
+        self.d = d
+        self.layer_bits = layer_bits
+        self.counters: List[CounterArray] = []
+        self.flags: List[List[bool]] = []
+        size = leaf_size
+        for _ in range(n_layers):
+            self.counters.append(CounterArray(size, layer_bits))
+            self.flags.append([False] * size)
+            size = max(1, size // 2)
+
+    def _leaf_positions(self, item: ItemId) -> List[int]:
+        leaf = self.counters[0]
+        return [self.family.hash32(item, i) % leaf.size for i in range(self.d)]
+
+    def _carry(self, layer: int, index: int) -> None:
+        """Propagate a carry from (layer, index) into its parent."""
+        while True:
+            self.flags[layer][index] = True
+            parent_layer = layer + 1
+            parent_index = (index // 2) % self.counters[parent_layer].size
+            parent = self.counters[parent_layer]
+            if parent.get(parent_index) < parent.max_value:
+                parent.increment(parent_index, 1)
+                return
+            if parent_layer + 1 >= len(self.counters):
+                return  # top of the pyramid: saturates and stays pinned
+            parent.set(parent_index, 0)
+            layer, index = parent_layer, parent_index
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        for _ in range(count):
+            for pos in self._leaf_positions(item):
+                leaf = self.counters[0]
+                if leaf.get(pos) < leaf.max_value:
+                    leaf.increment(pos, 1)
+                else:
+                    leaf.set(pos, 0)
+                    self._carry(0, pos)
+
+    def _read_up(self, pos: int) -> int:
+        """Reassemble a value by walking flags upward from a leaf slot."""
+        total = 0
+        shift = 0
+        index = pos
+        for layer, counter in enumerate(self.counters):
+            total += counter.get(index) << shift
+            if not self.flags[layer][index] or layer + 1 >= len(self.counters):
+                break
+            shift += self.layer_bits
+            index = (index // 2) % self.counters[layer + 1].size
+        return total
+
+    def query(self, item: ItemId) -> int:
+        return min(self._read_up(pos) for pos in self._leaf_positions(item))
+
+    def clear(self) -> None:
+        for counter in self.counters:
+            counter.clear()
+        self.flags = [[False] * counter.size for counter in self.counters]
+
+    @property
+    def memory_bytes(self) -> float:
+        counter_bits = sum(c.size * c.bits for c in self.counters)
+        flag_bits = sum(len(f) for f in self.flags)
+        return (counter_bits + flag_bits) / 8.0

@@ -1,0 +1,83 @@
+"""SpaceSaving (Metwally, Agrawal & El Abbadi, 2005).
+
+The classic counter-based frequent-item algorithm, included because the
+paper's introduction frames simplex detection against the well-studied
+"finding frequent items" task: keep ``capacity`` (item, count, error)
+entries; an untracked arrival replaces the minimum-count entry,
+inheriting its count as the new entry's overestimation error.
+Guarantees: every item with true frequency above ``N / capacity`` is
+tracked, and ``count - error <= true <= count``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import ItemId
+
+
+class _Entry:
+    __slots__ = ("count", "error")
+
+    def __init__(self, count: int, error: int):
+        self.count = count
+        self.error = error
+
+
+class SpaceSaving:
+    """Top-k frequent items in ``capacity`` counters."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[ItemId, _Entry] = {}
+        self.total = 0
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        self.total += count
+        entry = self._entries.get(item)
+        if entry is not None:
+            entry.count += count
+            return
+        if len(self._entries) < self.capacity:
+            self._entries[item] = _Entry(count, 0)
+            return
+        victim_item = min(self._entries, key=lambda i: self._entries[i].count)
+        victim = self._entries.pop(victim_item)
+        # the newcomer inherits the victim's count as its error bound
+        self._entries[item] = _Entry(victim.count + count, victim.count)
+
+    def query(self, item: ItemId) -> int:
+        """Estimated frequency (0 for untracked items)."""
+        entry = self._entries.get(item)
+        return entry.count if entry is not None else 0
+
+    def guaranteed(self, item: ItemId) -> int:
+        """Lower bound on the true frequency (``count - error``)."""
+        entry = self._entries.get(item)
+        return entry.count - entry.error if entry is not None else 0
+
+    def top(self, n: int = None) -> List[Tuple[ItemId, int]]:
+        """Tracked items by decreasing estimated count."""
+        ranked = sorted(
+            self._entries.items(), key=lambda kv: (-kv[1].count, str(kv[0]))
+        )
+        pairs = [(item, entry.count) for item, entry in ranked]
+        return pairs if n is None else pairs[:n]
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[ItemId, int]]:
+        """Items with estimated frequency above ``phi * N``."""
+        if not 0.0 < phi < 1.0:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self.total
+        return [(item, count) for item, count in self.top() if count > threshold]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Accounted bytes: ID + count + error per entry (12 B)."""
+        return 12.0 * self.capacity

@@ -1,0 +1,124 @@
+"""TowerSketch (Yang et al. [26]), the structure behind X-Sketch's Stage 1.
+
+``d`` levels share the memory budget equally; level ``i`` (1-based) uses
+counters of ``2**(i+1)`` bits, so lower levels have many small counters and
+higher levels few large ones.  A counter saturating at its maximum value
+becomes an *overflow marker*: it is ignored at query time (the true count
+escaped its range), so frequent items are effectively tracked by the large
+counters while infrequent items enjoy the low collision rate of the many
+small ones.  Supports both CM-style updates (increment every level) and
+CU-style (increment only the minimal unsaturated levels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId
+from repro.sketch.base import FrequencySketch
+from repro.sketch.counters import CounterArray
+
+
+def tower_level_widths(d: int) -> List[int]:
+    """Counter bit-widths per level: ``2**(i+1)`` for level ``i = 1..d``.
+
+    Matches the paper's Stage-1 description (4-bit bottom array up to a
+    ``2**(d+1)``-bit top array).
+    """
+    if d <= 0:
+        raise ConfigurationError(f"d must be positive, got {d}")
+    return [1 << (i + 1) for i in range(1, d + 1)]
+
+
+class TowerSketch(FrequencySketch):
+    """TowerSketch over a byte budget.
+
+    Args:
+        memory_bytes: total counter memory, split equally over levels.
+        d: number of levels (and hash functions).
+        update_rule: ``"cm"`` or ``"cu"``.
+        level_bits: optional explicit per-level widths (defaults to
+            :func:`tower_level_widths`).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d: int = 3,
+        update_rule: str = "cm",
+        level_bits: Sequence[int] = None,
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        super().__init__(family=family, seed=seed, hash_family=hash_family)
+        if update_rule not in ("cm", "cu"):
+            raise ConfigurationError(f"update_rule must be 'cm' or 'cu', got {update_rule!r}")
+        bits = list(level_bits) if level_bits is not None else tower_level_widths(d)
+        if len(bits) != d:
+            raise ConfigurationError(f"level_bits must have {d} entries, got {len(bits)}")
+        per_level = memory_bytes / d
+        self.levels: List[CounterArray] = []
+        for width_bits in bits:
+            n_counters = int(per_level * 8 // width_bits)
+            if n_counters <= 0:
+                raise ConfigurationError(
+                    f"memory_bytes={memory_bytes} too small for a {d}-level tower"
+                )
+            self.levels.append(CounterArray(n_counters, width_bits))
+        self.d = d
+        self.update_rule = update_rule
+
+    def _positions(self, item: ItemId) -> List[int]:
+        family = self.family
+        return [family.hash32(item, i) % level.size for i, level in enumerate(self.levels)]
+
+    def insert(self, item: ItemId, count: int = 1) -> None:
+        positions = self._positions(item)
+        if self.update_rule == "cm":
+            for level, pos in zip(self.levels, positions):
+                level.increment(pos, count)
+            return
+        # CU: raise only the minimal *unsaturated* readings up to
+        # min + count.  Saturated counters are overflow markers -- they
+        # carry no information and must not take part in the minimum
+        # (a saturated small counter would otherwise pin the minimum
+        # below the live larger counters forever).
+        readings = []
+        minimum = None
+        for level, pos in zip(self.levels, positions):
+            if level.is_saturated(pos):
+                readings.append(None)
+                continue
+            value = level.get(pos)
+            readings.append(value)
+            if minimum is None or value < minimum:
+                minimum = value
+        if minimum is None:
+            return  # every level overflowed; the count escaped the tower
+        target = minimum + count
+        for level, pos, value in zip(self.levels, positions, readings):
+            if value is not None and value < target:
+                level.set(pos, min(target, level.max_value))
+
+    def query(self, item: ItemId) -> int:
+        """Minimum over unsaturated levels; if all overflow, the largest cap."""
+        best = None
+        largest_cap = 0
+        for level, pos in zip(self.levels, self._positions(item)):
+            if level.is_saturated(pos):
+                largest_cap = max(largest_cap, level.max_value)
+                continue
+            value = level.get(pos)
+            if best is None or value < best:
+                best = value
+        return best if best is not None else largest_cap
+
+    def clear(self) -> None:
+        for level in self.levels:
+            level.clear()
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(level.memory_bytes for level in self.levels)

@@ -1,0 +1,145 @@
+"""Numpy-backed windowed TowerSketch for the vectorized engine.
+
+Semantically the CM-rule :class:`~repro.sketch.windowed.WindowedTower`
+(same level widths, same saturation-as-overflow reads), but counters
+live in numpy matrices of shape ``(n_logical, s)`` and every operation
+takes a *batch* of items: bulk updates via ``np.add.at`` and batched
+s-window queries as fancy-indexed gathers.  Saturating batch adds equal
+sequential saturating adds (add-then-clip), so results match the scalar
+structure exactly under the CM rule; the CU rule is approximated
+order-independently (documented on :meth:`bulk_insert`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import HashFamily, ItemId, make_family
+from repro.sketch.tower import tower_level_widths
+
+#: Sentinel larger than any counter value, used to mask overflow reads.
+_BIG = np.int64(1) << 40
+
+
+class VectorizedTower:
+    """Batch-oriented windowed tower.
+
+    Args:
+        memory_bytes: budget, split equally over ``d`` levels of
+            ``2**(i+1)``-bit counters with ``s`` sub-counters each.
+        s: sub-counters (recent windows) per logical counter.
+        d: number of levels / hash functions.
+        update_rule: ``"cm"`` (exact) or ``"cu"`` (order-independent
+            approximation).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        s: int,
+        d: int = 3,
+        update_rule: str = "cm",
+        family: HashFamily = None,
+        seed: int = 0,
+        hash_family: str = "crc",
+    ):
+        if s <= 0:
+            raise ConfigurationError(f"s must be positive, got {s}")
+        if update_rule not in ("cm", "cu"):
+            raise ConfigurationError(f"update_rule must be 'cm' or 'cu', got {update_rule!r}")
+        self.s = s
+        self.d = d
+        self.update_rule = update_rule
+        self.family = family if family is not None else make_family(hash_family, seed)
+        per_level = memory_bytes / d
+        self.levels: List[np.ndarray] = []
+        self.max_values: List[int] = []
+        self.level_counters: List[int] = []
+        for bits in tower_level_widths(d):
+            n_logical = int(per_level * 8 // (bits * s))
+            if n_logical <= 0:
+                raise ConfigurationError(
+                    f"memory_bytes={memory_bytes} too small for a vectorized tower with s={s}"
+                )
+            self.levels.append(np.zeros((n_logical, s), dtype=np.int64))
+            self.max_values.append((1 << bits) - 1)
+            self.level_counters.append(n_logical)
+        self._pos_cache: Dict[ItemId, Tuple[int, ...]] = {}
+
+    def positions(self, items: Sequence[ItemId]) -> np.ndarray:
+        """Hash positions per level for a batch of items: ``(n, d)``."""
+        cache = self._pos_cache
+        family = self.family
+        counters = self.level_counters
+        d = self.d
+        rows = []
+        for item in items:
+            cached = cache.get(item)
+            if cached is None:
+                cached = tuple(family.hash32(item, i) % counters[i] for i in range(d))
+                cache[item] = cached
+            rows.append(cached)
+        return np.asarray(rows, dtype=np.int64).reshape(len(rows), d)
+
+    def bulk_insert(self, positions: np.ndarray, counts: np.ndarray, slot: int) -> None:
+        """Add ``counts[j]`` to item ``j``'s counters in ``slot``.
+
+        CM: exact -- colliding contributions accumulate and then clip,
+        identical to sequential saturating adds.  CU: each item raises
+        its minimal unsaturated levels to ``min + count`` using
+        ``np.maximum.at``; when distinct items share a counter within
+        one batch this keeps the largest single target rather than
+        compounding them, i.e. a slightly *more* conservative update
+        than sequential CU (never below it for the items' own reads).
+        """
+        if self.update_rule == "cm":
+            for index, (level, max_value) in enumerate(zip(self.levels, self.max_values)):
+                np.add.at(level[:, slot], positions[:, index], counts)
+                np.minimum(level[:, slot], max_value, out=level[:, slot])
+            return
+        readings = self._gather_slot(positions, slot)  # (n, d), overflow -> _BIG
+        minima = readings.min(axis=1)
+        targets = np.minimum(minima + counts, _BIG)
+        for index, (level, max_value) in enumerate(zip(self.levels, self.max_values)):
+            capped = np.minimum(targets, max_value)
+            # only raise unsaturated counters that sit below the target
+            mask = readings[:, index] < capped
+            if mask.any():
+                np.maximum.at(
+                    level[:, slot], positions[mask, index], capped[mask]
+                )
+
+    def _gather_slot(self, positions: np.ndarray, slot: int) -> np.ndarray:
+        """Per-level readings at ``slot`` with overflow masked to _BIG."""
+        columns = []
+        for index, (level, max_value) in enumerate(zip(self.levels, self.max_values)):
+            values = level[positions[:, index], slot]
+            columns.append(np.where(values >= max_value, _BIG, values))
+        return np.stack(columns, axis=1)
+
+    def query_recent(self, positions: np.ndarray, slots: Sequence[int]) -> np.ndarray:
+        """Estimates for each item over ``slots``: shape ``(n, len(slots))``.
+
+        Tower read per (item, slot): min over unsaturated levels; if all
+        levels overflow, the largest cap (matches the scalar structure).
+        """
+        n = positions.shape[0]
+        estimates = np.empty((n, len(slots)), dtype=np.int64)
+        largest_cap = max(self.max_values)
+        for column, slot in enumerate(slots):
+            readings = self._gather_slot(positions, slot)
+            minima = readings.min(axis=1)
+            estimates[:, column] = np.where(minima >= _BIG, largest_cap, minima)
+        return estimates
+
+    def clear_slot(self, slot: int) -> None:
+        for level in self.levels:
+            level[:, slot] = 0
+
+    @property
+    def memory_bytes(self) -> float:
+        bits = tower_level_widths(self.d)
+        return sum(n * self.s * b for n, b in zip(self.level_counters, bits)) / 8.0

@@ -1,0 +1,64 @@
+"""Data-stream substrate: window model, traces, and dataset generators.
+
+The paper evaluates on CAIDA IP traces, MAWI backbone traces, a data
+center trace, a Web-Polygraph Zipf synthetic, and an IBM-Quest
+transactional dataset.  None of those is redistributable, so this package
+synthesizes statistically-matched substitutes (see DESIGN.md section 3):
+heavy-tailed background traffic plus a planted sub-population of true
+simplex items at densities matching those the paper reports.  Ground
+truth never depends on the planting metadata -- it is always recomputed
+exactly by :class:`repro.core.SimplexOracle` -- the planting only shapes
+the stream.
+"""
+
+from repro.streams.model import Trace
+from repro.streams.windows import TimeWindowAccumulator, WindowAccumulator, iter_windows
+from repro.streams.zipf import ZipfSampler
+from repro.streams.planted import (
+    BackgroundTraffic,
+    PlantedItem,
+    PlantedWorkload,
+    constant_pattern,
+    linear_pattern,
+    quadratic_pattern,
+)
+from repro.streams.datasets import (
+    DATASET_GENERATORS,
+    datacenter_stream,
+    ip_trace_stream,
+    make_dataset,
+    mawi_stream,
+    synthetic_stream,
+    transactional_stream,
+)
+from repro.streams.ddos import DDoSScenario, ddos_stream
+from repro.streams.io import load_trace_csv, save_trace_csv
+from repro.streams.validation import TraceStats, estimate_zipf_skew, trace_statistics
+
+__all__ = [
+    "BackgroundTraffic",
+    "DATASET_GENERATORS",
+    "DDoSScenario",
+    "PlantedItem",
+    "PlantedWorkload",
+    "TimeWindowAccumulator",
+    "Trace",
+    "TraceStats",
+    "WindowAccumulator",
+    "ZipfSampler",
+    "constant_pattern",
+    "datacenter_stream",
+    "ddos_stream",
+    "estimate_zipf_skew",
+    "trace_statistics",
+    "ip_trace_stream",
+    "iter_windows",
+    "linear_pattern",
+    "load_trace_csv",
+    "make_dataset",
+    "mawi_stream",
+    "quadratic_pattern",
+    "save_trace_csv",
+    "synthetic_stream",
+    "transactional_stream",
+]

@@ -1,0 +1,297 @@
+"""Synthetic substitutes for the paper's evaluation datasets.
+
+Each builder returns a :class:`~repro.streams.model.Trace` whose window
+geometry, popularity skew and simplex-item density follow the real
+dataset it stands in for (DESIGN.md section 3 documents the mapping).
+Every dataset contains, on top of its heavy-tailed background:
+
+* planted 0-simplex items (stable frequencies),
+* planted 1-simplex items (linear ramps up and down),
+* planted 2-simplex items (parabolic bursts), and
+* *near misses* -- items that almost satisfy the definition (slope below
+  ``L``, or noise pushing the MSE above ``T``) -- which stress precision.
+
+The planting is throttled so planted arrivals never exceed ~30% of any
+window; the remainder is background traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.config import StreamGeometry
+from repro.errors import ConfigurationError
+from repro.streams.model import Trace
+from repro.streams.planted import (
+    BackgroundTraffic,
+    PlantedItem,
+    PlantedWorkload,
+    constant_pattern,
+    linear_pattern,
+    quadratic_pattern,
+)
+from repro.streams.zipf import ZipfSampler
+
+#: Planted arrivals may fill at most this share of any window.
+PLANT_BUDGET_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class _DatasetProfile:
+    """Statistical profile of one dataset substitute."""
+
+    skew: float
+    flows_per_window_item: float
+    n_stable: int
+    rotation_period: int
+    # Plants per 100 windows: constant, linear, quadratic, near-miss.
+    plants_per_100: Dict[str, int]
+
+
+_PROFILES: Dict[str, _DatasetProfile] = {
+    # CAIDA-like: moderate skew, large flow pool, short-lived mice.
+    "ip_trace": _DatasetProfile(
+        skew=1.0,
+        flows_per_window_item=4.0,
+        n_stable=80,
+        rotation_period=4,
+        plants_per_100={"constant": 40, "linear": 16, "quadratic": 10, "near": 24},
+    ),
+    # MAWI-like: heavier tail, burstier background.
+    "mawi": _DatasetProfile(
+        skew=1.1,
+        flows_per_window_item=5.0,
+        n_stable=60,
+        rotation_period=3,
+        plants_per_100={"constant": 32, "linear": 12, "quadratic": 8, "near": 20},
+    ),
+    # Data-center-like: fewer distinct flows, longer-lived, milder skew.
+    "datacenter": _DatasetProfile(
+        skew=0.9,
+        flows_per_window_item=1.5,
+        n_stable=120,
+        rotation_period=6,
+        plants_per_100={"constant": 48, "linear": 20, "quadratic": 12, "near": 16},
+    ),
+    # Web-Polygraph-like synthetic: the paper uses Zipf skewness 1.5.
+    "synthetic": _DatasetProfile(
+        skew=1.5,
+        flows_per_window_item=2.0,
+        n_stable=100,
+        rotation_period=5,
+        plants_per_100={"constant": 36, "linear": 14, "quadratic": 9, "near": 18},
+    ),
+}
+
+
+def _plant_population(
+    geometry: StreamGeometry,
+    profile: _DatasetProfile,
+    rng: np.random.Generator,
+    prefix: str,
+) -> List[PlantedItem]:
+    """Draw the planted sub-population, honoring the per-window budget."""
+    n_windows = geometry.n_windows
+    budget = int(geometry.window_size * PLANT_BUDGET_FRACTION)
+    load = np.zeros(n_windows, dtype=np.int64)
+    # Frequency levels scale (gently) with window size so small windows
+    # stay dominated by background traffic.
+    level_scale = max(0.25, min(1.0, geometry.window_size / 2000.0))
+
+    plants: List[PlantedItem] = []
+    counter = 0
+
+    def try_add(duration: int, pattern: Callable[[int], float], noise: float, kind: str) -> None:
+        nonlocal counter
+        if duration > n_windows:
+            return
+        start = int(rng.integers(0, n_windows - duration + 1))
+        expected = [
+            max(1, int(round(pattern(offset)))) + int(math.ceil(noise))
+            for offset in range(duration)
+        ]
+        span = slice(start, start + duration)
+        if np.any(load[span] + np.asarray(expected) > budget):
+            return
+        load[span] += np.asarray(expected)
+        plants.append(
+            PlantedItem(
+                item=f"{prefix}-{kind}-{counter}",
+                start_window=start,
+                duration=duration,
+                pattern=pattern,
+                noise=noise,
+            )
+        )
+        counter += 1
+
+    scale = n_windows / 100.0
+    per_100 = profile.plants_per_100
+
+    for _ in range(max(1, int(round(per_100["constant"] * scale)))):
+        duration = int(rng.integers(8, 25))
+        level = float(rng.uniform(3, 25)) * level_scale + 1.0
+        noise = float(rng.choice([0.0, 0.4]))
+        try_add(duration, constant_pattern(level), noise, "const")
+
+    for _ in range(max(1, int(round(per_100["linear"] * scale)))):
+        duration = int(rng.integers(8, 21))
+        slope = float(rng.uniform(1.5, 5.0)) * (1 if rng.random() < 0.5 else -1)
+        if slope > 0:
+            intercept = float(rng.uniform(2, 8)) * level_scale + 1.0
+        else:
+            intercept = -slope * (duration - 1) + float(rng.uniform(2, 8)) * level_scale + 1.0
+        noise = float(rng.choice([0.0, 0.5]))
+        try_add(duration, linear_pattern(intercept, slope), noise, "lin")
+
+    for _ in range(max(1, int(round(per_100["quadratic"] * scale)))):
+        duration = int(rng.integers(8, 17))
+        a2 = float(rng.uniform(1.2, 2.5)) * (1 if rng.random() < 0.5 else -1)
+        vertex = duration / 2.0
+        if a2 > 0:
+            base = float(rng.uniform(2, 6)) * level_scale + 1.0
+            pattern = quadratic_pattern(base + a2 * vertex * vertex, -2 * a2 * vertex, a2)
+        else:
+            peak = abs(a2) * vertex * vertex + float(rng.uniform(2, 6)) * level_scale + 1.0
+            pattern = quadratic_pattern(peak + a2 * vertex * vertex, -2 * a2 * vertex, a2)
+        try_add(duration, pattern, 0.0, "quad")
+
+    near_kinds = ("noisy-const", "flat-slope", "noisy-lin", "flat-quad")
+    for _ in range(max(1, int(round(per_100["near"] * scale)))):
+        duration = int(rng.integers(8, 19))
+        kind = str(rng.choice(near_kinds))
+        if kind == "noisy-const":
+            level = float(rng.uniform(6, 20)) * level_scale + 2.0
+            try_add(duration, constant_pattern(level), 5.0, kind)
+        elif kind == "flat-slope":
+            # Slope below L=1: linear-looking but not reportable at k=1.
+            intercept = float(rng.uniform(4, 12)) * level_scale + 2.0
+            try_add(duration, linear_pattern(intercept, 0.5), 0.0, kind)
+        elif kind == "noisy-lin":
+            slope = float(rng.uniform(2, 4))
+            try_add(duration, linear_pattern(4.0, slope), 6.0, kind)
+        else:
+            vertex = duration / 2.0
+            pattern = quadratic_pattern(3.0 + 0.5 * vertex * vertex, -1.0 * vertex, 0.5)
+            try_add(duration, pattern, 0.0, kind)
+
+    return plants
+
+
+def make_dataset(
+    name: str,
+    n_windows: int = 100,
+    window_size: int = 2000,
+    seed: int = 0,
+) -> Trace:
+    """Build one of the paper's dataset substitutes by name.
+
+    Names: ``ip_trace``, ``mawi``, ``datacenter``, ``synthetic``,
+    ``transactional``.
+    """
+    if name == "transactional":
+        return transactional_stream(n_windows=n_windows, window_size=window_size, seed=seed)
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES) + ["transactional"])
+        raise ConfigurationError(f"unknown dataset {name!r}; expected one of: {known}") from None
+    geometry = StreamGeometry(n_windows=n_windows, window_size=window_size)
+    rng = np.random.default_rng(seed)
+    plants = _plant_population(geometry, profile, rng, prefix=name)
+    background = BackgroundTraffic(
+        n_flows=max(500, int(profile.flows_per_window_item * window_size)),
+        skew=profile.skew,
+        n_stable=profile.n_stable,
+        rotation_period=profile.rotation_period,
+        prefix=f"{name}-bg",
+    )
+    workload = PlantedWorkload(name=name, geometry=geometry, background=background, planted=plants)
+    return workload.build(seed=seed + 1)
+
+
+def ip_trace_stream(n_windows: int = 100, window_size: int = 2000, seed: int = 0) -> Trace:
+    """CAIDA-IP-trace substitute (see DESIGN.md section 3)."""
+    return make_dataset("ip_trace", n_windows, window_size, seed)
+
+
+def mawi_stream(n_windows: int = 100, window_size: int = 2000, seed: int = 0) -> Trace:
+    """MAWI-backbone substitute."""
+    return make_dataset("mawi", n_windows, window_size, seed)
+
+
+def datacenter_stream(n_windows: int = 100, window_size: int = 2000, seed: int = 0) -> Trace:
+    """Data-center-trace substitute."""
+    return make_dataset("datacenter", n_windows, window_size, seed)
+
+
+def synthetic_stream(n_windows: int = 100, window_size: int = 2000, seed: int = 0) -> Trace:
+    """Zipf(1.5) Web-Polygraph-style synthetic."""
+    return make_dataset("synthetic", n_windows, window_size, seed)
+
+
+class _TransactionalBackground:
+    """Market-basket background: transactions drawn from frequent patterns.
+
+    Mimics the IBM Quest generator's structure: a pool of frequent
+    itemsets over a Zipf-popular SKU catalogue; each transaction is a
+    pattern (possibly) plus individual picks, and the stream is the
+    concatenation of transactions.
+    """
+
+    def __init__(self, n_skus: int, n_patterns: int, skew: float, seed: int):
+        self.n_skus = n_skus
+        self.skew = skew
+        pattern_rng = np.random.default_rng(seed)
+        top = max(50, n_skus // 10)
+        self.patterns = [
+            [int(x) for x in pattern_rng.choice(top, size=int(pattern_rng.integers(2, 6)), replace=False)]
+            for _ in range(n_patterns)
+        ]
+        self._sampler = None
+
+    def generate(self, window: int, count: int, rng: np.random.Generator) -> List[str]:
+        if self._sampler is None or self._sampler._rng is not rng:
+            self._sampler = ZipfSampler(self.n_skus, self.skew, rng)
+        items: List[str] = []
+        while len(items) < count:
+            if rng.random() < 0.6:
+                pattern = self.patterns[int(rng.integers(0, len(self.patterns)))]
+                basket = list(pattern)
+                basket.extend(self._sampler.sample(int(rng.integers(1, 4))))
+            else:
+                basket = self._sampler.sample(int(rng.integers(2, 9)))
+            items.extend(f"sku-{sku}" for sku in basket)
+        return items[:count]
+
+
+def transactional_stream(n_windows: int = 30, window_size: int = 2000, seed: int = 0) -> Trace:
+    """IBM-Quest-style transactional substitute (Section VI, Table III).
+
+    Staple SKUs provide stable (0-simplex) series; planted promotions
+    ramp linearly and quadratically, standing in for trending products.
+    """
+    geometry = StreamGeometry(n_windows=n_windows, window_size=window_size)
+    rng = np.random.default_rng(seed)
+    profile = _PROFILES["synthetic"]
+    plants = _plant_population(geometry, profile, rng, prefix="txn")
+    background = _TransactionalBackground(
+        n_skus=max(400, window_size), n_patterns=40, skew=1.2, seed=seed + 17
+    )
+    workload = PlantedWorkload(
+        name="transactional", geometry=geometry, background=background, planted=plants
+    )
+    return workload.build(seed=seed + 1)
+
+
+#: Registry used by the experiment harness (Figures 10-24 iterate these).
+DATASET_GENERATORS = {
+    "ip_trace": ip_trace_stream,
+    "mawi": mawi_stream,
+    "datacenter": datacenter_stream,
+    "synthetic": synthetic_stream,
+}

@@ -1,0 +1,56 @@
+"""Trace persistence: plain CSV of ``window,item`` rows.
+
+Useful for freezing a generated workload so different algorithms (or
+different parameterizations across benchmark processes) replay the exact
+same arrivals.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.config import StreamGeometry
+from repro.errors import StreamError
+from repro.streams.model import Trace
+
+
+def save_trace_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` as CSV rows ``window_index,item`` (header included)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["window", "item"])
+        for window_index, window in enumerate(trace.windows()):
+            for item in window:
+                writer.writerow([window_index, item])
+
+
+def load_trace_csv(path: Union[str, Path], name: str = None) -> Trace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    All windows must have equal size (the count-based window model);
+    otherwise a :class:`~repro.errors.StreamError` is raised.
+    """
+    path = Path(path)
+    windows: List[List[str]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["window", "item"]:
+            raise StreamError(f"{path} is not a trace CSV (bad header: {header})")
+        for row in reader:
+            if len(row) != 2:
+                raise StreamError(f"{path}: malformed row {row!r}")
+            window_index = int(row[0])
+            while len(windows) <= window_index:
+                windows.append([])
+            windows[window_index].append(row[1])
+    if not windows:
+        raise StreamError(f"{path} contains no arrivals")
+    sizes = {len(w) for w in windows}
+    if len(sizes) != 1:
+        raise StreamError(f"{path}: windows have unequal sizes {sorted(sizes)}")
+    geometry = StreamGeometry(n_windows=len(windows), window_size=sizes.pop())
+    return Trace(name=name or path.stem, geometry=geometry, window_items=windows)

@@ -1,0 +1,58 @@
+"""Trace container for the count-based window model (Definitions 1-2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.config import StreamGeometry
+from repro.errors import StreamError
+from repro.hashing.family import ItemId
+
+
+@dataclass
+class Trace:
+    """A materialized data stream divided into equal-sized windows.
+
+    Attributes:
+        name: dataset label used in experiment tables.
+        geometry: window count and size.
+        window_items: one list of arrivals per window, each of length
+            ``geometry.window_size``.
+    """
+
+    name: str
+    geometry: StreamGeometry
+    window_items: List[List[ItemId]] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.window_items) != self.geometry.n_windows:
+            raise StreamError(
+                f"trace {self.name!r} has {len(self.window_items)} windows, "
+                f"geometry says {self.geometry.n_windows}"
+            )
+        for index, window in enumerate(self.window_items):
+            if len(window) != self.geometry.window_size:
+                raise StreamError(
+                    f"trace {self.name!r} window {index} has {len(window)} items, "
+                    f"geometry says {self.geometry.window_size}"
+                )
+
+    def windows(self) -> Iterator[List[ItemId]]:
+        """Iterate over windows (each a list of arrivals, in order)."""
+        return iter(self.window_items)
+
+    def items(self) -> Iterator[ItemId]:
+        """Iterate over all arrivals in stream order."""
+        for window in self.window_items:
+            yield from window
+
+    def distinct_items(self) -> int:
+        """Number of distinct item IDs across the whole trace."""
+        seen = set()
+        for window in self.window_items:
+            seen.update(window)
+        return len(seen)
+
+    def __len__(self) -> int:
+        return self.geometry.total_items

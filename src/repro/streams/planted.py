@@ -1,0 +1,163 @@
+"""Workload builder: heavy-tailed background plus planted simplex items.
+
+A :class:`PlantedWorkload` composes two populations:
+
+* **background traffic** -- a Zipf-popularity flow pool, optionally with
+  identity rotation (flows die and new ones appear) so most background
+  items break the consecutive-window requirement, exactly as mice flows
+  do in the paper's traces;
+* **planted items** -- items whose per-window frequency follows an exact
+  constant / linear / quadratic schedule plus bounded noise, standing in
+  for the genuinely-simplex sub-population of the real traces.
+
+Planting only shapes the stream.  Ground truth is always recomputed from
+exact counts by :class:`repro.core.SimplexOracle`, so noisy plants that
+happen to miss the definition (or background flows that happen to satisfy
+it) are handled correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import StreamGeometry
+from repro.errors import ConfigurationError, StreamError
+from repro.hashing.family import ItemId
+from repro.streams.model import Trace
+from repro.streams.zipf import ZipfSampler
+
+Pattern = Callable[[int], float]
+
+
+def constant_pattern(level: float) -> Pattern:
+    """Frequency schedule ``f(n) = level`` (0-simplex shape)."""
+    return lambda offset: level
+
+
+def linear_pattern(intercept: float, slope: float) -> Pattern:
+    """Frequency schedule ``f(n) = intercept + slope * n`` (1-simplex)."""
+    return lambda offset: intercept + slope * offset
+
+
+def quadratic_pattern(a0: float, a1: float, a2: float) -> Pattern:
+    """Frequency schedule ``f(n) = a0 + a1 n + a2 n^2`` (2-simplex)."""
+    return lambda offset: a0 + a1 * offset + a2 * offset * offset
+
+
+@dataclass(frozen=True)
+class PlantedItem:
+    """One planted item and its frequency schedule.
+
+    Attributes:
+        item: the item ID emitted into the stream.
+        start_window: first window of activity.
+        duration: number of consecutive active windows.
+        pattern: expected frequency at offset ``0 .. duration - 1``.
+        noise: uniform integer noise amplitude added to each window's
+            count (0 plants the exact schedule).
+    """
+
+    item: ItemId
+    start_window: int
+    duration: int
+    pattern: Pattern
+    noise: float = 0.0
+
+    def count_at(self, window: int, rng: np.random.Generator) -> int:
+        """Arrivals of this item in ``window`` (0 when inactive)."""
+        offset = window - self.start_window
+        if not 0 <= offset < self.duration:
+            return 0
+        expected = self.pattern(offset)
+        if self.noise > 0:
+            expected += rng.uniform(-self.noise, self.noise)
+        return max(1, int(round(expected)))
+
+
+class BackgroundTraffic:
+    """Zipf background flows, optionally rotating identities.
+
+    Attributes:
+        n_flows: size of the flow pool.
+        skew: Zipf skewness of flow popularity.
+        n_stable: the ``n_stable`` most popular flows keep their identity
+            for the whole trace; the rest rotate every
+            ``rotation_period`` windows (rotation breaks window
+            continuity, which is what Stage 1 exists to filter).
+        prefix: string prefix of generated flow IDs.
+    """
+
+    def __init__(
+        self,
+        n_flows: int,
+        skew: float = 1.0,
+        n_stable: int = 64,
+        rotation_period: Optional[int] = 4,
+        prefix: str = "bg",
+    ):
+        if n_flows <= 0:
+            raise ConfigurationError(f"n_flows must be positive, got {n_flows}")
+        if rotation_period is not None and rotation_period <= 0:
+            raise ConfigurationError(
+                f"rotation_period must be positive or None, got {rotation_period}"
+            )
+        self.n_flows = n_flows
+        self.skew = skew
+        self.n_stable = min(n_stable, n_flows)
+        self.rotation_period = rotation_period
+        self.prefix = prefix
+        self._sampler: Optional[ZipfSampler] = None
+
+    def generate(self, window: int, count: int, rng: np.random.Generator) -> List[ItemId]:
+        """``count`` background arrivals for ``window``."""
+        if self._sampler is None or self._sampler._rng is not rng:
+            self._sampler = ZipfSampler(self.n_flows, self.skew, rng)
+        epoch = 0 if self.rotation_period is None else window // self.rotation_period
+        items: List[ItemId] = []
+        prefix = self.prefix
+        n_stable = self.n_stable
+        for rank in self._sampler.sample(count):
+            if rank < n_stable or self.rotation_period is None:
+                items.append(f"{prefix}-{rank}")
+            else:
+                items.append(f"{prefix}-{rank}@{epoch}")
+        return items
+
+
+class PlantedWorkload:
+    """Composes background and planted items into a :class:`Trace`."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: StreamGeometry,
+        background: BackgroundTraffic,
+        planted: Sequence[PlantedItem] = (),
+    ):
+        self.name = name
+        self.geometry = geometry
+        self.background = background
+        self.planted = list(planted)
+
+    def build(self, seed: int = 0) -> Trace:
+        """Materialize the trace (deterministic for a given seed)."""
+        rng = np.random.default_rng(seed)
+        geometry = self.geometry
+        windows: List[List[ItemId]] = []
+        for window in range(geometry.n_windows):
+            arrivals: List[ItemId] = []
+            for plant in self.planted:
+                arrivals.extend([plant.item] * plant.count_at(window, rng))
+            if len(arrivals) > geometry.window_size:
+                raise StreamError(
+                    f"planted arrivals ({len(arrivals)}) exceed window_size "
+                    f"({geometry.window_size}) in window {window} of {self.name!r}"
+                )
+            fill = geometry.window_size - len(arrivals)
+            arrivals.extend(self.background.generate(window, fill, rng))
+            permutation = rng.permutation(len(arrivals))
+            windows.append([arrivals[i] for i in permutation])
+        return Trace(name=self.name, geometry=geometry, window_items=windows)

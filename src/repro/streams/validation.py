@@ -1,0 +1,94 @@
+"""Trace statistics: measurable properties of a workload.
+
+DESIGN.md claims each dataset substitute preserves the properties the
+evaluation depends on -- heavy-tailed popularity and a *rare* simplex
+sub-population.  This module measures them on any trace, so the claims
+are checkable numbers rather than assertions:
+
+* estimated Zipf skew (log-log slope of the rank-frequency curve),
+* distinct-item and per-window distinct counts,
+* per-degree simplex-item density (distinct simplex items over distinct
+  items), computed with the exact oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.oracle import SimplexOracle
+from repro.fitting.simplex import SimplexTask
+from repro.streams.model import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Measured statistics of one trace."""
+
+    name: str
+    total_items: int
+    distinct_items: int
+    mean_window_distinct: float
+    estimated_zipf_skew: float
+    simplex_density: Dict[int, float]
+    simplex_instances: Dict[int, int]
+
+    def render(self) -> str:
+        lines = [f"== trace statistics: {self.name} =="]
+        lines.append(f"arrivals: {self.total_items}, distinct items: {self.distinct_items}")
+        lines.append(f"mean distinct per window: {self.mean_window_distinct:.1f}")
+        lines.append(f"estimated Zipf skew: {self.estimated_zipf_skew:.2f}")
+        for k in sorted(self.simplex_density):
+            lines.append(
+                f"k={k}: {self.simplex_instances[k]} instances, "
+                f"item density {self.simplex_density[k]:.4%}"
+            )
+        return "\n".join(lines)
+
+
+def estimate_zipf_skew(frequencies: Sequence[int], head: int = 200) -> float:
+    """Log-log slope of the rank-frequency curve (negated).
+
+    Only the head of the distribution is used -- the tail of a finite
+    sample flattens and would bias the slope.
+    """
+    ranked = sorted((f for f in frequencies if f > 0), reverse=True)[:head]
+    if len(ranked) < 10:
+        return 0.0
+    ranks = np.arange(1, len(ranked) + 1, dtype=np.float64)
+    slope, _ = np.polyfit(np.log(ranks), np.log(np.asarray(ranked, dtype=np.float64)), 1)
+    return float(-slope)
+
+
+def trace_statistics(
+    trace: Trace,
+    tasks: Sequence[SimplexTask] = (),
+) -> TraceStats:
+    """Measure a trace; simplex densities computed per provided task."""
+    totals: Counter = Counter()
+    window_distincts = []
+    for window in trace.windows():
+        window_counter = Counter(window)
+        window_distincts.append(len(window_counter))
+        totals.update(window_counter)
+
+    density: Dict[int, float] = {}
+    instances: Dict[int, int] = {}
+    for task in tasks:
+        oracle = SimplexOracle.from_stream(trace.windows(), task)
+        simplex_items = {item for item, _ in oracle.instances}
+        density[task.k] = len(simplex_items) / len(totals) if totals else 0.0
+        instances[task.k] = len(oracle.instances)
+
+    return TraceStats(
+        name=trace.name,
+        total_items=len(trace),
+        distinct_items=len(totals),
+        mean_window_distinct=sum(window_distincts) / len(window_distincts),
+        estimated_zipf_skew=estimate_zipf_skew(list(totals.values())),
+        simplex_density=density,
+        simplex_instances=instances,
+    )

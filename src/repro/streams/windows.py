@@ -1,0 +1,104 @@
+"""Chopping flat arrival sequences into count-based windows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.errors import StreamError
+from repro.hashing.family import ItemId
+
+
+def iter_windows(arrivals: Iterable[ItemId], window_size: int) -> Iterator[List[ItemId]]:
+    """Yield consecutive windows of ``window_size`` arrivals.
+
+    A trailing partial window is dropped, matching the count-based window
+    model where only complete windows are evaluated.
+    """
+    if window_size <= 0:
+        raise StreamError(f"window_size must be positive, got {window_size}")
+    current: List[ItemId] = []
+    for item in arrivals:
+        current.append(item)
+        if len(current) == window_size:
+            yield current
+            current = []
+
+
+class TimeWindowAccumulator:
+    """Time-based windowing (an extension beyond the paper's count-based
+    model, Definition 2).
+
+    Events are (timestamp, item) pairs with non-decreasing timestamps;
+    a window covers ``[k * window_seconds, (k+1) * window_seconds)``.
+    ``push`` returns the list of windows completed by the event --
+    possibly several empty ones when the stream is quiet -- so the
+    caller can drive per-window algorithms (X-Sketch's ``end_window``)
+    on wall-clock boundaries.  Time-based windows vary in arrival count,
+    which the sketches handle unchanged; only the frequency *scale*
+    interpretation shifts from per-N-items to per-interval.
+    """
+
+    def __init__(self, window_seconds: float, start_time: float = 0.0):
+        if window_seconds <= 0:
+            raise StreamError(f"window_seconds must be positive, got {window_seconds}")
+        self.window_seconds = window_seconds
+        self._window_start = start_time
+        self._current: List[ItemId] = []
+        self._last_timestamp = start_time
+        self.completed_windows = 0
+
+    def push(self, timestamp: float, item: ItemId) -> List[List[ItemId]]:
+        """Add one event; returns the windows it closed (oldest first)."""
+        if timestamp < self._last_timestamp:
+            raise StreamError(
+                f"timestamps must be non-decreasing: {timestamp} after {self._last_timestamp}"
+            )
+        self._last_timestamp = timestamp
+        closed: List[List[ItemId]] = []
+        while timestamp >= self._window_start + self.window_seconds:
+            closed.append(self._current)
+            self._current = []
+            self._window_start += self.window_seconds
+            self.completed_windows += 1
+        self._current.append(item)
+        return closed
+
+    def flush(self) -> List[ItemId]:
+        """Return (and clear) the trailing partial window."""
+        window = self._current
+        self._current = []
+        return window
+
+    @property
+    def pending(self) -> int:
+        return len(self._current)
+
+
+class WindowAccumulator:
+    """Incremental window builder for push-style producers.
+
+    ``push`` returns the completed window when the arrival closes one,
+    else None -- convenient for pipelines that interleave generation and
+    sketch insertion without materializing the trace.
+    """
+
+    def __init__(self, window_size: int):
+        if window_size <= 0:
+            raise StreamError(f"window_size must be positive, got {window_size}")
+        self.window_size = window_size
+        self._current: List[ItemId] = []
+        self.completed_windows = 0
+
+    def push(self, item: ItemId):
+        self._current.append(item)
+        if len(self._current) == self.window_size:
+            window = self._current
+            self._current = []
+            self.completed_windows += 1
+            return window
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Arrivals buffered toward the next window."""
+        return len(self._current)

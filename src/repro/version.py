@@ -1,0 +1,3 @@
+"""Package version, kept separate so nothing heavy is imported to read it."""
+
+__version__ = "1.0.0"

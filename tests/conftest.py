@@ -1,0 +1,73 @@
+"""Shared fixtures: small deterministic traces and default tasks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import StreamGeometry, XSketchConfig
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+from repro.streams.planted import (
+    BackgroundTraffic,
+    PlantedItem,
+    PlantedWorkload,
+    constant_pattern,
+    linear_pattern,
+    quadratic_pattern,
+)
+
+
+@pytest.fixture(scope="session")
+def task_k0():
+    return SimplexTask.paper_default(0)
+
+
+@pytest.fixture(scope="session")
+def task_k1():
+    return SimplexTask.paper_default(1)
+
+
+@pytest.fixture(scope="session")
+def task_k2():
+    return SimplexTask.paper_default(2)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 30x800 ip-trace substitute shared by integration tests."""
+    return make_dataset("ip_trace", n_windows=30, window_size=800, seed=42)
+
+
+@pytest.fixture(scope="session")
+def controlled_trace():
+    """A trace with hand-planted items whose truth is known by design.
+
+    Planted: one constant (level 6), one rising line (4 + 3n), one
+    falling line, one parabola, one sub-threshold slope (0.5/window),
+    all active the whole trace; background is mild.
+    """
+    geometry = StreamGeometry(n_windows=24, window_size=600)
+    n = geometry.n_windows
+    plants = [
+        PlantedItem("const", 0, n, constant_pattern(6.0)),
+        PlantedItem("rise", 0, n, linear_pattern(4.0, 3.0)),
+        PlantedItem("fall", 0, n, linear_pattern(4.0 + 3.0 * (n - 1), -3.0)),
+        PlantedItem("parab", 4, 12, quadratic_pattern(3.0 + 1.5 * 36, -2 * 1.5 * 6, 1.5)),
+        PlantedItem("slow", 0, n, linear_pattern(5.0, 0.5)),
+    ]
+    background = BackgroundTraffic(n_flows=2000, skew=1.0, n_stable=30, rotation_period=3)
+    return PlantedWorkload(
+        name="controlled", geometry=geometry, background=background, planted=plants
+    ).build(seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def default_config(task_k1):
+    return XSketchConfig(task=task_k1, memory_kb=60.0)

@@ -1,0 +1,113 @@
+"""Integration tests for the four application layers."""
+
+import pytest
+
+from repro.apps.bandwidth import BandwidthAllocator, evaluate_allocation
+from repro.apps.cache_prefetch import LRUCache, make_access_trace, run_prefetch_experiment
+from repro.apps.ddos_detector import DDoSDetector, evaluate_detector
+from repro.apps.periodic_monitor import PeriodicMonitor, make_periodic_trace
+from repro.core.oracle import SimplexOracle
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+from repro.streams.ddos import ddos_stream
+
+
+class TestLRUCache:
+    def test_hits_and_misses(self):
+        cache = LRUCache(2)
+        assert not cache.access("a")
+        assert cache.access("a")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is now LRU
+        cache.access("c")  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_prefetch_does_not_count(self):
+        cache = LRUCache(2)
+        cache.prefetch("a")
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access("a")
+
+    def test_capacity_enforced(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.access(i)
+        assert len(cache) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(0)
+
+
+class TestDDoSDetector:
+    def test_detects_most_attackers_with_low_false_alarms(self):
+        trace, scenario = ddos_stream(n_windows=45, window_size=1200, n_attackers=8,
+                                      onset_window=12, duration=20, seed=2)
+        detector = DDoSDetector(memory_kb=40, seed=3)
+        alarms = detector.run(trace)
+        score = evaluate_detector(alarms, scenario)
+        assert score.detection_rate >= 0.75
+        assert score.false_alarms <= 5
+        # earliest possible alarm needs p windows of attack history
+        assert score.mean_latency_windows >= detector.task.p - 1
+
+    def test_alarms_deduplicated_per_flow(self):
+        trace, scenario = ddos_stream(n_windows=40, window_size=1000, n_attackers=4,
+                                      onset_window=10, duration=22, seed=5)
+        detector = DDoSDetector(memory_kb=40, seed=5)
+        alarms = detector.run(trace)
+        items = [a.item for a in alarms]
+        assert len(items) == len(set(items))
+
+
+class TestPrefetch:
+    def test_prefetch_improves_hit_ratio(self):
+        trace = make_access_trace(n_windows=30, window_size=1200, seed=5)
+        result = run_prefetch_experiment(trace, cache_capacity=192, memory_kb=30, seed=5)
+        assert result.prefetched_lines > 0
+        assert result.improvement > 0.02
+
+
+class TestBandwidth:
+    def test_allocation_quality(self):
+        trace = make_dataset("datacenter", n_windows=30, window_size=1200, seed=6)
+        allocator = BandwidthAllocator(memory_kb=40, seed=6)
+        plans = allocator.run(trace)
+        oracle = SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(0))
+        score = evaluate_allocation(plans, oracle)
+        assert score.flows_planned > 0
+        assert score.utilization > 0.5
+        assert score.coverage > 0.7
+
+    def test_headroom_inflates_reservations(self):
+        trace = make_dataset("datacenter", n_windows=20, window_size=1000, seed=6)
+        tight = BandwidthAllocator(memory_kb=40, headroom=1.0, seed=6)
+        loose = BandwidthAllocator(memory_kb=40, headroom=1.5, seed=6)
+        reserved_tight = sum(p.total_reserved for p in tight.run(trace))
+        reserved_loose = sum(p.total_reserved for p in loose.run(trace))
+        assert reserved_loose > reserved_tight
+
+
+class TestPeriodicMonitor:
+    def test_detects_node_bursts(self):
+        trace = make_periodic_trace(n_windows=50, window_size=1200, n_nodes=4,
+                                    period=14, burst_len=9, seed=7)
+        monitor = PeriodicMonitor(memory_kb=40, seed=7)
+        events = monitor.run(trace)
+        burst_nodes = {e.item for e in events if str(e.item).startswith("node-")}
+        assert len(burst_nodes) >= 3
+
+    def test_peaks_are_concave(self):
+        trace = make_periodic_trace(n_windows=40, window_size=1000, seed=8)
+        monitor = PeriodicMonitor(memory_kb=40, seed=8)
+        for event in monitor.run(trace):
+            assert event.curvature < 0
+            assert event.peak_height > 0

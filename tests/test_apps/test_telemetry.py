@@ -1,0 +1,68 @@
+"""Unit tests for the telemetry aggregator."""
+
+import pytest
+
+from repro.apps.telemetry import TelemetryAggregator
+from repro.config import XSketchConfig
+from repro.core.reports import SimplexReport
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+from repro.streams.ddos import ddos_stream
+
+
+def _report(item, slope, window=9):
+    return SimplexReport(
+        item=item,
+        start_window=window - 6,
+        report_window=window,
+        lasting_time=6,
+        coefficients=(4.0, slope),
+        mse=0.1,
+    )
+
+
+class TestObserve:
+    def test_start_and_end_tracking(self):
+        agg = TelemetryAggregator()
+        first = agg.observe(0, [_report("a", 2.0), _report("b", -1.5)])
+        assert first.started == ("a", "b")
+        assert first.ended == ()
+        second = agg.observe(1, [_report("a", 2.0)])
+        assert second.started == ()
+        assert second.ended == ("b",)
+        assert agg.total_churn() == 3
+
+    def test_leaderboards_sorted_and_bounded(self):
+        agg = TelemetryAggregator(top_n=2)
+        summary = agg.observe(
+            0,
+            [_report("r1", 1.0), _report("r2", 5.0), _report("r3", 3.0),
+             _report("f1", -4.0), _report("f2", -1.0)],
+        )
+        assert [item for item, _ in summary.top_rising] == ["r2", "r3"]
+        assert [item for item, _ in summary.top_falling] == ["f1", "f2"]
+
+    def test_latest_requires_history(self):
+        with pytest.raises(LookupError):
+            _ = TelemetryAggregator().latest
+
+    def test_churn_property(self):
+        agg = TelemetryAggregator()
+        agg.observe(0, [_report("a", 1.0)])
+        summary = agg.observe(1, [_report("b", 1.0)])
+        assert summary.churn == 2  # b started, a ended
+
+
+class TestRunWithSketch:
+    def test_ddos_attack_dominates_rising_board(self):
+        trace, scenario = ddos_stream(n_windows=40, window_size=1000, n_attackers=6,
+                                      onset_window=10, duration=25, seed=8)
+        sketch = XSketch(
+            XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0), seed=8
+        )
+        agg = TelemetryAggregator(top_n=3)
+        agg.run(sketch, trace)
+        during_attack = [s for s in agg.history if s.top_rising]
+        assert during_attack, "the ramping attack must appear on the board"
+        risers = {item for summary in during_attack for item, _ in summary.top_rising}
+        assert risers & set(scenario.attack_items)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--dataset", "mawi", "-k", "2"])
+        assert args.dataset == "mawi"
+        assert args.k == 2
+
+
+class TestDatasetsCommand:
+    def test_list(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ip_trace" in out and "transactional" in out
+
+    def test_generate_csv(self, tmp_path, capsys):
+        output = tmp_path / "t.csv"
+        code = main(
+            ["datasets", "--generate", "synthetic", "--windows", "4",
+             "--window-size", "100", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        header = output.read_text().splitlines()[0]
+        assert header == "window,item"
+
+
+class TestRunCommand:
+    def test_run_prints_metrics(self, capsys):
+        code = main(
+            ["run", "--windows", "14", "--window-size", "400", "--quiet",
+             "--memory-kb", "20", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PR=" in out and "F1=" in out
+
+    def test_run_baseline(self, capsys):
+        code = main(
+            ["run", "--algorithm", "baseline", "--windows", "12",
+             "--window-size", "300", "--quiet", "-k", "0", "-T", "1.0"]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_list(self, capsys):
+        assert main(["figure", "--list"]) == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_small_sweep(self, capsys):
+        code = main(
+            ["figure", "fig7", "--windows", "12", "--window-size", "300", "--seed", "1"]
+        )
+        assert code == 0
+        assert "F1 vs G" in capsys.readouterr().out
+
+
+class TestMLCommand:
+    def test_ml_runs(self, capsys):
+        code = main(
+            ["ml", "--windows", "14", "--window-size", "400", "--memory-kb", "20",
+             "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "X-Sketch" in out and "speedup" in out

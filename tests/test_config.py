@@ -1,0 +1,69 @@
+"""Unit tests for configuration objects."""
+
+import pytest
+
+from repro.config import StreamGeometry, XSketchConfig
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+
+
+class TestStreamGeometry:
+    def test_total_items(self):
+        assert StreamGeometry(n_windows=10, window_size=100).total_items == 1000
+
+    @pytest.mark.parametrize("kwargs", [{"n_windows": 0}, {"window_size": 0}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StreamGeometry(**kwargs)
+
+
+class TestXSketchConfig:
+    def test_defaults_follow_paper(self):
+        config = XSketchConfig()
+        assert config.s == 4
+        assert config.u == 4
+        assert config.r == 0.8
+        assert config.G == 0.5
+        assert config.d == 3
+
+    def test_memory_split(self):
+        config = XSketchConfig(memory_kb=100.0, r=0.8)
+        assert config.stage1_bytes == int(100 * 1024 * 0.8)
+        assert config.stage1_bytes + config.stage2_bytes == config.memory_bytes
+
+    def test_stage2_cell_bytes(self):
+        config = XSketchConfig(task=SimplexTask(k=1, p=7))
+        assert config.stage2_cell_bytes == 4 + 4 + 7 * 4
+
+    def test_stage2_buckets_positive_even_when_tiny(self):
+        config = XSketchConfig(memory_kb=1.0)
+        assert config.stage2_buckets >= 1
+
+    def test_s_equal_p_allowed(self):
+        config = XSketchConfig(task=SimplexTask(k=1, p=7), s=7)
+        assert config.s == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"memory_kb": 0},
+            {"s": 8},  # > p
+            {"s": 1, "task": SimplexTask(k=1)},  # < k+1
+            {"G": -0.1},
+            {"d": 0},
+            {"u": 0},
+            {"r": 0.0},
+            {"r": 1.0},
+            {"delta": 0.0},
+            {"update_rule": "median"},
+            {"replacement": "random"},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            XSketchConfig(**kwargs)
+
+    def test_frozen(self):
+        config = XSketchConfig()
+        with pytest.raises(Exception):
+            config.s = 5

@@ -1,0 +1,87 @@
+"""Unit tests for the baseline solution (Section III-A)."""
+
+import pytest
+
+from repro.core.baseline import BaselineConfig, BaselineSolution
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+
+
+def _baseline(k=1, memory_kb=60.0, **kw):
+    return BaselineSolution(
+        BaselineConfig(task=SimplexTask.paper_default(k), memory_kb=memory_kb, **kw), seed=3
+    )
+
+
+def _drive(algorithm, schedules, n_windows):
+    reports = []
+    for window in range(n_windows):
+        items = []
+        for item, schedule in schedules.items():
+            items.extend([item] * int(schedule(window)))
+        reports.extend(algorithm.run_window(items))
+    return reports
+
+
+class TestBaselineConfig:
+    def test_memory_split(self):
+        config = BaselineConfig(memory_kb=100.0, sketch_fraction=0.7, set_fraction=0.1)
+        assert config.sketch_bytes == int(100 * 1024 * 0.7)
+        assert config.set_capacity > 0
+        assert config.table_capacity > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"memory_kb": 0},
+            {"sketch_fraction": 1.0},
+            {"sketch_fraction": 0.7, "set_fraction": 0.4},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(**kwargs)
+
+
+class TestBaselineDetection:
+    def test_linear_item_detected(self):
+        reports = _drive(_baseline(k=1), {"lin": lambda w: 5 + 3 * w}, 12)
+        assert any(r.item == "lin" for r in reports)
+
+    def test_constant_item_detected_k0(self):
+        reports = _drive(_baseline(k=0), {"flat": lambda w: 8}, 12)
+        assert any(r.item == "flat" for r in reports)
+
+    def test_interrupted_item_not_reported(self):
+        reports = _drive(_baseline(k=1), {"gap": lambda w: (5 + 3 * w) if w % 5 else 0}, 14)
+        assert not any(r.item == "gap" for r in reports)
+
+    def test_no_reports_before_p_windows(self):
+        baseline = _baseline(k=0)
+        p = baseline.config.task.p
+        reports = _drive(baseline, {"flat": lambda w: 8}, p - 1)
+        assert reports == []
+
+    def test_lasting_time_grows_along_chain(self):
+        reports = [r for r in _drive(_baseline(k=1), {"lin": lambda w: 5 + 3 * w}, 14) if r.item == "lin"]
+        lastings = [r.lasting_time for r in reports]
+        assert lastings == sorted(lastings)
+
+    def test_set_capacity_limits_candidates(self):
+        """With a tiny candidate set the baseline must drop candidates."""
+        tiny = BaselineConfig(
+            task=SimplexTask.paper_default(0), memory_kb=2.0, set_fraction=0.01
+        )
+        baseline = BaselineSolution(tiny, seed=1)
+        schedules = {f"flat-{i}": (lambda w: 5) for i in range(50)}
+        _drive(baseline, schedules, 10)
+        assert len(baseline._candidates) <= tiny.set_capacity
+
+    def test_window_counter(self):
+        baseline = _baseline()
+        baseline.run_window(["a"] * 5)
+        assert baseline.window == 1
+
+    def test_memory_accounting(self):
+        baseline = _baseline(memory_kb=60.0)
+        assert baseline.memory_bytes <= 60.0 * 1024 * 1.05

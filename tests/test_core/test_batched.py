@@ -1,0 +1,114 @@
+"""Tests for the window-batched X-Sketch variant."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import XSketchConfig
+from repro.core.batched import BatchedXSketch
+from repro.core.oracle import SimplexOracle
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.streams.datasets import make_dataset
+
+from tests.test_core.test_equivalence import stream_scenarios
+
+
+def _batched(k=1, memory_kb=40.0, **kw):
+    return BatchedXSketch(
+        XSketchConfig(task=SimplexTask.paper_default(k), memory_kb=memory_kb, **kw), seed=7
+    )
+
+
+class TestBatchedDetection:
+    def test_linear_item_detected(self):
+        sketch = _batched(k=1)
+        for window in range(12):
+            sketch.run_window(["lin"] * (5 + 3 * window))
+        assert any(r.item == "lin" for r in sketch.reports)
+
+    def test_interrupted_item_not_reported(self):
+        sketch = _batched(k=1)
+        for window in range(14):
+            count = (5 + 3 * window) if window % 5 else 0
+            sketch.run_window(["gap"] * count + ["pad"])
+        assert not any(r.item == "gap" for r in sketch.reports)
+
+    def test_insert_protocol_equivalent_to_run_window(self):
+        a = _batched()
+        b = _batched()
+        for window in range(10):
+            items = ["lin"] * (5 + 3 * window) + ["x"] * 3
+            a.run_window(items)
+            for item in items:
+                b.insert(item)
+            b.end_window()
+        assert [r.instance for r in a.reports] == [r.instance for r in b.reports]
+
+    def test_stats_populate(self):
+        sketch = _batched()
+        for window in range(8):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["noise"] * 5)
+        stats = sketch.stats
+        assert stats.windows == 8
+        assert stats.stage1_arrivals > 0
+        assert stats.promotions >= 1
+
+
+class TestBatchedVsPerArrival:
+    def test_tracked_counts_identical(self):
+        """Final Stage-2 counts must match per-arrival mode exactly."""
+        counts = {w: 5 + 3 * w for w in range(11)}
+        per_arrival = XSketch(
+            XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0), seed=7
+        )
+        batched = _batched()
+        for window in range(11):
+            items = ["lin"] * counts[window]
+            per_arrival.run_window(items)
+            batched.run_window(items)
+        cell_a = per_arrival.stage2.lookup("lin")
+        cell_b = batched.stage2.lookup("lin")
+        assert cell_a is not None and cell_b is not None
+        assert cell_a.counts == cell_b.counts
+
+    def test_batched_at_least_as_accurate_on_realistic_stream(self):
+        trace = make_dataset("ip_trace", n_windows=30, window_size=1200, seed=4)
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(trace.windows(), task)
+        config = XSketchConfig(task=task, memory_kb=15.0)
+        per_arrival = XSketch(config, seed=5)
+        batched = BatchedXSketch(config, seed=5)
+        for window in trace.windows():
+            per_arrival.run_window(window)
+            batched.run_window(window)
+        f1_per_arrival = score_reports(per_arrival.reports, oracle.instances).f1
+        f1_batched = score_reports(batched.reports, oracle.instances).f1
+        assert f1_batched >= f1_per_arrival - 0.05
+
+
+class TestBatchedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(stream_scenarios())
+    def test_batched_equals_oracle_without_collisions(self, scenario):
+        """The no-collision exactness property holds for batched mode."""
+        task, schedules, n_windows, shuffle_seed = scenario
+        s = max(task.k + 1, min(4, task.p - 1))
+        config = XSketchConfig(task=task, memory_kb=5000.0, G=0.0, s=s)
+        sketch = BatchedXSketch(config, seed=shuffle_seed)
+        oracle = SimplexOracle(task)
+        rng = random.Random(shuffle_seed)
+        for window in range(n_windows):
+            arrivals = []
+            for item, counts in schedules.items():
+                arrivals.extend([item] * counts[window])
+            rng.shuffle(arrivals)
+            for item in arrivals:
+                sketch.insert(item)
+                oracle.insert(item)
+            sketch.end_window()
+            oracle.end_window()
+        oracle.finalize()
+        assert {r.instance for r in sketch.reports} == oracle.instances

@@ -1,0 +1,102 @@
+"""Property: under collision-free conditions X-Sketch is exact.
+
+With ample memory (no hash collisions, no bucket contention) and the
+Potential gate open (G = 0), X-Sketch's report set must equal the exact
+oracle's instance set on ANY stream: Stage 1's counts are exact without
+collisions, promotion happens as soon as positivity holds, Stage 2
+counts exactly (Theorem 2), and the fits run over identical numbers.
+
+This is the strongest end-to-end correctness statement the design
+supports, and it pins both implementations (sketch and oracle) against
+each other.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import XSketchConfig
+from repro.core.oracle import SimplexOracle
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+
+
+@st.composite
+def stream_scenarios(draw):
+    """A small random multi-item stream plus a random task."""
+    k = draw(st.integers(min_value=0, max_value=2))
+    p = draw(st.integers(min_value=max(4, k + 2), max_value=7))
+    task = SimplexTask(k=k, p=p, T=draw(st.sampled_from([1.0, 2.0, 4.0])), L=1.0)
+    n_windows = draw(st.integers(min_value=p + 1, max_value=14))
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    schedules = {}
+    for index in range(n_items):
+        kind = draw(st.sampled_from(["const", "lin", "quad", "noisy", "gappy"]))
+        base = draw(st.integers(min_value=1, max_value=10))
+        slope = draw(st.integers(min_value=-3, max_value=4))
+        counts = []
+        for window in range(n_windows):
+            value = base + slope * window
+            if kind == "quad":
+                value += window * window
+            if kind == "noisy":
+                value += draw(st.integers(min_value=-2, max_value=2))
+            if kind == "gappy" and window % 4 == 0:
+                value = 0
+            counts.append(max(0, value))
+        schedules[f"item-{index}"] = counts
+    shuffle_seed = draw(st.integers(min_value=0, max_value=2**16))
+    return task, schedules, n_windows, shuffle_seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream_scenarios())
+def test_baseline_equals_oracle_without_collisions(scenario):
+    """The baseline is also exact when nothing collides and the
+    candidate set / lasting-time table never fill -- pinning the second
+    algorithm implementation against the oracle too."""
+    from repro.core.baseline import BaselineConfig, BaselineSolution
+
+    task, schedules, n_windows, shuffle_seed = scenario
+    config = BaselineConfig(task=task, memory_kb=5000.0)
+    baseline = BaselineSolution(config, seed=shuffle_seed)
+    oracle = SimplexOracle(task)
+    rng = random.Random(shuffle_seed)
+    for window in range(n_windows):
+        arrivals = []
+        for item, counts in schedules.items():
+            arrivals.extend([item] * counts[window])
+        rng.shuffle(arrivals)
+        for item in arrivals:
+            baseline.insert(item)
+            oracle.insert(item)
+        baseline.end_window()
+        oracle.end_window()
+    oracle.finalize()
+    assert {r.instance for r in baseline.reports} == oracle.instances
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream_scenarios())
+def test_xsketch_equals_oracle_without_collisions(scenario):
+    task, schedules, n_windows, shuffle_seed = scenario
+    s = max(task.k + 1, min(4, task.p - 1))
+    config = XSketchConfig(task=task, memory_kb=5000.0, G=0.0, s=s)
+    sketch = XSketch(config, seed=shuffle_seed)
+    oracle = SimplexOracle(task)
+    rng = random.Random(shuffle_seed)
+    for window in range(n_windows):
+        arrivals = []
+        for item, counts in schedules.items():
+            arrivals.extend([item] * counts[window])
+        rng.shuffle(arrivals)
+        for item in arrivals:
+            sketch.insert(item)
+            oracle.insert(item)
+        sketch.end_window()
+        oracle.end_window()
+    oracle.finalize()
+
+    reported = {report.instance for report in sketch.reports}
+    assert reported == oracle.instances

@@ -1,0 +1,95 @@
+"""Tests for the multi-degree (one-pass k=0,1,2) X-Sketch."""
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.multik import MultiKConfig, MultiKXSketch
+from repro.core.oracle import SimplexOracle
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.streams.datasets import make_dataset
+
+
+class TestMultiKConfig:
+    def test_paper_default(self):
+        config = MultiKConfig.paper_default(memory_kb=40.0)
+        assert [task.k for task in config.tasks] == [0, 1, 2]
+        assert config.base.memory_kb == 40.0
+
+    def test_mismatched_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiKConfig(
+                tasks=(SimplexTask(k=0, p=5), SimplexTask(k=1, p=7)),
+                base=XSketchConfig(task=SimplexTask(k=1, p=7)),
+            )
+
+    def test_s_must_fit_max_degree(self):
+        with pytest.raises(ConfigurationError):
+            MultiKConfig(
+                tasks=(SimplexTask(k=3, p=7, T=8.0),),
+                base=XSketchConfig(task=SimplexTask(k=3, p=7, T=8.0), s=3),
+            )
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiKConfig(tasks=(), base=XSketchConfig())
+
+
+class TestMultiKDetection:
+    @pytest.fixture()
+    def sketch(self):
+        return MultiKXSketch(MultiKConfig.paper_default(memory_kb=60.0), seed=3)
+
+    def test_one_pass_classifies_all_degrees(self, sketch):
+        """A constant, a ramp and a parabola sort into k=0, 1, 2."""
+        for window in range(14):
+            items = (
+                ["flat"] * 9
+                + ["ramp"] * (5 + 3 * window)
+                + ["parab"] * max(1, int(60 - 1.5 * (window - 6) ** 2))
+            )
+            sketch.run_window(items)
+        k0 = {r.item for r in sketch.reports(0)}
+        k1 = {r.item for r in sketch.reports(1)}
+        k2 = {r.item for r in sketch.reports(2)}
+        assert "flat" in k0 and "flat" not in k1
+        assert "ramp" in k1 and "ramp" not in k0 and "ramp" not in k2
+        assert "parab" in k2
+
+    def test_matches_per_degree_oracles(self):
+        trace = make_dataset("ip_trace", n_windows=30, window_size=1200, seed=6)
+        sketch = MultiKXSketch(MultiKConfig.paper_default(memory_kb=40.0), seed=6)
+        for window in trace.windows():
+            sketch.run_window(window)
+        for k in (0, 1, 2):
+            oracle = SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(k))
+            scores = score_reports(sketch.reports(k), oracle.instances)
+            assert scores.f1 > 0.5, f"k={k}: F1={scores.f1:.3f}"
+
+    def test_memory_smaller_than_three_sketches(self):
+        multi = MultiKXSketch(MultiKConfig.paper_default(memory_kb=60.0), seed=1)
+        singles = sum(
+            __import__("repro.core.xsketch", fromlist=["XSketch"]).XSketch(
+                XSketchConfig(task=SimplexTask.paper_default(k), memory_kb=60.0), seed=1
+            ).memory_bytes
+            for k in (0, 1, 2)
+        )
+        assert multi.memory_bytes < singles / 2
+
+    def test_eviction_on_silent_window(self, sketch):
+        for window in range(10):
+            sketch.run_window(["ramp"] * (5 + 3 * window) + ["pad"])
+        assert sketch._index.get("ramp") is not None
+        sketch.run_window(["pad"] * 20)
+        assert sketch._index.get("ramp") is None
+
+    def test_per_degree_wstr_slides_independently(self, sketch):
+        """An item can stay 0-simplex while its k=1 claim dies."""
+        for _ in range(16):
+            sketch.run_window(["flat"] * 9 + ["pad"])
+        cell = sketch._index["flat"]
+        # degree 0 chain alive (w_str stays back), degree 1 keeps sliding
+        w0 = cell.w_strs[0]
+        w1 = cell.w_strs[1]
+        assert w1 > w0

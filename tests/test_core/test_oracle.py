@@ -1,0 +1,137 @@
+"""Unit tests for the exact ground-truth oracle."""
+
+import pytest
+
+from repro.core.oracle import SimplexOracle
+from repro.errors import StreamError
+from repro.fitting.simplex import SimplexTask, is_simplex
+
+
+def _windows(schedules, n_windows):
+    for window in range(n_windows):
+        items = []
+        for item, schedule in schedules.items():
+            items.extend([item] * int(schedule(window)))
+        yield items
+
+
+class TestCounting:
+    def test_exact_frequencies(self):
+        oracle = SimplexOracle(SimplexTask.paper_default(1))
+        for window in range(3):
+            for _ in range(window + 1):
+                oracle.insert("a")
+            oracle.end_window()
+        assert oracle.frequency("a", 0) == 1
+        assert oracle.frequency("a", 2) == 3
+        assert oracle.frequency("a", 5) == 0
+        assert oracle.frequency("ghost", 0) == 0
+
+    def test_frequency_vector(self):
+        oracle = SimplexOracle(SimplexTask.paper_default(1))
+        oracle.insert("a")
+        oracle.end_window()
+        oracle.end_window()
+        oracle.insert("a")
+        oracle.end_window()
+        assert oracle.frequency_vector("a", 0, 3) == [1, 0, 1]
+
+    def test_results_require_finalize(self):
+        oracle = SimplexOracle(SimplexTask.paper_default(1))
+        with pytest.raises(StreamError):
+            _ = oracle.instances
+
+
+class TestInstanceEnumeration:
+    def test_linear_item_instances(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(_windows({"lin": lambda w: 5 + 3 * w}, 12), task)
+        starts = sorted(w for item, w in oracle.instances if item == "lin")
+        assert starts == list(range(0, 12 - task.p + 1))
+
+    def test_flat_item_no_k1_instances(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(_windows({"flat": lambda w: 8}, 12), task)
+        assert not any(item == "flat" for item, _ in oracle.instances)
+
+    def test_gap_breaks_instances(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(
+            _windows({"gap": lambda w: 0 if w == 5 else 5 + 3 * w}, 12), task
+        )
+        starts = sorted(w for item, w in oracle.instances if item == "gap")
+        # no instance span may contain window 5
+        assert all(not (start <= 5 <= start + task.p - 1) for start in starts)
+
+    def test_instances_match_brute_force(self):
+        """Vectorized oracle agrees with the definitional check."""
+        task = SimplexTask(k=1, p=5, T=2.0, L=1.0)
+        schedules = {
+            "lin": lambda w: 4 + 2 * w,
+            "flat": lambda w: 6,
+            "noisy": lambda w: 5 + (3 * w) % 7,
+            "gap": lambda w: 0 if w % 4 == 0 else 3 + 2 * w,
+        }
+        n = 14
+        oracle = SimplexOracle.from_stream(_windows(schedules, n), task)
+        for item in schedules:
+            for start in range(n - task.p + 1):
+                values = oracle.frequency_vector(item, start, task.p)
+                assert oracle.is_instance(item, start) == is_simplex(values, task), (
+                    item,
+                    start,
+                    values,
+                )
+
+
+class TestLastingTimes:
+    def test_chain_lasting_grows(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(_windows({"lin": lambda w: 5 + 3 * w}, 13), task)
+        p = task.p
+        # first instance: report at window p-1, chain start 0
+        assert oracle.true_lasting("lin", 0) == p - 1
+        # second instance chains: report at p, chain start still 0
+        assert oracle.true_lasting("lin", 1) == p
+        assert oracle.true_lasting("lin", 2) == p + 1
+
+    def test_non_instance_has_no_lasting(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(_windows({"flat": lambda w: 8}, 12), task)
+        assert oracle.true_lasting("flat", 0) is None
+
+    def test_broken_chain_restarts(self):
+        task = SimplexTask(k=1, p=5, T=1.0, L=1.0)
+        # linear, then flat plateau (not 1-simplex), then linear again
+        def schedule(w):
+            if w < 8:
+                return 4 + 3 * w
+            if w < 12:
+                return 28
+            return 28 + 3 * (w - 11)
+
+        oracle = SimplexOracle.from_stream(_windows({"x": schedule}, 20), task)
+        starts = sorted(w for item, w in oracle.instances if item == "x")
+        assert starts, "expected instances on both ramps"
+        assert len(starts) < 20 - task.p + 1, "the plateau must break the chain"
+        # Chain property: every chain-opening instance restarts lasting at
+        # p-1, and lasting grows by one along consecutive starts.
+        previous = None
+        for start in starts:
+            lasting = oracle.true_lasting("x", start)
+            if previous is None or start != previous + 1:
+                assert lasting == task.p - 1
+            else:
+                assert lasting == oracle.true_lasting("x", previous) + 1
+            previous = start
+
+
+class TestOracleReports:
+    def test_reports_one_per_instance(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(_windows({"lin": lambda w: 5 + 3 * w}, 12), task)
+        reports = oracle.reports()
+        assert len(reports) == len(oracle.instances)
+        for report in reports:
+            assert report.mse <= task.T
+            assert abs(report.coefficients[-1]) >= task.L

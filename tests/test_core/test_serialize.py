@@ -1,0 +1,116 @@
+"""Tests for X-Sketch checkpoint/restore."""
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.serialize import (
+    load_xsketch,
+    restore_xsketch,
+    save_xsketch,
+    snapshot_xsketch,
+)
+from repro.core.xsketch import XSketch
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+
+
+def _fresh(structure="tower", seed=9):
+    config = XSketchConfig(
+        task=SimplexTask.paper_default(1), memory_kb=20.0, stage1_structure=structure
+    )
+    return XSketch(config, seed=seed)
+
+
+class TestSnapshotRoundtrip:
+    @pytest.mark.parametrize("structure", ["tower", "cm", "cu", "cold", "loglog"])
+    def test_restored_sketch_continues_identically(self, structure):
+        """Run half the stream, checkpoint, restore, run the rest: the
+        report stream must match an uninterrupted run bit-for-bit."""
+        trace = make_dataset("ip_trace", n_windows=24, window_size=600, seed=2)
+        windows = list(trace.windows())
+
+        uninterrupted = _fresh(structure)
+        for window in windows:
+            uninterrupted.run_window(window)
+
+        first_half = _fresh(structure)
+        for window in windows[:12]:
+            first_half.run_window(window)
+        snapshot = snapshot_xsketch(first_half)
+        resumed = restore_xsketch(snapshot, seed=9)
+        for window in windows[12:]:
+            resumed.run_window(window)
+
+        assert [r.instance for r in resumed.reports] == [
+            r.instance for r in uninterrupted.reports
+        ]
+        assert resumed.window == uninterrupted.window
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_dataset("synthetic", n_windows=12, window_size=400, seed=3)
+        sketch = _fresh()
+        for window in trace.windows():
+            sketch.run_window(window)
+        path = tmp_path / "sketch.json"
+        save_xsketch(sketch, path)
+        loaded = load_xsketch(path, seed=9)
+        assert [r.instance for r in loaded.reports] == [r.instance for r in sketch.reports]
+        assert loaded.window == sketch.window
+
+    def test_snapshot_preserves_tracked_cells(self):
+        sketch = _fresh()
+        for window in range(10):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["pad"] * 5)
+        snapshot = snapshot_xsketch(sketch)
+        resumed = restore_xsketch(snapshot, seed=9)
+        original_cell = sketch.stage2.lookup("lin")
+        restored_cell = resumed.stage2.lookup("lin")
+        assert original_cell is not None and restored_cell is not None
+        assert restored_cell.counts == original_cell.counts
+        assert restored_cell.w_str == original_cell.w_str
+
+    def test_version_check(self):
+        sketch = _fresh()
+        snapshot = snapshot_xsketch(sketch)
+        snapshot["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            restore_xsketch(snapshot)
+
+    def test_geometry_mismatch_rejected(self):
+        sketch = _fresh()
+        snapshot = snapshot_xsketch(sketch)
+        snapshot["stage1_arrays"][0] = snapshot["stage1_arrays"][0][:-1]
+        with pytest.raises(ConfigurationError):
+            restore_xsketch(snapshot, seed=9)
+
+
+class TestBatchedSnapshot:
+    def _batched(self, seed=9):
+        from repro.core.batched import BatchedXSketch
+
+        config = XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=20.0)
+        return BatchedXSketch(config, seed=seed)
+
+    def test_batched_roundtrip_continues_identically(self):
+        trace = make_dataset("ip_trace", n_windows=20, window_size=500, seed=4)
+        windows = list(trace.windows())
+        uninterrupted = self._batched()
+        for window in windows:
+            uninterrupted.run_window(window)
+        half = self._batched()
+        for window in windows[:10]:
+            half.run_window(window)
+        resumed = restore_xsketch(snapshot_xsketch(half), seed=9)
+        assert type(resumed).__name__ == "BatchedXSketch"
+        for window in windows[10:]:
+            resumed.run_window(window)
+        assert [r.instance for r in resumed.reports] == [
+            r.instance for r in uninterrupted.reports
+        ]
+
+    def test_mid_window_snapshot_rejected(self):
+        sketch = self._batched()
+        sketch.insert("x")  # buffer non-empty
+        with pytest.raises(ConfigurationError):
+            snapshot_xsketch(sketch)

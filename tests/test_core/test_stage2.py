@@ -1,0 +1,177 @@
+"""Unit tests for Stage 2 (Weight Election, Algorithm 2 transitions)."""
+
+import random
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.stage1 import Promotion
+from repro.core.stage2 import Stage2
+from repro.fitting.simplex import SimplexTask
+
+
+def _config(k=1, memory_kb=60.0, u=2, **kw):
+    return XSketchConfig(task=SimplexTask.paper_default(k), memory_kb=memory_kb, u=u, **kw)
+
+
+def _promotion(item, freqs, window, s=4):
+    return Promotion(item=item, frequencies=tuple(freqs), w_str=window - s + 1, potential=10.0)
+
+
+class TestInsertAndTrack:
+    def test_insert_into_empty_cell(self):
+        stage2 = Stage2(_config(), seed=1)
+        assert stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        assert stage2.lookup("a") is not None
+        assert len(stage2) == 1
+
+    def test_seeded_frequencies_land_in_right_slots(self):
+        stage2 = Stage2(_config(), seed=1)
+        stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        cell = stage2.lookup("a")
+        assert cell.frequencies_ending_at(3)[-4:] == [2, 4, 6, 8]
+
+    def test_record_arrival_counts_exactly(self):
+        """Theorem 2: counts of tracked items are exact."""
+        stage2 = Stage2(_config(), seed=1)
+        stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        for _ in range(10):
+            assert stage2.record_arrival("a", 4)
+        cell = stage2.lookup("a")
+        assert cell.counts[4 % 7] == 10
+
+    def test_record_arrival_false_for_untracked(self):
+        stage2 = Stage2(_config(), seed=1)
+        assert not stage2.record_arrival("ghost", 0)
+
+    def test_weight_is_window_minus_wstr(self):
+        stage2 = Stage2(_config(), seed=1)
+        stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        assert stage2.lookup("a").weight(10) == 10 - 0
+
+
+class TestWeightElection:
+    def _fill_bucket(self, stage2, window, n, s=4):
+        """Insert items colliding into the same bucket until full."""
+        inserted = []
+        target = None
+        candidate = 0
+        while len(inserted) < n:
+            item = f"filler-{candidate}"
+            candidate += 1
+            bucket = stage2._bucket_of(item)
+            if target is None:
+                target = id(bucket)
+            if id(bucket) != target:
+                continue
+            assert stage2.try_insert(_promotion(item, [1, 1, 1, 1], window, s), window)
+            inserted.append(item)
+        return inserted
+
+    def test_full_bucket_probabilistic_replacement(self):
+        config = _config(u=2)
+        stage2 = Stage2(config, seed=1, rng=random.Random(0))
+        residents = self._fill_bucket(stage2, 3, 2)
+        bucket = stage2._bucket_of(residents[0])
+        # New potential item maps elsewhere in general; force the contest
+        # by promoting an item into the same bucket.
+        newcomer = None
+        candidate = 0
+        while newcomer is None:
+            item = f"new-{candidate}"
+            candidate += 1
+            if id(stage2._bucket_of(item)) == id(bucket):
+                newcomer = item
+        # Weight of residents at window 30 is large -> P = 1/W_min small.
+        wins = 0
+        trials = 400
+        for t in range(trials):
+            fresh = Stage2(config, seed=1, rng=random.Random(t))
+            for resident in residents:
+                fresh.try_insert(_promotion(resident, [1, 1, 1, 1], 3), 3)
+            if fresh.try_insert(_promotion(newcomer, [1, 1, 1, 1], 30), 30):
+                wins += 1
+        w_min = 30 - 0  # residents' wstr = 0
+        expected = trials / w_min
+        assert wins == pytest.approx(expected, rel=0.6)
+
+    def test_never_policy_rejects_when_full(self):
+        config = _config(u=2, replacement="never")
+        stage2 = Stage2(config, seed=1)
+        residents = self._fill_bucket(stage2, 3, 2)
+        bucket = stage2._bucket_of(residents[0])
+        candidate = 0
+        while True:
+            item = f"new-{candidate}"
+            candidate += 1
+            if id(stage2._bucket_of(item)) == id(bucket):
+                assert not stage2.try_insert(_promotion(item, [1, 1, 1, 1], 30), 30)
+                break
+
+    def test_always_policy_accepts_when_full(self):
+        config = _config(u=2, replacement="always")
+        stage2 = Stage2(config, seed=1)
+        residents = self._fill_bucket(stage2, 3, 2)
+        bucket = stage2._bucket_of(residents[0])
+        candidate = 0
+        while True:
+            item = f"new-{candidate}"
+            candidate += 1
+            if id(stage2._bucket_of(item)) == id(bucket):
+                assert stage2.try_insert(_promotion(item, [1, 1, 1, 1], 30), 30)
+                assert stage2.lookup(item) is not None
+                break
+
+
+class TestWindowTransition:
+    def test_silent_item_evicted(self):
+        stage2 = Stage2(_config(), seed=1)
+        stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        # window 4 passes with no arrivals of "a"
+        stage2.end_window(4)
+        assert stage2.lookup("a") is None
+
+    def test_report_after_p_windows(self):
+        config = _config(k=1)
+        stage2 = Stage2(config, seed=1)
+        p = config.task.p
+        stage2.try_insert(_promotion("lin", [2, 4, 6, 8], 3), 3)
+        reports = []
+        # keep a clean linear pattern running: f(w) = 2(w+1)
+        for window in range(4, 10):
+            for _ in range(2 * (window + 1)):
+                stage2.record_arrival("lin", window)
+            reports.extend(stage2.end_window(window))
+        assert reports, "a clean linear item must be reported"
+        first = reports[0]
+        assert first.item == "lin"
+        assert first.report_window - first.start_window == p - 1
+        assert first.coefficients[1] == pytest.approx(2.0, abs=0.2)
+
+    def test_failed_fit_slides_wstr(self):
+        config = _config(k=1, memory_kb=60.0)
+        stage2 = Stage2(config, seed=1)
+        stage2.try_insert(_promotion("noisy", [2, 4, 6, 8], 3), 3)
+        rng = random.Random(0)
+        for window in range(4, 7):
+            for _ in range(rng.choice([1, 30])):
+                stage2.record_arrival("noisy", window)
+            stage2.end_window(window)
+        cell = stage2.lookup("noisy")
+        assert cell is not None
+        assert cell.w_str > 0  # slid forward after failed fits
+
+    def test_next_slot_cleared_for_survivors(self):
+        config = _config()
+        stage2 = Stage2(config, seed=1)
+        p = config.task.p
+        stage2.try_insert(_promotion("a", [2, 4, 6, 8], 3), 3)
+        stage2.record_arrival("a", 4)
+        stage2.end_window(4)
+        cell = stage2.lookup("a")
+        assert cell.counts[5 % p] == 0
+
+    def test_memory_accounting(self):
+        config = _config(memory_kb=100.0)
+        stage2 = Stage2(config, seed=1)
+        assert stage2.memory_bytes <= config.stage2_bytes + config.u * config.stage2_cell_bytes

@@ -1,0 +1,51 @@
+"""Tests for the X-Sketch operational statistics."""
+
+from repro.config import XSketchConfig
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+
+
+def _sketch(**kw):
+    return XSketch(XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0, **kw), seed=2)
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        sketch = _sketch()
+        for window in range(10):
+            sketch.run_window(["lin"] * (5 + 3 * window) + [f"n{window}-{i}" for i in range(40)])
+        stats = sketch.stats
+        assert stats.windows == 10
+        assert stats.stage1_arrivals > 0
+        assert stats.stage1_fits > 0
+        assert stats.promotions >= 1
+        assert stats.reports == len(sketch.reports)
+        assert stats.inserts_empty >= stats.stage2_tracked
+
+    def test_promotion_rate_bounds(self):
+        sketch = _sketch()
+        for window in range(8):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["noise"] * 10)
+        rate = sketch.stats.promotion_rate
+        assert 0.0 <= rate <= 1.0
+
+    def test_tracked_items_counted(self):
+        sketch = _sketch()
+        for window in range(8):
+            sketch.run_window(["lin"] * (5 + 3 * window))
+        assert sketch.stats.stage2_tracked == 1
+
+    def test_eviction_counter(self):
+        sketch = _sketch()
+        for window in range(8):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["pad"])
+        # 'lin' disappears: eviction at the next transition
+        sketch.run_window(["pad"] * 30)
+        assert sketch.stats.evictions_zero >= 1
+
+    def test_fresh_sketch_all_zero(self):
+        stats = _sketch().stats
+        assert stats.stage1_arrivals == 0
+        assert stats.promotions == 0
+        assert stats.reports == 0
+        assert stats.promotion_rate == 0.0

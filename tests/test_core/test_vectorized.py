@@ -1,0 +1,126 @@
+"""Tests for the vectorized (numpy-batched) X-Sketch engine."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import XSketchConfig
+from repro.core.oracle import SimplexOracle
+from repro.core.vectorized import VectorizedXSketch
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.sketch.vectorized_tower import VectorizedTower
+from repro.sketch.windowed import WindowedTower
+from repro.streams.datasets import make_dataset
+
+from tests.test_core.test_equivalence import stream_scenarios
+
+
+class TestVectorizedTower:
+    def test_positions_cached_and_shaped(self):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=1)
+        positions = tower.positions(["a", "b", "a"])
+        assert positions.shape == (3, 3)
+        assert (positions[0] == positions[2]).all()
+
+    @pytest.mark.parametrize("rule", ["cm", "cu"])
+    def test_matches_scalar_tower_single_items(self, rule):
+        """One item per batch: vectorized reads equal the scalar tower."""
+        scalar = WindowedTower(memory_bytes=20000, s=3, d=3, update_rule=rule, seed=2)
+        vector = VectorizedTower(memory_bytes=20000, s=3, d=3, update_rule=rule, seed=2)
+        rng = random.Random(0)
+        for _ in range(300):
+            item = f"i{rng.randrange(40)}"
+            slot = rng.randrange(3)
+            scalar.insert(item, slot)
+            vector.bulk_insert(vector.positions([item]), np.array([1]), slot)
+        for item in {f"i{i}" for i in range(40)}:
+            positions = vector.positions([item])
+            for slot in range(3):
+                assert (
+                    vector.query_recent(positions, [slot])[0, 0]
+                    == scalar.query_slot(item, slot)
+                )
+
+    def test_bulk_cm_equals_repeated_adds(self):
+        tower = VectorizedTower(memory_bytes=20000, s=2, d=3, seed=3)
+        positions = tower.positions(["x"])
+        tower.bulk_insert(positions, np.array([37]), 0)
+        assert tower.query_recent(positions, [0])[0, 0] == 37
+
+    def test_saturation_and_escalation(self):
+        tower = VectorizedTower(memory_bytes=20000, s=2, d=3, seed=3)
+        positions = tower.positions(["hot"])
+        tower.bulk_insert(positions, np.array([300]), 0)
+        assert tower.query_recent(positions, [0])[0, 0] >= 300
+
+    def test_clear_slot(self):
+        tower = VectorizedTower(memory_bytes=20000, s=2, d=3, seed=3)
+        positions = tower.positions(["x"])
+        tower.bulk_insert(positions, np.array([5]), 0)
+        tower.clear_slot(0)
+        assert tower.query_recent(positions, [0])[0, 0] == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedTower(memory_bytes=2, s=4)
+        with pytest.raises(ConfigurationError):
+            VectorizedTower(memory_bytes=2000, s=4, update_rule="median")
+
+
+class TestVectorizedXSketch:
+    def test_requires_tower_structure(self):
+        config = XSketchConfig(
+            task=SimplexTask.paper_default(1), memory_kb=20.0, stage1_structure="cold"
+        )
+        with pytest.raises(ConfigurationError):
+            VectorizedXSketch(config, seed=1)
+
+    def test_linear_item_detected(self):
+        sketch = VectorizedXSketch(
+            XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0), seed=7
+        )
+        for window in range(12):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["pad"] * 5)
+        assert any(r.item == "lin" for r in sketch.reports)
+
+    def test_accuracy_on_realistic_stream(self):
+        trace = make_dataset("ip_trace", n_windows=30, window_size=1200, seed=4)
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle.from_stream(trace.windows(), task)
+        sketch = VectorizedXSketch(XSketchConfig(task=task, memory_kb=20.0), seed=5)
+        for window in trace.windows():
+            sketch.run_window(window)
+        assert score_reports(sketch.reports, oracle.instances).f1 > 0.7
+
+    def test_stats_populate(self):
+        sketch = VectorizedXSketch(
+            XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0), seed=7
+        )
+        for window in range(10):
+            sketch.run_window(["lin"] * (5 + 3 * window) + ["noise"] * 10)
+        stats = sketch.stats
+        assert stats.windows == 10
+        assert stats.stage1_arrivals > 0
+        assert stats.promotions >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(stream_scenarios())
+    def test_vectorized_equals_oracle_without_collisions(self, scenario):
+        task, schedules, n_windows, shuffle_seed = scenario
+        s = max(task.k + 1, min(4, task.p - 1))
+        config = XSketchConfig(task=task, memory_kb=5000.0, G=0.0, s=s)
+        sketch = VectorizedXSketch(config, seed=shuffle_seed)
+        oracle = SimplexOracle(task)
+        for window in range(n_windows):
+            for item, counts in schedules.items():
+                for _ in range(counts[window]):
+                    sketch.insert(item)
+                    oracle.insert(item)
+            sketch.end_window()
+            oracle.end_window()
+        oracle.finalize()
+        assert {r.instance for r in sketch.reports} == oracle.instances

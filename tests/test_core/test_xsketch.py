@@ -1,0 +1,150 @@
+"""Unit and behavioral tests for the full X-Sketch."""
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+
+
+def _sketch(k=1, memory_kb=60.0, **kw):
+    return XSketch(XSketchConfig(task=SimplexTask.paper_default(k), memory_kb=memory_kb, **kw), seed=7)
+
+
+def _drive(sketch, schedules, n_windows, filler=0):
+    """schedules: {item: callable(window) -> count}.  Returns reports."""
+    reports = []
+    for window in range(n_windows):
+        items = []
+        for item, schedule in schedules.items():
+            items.extend([item] * int(schedule(window)))
+        items.extend([f"noise-{window}-{i}" for i in range(filler)])
+        reports.extend(sketch.run_window(items))
+    return reports
+
+
+class TestDetection:
+    def test_linear_item_detected_k1(self):
+        reports = _drive(_sketch(k=1), {"lin": lambda w: 5 + 3 * w}, 12)
+        assert any(r.item == "lin" for r in reports)
+
+    def test_decreasing_item_detected_k1(self):
+        reports = _drive(_sketch(k=1), {"down": lambda w: 50 - 3 * w}, 12)
+        assert any(r.item == "down" for r in reports)
+
+    def test_constant_item_detected_k0(self):
+        reports = _drive(_sketch(k=0), {"flat": lambda w: 8}, 12)
+        assert any(r.item == "flat" for r in reports)
+
+    def test_constant_item_not_reported_k1(self):
+        reports = _drive(_sketch(k=1), {"flat": lambda w: 8}, 12)
+        assert not any(r.item == "flat" for r in reports)
+
+    def test_linear_item_not_reported_k2(self):
+        reports = _drive(_sketch(k=2), {"lin": lambda w: 5 + 3 * w}, 12)
+        assert not any(r.item == "lin" for r in reports)
+
+    def test_parabola_detected_k2(self):
+        reports = _drive(_sketch(k=2), {"par": lambda w: max(1, 60 - 1.5 * (w - 6) ** 2)}, 13)
+        assert any(r.item == "par" for r in reports)
+
+    def test_slope_below_l_not_reported(self):
+        reports = _drive(_sketch(k=1), {"slow": lambda w: 10 + 0.5 * w}, 14)
+        assert not any(r.item == "slow" for r in reports)
+
+    def test_interrupted_item_not_reported(self):
+        reports = _drive(
+            _sketch(k=1), {"gap": lambda w: (5 + 3 * w) if w % 5 else 0}, 14
+        )
+        assert not any(r.item == "gap" for r in reports)
+
+
+class TestReportContents:
+    def test_report_fields_consistent(self):
+        sketch = _sketch(k=1)
+        reports = _drive(sketch, {"lin": lambda w: 5 + 3 * w}, 12)
+        p = sketch.config.task.p
+        for report in reports:
+            assert report.report_window - report.start_window == p - 1
+            assert report.mse <= sketch.config.task.T + 1e-9
+            assert abs(report.coefficients[-1]) >= sketch.config.task.L - 1e-9
+            assert report.lasting_time >= p - 1
+
+    def test_slope_estimate_close_to_truth(self):
+        reports = _drive(_sketch(k=1), {"lin": lambda w: 5 + 3 * w}, 12)
+        slopes = [r.coefficients[1] for r in reports if r.item == "lin"]
+        assert slopes
+        assert all(abs(slope - 3.0) < 0.5 for slope in slopes)
+
+    def test_lasting_time_grows_over_consecutive_reports(self):
+        reports = [r for r in _drive(_sketch(k=1), {"lin": lambda w: 5 + 3 * w}, 14) if r.item == "lin"]
+        lastings = [r.lasting_time for r in reports]
+        assert lastings == sorted(lastings)
+        assert lastings[-1] > lastings[0]
+
+    def test_reports_property_accumulates(self):
+        sketch = _sketch(k=1)
+        _drive(sketch, {"lin": lambda w: 5 + 3 * w}, 12)
+        assert sketch.reports == sketch.reports  # stable copy
+        assert len(sketch.reports) > 0
+
+
+class TestExactTracking:
+    def test_tracked_frequencies_exact_after_promotion(self):
+        """Theorem 2 end-to-end: once tracked, counts are exact.
+
+        Read before the final window transition -- Algorithm 2 clears the
+        earliest ring slot at each window end to make room for the next.
+        """
+        sketch = _sketch(k=1)
+        counts = {w: 5 + 3 * w for w in range(12)}
+        for window in range(11):
+            for _ in range(counts[window]):
+                sketch.insert("lin")
+            sketch.end_window()
+        for _ in range(counts[11]):
+            sketch.insert("lin")
+        cell = sketch.stage2.lookup("lin")
+        assert cell is not None
+        p = sketch.config.task.p
+        last_p = cell.frequencies_ending_at(11)
+        # Window 4's slot was recycled for window 11; windows 6..11 of the
+        # ring are guaranteed intact, window 5 as well (slot 5).
+        expected = [counts[w] for w in range(11 - p + 1, 12)]
+        assert last_p[1:] == expected[1:]
+        assert last_p[0] in (expected[0], 0) or last_p[0] == expected[0]
+
+    def test_query_tracked_frequencies_none_for_unknown(self):
+        sketch = _sketch()
+        assert sketch.query_tracked_frequencies("ghost") is None
+
+
+class TestWindowProtocol:
+    def test_window_counter_advances(self):
+        sketch = _sketch()
+        assert sketch.window == 0
+        sketch.end_window()
+        assert sketch.window == 1
+
+    def test_run_window_equivalent_to_manual(self):
+        a = _sketch(k=1)
+        b = _sketch(k=1)
+        for window in range(10):
+            items = ["lin"] * (5 + 3 * window)
+            a.run_window(items)
+            for item in items:
+                b.insert(item)
+            b.end_window()
+        assert [r.instance for r in a.reports] == [r.instance for r in b.reports]
+
+    def test_memory_accounting_within_budget(self):
+        sketch = _sketch(memory_kb=100.0)
+        # allow one bucket of slack for integer rounding
+        assert sketch.memory_bytes <= 100.0 * 1024 * 1.05
+
+
+class TestDeterminism:
+    def test_same_seed_same_reports(self):
+        r1 = _drive(_sketch(k=1), {"lin": lambda w: 5 + 3 * w, "flat": lambda w: 7}, 12, filler=50)
+        r2 = _drive(_sketch(k=1), {"lin": lambda w: 5 + 3 * w, "flat": lambda w: 7}, 12, filler=50)
+        assert [r.instance for r in r1] == [r.instance for r in r2]

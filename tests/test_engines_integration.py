@@ -1,0 +1,70 @@
+"""Cross-engine integration: all three engines tell the same story.
+
+On the controlled trace (known planted truth) every engine must find
+the same planted items and reject the same decoys; on a realistic
+stream their F1 scores must stay within a small band of each other.
+"""
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.batched import BatchedXSketch
+from repro.core.oracle import SimplexOracle
+from repro.core.vectorized import VectorizedXSketch
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import score_reports
+from repro.streams.datasets import make_dataset
+
+ENGINES = [XSketch, BatchedXSketch, VectorizedXSketch]
+
+
+def _run(engine, task, trace, memory_kb=60.0, seed=5):
+    sketch = engine(XSketchConfig(task=task, memory_kb=memory_kb), seed=seed)
+    for window in trace.windows():
+        sketch.run_window(window)
+    return sketch
+
+
+class TestControlledTruthAcrossEngines:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_k1_planted_items(self, engine, controlled_trace):
+        sketch = _run(engine, SimplexTask.paper_default(1), controlled_trace)
+        reported = {r.item for r in sketch.reports}
+        assert "rise" in reported and "fall" in reported
+        assert "const" not in reported and "slow" not in reported
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_k0_planted_items(self, engine, controlled_trace):
+        sketch = _run(engine, SimplexTask.paper_default(0), controlled_trace)
+        assert "const" in {r.item for r in sketch.reports}
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_k2_planted_items(self, engine, controlled_trace):
+        sketch = _run(engine, SimplexTask.paper_default(2), controlled_trace)
+        reported = {r.item for r in sketch.reports}
+        assert "parab" in reported
+        assert "rise" not in reported
+
+
+class TestEngineAgreementOnRealisticStream:
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_f1_within_band(self, k):
+        trace = make_dataset("ip_trace", n_windows=25, window_size=1000, seed=12)
+        task = SimplexTask.paper_default(k)
+        oracle = SimplexOracle.from_stream(trace.windows(), task)
+        f1_scores = {
+            engine.__name__: score_reports(
+                _run(engine, task, trace, memory_kb=15.0, seed=12).reports,
+                oracle.instances,
+            ).f1
+            for engine in ENGINES
+        }
+        assert max(f1_scores.values()) - min(f1_scores.values()) < 0.25, f1_scores
+        assert min(f1_scores.values()) > 0.5, f1_scores
+
+    def test_window_counters_advance_in_lockstep(self):
+        trace = make_dataset("synthetic", n_windows=10, window_size=400, seed=3)
+        task = SimplexTask.paper_default(1)
+        sketches = [_run(engine, task, trace, memory_kb=15.0) for engine in ENGINES]
+        assert len({sketch.window for sketch in sketches}) == 1

@@ -1,0 +1,40 @@
+"""Unit tests for the Theorems 3-4 live validation harness."""
+
+from repro.experiments.bounds_validation import validate_bounds
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+
+
+class TestValidateBounds:
+    def test_no_violations_small_run(self):
+        trace = make_dataset("ip_trace", n_windows=12, window_size=500, seed=3)
+        report = validate_bounds(
+            trace, SimplexTask.paper_default(1), memory_kb=8, seed=3, max_spans=400
+        )
+        assert report.spans_checked > 0
+        assert report.ak_violations == 0
+        assert report.mse_violations == 0
+
+    def test_drift_positive_under_memory_pressure(self):
+        """A starved Stage 1 must actually show estimation drift (the
+        experiment would be vacuous otherwise)."""
+        trace = make_dataset("mawi", n_windows=12, window_size=800, seed=4)
+        report = validate_bounds(
+            trace, SimplexTask.paper_default(1), memory_kb=4, seed=4, max_spans=400
+        )
+        assert report.mean_ak_bound > 0
+
+    def test_max_spans_respected(self):
+        trace = make_dataset("ip_trace", n_windows=12, window_size=500, seed=3)
+        report = validate_bounds(
+            trace, SimplexTask.paper_default(0), memory_kb=8, seed=3, max_spans=50
+        )
+        assert report.spans_checked <= 50
+
+    def test_tightness_between_zero_and_one(self):
+        trace = make_dataset("ip_trace", n_windows=10, window_size=400, seed=5)
+        report = validate_bounds(
+            trace, SimplexTask.paper_default(1), memory_kb=6, seed=5, max_spans=200
+        )
+        assert 0.0 <= report.ak_tightness <= 1.0
+        assert 0.0 <= report.mse_tightness <= 1.0

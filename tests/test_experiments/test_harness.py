@@ -1,0 +1,117 @@
+"""Unit tests for the experiment harness and figure runners."""
+
+import pytest
+
+from repro.config import StreamGeometry
+from repro.core.baseline import BaselineSolution
+from repro.core.xsketch import XSketch
+from repro.errors import ConfigurationError
+from repro.experiments.harness import OracleCache, SeriesTable, evaluate_algorithm, make_algorithm
+from repro.experiments.params import scaled_memory_kb, MEMORY_SCALE
+from repro.experiments.figures import (
+    accuracy_vs_memory,
+    ml_comparison_table,
+    param_sweep,
+    stage1_structure_comparison,
+)
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import make_dataset
+
+GEOMETRY = StreamGeometry(n_windows=20, window_size=500)
+
+
+class TestMakeAlgorithm:
+    def test_xs_variants(self):
+        task = SimplexTask.paper_default(1)
+        assert isinstance(make_algorithm("xs-cm", task, 30), XSketch)
+        cu = make_algorithm("xs-cu", task, 30)
+        assert isinstance(cu, XSketch)
+        assert cu.config.update_rule == "cu"
+
+    def test_baseline(self):
+        task = SimplexTask.paper_default(1)
+        assert isinstance(make_algorithm("baseline", task, 30), BaselineSolution)
+
+    def test_overrides_reach_config(self):
+        task = SimplexTask.paper_default(1)
+        sketch = make_algorithm("xs-cm", task, 30, u=8, r=0.5)
+        assert sketch.config.u == 8
+        assert sketch.config.r == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("magic", SimplexTask.paper_default(1), 30)
+
+
+class TestEvaluate:
+    def test_result_fields(self):
+        trace = make_dataset("ip_trace", n_windows=20, window_size=500, seed=1)
+        task = SimplexTask.paper_default(1)
+        oracle = OracleCache().get(trace, task)
+        result = evaluate_algorithm("xs-cm", trace, task, 20.0, oracle, seed=1,
+                                    memory_label_kb=150)
+        assert result.memory_label_kb == 150
+        assert 0 <= result.f1 <= 1
+        assert result.mops > 0
+
+    def test_oracle_cache_reuses(self):
+        trace = make_dataset("ip_trace", n_windows=10, window_size=400, seed=1)
+        task = SimplexTask.paper_default(0)
+        cache = OracleCache()
+        assert cache.get(trace, task) is cache.get(trace, task)
+
+
+class TestSeriesTable:
+    def test_render_contains_values(self):
+        table = SeriesTable(title="demo", x_label="x", x_values=[1, 2])
+        table.add("a", [0.5, 0.75])
+        text = table.render()
+        assert "demo" in text and "0.500" in text and "0.750" in text
+
+    def test_length_mismatch(self):
+        table = SeriesTable(title="demo", x_label="x", x_values=[1, 2])
+        with pytest.raises(ConfigurationError):
+            table.add("a", [0.5])
+
+
+class TestFigureRunners:
+    def test_param_sweep_shape(self):
+        table = param_sweep("u", [2, 4], k=1, memories_paper=(150,), geometry=GEOMETRY, seed=1)
+        assert table.x_values == [2, 4]
+        assert "150KB" in table.series
+        assert all(0 <= v <= 1 for v in table.column("150KB"))
+
+    def test_param_sweep_task_param(self):
+        table = param_sweep("p", [5, 7], k=1, memories_paper=(150,), geometry=GEOMETRY, seed=1)
+        assert len(table.column("150KB")) == 2
+
+    def test_param_sweep_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            param_sweep("banana", [1], k=1, geometry=GEOMETRY)
+
+    def test_stage1_structure_table(self):
+        table = stage1_structure_comparison(k=1, memories_paper=(150,), geometry=GEOMETRY, seed=1)
+        assert set(table.series) == {"Tower(CM)", "Tower(CU)", "CF", "LLF"}
+
+    def test_accuracy_vs_memory_tables(self):
+        tables = accuracy_vs_memory(
+            k=0, metric="f1", datasets=("ip_trace",), memories_paper=(150, 250),
+            geometry=GEOMETRY, seed=1,
+        )
+        table = tables["ip_trace"]
+        assert set(table.series) == {"XS-CM", "XS-CU", "Baseline"}
+        assert len(table.column("XS-CM")) == 2
+
+    def test_ml_table_renders(self):
+        text, results = ml_comparison_table(
+            dataset="ip_trace", ks=(0,), memory_kb=30,
+            geometry=StreamGeometry(n_windows=16, window_size=500), seed=1,
+            n_eval_windows=2,
+        )
+        assert "X-Sketch" in text and "Linear Regression" in text
+        assert 0 in results
+
+
+class TestScaling:
+    def test_scaled_memory(self):
+        assert scaled_memory_kb(150) == pytest.approx(150 * MEMORY_SCALE)

@@ -1,0 +1,25 @@
+"""Unit tests for the substrate frequency-estimation comparison."""
+
+from repro.experiments.substrate import SKETCH_FACTORIES, frequency_estimation_comparison
+
+
+class TestFrequencyEstimationComparison:
+    def test_small_run_produces_all_series(self):
+        table = frequency_estimation_comparison(
+            memories_bytes=(2000, 8000), n_items=3000, n_flows=400, seed=1,
+            sketches=("CM", "CU", "Tower"),
+        )
+        assert set(table.series) == {"CM", "CU", "Tower"}
+        assert all(len(table.column(name)) == 2 for name in table.series)
+
+    def test_cu_not_worse_than_cm(self):
+        table = frequency_estimation_comparison(
+            memories_bytes=(3000,), n_items=4000, n_flows=500, seed=2,
+            sketches=("CM", "CU"),
+        )
+        assert table.column("CU")[0] <= table.column("CM")[0] + 1e-9
+
+    def test_registry_covers_all_advanced_sketches(self):
+        assert {"CM", "CU", "Count", "CSM", "Tower", "Pyramid", "MV", "Elastic"} <= set(
+            SKETCH_FACTORIES
+        )

@@ -1,0 +1,36 @@
+"""Unit tests for the seed-stability harness."""
+
+import pytest
+
+from repro.config import StreamGeometry
+from repro.experiments.variance import MetricSpread, seed_stability
+
+
+class TestMetricSpread:
+    def test_statistics(self):
+        spread = MetricSpread((0.8, 1.0, 0.9))
+        assert spread.mean == pytest.approx(0.9)
+        assert spread.minimum == 0.8
+        assert spread.maximum == 1.0
+        assert spread.std == pytest.approx(0.0816, abs=1e-3)
+
+    def test_single_value(self):
+        spread = MetricSpread((0.5,))
+        assert spread.std == 0.0
+
+
+class TestSeedStability:
+    def test_small_run(self):
+        report = seed_stability(
+            dataset="ip_trace",
+            k=1,
+            memory_kb=10.0,
+            algorithms=("xs-cm", "baseline"),
+            n_seeds=2,
+            geometry=StreamGeometry(n_windows=14, window_size=500),
+            base_seed=1,
+        )
+        assert report.n_seeds == 2
+        assert set(report.f1) == {"xs-cm", "baseline"}
+        assert len(report.f1["xs-cm"].values) == 2
+        assert "seed stability" in report.render()

@@ -1,0 +1,67 @@
+"""Unit tests for design matrices and cached pseudo-inverses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.fitting.design import (
+    design_matrix,
+    pseudo_inverse,
+    pseudo_inverse_norm,
+    residual_projector,
+    residual_projector_norm,
+)
+
+
+class TestDesignMatrix:
+    def test_shape_and_values(self):
+        x = design_matrix(4, 2)
+        assert x.shape == (4, 3)
+        assert x[0].tolist() == [1, 0, 0]
+        assert x[3].tolist() == [1, 3, 9]
+
+    def test_degree_zero(self):
+        x = design_matrix(3, 0)
+        assert x.tolist() == [[1], [1], [1]]
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(FittingError):
+            design_matrix(2, 2)
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(FittingError):
+            design_matrix(4, -1)
+
+
+class TestPseudoInverse:
+    def test_satisfies_normal_equation(self):
+        """P = (X^T X)^{-1} X^T  must satisfy  P X = I."""
+        for n, k in [(4, 0), (4, 1), (7, 2), (8, 3)]:
+            x = design_matrix(n, k)
+            p = np.asarray(pseudo_inverse(n, k))
+            assert np.allclose(p @ x, np.eye(k + 1), atol=1e-9)
+
+    def test_cached_instances_identical(self):
+        assert pseudo_inverse(7, 1) is pseudo_inverse(7, 1)
+
+    def test_degree_zero_is_mean(self):
+        p = np.asarray(pseudo_inverse(5, 0))
+        assert np.allclose(p, np.full((1, 5), 0.2))
+
+    def test_norm_positive(self):
+        assert pseudo_inverse_norm(7, 1) > 0
+
+
+class TestResidualProjector:
+    def test_projector_is_idempotent(self):
+        a = residual_projector(7, 2)
+        assert np.allclose(a @ a, a, atol=1e-9)
+
+    def test_projector_annihilates_polynomials(self):
+        """A * X = 0: degree-k polynomials leave no residual."""
+        a = residual_projector(6, 1)
+        x = design_matrix(6, 1)
+        assert np.allclose(a @ x, 0, atol=1e-9)
+
+    def test_norm_is_one_when_residual_space_nonempty(self):
+        assert residual_projector_norm(7, 1) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,96 @@
+"""Unit and property tests for polynomial fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FittingError
+from repro.fitting.polyfit import PolynomialFit, fit_leading_and_mse, fit_polynomial
+
+
+class TestFitExactData:
+    def test_constant(self):
+        fit = fit_polynomial([5, 5, 5, 5], 0)
+        assert fit.coefficients[0] == pytest.approx(5.0)
+        assert fit.mse == pytest.approx(0.0, abs=1e-12)
+
+    def test_linear(self):
+        fit = fit_polynomial([1, 4, 7, 10], 1)
+        assert fit.coefficients == pytest.approx((1.0, 3.0))
+        assert fit.mse == pytest.approx(0.0, abs=1e-12)
+
+    def test_quadratic(self):
+        values = [2 + 3 * i + 0.5 * i * i for i in range(7)]
+        fit = fit_polynomial(values, 2)
+        assert fit.coefficients == pytest.approx((2.0, 3.0, 0.5))
+        assert fit.mse == pytest.approx(0.0, abs=1e-9)
+
+    def test_cubic(self):
+        values = [1 + i**3 for i in range(8)]
+        fit = fit_polynomial(values, 3)
+        assert fit.coefficients == pytest.approx((1.0, 0.0, 0.0, 1.0), abs=1e-8)
+
+
+class TestFitProperties:
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n = int(rng.integers(4, 9))
+            k = int(rng.integers(0, 3))
+            values = rng.uniform(0, 50, size=n)
+            ours = fit_polynomial(values.tolist(), k)
+            theirs = np.polyfit(np.arange(n), values, k)[::-1]
+            assert np.allclose(ours.coefficients, theirs, atol=1e-6)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e4), min_size=4, max_size=8),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_mse_nonnegative_and_decreasing_in_k(self, values, k):
+        low = fit_polynomial(values, k)
+        high = fit_polynomial(values, k + 1)
+        assert low.mse >= -1e-9
+        assert high.mse <= low.mse + 1e-6  # more degrees never fit worse
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e4), min_size=3, max_size=8),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_fast_path_agrees_with_full_fit(self, values, k):
+        if len(values) < k + 1:
+            return
+        fit = fit_polynomial(values, k)
+        leading, mse = fit_leading_and_mse(values, k)
+        assert leading == pytest.approx(fit.leading, rel=1e-12, abs=1e-12)
+        assert mse == pytest.approx(fit.mse, rel=1e-12, abs=1e-12)
+
+    def test_predict_interpolates(self):
+        fit = fit_polynomial([2, 5, 8, 11], 1)
+        for i, expected in enumerate([2, 5, 8, 11]):
+            assert fit.predict(i) == pytest.approx(expected)
+
+    def test_predict_many(self):
+        fit = fit_polynomial([0, 1, 2, 3], 1)
+        assert fit.predict_many([4, 5]) == pytest.approx((4.0, 5.0))
+
+
+class TestFitErrors:
+    def test_empty_raises(self):
+        with pytest.raises(FittingError):
+            fit_polynomial([], 0)
+        with pytest.raises(FittingError):
+            fit_leading_and_mse([], 0)
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(FittingError):
+            fit_polynomial([1, 2], 2)
+
+
+class TestPolynomialFitObject:
+    def test_degree_and_leading(self):
+        fit = PolynomialFit(coefficients=(1.0, 2.0, 3.0), mse=0.5, n_points=7)
+        assert fit.degree == 2
+        assert fit.leading == 3.0

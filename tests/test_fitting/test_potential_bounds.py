@@ -1,0 +1,63 @@
+"""Unit and property tests for the Potential Λ and Theorems 3-4 bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fitting.bounds import ak_error_bound, mse_error_bound
+from repro.fitting.polyfit import fit_polynomial
+from repro.fitting.potential import DEFAULT_DELTA, potential
+
+
+class TestPotential:
+    def test_exact_fit_gives_huge_potential(self):
+        fit = fit_polynomial([2, 4, 6, 8], 1)
+        assert potential(fit) > 1e5  # mse ~ 0, |a_1| = 2
+
+    def test_flat_item_gives_zero_potential_k1(self):
+        fit = fit_polynomial([5, 5, 5, 5], 1)
+        assert potential(fit) == pytest.approx(0.0, abs=1e-6)
+
+    def test_delta_guards_division(self):
+        fit = fit_polynomial([1, 2, 3, 4], 1)
+        assert potential(fit, delta=1.0) == pytest.approx(1.0 / (0.0 + 1.0), abs=1e-9)
+
+    def test_noisier_fit_has_lower_potential(self):
+        clean = fit_polynomial([2, 4, 6, 8, 10, 12, 14], 1)
+        noisy = fit_polynomial([2, 6, 4, 10, 8, 14, 12], 1)
+        assert potential(clean, DEFAULT_DELTA) > potential(noisy, DEFAULT_DELTA)
+
+
+FREQ = st.lists(st.floats(min_value=0, max_value=1e3), min_size=7, max_size=7)
+
+
+class TestTheorem3:
+    @settings(max_examples=80)
+    @given(FREQ, FREQ, st.integers(min_value=0, max_value=2))
+    def test_ak_error_within_bound(self, truth, estimate, k):
+        bound = ak_error_bound(truth, estimate, k)
+        true_fit = fit_polynomial(truth, k)
+        est_fit = fit_polynomial(estimate, k)
+        assert abs(true_fit.leading - est_fit.leading) <= bound + 1e-6
+
+    def test_identical_vectors_zero_bound(self):
+        values = [1, 2, 3, 4, 5, 6, 7]
+        assert ak_error_bound(values, values, 1) == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ak_error_bound([1, 2], [1, 2, 3], 1)
+
+
+class TestTheorem4:
+    @settings(max_examples=80)
+    @given(FREQ, FREQ, st.integers(min_value=0, max_value=2))
+    def test_mse_error_within_bound(self, truth, estimate, k):
+        bound = mse_error_bound(truth, estimate, k)
+        true_fit = fit_polynomial(truth, k)
+        est_fit = fit_polynomial(estimate, k)
+        assert abs(true_fit.mse - est_fit.mse) <= bound + 1e-6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_error_bound([1, 2], [1, 2, 3], 1)

@@ -1,0 +1,85 @@
+"""Unit tests for the k-simplex decision rule and SimplexTask."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask, evaluate_simplex, is_simplex
+
+
+class TestSimplexTask:
+    def test_paper_defaults(self):
+        assert SimplexTask.paper_default(0).T == 1.0
+        assert SimplexTask.paper_default(1).T == 2.0
+        assert SimplexTask.paper_default(2).T == 4.0
+        assert all(SimplexTask.paper_default(k).p == 7 for k in range(3))
+        assert all(SimplexTask.paper_default(k).L == 1.0 for k in range(3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": -1},
+            {"k": 2, "p": 2},
+            {"T": -0.1},
+            {"L": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimplexTask(**kwargs)
+
+    def test_frozen_and_hashable(self):
+        assert hash(SimplexTask(k=1)) == hash(SimplexTask(k=1))
+
+
+class TestDecisionRule:
+    def test_clean_linear_is_1_simplex(self):
+        task = SimplexTask(k=1, p=7, T=1.0, L=1.0)
+        assert is_simplex([3, 6, 9, 12, 15, 18, 21], task)
+
+    def test_zero_frequency_disqualifies(self):
+        task = SimplexTask(k=1, p=7, T=100.0, L=0.0)
+        verdict = evaluate_simplex([3, 6, 0, 12, 15, 18, 21], task)
+        assert not verdict.is_simplex
+        assert not verdict.all_positive
+        assert verdict.fit is None
+        assert verdict.mse is None
+        assert verdict.leading is None
+
+    def test_mse_threshold_enforced(self):
+        task = SimplexTask(k=1, p=7, T=0.5, L=0.0)
+        noisy = [3, 9, 4, 14, 11, 20, 17]
+        assert not is_simplex(noisy, task)
+        loose = SimplexTask(k=1, p=7, T=100.0, L=0.0)
+        assert is_simplex(noisy, loose)
+
+    def test_leading_coefficient_guard(self):
+        """Section III-C: a constant item is not 1-simplex because |a_1| < L."""
+        task = SimplexTask(k=1, p=7, T=1.0, L=1.0)
+        assert not is_simplex([5, 5, 5, 5, 5, 5, 5], task)
+
+    def test_negative_slope_counts(self):
+        """Decreasing items are in scope (|a_k|, not a_k)."""
+        task = SimplexTask(k=1, p=7, T=1.0, L=1.0)
+        assert is_simplex([21, 18, 15, 12, 9, 6, 3], task)
+
+    def test_linear_item_is_not_2_simplex(self):
+        """The guard separates k- from (k-1)-simplex items."""
+        task = SimplexTask(k=2, p=7, T=1.0, L=1.0)
+        assert not is_simplex([3, 6, 9, 12, 15, 18, 21], task)
+
+    def test_parabola_is_2_simplex(self):
+        task = SimplexTask(k=2, p=7, T=1.0, L=1.0)
+        values = [40 - 1.5 * (i - 3) ** 2 for i in range(7)]
+        assert is_simplex(values, task)
+
+    def test_short_span_allowed(self):
+        """Stage 1 applies the rule to s < p windows."""
+        task = SimplexTask(k=1, p=7, T=1.0, L=1.0)
+        assert is_simplex([2, 4, 6, 8], task)
+
+    def test_constant_zero_level_not_simplex_k0(self):
+        """k=0 with L=1 requires a level of at least 1."""
+        task = SimplexTask(k=0, p=4, T=1.0, L=1.0)
+        assert is_simplex([1, 1, 1, 1], task)
+        # all-positive is required before the fit is even attempted
+        assert not is_simplex([1, 1, 0, 1], task)

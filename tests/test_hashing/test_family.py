@@ -1,0 +1,76 @@
+"""Unit tests for hash families and item encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.family import (
+    HASH_FAMILIES,
+    BobHashFamily,
+    CrcHashFamily,
+    MurmurHashFamily,
+    encode_item,
+    make_family,
+)
+
+
+class TestEncodeItem:
+    def test_bytes_pass_through(self):
+        assert encode_item(b"abc") == b"abc"
+
+    def test_str_utf8(self):
+        assert encode_item("flow") == b"flow"
+
+    def test_int_eight_bytes(self):
+        assert encode_item(5) == (5).to_bytes(8, "little", signed=True)
+        assert len(encode_item(-1)) == 8
+
+    def test_negative_int_roundtrip_distinct(self):
+        assert encode_item(-1) != encode_item(1)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            encode_item(3.14)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(HASH_FAMILIES))
+    def test_deterministic_and_ranged(self, name):
+        family = make_family(name, seed=3)
+        a = family.hash_into("item-1", 0, 1000)
+        assert a == family.hash_into("item-1", 0, 1000)
+        assert 0 <= a < 1000
+
+    @pytest.mark.parametrize("name", sorted(HASH_FAMILIES))
+    def test_index_independence(self, name):
+        family = make_family(name, seed=3)
+        values = {family.hash32("item-1", index) for index in range(6)}
+        assert len(values) >= 5
+
+    @pytest.mark.parametrize("cls", [BobHashFamily, MurmurHashFamily, CrcHashFamily])
+    def test_seed_changes_mapping(self, cls):
+        mapped_a = [cls(seed=1).hash_into(i, 0, 997) for i in range(50)]
+        mapped_b = [cls(seed=2).hash_into(i, 0, 997) for i in range(50)]
+        assert mapped_a != mapped_b
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_family("sha512")
+
+    def test_zero_size_table_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_family("crc").hash_into("x", 0, 0)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_crc_handles_any_int(self, value):
+        family = CrcHashFamily(seed=0)
+        assert 0 <= family.hash32(value, 0) <= 0xFFFFFFFF
+
+    def test_crc_spreads_sequential_ints(self):
+        family = CrcHashFamily(seed=9)
+        buckets = [0] * 16
+        for i in range(4096):
+            buckets[family.hash_into(i, 0, 16)] += 1
+        expected = 4096 / 16
+        assert all(0.5 * expected < b < 1.5 * expected for b in buckets)

@@ -1,0 +1,39 @@
+"""Unit tests for the Murmur3-32 port, including reference vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.murmur import murmur3_32
+
+
+class TestMurmurReferenceVectors:
+    """Known-good vectors from the canonical MurmurHash3 implementation."""
+
+    @pytest.mark.parametrize(
+        "data, seed, expected",
+        [
+            (b"", 0, 0),
+            (b"", 1, 0x514E28B7),
+            (b"", 0xFFFFFFFF, 0x81F16F39),
+            (b"a", 0, 0x3C2569B2),
+            (b"aaaa", 0x9747B28C, 0x5A97808A),
+            (b"Hello, world!", 0x9747B28C, 0x24884CBA),
+            (b"The quick brown fox jumps over the lazy dog", 0x9747B28C, 0x2FA826CD),
+        ],
+    )
+    def test_vectors(self, data, seed, expected):
+        assert murmur3_32(data, seed) == expected
+
+
+class TestMurmurBasics:
+    def test_deterministic(self):
+        assert murmur3_32(b"xyz", 5) == murmur3_32(b"xyz", 5)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            murmur3_32(12345, 0)
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_range_property(self, data, seed):
+        assert 0 <= murmur3_32(data, seed) <= 0xFFFFFFFF

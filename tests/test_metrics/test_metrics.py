@@ -1,0 +1,109 @@
+"""Unit tests for PR/RR/F1, ARE and throughput metrics."""
+
+import pytest
+
+from repro.config import StreamGeometry
+from repro.core.oracle import SimplexOracle
+from repro.core.reports import SimplexReport
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.classification import ClassificationScores, score_reports
+from repro.metrics.error import average_relative_error, lasting_time_are
+from repro.metrics.throughput import measure_throughput
+from repro.streams.model import Trace
+
+
+def _report(item, start, lasting=6):
+    return SimplexReport(
+        item=item,
+        start_window=start,
+        report_window=start + 6,
+        lasting_time=lasting,
+        coefficients=(1.0, 2.0),
+        mse=0.1,
+    )
+
+
+class TestClassification:
+    def test_perfect(self):
+        truth = {("a", 0), ("b", 1)}
+        scores = score_reports([_report("a", 0), _report("b", 1)], truth)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_false_positive_hits_precision(self):
+        truth = {("a", 0)}
+        scores = score_reports([_report("a", 0), _report("x", 5)], truth)
+        assert scores.precision == 0.5
+        assert scores.recall == 1.0
+
+    def test_miss_hits_recall(self):
+        truth = {("a", 0), ("b", 1)}
+        scores = score_reports([_report("a", 0)], truth)
+        assert scores.recall == 0.5
+
+    def test_duplicates_collapse(self):
+        truth = {("a", 0)}
+        scores = score_reports([_report("a", 0), _report("a", 0)], truth)
+        assert scores.reported == 1
+
+    def test_empty_conventions(self):
+        assert score_reports([], set()).precision == 1.0
+        assert score_reports([], set()).recall == 1.0
+        assert score_reports([], {("a", 0)}).f1 == 0.0
+
+    def test_f1_harmonic_mean(self):
+        scores = ClassificationScores(true_positives=1, reported=2, actual=1)
+        assert scores.f1 == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+
+class TestARE:
+    def test_plain_are(self):
+        assert average_relative_error([10, 20], [12, 20]) == pytest.approx(0.1)
+
+    def test_zero_truth_skipped(self):
+        assert average_relative_error([0, 10], [5, 10]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_relative_error([1], [1, 2])
+
+    def test_lasting_time_are_matched_only(self):
+        task = SimplexTask.paper_default(1)
+        oracle = SimplexOracle(task)
+        for window in range(9):
+            for _ in range(5 + 3 * window):
+                oracle.insert("lin")
+            oracle.end_window()
+        oracle.finalize()
+        p = task.p
+        good = SimplexReport("lin", 0, p - 1, p - 1, (5.0, 3.0), 0.0)
+        off = SimplexReport("lin", 1, p, 2 * p, (5.0, 3.0), 0.0)  # bad estimate
+        unmatched = SimplexReport("ghost", 0, p - 1, p - 1, (5.0, 3.0), 0.0)
+        assert lasting_time_are([good], oracle) == pytest.approx(0.0)
+        assert lasting_time_are([good, unmatched], oracle) == pytest.approx(0.0)
+        assert lasting_time_are([off], oracle) > 0.0
+
+
+class _CountingAlgo:
+    def __init__(self):
+        self.inserted = 0
+        self.windows = 0
+
+    def insert(self, item):
+        self.inserted += 1
+
+    def end_window(self):
+        self.windows += 1
+
+
+class TestThroughput:
+    def test_processes_whole_trace(self):
+        geometry = StreamGeometry(n_windows=3, window_size=4)
+        trace = Trace("t", geometry, [["a"] * 4, ["b"] * 4, ["c"] * 4])
+        algo = _CountingAlgo()
+        result = measure_throughput(algo, trace)
+        assert algo.inserted == 12
+        assert algo.windows == 3
+        assert result.total_items == 12
+        assert result.mops > 0

@@ -1,0 +1,57 @@
+"""Integration tests for the Section-VI ML comparison pipeline."""
+
+import pytest
+
+from repro.fitting.simplex import SimplexTask
+from repro.ml.accelerate import run_ml_comparison
+from repro.ml.evaluation import prediction_accuracy
+from repro.streams.datasets import make_dataset
+
+
+class TestPredictionAccuracy:
+    def test_all_within_tolerance(self):
+        assert prediction_accuracy([10, 20], [11, 19]) == 1.0
+
+    def test_absolute_floor(self):
+        # small truths use the absolute tolerance
+        assert prediction_accuracy([1.0], [2.5]) == 1.0
+        assert prediction_accuracy([1.0], [4.0]) == 0.0
+
+    def test_relative_band(self):
+        assert prediction_accuracy([100.0], [125.0]) == 1.0
+        assert prediction_accuracy([100.0], [140.0]) == 0.0
+
+    def test_empty(self):
+        assert prediction_accuracy([], []) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            prediction_accuracy([1.0], [])
+
+
+class TestRunMLComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = make_dataset("ip_trace", n_windows=24, window_size=1200, seed=11)
+        return run_ml_comparison(
+            trace, SimplexTask.paper_default(1), memory_kb=40, seed=4, n_eval_windows=3
+        )
+
+    def test_produces_tasks(self, result):
+        assert result.n_tasks > 0
+        assert result.n_eval_windows > 0
+        assert result.n_model_predictions > result.n_tasks
+
+    def test_xsketch_accuracy_reasonable(self, result):
+        assert result.xsketch_accuracy >= 0.5
+
+    def test_model_times_positive(self, result):
+        assert result.xsketch_seconds > 0
+        assert result.linreg_seconds > 0
+        assert result.arima_seconds > 0
+
+    def test_arima_slowest(self, result):
+        """The paper's key ordering: the per-item time-series model costs
+        far more than the sketch pass."""
+        assert result.arima_seconds > result.xsketch_seconds
+        assert result.speedup_over_arima() > 1.0

@@ -1,0 +1,66 @@
+"""Unit tests for the from-scratch ARIMA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.ml.arima import ArimaModel, arima_forecast, fit_arima
+
+
+class TestFitArima:
+    def test_linear_trend_forecast(self):
+        """ARIMA(·,1,·) handles a deterministic trend exactly."""
+        series = [2.0 + 3.0 * i for i in range(30)]
+        fit = fit_arima(series, order=(2, 1, 1))
+        forecast = arima_forecast(fit, series, steps=1)
+        assert forecast[0] == pytest.approx(92.0, abs=0.5)
+
+    def test_multi_step_trend(self):
+        series = [10.0 + 2.0 * i for i in range(30)]
+        fit = fit_arima(series, order=(1, 1, 0))
+        forecasts = arima_forecast(fit, series, steps=3)
+        assert forecasts == pytest.approx([70.0, 72.0, 74.0], abs=1.0)
+
+    def test_ar1_process_coefficient_recovered(self):
+        rng = np.random.default_rng(7)
+        phi = 0.6
+        series = [0.0]
+        for _ in range(400):
+            series.append(phi * series[-1] + rng.normal(0, 1))
+        fit = fit_arima(series, order=(1, 0, 0))
+        assert fit.ar_coefficients[0] == pytest.approx(phi, abs=0.12)
+
+    def test_too_short_raises(self):
+        with pytest.raises(FittingError):
+            fit_arima([1.0, 2.0, 3.0], order=(2, 1, 1))
+
+    def test_invalid_order(self):
+        with pytest.raises(FittingError):
+            fit_arima(list(range(30)), order=(-1, 0, 0))
+
+    def test_forecast_steps_validated(self):
+        series = [float(i) for i in range(30)]
+        fit = fit_arima(series, order=(1, 1, 0))
+        with pytest.raises(FittingError):
+            arima_forecast(fit, series, steps=0)
+
+
+class TestArimaModel:
+    def test_trend(self):
+        series = [5.0 + 4.0 * i for i in range(25)]
+        assert ArimaModel().predict_next(series) == pytest.approx(105.0, abs=1.0)
+
+    def test_constant_series_falls_back_to_mean(self):
+        assert ArimaModel().predict_next([7.0] * 20) == pytest.approx(7.0)
+
+    def test_short_series_falls_back_to_mean(self):
+        assert ArimaModel().predict_next([4.0, 6.0]) == pytest.approx(5.0)
+
+    def test_empty_series(self):
+        assert ArimaModel().predict_next([]) == 0.0
+
+    def test_noisy_trend_reasonable(self):
+        rng = np.random.default_rng(1)
+        series = [10 + 2 * i + float(rng.normal(0, 0.5)) for i in range(30)]
+        prediction = ArimaModel().predict_next(series)
+        assert 60 <= prediction <= 80

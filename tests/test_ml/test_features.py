@@ -1,0 +1,72 @@
+"""Unit tests for simplex feature extraction."""
+
+import pytest
+
+from repro.core.reports import SimplexReport
+from repro.ml.features import FEATURE_NAMES, extract_features, feature_matrix, report_features
+
+
+def _report(item="x", coeffs=(4.0, 3.0), lasting=6, mse=0.1, window=9):
+    return SimplexReport(
+        item=item,
+        start_window=window - 6,
+        report_window=window,
+        lasting_time=lasting,
+        coefficients=coeffs,
+        mse=mse,
+    )
+
+
+class TestReportFeatures:
+    def test_linear_report(self):
+        row = report_features(_report(), p=7)
+        features = row.as_dict()
+        assert features["level"] == 4.0
+        assert features["slope"] == 3.0
+        assert features["curvature"] == 0.0
+        assert features["mse"] == pytest.approx(0.1)
+        assert features["lasting_time"] == 6.0
+        assert features["next_prediction"] == pytest.approx(4.0 + 3.0 * 7)
+
+    def test_constant_report_pads_slope(self):
+        row = report_features(_report(coeffs=(5.0,)), p=7)
+        assert row.as_dict()["slope"] == 0.0
+        assert row.as_dict()["next_prediction"] == pytest.approx(5.0)
+
+    def test_quadratic_report(self):
+        row = report_features(_report(coeffs=(2.0, 1.0, -0.5)), p=7)
+        features = row.as_dict()
+        assert features["curvature"] == -0.5
+        assert features["next_prediction"] == pytest.approx(2 + 7 - 0.5 * 49)
+
+
+class TestFeatureMatrix:
+    def test_extract_and_select(self):
+        rows = extract_features([_report(), _report(item="y", coeffs=(1.0, -2.0))], p=7)
+        matrix = feature_matrix(rows, columns=("slope", "lasting_time"))
+        assert matrix == [[3.0, 6.0], [-2.0, 6.0]]
+
+    def test_default_columns_complete(self):
+        rows = extract_features([_report()], p=7)
+        matrix = feature_matrix(rows)
+        assert len(matrix[0]) == len(FEATURE_NAMES)
+
+    def test_unknown_column(self):
+        rows = extract_features([_report()], p=7)
+        with pytest.raises(KeyError):
+            feature_matrix(rows, columns=("bogus",))
+
+    def test_features_feed_a_regressor(self):
+        """End-to-end: slope features predict next-window frequency."""
+        from repro.ml.linreg import LinearRegression
+
+        rows = []
+        truths = []
+        for slope in (1.5, 2.0, 3.0, 4.0, -2.0, -3.5):
+            report = _report(coeffs=(10.0, slope))
+            rows.append(report_features(report, p=7))
+            truths.append(10.0 + slope * 7)  # the true next value
+        matrix = feature_matrix(rows, columns=("level", "slope"))
+        model = LinearRegression().fit(matrix, truths)
+        prediction = model.predict([[10.0, 5.0]])[0]
+        assert prediction == pytest.approx(10.0 + 5.0 * 7, abs=1e-6)

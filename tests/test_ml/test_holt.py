@@ -1,0 +1,58 @@
+"""Unit tests for Holt's linear smoothing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FittingError
+from repro.ml.holt import HoltModel, fit_holt
+
+
+class TestFitHolt:
+    def test_exact_on_linear_trend(self):
+        series = [4.0 + 2.0 * i for i in range(20)]
+        fit = fit_holt(series)
+        assert fit.forecast(1)[0] == pytest.approx(4.0 + 2.0 * 20, abs=0.5)
+
+    def test_multi_step_forecast(self):
+        series = [10.0 + 3.0 * i for i in range(15)]
+        fit = fit_holt(series)
+        one, two, three = fit.forecast(3)
+        assert two - one == pytest.approx(three - two)  # constant trend
+
+    def test_constant_series(self):
+        fit = fit_holt([5.0] * 10)
+        assert fit.forecast(1)[0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_holt([1.0, 2.0], alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            fit_holt([1.0, 2.0], beta=1.5)
+
+    def test_too_short(self):
+        with pytest.raises(FittingError):
+            fit_holt([1.0])
+
+    def test_forecast_steps_validated(self):
+        fit = fit_holt([1.0, 2.0, 3.0])
+        with pytest.raises(FittingError):
+            fit.forecast(0)
+
+
+class TestHoltModel:
+    def test_trend(self):
+        series = [2.0 + 3.0 * i for i in range(12)]
+        assert HoltModel().predict_next(series) == pytest.approx(38.0, abs=1.0)
+
+    def test_short_series_fallbacks(self):
+        assert HoltModel().predict_next([]) == 0.0
+        assert HoltModel().predict_next([7.0]) == 7.0
+
+    def test_adapts_to_trend_change(self):
+        """Holt should track a recent trend better than global linreg."""
+        from repro.ml.linreg import LinearRegressionModel
+
+        series = [10.0] * 15 + [10.0 + 4.0 * i for i in range(1, 11)]
+        truth = 10.0 + 4.0 * 11
+        holt_error = abs(HoltModel().predict_next(series) - truth)
+        linreg_error = abs(LinearRegressionModel().predict_next(series) - truth)
+        assert holt_error < linreg_error

@@ -1,0 +1,70 @@
+"""Unit tests for the from-scratch linear regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FittingError
+from repro.ml.linreg import LinearRegression, LinearRegressionModel
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        model = LinearRegression().fit([[0.0], [1.0], [2.0]], [1.0, 3.0, 5.0])
+        assert model.intercept == pytest.approx(1.0)
+        assert model.coefficients[0] == pytest.approx(2.0)
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(50, 3))
+        beta = np.array([2.0, -1.0, 0.5])
+        y = x @ beta + 4.0
+        model = LinearRegression().fit(x.tolist(), y.tolist())
+        assert np.allclose(model.coefficients, beta, atol=1e-8)
+        assert model.intercept == pytest.approx(4.0)
+
+    def test_no_intercept(self):
+        model = LinearRegression(fit_intercept=False).fit([[1.0], [2.0]], [2.0, 4.0])
+        assert model.intercept == 0.0
+        assert model.coefficients[0] == pytest.approx(2.0)
+
+    def test_singular_design_falls_back_to_ridge(self):
+        # duplicate feature column -> singular gram matrix
+        x = [[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]
+        model = LinearRegression().fit(x, [2.0, 4.0, 6.0])
+        pred = model.predict([[4.0, 4.0]])[0]
+        assert pred == pytest.approx(8.0, rel=1e-3)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(FittingError):
+            LinearRegression().predict([[1.0]])
+
+    def test_empty_raises(self):
+        with pytest.raises(FittingError):
+            LinearRegression().fit([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FittingError):
+            LinearRegression().fit([[1.0]], [1.0, 2.0])
+
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    def test_exact_on_any_line(self, intercept, slope):
+        xs = [[float(i)] for i in range(6)]
+        ys = [intercept + slope * i for i in range(6)]
+        model = LinearRegression().fit(xs, ys)
+        assert model.predict([[10.0]])[0] == pytest.approx(intercept + slope * 10, abs=1e-6)
+
+
+class TestLinearRegressionModel:
+    def test_predict_next_on_trend(self):
+        series = [2.0 + 3.0 * i for i in range(10)]
+        assert LinearRegressionModel().predict_next(series) == pytest.approx(32.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(FittingError):
+            LinearRegressionModel().predict_next([5.0])

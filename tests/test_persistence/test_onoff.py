@@ -1,0 +1,104 @@
+"""Unit tests for the On-Off sketch and the persistent-vs-simplex study."""
+
+import pytest
+
+from repro.config import StreamGeometry
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.persistence.compare import compare_persistent_and_simplex
+from repro.persistence.onoff import OnOffSketch, PersistentItemFinder
+from repro.streams.planted import (
+    BackgroundTraffic,
+    PlantedItem,
+    PlantedWorkload,
+    constant_pattern,
+    linear_pattern,
+)
+
+
+class TestOnOffSketch:
+    def test_counts_windows_not_arrivals(self):
+        sketch = OnOffSketch(memory_bytes=8000, seed=1)
+        for _ in range(50):
+            sketch.insert("a")  # many arrivals, one window
+        sketch.end_window()
+        assert sketch.query("a") == 1
+
+    def test_persistence_accumulates_across_windows(self):
+        sketch = OnOffSketch(memory_bytes=8000, seed=1)
+        for window in range(6):
+            if window != 3:  # absent one window
+                sketch.insert("a")
+            sketch.end_window()
+        assert sketch.query("a") == 5
+
+    def test_never_underestimates(self):
+        sketch = OnOffSketch(memory_bytes=400, seed=2)
+        truth = {}
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            present = rng.sample(range(60), 30)
+            for item in present:
+                truth[item] = truth.get(item, 0) + 1
+                for _ in range(rng.randint(1, 3)):
+                    sketch.insert(item)
+            sketch.end_window()
+        for item, persistence in truth.items():
+            assert sketch.query(item) >= persistence
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            OnOffSketch(memory_bytes=1)
+
+
+class TestPersistentItemFinder:
+    def test_tracks_most_persistent(self):
+        finder = PersistentItemFinder(memory_bytes=20000, capacity=16, seed=1)
+        for window in range(12):
+            finder.insert("always")
+            if window % 2 == 0:
+                finder.insert("sometimes")
+            if window == 5:
+                finder.insert("once")
+            finder.end_window()
+        ranked = finder.top(3)
+        assert ranked[0][0] == "always"
+        assert finder.query("always") == 12
+
+    def test_exact_for_tracked_items(self):
+        finder = PersistentItemFinder(memory_bytes=20000, capacity=8, seed=1)
+        for _ in range(7):
+            for arrival in range(5):  # multiplicity must not matter
+                finder.insert("x")
+            finder.end_window()
+        assert finder.query("x") == 7
+
+    def test_capacity_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            PersistentItemFinder(memory_bytes=64, capacity=100)
+
+
+class TestPersistentVsSimplex:
+    def test_the_papers_distinction_holds(self):
+        """An erratic regular is persistent-not-simplex; a short clean
+        ramp is simplex-not-top-persistent."""
+        geometry = StreamGeometry(n_windows=24, window_size=400)
+        n = geometry.n_windows
+        plants = [
+            # erratic but ever-present: persistence n, never 1-simplex
+            PlantedItem("erratic", 0, n, constant_pattern(10.0), noise=8.0),
+            # short clean ramp: 1-simplex, persistence only 8
+            PlantedItem("ramp", 4, 8, linear_pattern(4.0, 3.0)),
+        ]
+        # 'erratic' is present in all 24 windows -> persistent; 'ramp'
+        # spans only 8 windows -> below the 80% persistence threshold.
+        background = BackgroundTraffic(n_flows=800, skew=1.0, n_stable=14, rotation_period=3)
+        trace = PlantedWorkload("cmp", geometry, background, plants).build(seed=3)
+        comparison = compare_persistent_and_simplex(
+            trace, SimplexTask.paper_default(1), persistence_fraction=0.8, seed=3
+        )
+        assert "erratic" in comparison.persistent_only
+        assert "ramp" in comparison.simplex_only
+        assert comparison.jaccard < 0.5

@@ -1,0 +1,146 @@
+"""Unit tests for PyramidSketch, MV-Sketch and ElasticSketch."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketch.elastic import ElasticSketch
+from repro.sketch.mv import MVSketch
+from repro.sketch.pyramid import PyramidSketch
+
+
+class TestPyramidSketch:
+    def test_small_counts_exact_when_roomy(self):
+        sketch = PyramidSketch(memory_bytes=40000, d=3, seed=1)
+        for _ in range(7):
+            sketch.insert("a")
+        assert sketch.query("a") == 7
+
+    def test_carry_preserves_large_counts(self):
+        sketch = PyramidSketch(memory_bytes=40000, d=3, seed=1)
+        sketch.insert("hot", 1)
+        for _ in range(999):
+            sketch.insert("hot")
+        assert sketch.query("hot") == 1000  # 1000 > 15: multiple carries
+
+    def test_never_underestimates(self):
+        sketch = PyramidSketch(memory_bytes=4000, d=2, seed=2)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(3000):
+            item = rng.randrange(150)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count
+
+    def test_clear(self):
+        sketch = PyramidSketch(memory_bytes=4000, d=2, seed=1)
+        sketch.insert("a", 100)
+        sketch.clear()
+        assert sketch.query("a") == 0
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            PyramidSketch(memory_bytes=2, d=1)
+        with pytest.raises(ConfigurationError):
+            PyramidSketch(memory_bytes=4000, n_layers=1)
+
+
+class TestMVSketch:
+    def test_lone_item_exact(self):
+        sketch = MVSketch(memory_bytes=12000, d=3, seed=1)
+        for _ in range(25):
+            sketch.insert("a")
+        assert sketch.query("a") == 25
+
+    def test_heavy_flow_becomes_candidate(self):
+        sketch = MVSketch(memory_bytes=600, d=2, seed=3)
+        rng = random.Random(0)
+        for _ in range(2000):
+            sketch.insert("elephant")
+            sketch.insert(f"mouse-{rng.randrange(200)}")
+        heavy = sketch.heavy_candidates(threshold=1000)
+        assert "elephant" in heavy
+
+    def test_estimates_reasonable_under_collisions(self):
+        sketch = MVSketch(memory_bytes=3000, d=3, seed=5)
+        truth = {}
+        rng = random.Random(2)
+        for _ in range(4000):
+            item = rng.randrange(100)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        heavy = [i for i, c in truth.items() if c >= 80]
+        for item in heavy:
+            assert abs(sketch.query(item) - truth[item]) <= truth[item]
+
+    def test_clear(self):
+        sketch = MVSketch(memory_bytes=3000, d=2, seed=1)
+        sketch.insert("a", 10)
+        sketch.clear()
+        assert sketch.query("a") == 0
+        assert sketch.heavy_candidates(1) == {}
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            MVSketch(memory_bytes=4, d=3)
+
+
+class TestElasticSketch:
+    def test_resident_flow_exact(self):
+        sketch = ElasticSketch(memory_bytes=20000, seed=1)
+        for _ in range(50):
+            sketch.insert("flow")
+        assert sketch.query("flow") == 50
+
+    def test_eviction_moves_count_to_light(self):
+        sketch = ElasticSketch(memory_bytes=20000, eviction_ratio=2, seed=1)
+        sketch.insert("old", 3)
+        # find a challenger landing in the same bucket
+        bucket = sketch._bucket("old")
+        challenger = None
+        index = 0
+        while challenger is None:
+            candidate = f"cand-{index}"
+            index += 1
+            if sketch._bucket(candidate) is bucket:
+                challenger = candidate
+        for _ in range(10):
+            sketch.insert(challenger)
+        # the old flow's count survives in the light part
+        assert sketch.query("old") >= 3
+        assert sketch.query(challenger) >= 1
+
+    def test_heavy_flows_listing(self):
+        sketch = ElasticSketch(memory_bytes=20000, seed=2)
+        rng = random.Random(1)
+        for _ in range(3000):
+            sketch.insert("elephant")
+            sketch.insert(f"mouse-{rng.randrange(300)}")
+        heavy = sketch.heavy_flows(threshold=1500)
+        assert "elephant" in heavy
+
+    def test_never_underestimates(self):
+        sketch = ElasticSketch(memory_bytes=6000, seed=3)
+        truth = {}
+        rng = random.Random(4)
+        for _ in range(3000):
+            item = rng.randrange(200)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        for item, count in truth.items():
+            assert sketch.query(item) >= min(count, 255)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ElasticSketch(memory_bytes=20000, heavy_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ElasticSketch(memory_bytes=20000, eviction_ratio=0)
+
+    def test_clear(self):
+        sketch = ElasticSketch(memory_bytes=20000, seed=1)
+        sketch.insert("a", 40)
+        sketch.clear()
+        assert sketch.query("a") == 0

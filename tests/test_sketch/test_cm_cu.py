@@ -1,0 +1,102 @@
+"""Unit tests for the CM and CU sketches."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.cm import CMSketch
+from repro.sketch.cu import CUSketch
+
+
+def _fill(sketch, items):
+    for item in items:
+        sketch.insert(item)
+
+
+class TestCMSketch:
+    def test_exact_when_no_collisions(self):
+        sketch = CMSketch(memory_bytes=40000, d=3, seed=1)
+        _fill(sketch, ["a"] * 5 + ["b"] * 2)
+        assert sketch.query("a") == 5
+        assert sketch.query("b") == 2
+
+    def test_never_underestimates(self):
+        sketch = CMSketch(memory_bytes=600, d=3, seed=2)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(2000):
+            item = rng.randrange(200)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count
+
+    def test_unseen_item_can_be_zero(self):
+        sketch = CMSketch(memory_bytes=40000, d=3, seed=1)
+        assert sketch.query("never") == 0
+
+    def test_insert_with_count(self):
+        sketch = CMSketch(memory_bytes=40000, d=3, seed=1)
+        sketch.insert("a", 7)
+        assert sketch.query("a") == 7
+
+    def test_clear(self):
+        sketch = CMSketch(memory_bytes=40000, d=3, seed=1)
+        sketch.insert("a", 3)
+        sketch.clear()
+        assert sketch.query("a") == 0
+
+    def test_memory_accounting(self):
+        sketch = CMSketch(memory_bytes=12000, d=3, counter_bits=32)
+        assert sketch.memory_bytes <= 12000
+        assert sketch.memory_bytes > 12000 * 0.9
+
+    def test_too_small_memory_raises(self):
+        with pytest.raises(ConfigurationError):
+            CMSketch(memory_bytes=2, d=3)
+
+    def test_invalid_d_raises(self):
+        with pytest.raises(ConfigurationError):
+            CMSketch(memory_bytes=1000, d=0)
+
+
+class TestCUSketch:
+    def test_never_underestimates(self):
+        sketch = CUSketch(memory_bytes=600, d=3, seed=2)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(2000):
+            item = rng.randrange(200)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count
+
+    def test_tighter_than_cm_under_pressure(self):
+        """CU's conservative update gives total error <= CM's."""
+        cm = CMSketch(memory_bytes=400, d=3, seed=7)
+        cu = CUSketch(memory_bytes=400, d=3, seed=7)
+        truth = {}
+        rng = random.Random(3)
+        for _ in range(3000):
+            item = rng.randrange(300)
+            truth[item] = truth.get(item, 0) + 1
+            cm.insert(item)
+            cu.insert(item)
+        cm_error = sum(cm.query(i) - c for i, c in truth.items())
+        cu_error = sum(cu.query(i) - c for i, c in truth.items())
+        assert cu_error <= cm_error
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    def test_upper_bound_property(self, stream):
+        sketch = CUSketch(memory_bytes=50000, d=3, seed=11)
+        truth = {}
+        for item in stream:
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count

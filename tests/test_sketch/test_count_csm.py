@@ -1,0 +1,77 @@
+"""Unit tests for the Count and CSM sketches."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketch.count import CountSketch
+from repro.sketch.csm import CSMSketch
+
+
+class TestCountSketch:
+    def test_exact_when_roomy(self):
+        sketch = CountSketch(memory_bytes=40000, d=5, seed=1)
+        for _ in range(9):
+            sketch.insert("a")
+        assert sketch.query("a") == 9
+
+    def test_unbiased_sign_cancellation(self):
+        """Estimates may go below truth (unlike CM), but stay close on
+        average with ample memory."""
+        sketch = CountSketch(memory_bytes=8000, d=5, seed=3)
+        truth = {}
+        rng = random.Random(1)
+        for _ in range(4000):
+            item = rng.randrange(400)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        errors = [sketch.query(i) - c for i, c in truth.items()]
+        mean_error = sum(errors) / len(errors)
+        assert abs(mean_error) < 2.0
+
+    def test_clear(self):
+        sketch = CountSketch(memory_bytes=4000, d=3, seed=1)
+        sketch.insert("a", 5)
+        sketch.clear()
+        assert sketch.query("a") == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(memory_bytes=4, d=3)
+        with pytest.raises(ConfigurationError):
+            CountSketch(memory_bytes=4000, d=0)
+
+
+class TestCSMSketch:
+    def test_roughly_unbiased(self):
+        sketch = CSMSketch(memory_bytes=8000, d=4, seed=5)
+        truth = {}
+        rng = random.Random(2)
+        for _ in range(5000):
+            item = rng.randrange(300)
+            truth[item] = truth.get(item, 0) + 1
+            sketch.insert(item)
+        heavy = [i for i, c in truth.items() if c >= 20]
+        assert heavy
+        rel_errors = [abs(sketch.query(i) - truth[i]) / truth[i] for i in heavy]
+        assert sum(rel_errors) / len(rel_errors) < 0.5
+
+    def test_total_insertions_tracked(self):
+        sketch = CSMSketch(memory_bytes=4000, d=3, seed=1)
+        sketch.insert("a", 4)
+        sketch.insert("b", 2)
+        assert sketch.total_insertions == 6
+
+    def test_clear_resets_total(self):
+        sketch = CSMSketch(memory_bytes=4000, d=3, seed=1)
+        sketch.insert("a", 4)
+        sketch.clear()
+        assert sketch.total_insertions == 0
+        assert sketch.query("a") == 0
+
+    def test_query_never_negative(self):
+        sketch = CSMSketch(memory_bytes=400, d=3, seed=1)
+        for i in range(500):
+            sketch.insert(i)
+        assert all(sketch.query(i) >= 0 for i in range(500))

@@ -1,0 +1,85 @@
+"""Unit tests for CounterArray."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.counters import CounterArray
+
+
+class TestCounterArrayBasics:
+    def test_starts_zeroed(self):
+        array = CounterArray(8, bits=4)
+        assert list(array) == [0] * 8
+
+    def test_increment_and_get(self):
+        array = CounterArray(4, bits=8)
+        assert array.increment(2) == 1
+        assert array.increment(2, 5) == 6
+        assert array.get(2) == 6
+        assert array.get(0) == 0
+
+    def test_saturation(self):
+        array = CounterArray(2, bits=4)
+        array.increment(0, 100)
+        assert array.get(0) == 15
+        assert array.is_saturated(0)
+        array.increment(0)
+        assert array.get(0) == 15  # stays pinned
+
+    def test_set_clamps(self):
+        array = CounterArray(2, bits=4)
+        array.set(1, 99)
+        assert array.get(1) == 15
+
+    def test_set_rejects_negative(self):
+        array = CounterArray(2, bits=4)
+        with pytest.raises(ValueError):
+            array.set(0, -1)
+
+    def test_clear(self):
+        array = CounterArray(4, bits=8)
+        array.increment(1, 3)
+        array.clear()
+        assert list(array) == [0, 0, 0, 0]
+
+    def test_clear_stride(self):
+        array = CounterArray(8, bits=8)
+        for i in range(8):
+            array.set(i, i + 1)
+        array.clear_stride(1, 4)  # zero indices 1 and 5
+        assert list(array) == [1, 0, 3, 4, 5, 0, 7, 8]
+
+    def test_memory_bytes_bit_exact(self):
+        assert CounterArray(16, bits=4).memory_bytes == 8.0
+        assert CounterArray(3, bits=32).memory_bytes == 12.0
+
+    @pytest.mark.parametrize("size, bits", [(0, 8), (-1, 8), (4, 0), (4, 65)])
+    def test_invalid_construction(self, size, bits):
+        with pytest.raises(ConfigurationError):
+            CounterArray(size, bits)
+
+
+class TestCounterArrayProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=30),
+        st.integers(min_value=2, max_value=10),
+    )
+    def test_increments_never_exceed_max(self, amounts, bits):
+        array = CounterArray(1, bits=bits)
+        total = 0
+        for amount in amounts:
+            array.increment(0, amount)
+            total += amount
+            assert array.get(0) == min(total, array.max_value)
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=6))
+    def test_clear_stride_only_touches_its_slot(self, n_logical, stride):
+        array = CounterArray(n_logical * stride, bits=16)
+        for i in range(len(array)):
+            array.set(i, 7)
+        array.clear_stride(0, stride)
+        values = list(array)
+        for i, value in enumerate(values):
+            assert value == (0 if i % stride == 0 else 7)

@@ -1,0 +1,89 @@
+"""Unit tests for Cold Filter and LogLog Filter."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketch.coldfilter import ColdFilter
+from repro.sketch.loglogfilter import LogLogFilter
+
+
+class TestColdFilter:
+    def test_cold_items_stay_in_layer1(self):
+        cf = ColdFilter(memory_bytes=8000, seed=1)
+        for _ in range(5):
+            cf.insert("cold")
+        assert cf.query("cold") == 5
+
+    def test_hot_items_spill_to_layer2(self):
+        cf = ColdFilter(memory_bytes=8000, seed=1)
+        for _ in range(100):
+            cf.insert("hot")
+        assert cf.query("hot") >= 100
+
+    def test_threshold_is_layer1_cap(self):
+        cf = ColdFilter(memory_bytes=8000, bits1=4, seed=1)
+        assert cf.threshold == 15
+
+    def test_never_underestimates(self):
+        cf = ColdFilter(memory_bytes=2000, seed=3)
+        truth = {}
+        rng = random.Random(1)
+        for _ in range(2000):
+            item = rng.randrange(150)
+            truth[item] = truth.get(item, 0) + 1
+            cf.insert(item)
+        for item, count in truth.items():
+            assert cf.query(item) >= count
+
+    def test_bulk_insert_matches_repeated(self):
+        a = ColdFilter(memory_bytes=8000, seed=5)
+        b = ColdFilter(memory_bytes=8000, seed=5)
+        a.insert("x", 40)
+        for _ in range(40):
+            b.insert("x")
+        assert a.query("x") == b.query("x")
+
+    def test_clear(self):
+        cf = ColdFilter(memory_bytes=2000, seed=1)
+        cf.insert("a", 50)
+        cf.clear()
+        assert cf.query("a") == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ColdFilter(memory_bytes=2000, layer1_fraction=0.0)
+
+
+class TestLogLogFilter:
+    def test_zero_before_insert(self):
+        llf = LogLogFilter(memory_bytes=2000, seed=1)
+        assert llf.query("never") == 0
+
+    def test_monotone_nondecreasing_with_inserts(self):
+        llf = LogLogFilter(memory_bytes=2000, seed=1, rng=random.Random(0))
+        previous = 0
+        for _ in range(200):
+            llf.insert("x")
+            estimate = llf.query("x")
+            assert estimate >= previous
+            previous = estimate
+
+    def test_log_scale_accuracy(self):
+        """The register estimate is within ~4x of the truth for a lone item."""
+        llf = LogLogFilter(memory_bytes=8000, seed=2, rng=random.Random(7))
+        for _ in range(256):
+            llf.insert("only")
+        estimate = llf.query("only")
+        assert 256 / 4 <= estimate <= 256 * 4
+
+    def test_clear(self):
+        llf = LogLogFilter(memory_bytes=2000, seed=1)
+        llf.insert("a", 10)
+        llf.clear()
+        assert llf.query("a") == 0
+
+    def test_too_small_memory(self):
+        with pytest.raises(ConfigurationError):
+            LogLogFilter(memory_bytes=0)

@@ -1,0 +1,79 @@
+"""Unit and property tests for SpaceSaving."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.spacesaving import SpaceSaving
+
+
+class TestSpaceSavingBasics:
+    def test_exact_under_capacity(self):
+        ss = SpaceSaving(capacity=10)
+        for _ in range(5):
+            ss.insert("a")
+        ss.insert("b", 3)
+        assert ss.query("a") == 5
+        assert ss.query("b") == 3
+        assert ss.guaranteed("a") == 5
+
+    def test_replacement_inherits_error(self):
+        ss = SpaceSaving(capacity=1)
+        ss.insert("a", 4)
+        ss.insert("b")  # evicts a, inherits count 4 as error
+        assert ss.query("b") == 5
+        assert ss.guaranteed("b") == 1
+        assert ss.query("a") == 0
+
+    def test_top_ordering(self):
+        ss = SpaceSaving(capacity=8)
+        ss.insert("big", 10)
+        ss.insert("mid", 5)
+        ss.insert("small", 1)
+        assert [item for item, _ in ss.top(2)] == ["big", "mid"]
+
+    def test_heavy_hitters(self):
+        ss = SpaceSaving(capacity=8)
+        ss.insert("elephant", 80)
+        ss.insert("mouse", 20)
+        heavy = ss.heavy_hitters(phi=0.5)
+        assert [item for item, _ in heavy] == ["elephant"]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(0)
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(4).heavy_hitters(phi=1.5)
+
+
+class TestSpaceSavingGuarantees:
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_estimate_brackets_truth(self, stream, capacity):
+        """``count - error <= truth <= count`` for every tracked item."""
+        ss = SpaceSaving(capacity)
+        truth = {}
+        for item in stream:
+            truth[item] = truth.get(item, 0) + 1
+            ss.insert(item)
+        for item, _ in ss.top():
+            assert ss.guaranteed(item) <= truth.get(item, 0) <= ss.query(item)
+
+    def test_heavy_items_always_tracked(self):
+        """Any item above N/capacity must survive (the classic bound)."""
+        rng = random.Random(0)
+        capacity = 10
+        ss = SpaceSaving(capacity)
+        stream = ["heavy"] * 400 + [f"m{rng.randrange(200)}" for _ in range(600)]
+        rng.shuffle(stream)
+        for item in stream:
+            ss.insert(item)
+        # heavy has 400 > 1000/10 = 100
+        assert ss.query("heavy") >= 400
+        assert "heavy" in {item for item, _ in ss.top()}

@@ -1,0 +1,80 @@
+"""Unit tests for TowerSketch (CM and CU update rules, overflow)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketch.tower import TowerSketch, tower_level_widths
+
+
+class TestLevelWidths:
+    def test_paper_widths(self):
+        assert tower_level_widths(3) == [4, 8, 16]
+        assert tower_level_widths(1) == [4]
+
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            tower_level_widths(0)
+
+
+class TestTowerStructure:
+    def test_equal_memory_per_level(self):
+        tower = TowerSketch(memory_bytes=3000, d=3, seed=1)
+        per_level = [level.memory_bytes for level in tower.levels]
+        assert max(per_level) - min(per_level) <= 2  # rounding only
+
+    def test_lower_levels_have_more_counters(self):
+        tower = TowerSketch(memory_bytes=3000, d=3, seed=1)
+        sizes = [level.size for level in tower.levels]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_invalid_update_rule(self):
+        with pytest.raises(ConfigurationError):
+            TowerSketch(memory_bytes=3000, d=3, update_rule="median")
+
+    def test_level_bits_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TowerSketch(memory_bytes=3000, d=3, level_bits=[4, 8])
+
+
+@pytest.mark.parametrize("rule", ["cm", "cu"])
+class TestTowerEstimation:
+    def test_never_underestimates(self, rule):
+        tower = TowerSketch(memory_bytes=1500, d=3, update_rule=rule, seed=4)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(3000):
+            item = rng.randrange(250)
+            truth[item] = truth.get(item, 0) + 1
+            tower.insert(item)
+        for item, count in truth.items():
+            assert tower.query(item) >= min(count, 65535)
+
+    def test_small_counter_overflow_falls_to_higher_level(self, rule):
+        tower = TowerSketch(memory_bytes=30000, d=3, update_rule=rule, seed=2)
+        for _ in range(100):  # > 15, the 4-bit cap
+            tower.insert("heavy")
+        assert tower.query("heavy") >= 100
+
+    def test_clear(self, rule):
+        tower = TowerSketch(memory_bytes=3000, d=3, update_rule=rule, seed=2)
+        tower.insert("a")
+        tower.clear()
+        assert tower.query("a") == 0
+
+
+class TestTowerCUvsCM:
+    def test_cu_total_error_not_worse(self):
+        cm = TowerSketch(memory_bytes=1200, d=3, update_rule="cm", seed=9)
+        cu = TowerSketch(memory_bytes=1200, d=3, update_rule="cu", seed=9)
+        truth = {}
+        rng = random.Random(5)
+        for _ in range(2500):
+            item = rng.randrange(400)
+            truth[item] = truth.get(item, 0) + 1
+            cm.insert(item)
+            cu.insert(item)
+        cm_err = sum(cm.query(i) - min(c, 65535) for i, c in truth.items())
+        cu_err = sum(cu.query(i) - min(c, 65535) for i, c in truth.items())
+        assert cu_err <= cm_err

@@ -1,0 +1,125 @@
+"""Unit tests for windowed (sub-counter) Stage-1 structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketch.windowed import (
+    WINDOWED_STRUCTURES,
+    WindowedCM,
+    WindowedCU,
+    WindowedTower,
+    make_windowed_filter,
+)
+
+
+@pytest.mark.parametrize("structure", WINDOWED_STRUCTURES)
+class TestWindowedCommon:
+    def test_slots_are_independent(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=4, seed=1)
+        for _ in range(6):
+            wf.insert("a", 1)
+        assert wf.query_slot("a", 0) == 0
+        assert wf.query_slot("a", 1) > 0
+        assert wf.query_slot("a", 2) == 0
+
+    def test_clear_slot_only_clears_that_slot(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=3, seed=1)
+        for slot in range(3):
+            for _ in range(4):
+                wf.insert("a", slot)
+        wf.clear_slot(1)
+        assert wf.query_slot("a", 1) == 0
+        assert wf.query_slot("a", 0) > 0
+        assert wf.query_slot("a", 2) > 0
+
+    def test_clear_wipes_everything(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=3, seed=1)
+        for slot in range(3):
+            wf.insert("a", slot)
+        wf.clear()
+        assert wf.query_slots("a", [0, 1, 2]) == [0, 0, 0]
+
+    def test_query_slots_positive_matches_query_slots(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=4, seed=2)
+        for slot in range(4):
+            for _ in range(3):
+                wf.insert("a", slot)
+        slots = [0, 1, 2, 3]
+        positive = wf.query_slots_positive("a", slots)
+        assert positive == wf.query_slots("a", slots)
+
+    def test_query_slots_positive_none_on_gap(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=4, seed=2)
+        wf.insert("a", 0)
+        wf.insert("a", 2)
+        assert wf.query_slots_positive("a", [0, 1, 2, 3]) is None
+
+    def test_bad_slot_raises(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=4, seed=2)
+        with pytest.raises(ConfigurationError):
+            wf.insert("a", 4)
+        with pytest.raises(ConfigurationError):
+            wf.query_slot("a", -1)
+
+    def test_memory_within_budget(self, structure):
+        wf = make_windowed_filter(structure, 40000, s=4, seed=2)
+        assert wf.memory_bytes <= 40000
+
+
+class TestWindowedTowerSpecifics:
+    def test_sub_counters_scale_memory(self):
+        """s sub-counters per counter -> s times fewer logical counters."""
+        one = WindowedTower(memory_bytes=48000, s=1, d=3, seed=1)
+        four = WindowedTower(memory_bytes=48000, s=4, d=3, seed=1)
+        assert four.level_counters[0] * 4 <= one.level_counters[0] + 4
+
+    def test_never_underestimates_cm(self):
+        wf = WindowedTower(memory_bytes=3000, s=2, d=3, update_rule="cm", seed=3)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(2000):
+            item = rng.randrange(200)
+            slot = rng.randrange(2)
+            truth[(item, slot)] = truth.get((item, slot), 0) + 1
+            wf.insert(item, slot)
+        for (item, slot), count in truth.items():
+            assert wf.query_slot(item, slot) >= min(count, 65535)
+
+    def test_never_underestimates_cu(self):
+        wf = WindowedTower(memory_bytes=3000, s=2, d=3, update_rule="cu", seed=3)
+        truth = {}
+        rng = random.Random(0)
+        for _ in range(2000):
+            item = rng.randrange(200)
+            slot = rng.randrange(2)
+            truth[(item, slot)] = truth.get((item, slot), 0) + 1
+            wf.insert(item, slot)
+        for (item, slot), count in truth.items():
+            assert wf.query_slot(item, slot) >= min(count, 65535)
+
+    def test_overflow_escalates(self):
+        wf = WindowedTower(memory_bytes=60000, s=2, d=3, update_rule="cm", seed=1)
+        for _ in range(300):
+            wf.insert("heavy", 0)
+        assert wf.query_slot("heavy", 0) >= 300
+
+    def test_unknown_structure(self):
+        with pytest.raises(ConfigurationError):
+            make_windowed_filter("bloom", 1000, s=2)
+
+
+class TestWindowedCMvsCU:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 2)), min_size=10, max_size=300))
+    def test_cu_bounded_by_cm(self, stream):
+        cm = WindowedCM(memory_bytes=900, s=3, d=2, seed=6)
+        cu = WindowedCU(memory_bytes=900, s=3, d=2, seed=6)
+        for item, slot in stream:
+            cm.insert(item, slot)
+            cu.insert(item, slot)
+        for item, slot in set(stream):
+            assert cu.query_slot(item, slot) <= cm.query_slot(item, slot)

@@ -1,0 +1,80 @@
+"""Reference-model property tests for the windowed filters.
+
+A dict keyed by (item, slot) is the exact reference; every windowed
+structure must never underestimate it (CM/CU/tower/cold are
+conservative by construction; LogLog is probabilistic and excluded),
+and bulk inserts must equal repeated single inserts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.windowed import make_windowed_filter
+
+CONSERVATIVE = ["tower", "cm", "cu", "cold"]
+
+STREAMS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=25), st.integers(min_value=0, max_value=3)),
+    min_size=1,
+    max_size=250,
+)
+
+
+class TestNeverUnderestimate:
+    @pytest.mark.parametrize("structure", CONSERVATIVE)
+    @settings(max_examples=20, deadline=None)
+    @given(STREAMS)
+    def test_structure_never_underestimates(self, structure, stream):
+        wf = make_windowed_filter(structure, 6000, s=4, seed=9)
+        truth = {}
+        for item, slot in stream:
+            truth[(item, slot)] = truth.get((item, slot), 0) + 1
+            wf.insert(item, slot)
+        for (item, slot), count in truth.items():
+            assert wf.query_slot(item, slot) >= min(count, 65535)
+
+
+class TestBulkEqualsRepeated:
+    @pytest.mark.parametrize("structure", CONSERVATIVE)
+    def test_single_item_bulk(self, structure):
+        a = make_windowed_filter(structure, 20000, s=3, seed=4)
+        b = make_windowed_filter(structure, 20000, s=3, seed=4)
+        a.insert_count("x", 1, 23)
+        for _ in range(23):
+            b.insert("x", 1)
+        assert a.query_slot("x", 1) == b.query_slot("x", 1)
+
+    @pytest.mark.parametrize("structure", ["tower", "cm", "cu"])
+    @settings(max_examples=15, deadline=None)
+    @given(STREAMS)
+    def test_interleaved_bulk_never_underestimates(self, structure, stream):
+        """Bulk updates interleaved with singles keep the guarantee."""
+        wf = make_windowed_filter(structure, 6000, s=4, seed=5)
+        truth = {}
+        rng = random.Random(7)
+        for item, slot in stream:
+            count = rng.choice([1, 1, 3, 10])
+            truth[(item, slot)] = truth.get((item, slot), 0) + count
+            wf.insert_count(item, slot, count)
+        for (item, slot), count in truth.items():
+            assert wf.query_slot(item, slot) >= min(count, 65535)
+
+
+class TestClearSlotIsolation:
+    @pytest.mark.parametrize("structure", CONSERVATIVE)
+    @settings(max_examples=15, deadline=None)
+    @given(STREAMS, st.integers(min_value=0, max_value=3))
+    def test_clearing_one_slot_preserves_others(self, structure, stream, cleared):
+        wf = make_windowed_filter(structure, 6000, s=4, seed=6)
+        truth = {}
+        for item, slot in stream:
+            truth[(item, slot)] = truth.get((item, slot), 0) + 1
+            wf.insert(item, slot)
+        wf.clear_slot(cleared)
+        for (item, slot), count in truth.items():
+            if slot == cleared:
+                continue
+            assert wf.query_slot(item, slot) >= min(count, 65535)

@@ -1,0 +1,95 @@
+"""Unit tests for the dataset substitutes and DDoS/IO helpers."""
+
+import pytest
+
+from repro.core.oracle import SimplexOracle
+from repro.errors import ConfigurationError, StreamError
+from repro.fitting.simplex import SimplexTask
+from repro.streams.datasets import DATASET_GENERATORS, make_dataset, transactional_stream
+from repro.streams.ddos import ddos_stream
+from repro.streams.io import load_trace_csv, save_trace_csv
+
+
+class TestDatasetBuilders:
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_geometry_and_determinism(self, name):
+        a = make_dataset(name, n_windows=10, window_size=300, seed=3)
+        b = make_dataset(name, n_windows=10, window_size=300, seed=3)
+        assert a.geometry.n_windows == 10
+        assert a.geometry.window_size == 300
+        assert a.window_items == b.window_items
+
+    def test_seed_changes_trace(self):
+        a = make_dataset("ip_trace", n_windows=8, window_size=300, seed=1)
+        b = make_dataset("ip_trace", n_windows=8, window_size=300, seed=2)
+        assert a.window_items != b.window_items
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("netflix")
+
+    @pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+    def test_contains_simplex_items_of_each_degree(self, name):
+        trace = make_dataset(name, n_windows=30, window_size=1500, seed=7)
+        for k in (0, 1, 2):
+            oracle = SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(k))
+            assert len(oracle.instances) > 0, f"{name} has no {k}-simplex instances"
+
+    def test_simplex_items_are_rare(self):
+        """Simplex items are a small minority, as in the paper's traces."""
+        trace = make_dataset("ip_trace", n_windows=30, window_size=1500, seed=7)
+        oracle = SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(1))
+        simplex_items = {item for item, _ in oracle.instances}
+        assert len(simplex_items) / trace.distinct_items() < 0.02
+
+    def test_transactional_has_sku_background(self):
+        trace = transactional_stream(n_windows=6, window_size=400, seed=1)
+        assert any(str(item).startswith("sku-") for item in trace.window_items[0])
+
+
+class TestDDoS:
+    def test_scenario_metadata(self):
+        trace, scenario = ddos_stream(n_windows=30, window_size=800, n_attackers=5,
+                                      onset_window=10, duration=15, seed=1)
+        assert len(scenario.attack_items) == 5
+        assert scenario.onset_window == 10
+        # attack flows absent before onset, present during the attack
+        before = set(trace.window_items[5])
+        during = set(trace.window_items[15])
+        assert not (before & set(scenario.attack_items))
+        assert set(scenario.attack_items) <= during
+
+    def test_attack_is_1_simplex(self):
+        trace, scenario = ddos_stream(n_windows=30, window_size=800, n_attackers=3,
+                                      onset_window=8, duration=16, seed=2)
+        oracle = SimplexOracle.from_stream(trace.windows(), SimplexTask.paper_default(1))
+        detected = {item for item, _ in oracle.instances}
+        assert set(scenario.attack_items) <= detected
+
+    def test_attack_must_fit_in_trace(self):
+        with pytest.raises(ConfigurationError):
+            ddos_stream(n_windows=20, onset_window=15, duration=10)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = make_dataset("synthetic", n_windows=4, window_size=100, seed=1)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path, name="synthetic")
+        assert loaded.geometry == trace.geometry
+        assert [list(map(str, w)) for w in loaded.windows()] == [
+            list(map(str, w)) for w in trace.windows()
+        ]
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(StreamError):
+            load_trace_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("window,item\n")
+        with pytest.raises(StreamError):
+            load_trace_csv(path)

@@ -1,0 +1,69 @@
+"""Unit tests for Trace, iter_windows and WindowAccumulator."""
+
+import pytest
+
+from repro.config import StreamGeometry
+from repro.errors import StreamError
+from repro.streams.model import Trace
+from repro.streams.windows import WindowAccumulator, iter_windows
+
+
+class TestTrace:
+    def _trace(self):
+        geometry = StreamGeometry(n_windows=3, window_size=2)
+        return Trace(name="t", geometry=geometry, window_items=[["a", "b"], ["a", "a"], ["c", "b"]])
+
+    def test_windows_iteration(self):
+        trace = self._trace()
+        assert [list(w) for w in trace.windows()] == [["a", "b"], ["a", "a"], ["c", "b"]]
+
+    def test_items_flat(self):
+        assert list(self._trace().items()) == ["a", "b", "a", "a", "c", "b"]
+
+    def test_len_and_distinct(self):
+        trace = self._trace()
+        assert len(trace) == 6
+        assert trace.distinct_items() == 3
+
+    def test_window_count_mismatch_raises(self):
+        geometry = StreamGeometry(n_windows=2, window_size=2)
+        with pytest.raises(StreamError):
+            Trace(name="bad", geometry=geometry, window_items=[["a", "b"]])
+
+    def test_window_size_mismatch_raises(self):
+        geometry = StreamGeometry(n_windows=1, window_size=3)
+        with pytest.raises(StreamError):
+            Trace(name="bad", geometry=geometry, window_items=[["a", "b"]])
+
+
+class TestIterWindows:
+    def test_chops_evenly(self):
+        windows = list(iter_windows("abcdef", 2))
+        assert windows == [["a", "b"], ["c", "d"], ["e", "f"]]
+
+    def test_drops_partial_tail(self):
+        windows = list(iter_windows("abcde", 2))
+        assert windows == [["a", "b"], ["c", "d"]]
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamError):
+            list(iter_windows("abc", 0))
+
+
+class TestWindowAccumulator:
+    def test_push_returns_completed_window(self):
+        acc = WindowAccumulator(3)
+        assert acc.push("a") is None
+        assert acc.push("b") is None
+        assert acc.push("c") == ["a", "b", "c"]
+        assert acc.completed_windows == 1
+        assert acc.pending == 0
+
+    def test_pending_counts(self):
+        acc = WindowAccumulator(3)
+        acc.push("a")
+        assert acc.pending == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(StreamError):
+            WindowAccumulator(0)

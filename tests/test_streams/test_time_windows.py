@@ -1,0 +1,72 @@
+"""Unit tests for time-based windowing."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.windows import TimeWindowAccumulator
+
+
+class TestTimeWindowAccumulator:
+    def test_single_window(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0)
+        assert acc.push(1.0, "a") == []
+        assert acc.push(5.0, "b") == []
+        assert acc.pending == 2
+
+    def test_crossing_boundary_closes_window(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0)
+        acc.push(1.0, "a")
+        acc.push(9.9, "b")
+        closed = acc.push(10.0, "c")
+        assert closed == [["a", "b"]]
+        assert acc.pending == 1
+        assert acc.completed_windows == 1
+
+    def test_quiet_gap_emits_empty_windows(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0)
+        acc.push(1.0, "a")
+        closed = acc.push(35.0, "b")
+        assert closed == [["a"], [], []]
+        assert acc.completed_windows == 3
+
+    def test_out_of_order_rejected(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0)
+        acc.push(5.0, "a")
+        with pytest.raises(StreamError):
+            acc.push(4.0, "b")
+
+    def test_flush_returns_partial(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0)
+        acc.push(1.0, "a")
+        assert acc.flush() == ["a"]
+        assert acc.pending == 0
+
+    def test_custom_start_time(self):
+        acc = TimeWindowAccumulator(window_seconds=10.0, start_time=100.0)
+        assert acc.push(105.0, "a") == []
+        assert acc.push(110.0, "b") == [["a"]]
+
+    def test_invalid_window(self):
+        with pytest.raises(StreamError):
+            TimeWindowAccumulator(window_seconds=0)
+
+    def test_drives_xsketch(self):
+        """End-to-end: a k=0 X-Sketch on wall-clock windows."""
+        from repro.config import XSketchConfig
+        from repro.core.xsketch import XSketch
+        from repro.fitting.simplex import SimplexTask
+
+        sketch = XSketch(
+            XSketchConfig(task=SimplexTask(k=0, p=5, T=1.0, L=1.0), memory_kb=50.0), seed=1
+        )
+        acc = TimeWindowAccumulator(window_seconds=1.0)
+        reports = []
+        timestamp = 0.0
+        for _ in range(12):  # 12 seconds, 6 arrivals of "x" per second
+            for i in range(6):
+                for closed in acc.push(timestamp, "x"):
+                    for item in closed:
+                        sketch.insert(item)
+                    reports.extend(sketch.end_window())
+                timestamp += 1.0 / 6
+        assert any(r.item == "x" for r in reports)

@@ -1,0 +1,144 @@
+"""Unit tests for the Zipf sampler and planted workloads."""
+
+import numpy as np
+import pytest
+
+from repro.config import StreamGeometry
+from repro.errors import ConfigurationError, StreamError
+from repro.streams.planted import (
+    BackgroundTraffic,
+    PlantedItem,
+    PlantedWorkload,
+    constant_pattern,
+    linear_pattern,
+    quadratic_pattern,
+)
+from repro.streams.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, 1.5, np.random.default_rng(0))
+        assert sum(sampler.probability(i) for i in range(100)) == pytest.approx(1.0)
+
+    def test_rank_one_most_popular(self):
+        sampler = ZipfSampler(100, 1.5, np.random.default_rng(0))
+        assert sampler.probability(0) > sampler.probability(1) > sampler.probability(50)
+
+    def test_skew_shapes_head_mass(self):
+        flat = ZipfSampler(100, 0.1, np.random.default_rng(0))
+        steep = ZipfSampler(100, 2.0, np.random.default_rng(0))
+        assert steep.probability(0) > flat.probability(0)
+
+    def test_samples_in_range_and_skewed(self):
+        sampler = ZipfSampler(50, 1.2, np.random.default_rng(3))
+        draws = sampler.sample(5000)
+        assert all(0 <= d < 50 for d in draws)
+        assert draws.count(0) > draws.count(40)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(10, -0.5, rng)
+
+
+class TestPatterns:
+    def test_constant(self):
+        assert constant_pattern(5.0)(3) == 5.0
+
+    def test_linear(self):
+        pattern = linear_pattern(2.0, 3.0)
+        assert pattern(0) == 2.0
+        assert pattern(4) == 14.0
+
+    def test_quadratic(self):
+        pattern = quadratic_pattern(1.0, 2.0, 3.0)
+        assert pattern(2) == 1 + 4 + 12
+
+
+class TestPlantedItem:
+    def test_active_range(self):
+        plant = PlantedItem("x", 3, 4, constant_pattern(6.0))
+        rng = np.random.default_rng(0)
+        assert plant.count_at(2, rng) == 0
+        assert plant.count_at(3, rng) == 6
+        assert plant.count_at(6, rng) == 6
+        assert plant.count_at(7, rng) == 0
+
+    def test_counts_at_least_one_when_active(self):
+        plant = PlantedItem("x", 0, 5, constant_pattern(0.2), noise=0.5)
+        rng = np.random.default_rng(0)
+        assert all(plant.count_at(w, rng) >= 1 for w in range(5))
+
+    def test_noise_bounded(self):
+        plant = PlantedItem("x", 0, 100, constant_pattern(10.0), noise=2.0)
+        rng = np.random.default_rng(1)
+        counts = [plant.count_at(w, rng) for w in range(100)]
+        assert all(8 <= c <= 12 for c in counts)
+
+
+class TestBackgroundTraffic:
+    def test_generates_requested_count(self):
+        background = BackgroundTraffic(n_flows=100, skew=1.0)
+        rng = np.random.default_rng(0)
+        assert len(background.generate(0, 500, rng)) == 500
+
+    def test_stable_flows_keep_identity(self):
+        background = BackgroundTraffic(n_flows=100, skew=1.0, n_stable=100, rotation_period=None)
+        rng = np.random.default_rng(0)
+        ids_a = set(background.generate(0, 300, rng))
+        ids_b = set(background.generate(9, 300, rng))
+        assert ids_a & ids_b  # same namespace across windows
+
+    def test_rotation_changes_mice_identity(self):
+        background = BackgroundTraffic(n_flows=100, skew=0.5, n_stable=0, rotation_period=2)
+        rng = np.random.default_rng(0)
+        epoch0 = set(background.generate(0, 300, rng))
+        epoch1 = set(background.generate(2, 300, rng))
+        assert not (epoch0 & epoch1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BackgroundTraffic(n_flows=0)
+        with pytest.raises(ConfigurationError):
+            BackgroundTraffic(n_flows=10, rotation_period=0)
+
+
+class TestPlantedWorkload:
+    def test_build_geometry(self):
+        geometry = StreamGeometry(n_windows=5, window_size=100)
+        workload = PlantedWorkload(
+            "w", geometry, BackgroundTraffic(n_flows=50),
+            [PlantedItem("x", 0, 5, constant_pattern(4.0))],
+        )
+        trace = workload.build(seed=1)
+        assert trace.geometry == geometry
+        assert all(len(w) == 100 for w in trace.windows())
+
+    def test_planted_counts_exact_without_noise(self):
+        geometry = StreamGeometry(n_windows=5, window_size=100)
+        workload = PlantedWorkload(
+            "w", geometry, BackgroundTraffic(n_flows=50, prefix="zz"),
+            [PlantedItem("x", 1, 3, linear_pattern(2.0, 3.0))],
+        )
+        trace = workload.build(seed=1)
+        counts = [list(w).count("x") for w in trace.windows()]
+        assert counts == [0, 2, 5, 8, 0]
+
+    def test_deterministic_given_seed(self):
+        geometry = StreamGeometry(n_windows=3, window_size=50)
+        workload = PlantedWorkload("w", geometry, BackgroundTraffic(n_flows=30), [])
+        a = workload.build(seed=5)
+        b = workload.build(seed=5)
+        assert a.window_items == b.window_items
+
+    def test_overflow_raises(self):
+        geometry = StreamGeometry(n_windows=2, window_size=10)
+        workload = PlantedWorkload(
+            "w", geometry, BackgroundTraffic(n_flows=30),
+            [PlantedItem("x", 0, 2, constant_pattern(50.0))],
+        )
+        with pytest.raises(StreamError):
+            workload.build(seed=1)
