@@ -33,12 +33,15 @@ from repro.core import (
     SimplexReport,
     XSketch,
 )
+from repro.runtime import KeyPartitioner, ShardedXSketch
 
 __all__ = [
     "__version__",
     "BaselineConfig",
     "BaselineSolution",
+    "KeyPartitioner",
     "PolynomialFit",
+    "ShardedXSketch",
     "SimplexOracle",
     "SimplexReport",
     "SimplexTask",

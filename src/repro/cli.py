@@ -31,6 +31,13 @@ from repro.version import __version__
 ALL_DATASETS = sorted(DATASET_GENERATORS) + ["transactional"]
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def _add_stream_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=ALL_DATASETS, default="ip_trace")
     parser.add_argument("--windows", type=int, default=40, help="number of windows")
@@ -43,10 +50,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     task = SimplexTask(k=args.k, p=args.p, T=args.T, L=args.L)
     trace = make_dataset(args.dataset, args.windows, args.window_size, args.seed)
-    algorithm = make_algorithm(args.algorithm, task, args.memory_kb, seed=args.seed)
-    for window in trace.windows():
-        algorithm.run_window(window)
-    reports = algorithm.reports
+    algorithm = make_algorithm(
+        args.algorithm, task, args.memory_kb, seed=args.seed,
+        shards=args.shards, shard_backend=args.shard_backend,
+    )
+    try:
+        for window in trace.windows():
+            algorithm.run_window(window)
+        reports = algorithm.reports
+        if args.shards > 1 and not args.quiet:
+            for shard in algorithm.stats().shards:
+                print(
+                    f"shard {shard.shard_id}: routed={shard.items_routed} "
+                    f"batches={shard.batches_sent} "
+                    f"busy={shard.worker.busy_seconds:.2f}s "
+                    f"tracked={shard.worker.stats.stage2_tracked}"
+                )
+    finally:
+        if hasattr(algorithm, "close"):
+            algorithm.close()
     if not args.quiet:
         for report in reports:
             coeffs = ", ".join(f"{c:+.3f}" for c in report.coefficients)
@@ -178,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-T", type=float, default=2.0, help="MSE threshold")
     run.add_argument("-L", type=float, default=1.0, help="|a_k| lower bound")
     run.add_argument("--memory-kb", type=float, default=30.0)
+    run.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the stream over N X-Sketch shards (xs-cm/xs-cu only)",
+    )
+    run.add_argument(
+        "--shard-backend", choices=["process", "inline"], default="process",
+        help="run shards as worker processes or in-process",
+    )
     run.add_argument("--quiet", action="store_true", help="metrics only, no reports")
     run.set_defaults(handler=_cmd_run)
 

@@ -44,12 +44,17 @@ def _counter_arrays_of(filter_) -> List[CounterArray]:
     )
 
 
-def snapshot_xsketch(sketch) -> Dict:
+def snapshot_xsketch(sketch, shard: Dict = None) -> Dict:
     """Capture the complete state of ``sketch`` as a JSON-able dict.
 
     Accepts both :class:`XSketch` and :class:`BatchedXSketch` (the
     batched variant must be snapshotted at a window boundary -- a
     non-empty arrival buffer is working state, not sketch state).
+
+    ``shard`` optionally embeds shard metadata (shard id, partitioner
+    spec) so a snapshot taken inside the sharded runtime is
+    self-describing; :func:`restore_xsketch` ignores the entry, which
+    keeps single-shard snapshots restorable on their own.
     """
     if isinstance(sketch, BatchedXSketch) and sketch._buffer:
         raise ConfigurationError(
@@ -69,7 +74,7 @@ def snapshot_xsketch(sketch) -> Dict:
                 }
             )
     reports = [dataclasses.asdict(report) for report in sketch.reports]
-    return {
+    snapshot = {
         "format_version": FORMAT_VERSION,
         "variant": "batched" if isinstance(sketch, BatchedXSketch) else "per-arrival",
         "task": dataclasses.asdict(config.task),
@@ -84,6 +89,9 @@ def snapshot_xsketch(sketch) -> Dict:
         "stage2_cells": cells,
         "reports": reports,
     }
+    if shard is not None:
+        snapshot["shard"] = dict(shard)
+    return snapshot
 
 
 def restore_xsketch(snapshot: Dict, seed: int = 0) -> XSketch:

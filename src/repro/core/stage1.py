@@ -151,6 +151,24 @@ class Stage1:
         will use (the paper's Stage-1 cleaning policy)."""
         self.filter.clear_slot((window + 1) % self._s)
 
+    def merge(self, other: "Stage1") -> "Stage1":
+        """Fold another Stage 1 into this one (filter + counters).
+
+        Both stages must have been built from the same configuration and
+        hash seed (the underlying filter enforces geometry and seed).
+        Used by the sharded runtime's re-shard / compaction path; in
+        normal sharded operation each key lives on exactly one shard, so
+        merged sub-counters combine disjoint key populations.
+        """
+        self.filter.merge(other.filter)
+        self.arrivals += other.arrivals
+        self.fits += other.fits
+        self.promotions += other.promotions
+        # Invalidate the per-window slot cache; the peers may have
+        # stopped at different cached windows.
+        self._cached_window = -1
+        return self
+
     @property
     def memory_bytes(self) -> float:
         return self.filter.memory_bytes

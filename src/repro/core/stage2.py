@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.config import XSketchConfig
 from repro.core.reports import SimplexReport
 from repro.core.stage1 import Promotion
+from repro.errors import MergeError
 from repro.fitting.polyfit import fit_polynomial
 from repro.hashing.family import HashFamily, ItemId, make_family
 
@@ -81,6 +82,10 @@ class Stage2:
         self.replacements_lost = 0
         #: evictions of items silent in the closing window
         self.evictions_zero = 0
+        #: merge() calls absorbed into this table
+        self.merges = 0
+        #: incoming cells dropped by weight election during merges
+        self.merge_dropped = 0
 
     def _bucket_of(self, item: ItemId) -> List[Stage2Cell]:
         return self.buckets[self.family.hash32(item, self._bucket_hash_index) % self.m]
@@ -171,6 +176,68 @@ class Stage2:
                 survivors.append(cell)
             bucket[:] = survivors
         return reports
+
+    def merge(self, other: "Stage2", window: int) -> "Stage2":
+        """Fold another Stage-2 table into this one (Weight Election).
+
+        Both tables must share geometry (``m``, ``u``, ``p``) and hash
+        seed, so every incoming cell lands in the same home bucket it
+        occupied on the other side.  Collisions resolve by *weight
+        election*, the deterministic analogue of the insertion-time
+        replacement rule:
+
+        * the same item tracked on both sides (possible only on the
+          re-shard path, never under hash partitioning): rings add
+          element-wise and ``w_str`` keeps the earlier start;
+        * a full bucket elects by weight ``W = window - w_str`` — the
+          incoming cell replaces the minimum-weight resident only if its
+          own weight is strictly larger, mirroring how ``P = 1/W_min``
+          protects long-lasting residents (dropped cells are counted in
+          ``merge_dropped``).
+        """
+        if self.m != other.m or self.u != other.u or self.p != other.p:
+            raise MergeError(
+                f"Stage-2 geometries differ: (m={self.m}, u={self.u}, p={self.p}) "
+                f"vs (m={other.m}, u={other.u}, p={other.p})"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "bucket assignments would not align"
+            )
+        self.merges += 1
+        for bucket_index, other_bucket in enumerate(other.buckets):
+            bucket = self.buckets[bucket_index]
+            for incoming in other_bucket:
+                resident = self._index.get(incoming.item)
+                if resident is not None:
+                    counts = resident.counts
+                    for j, value in enumerate(incoming.counts):
+                        counts[j] += value
+                    resident.w_str = min(resident.w_str, incoming.w_str)
+                    continue
+                clone = Stage2Cell(incoming.item, incoming.w_str, self.p)
+                clone.counts = list(incoming.counts)
+                if len(bucket) < self.u:
+                    bucket.append(clone)
+                    self._index[clone.item] = clone
+                    continue
+                victim = min(bucket, key=lambda c: c.weight(window))
+                if clone.weight(window) > victim.weight(window):
+                    bucket.remove(victim)
+                    del self._index[victim.item]
+                    bucket.append(clone)
+                    self._index[clone.item] = clone
+                    self.merge_dropped += 1
+                else:
+                    self.merge_dropped += 1
+        self.inserts_empty += other.inserts_empty
+        self.replacements_won += other.replacements_won
+        self.replacements_lost += other.replacements_lost
+        self.evictions_zero += other.evictions_zero
+        self.merges += other.merges
+        self.merge_dropped += other.merge_dropped
+        return self
 
     def __len__(self) -> int:
         """Number of items currently tracked."""

@@ -23,7 +23,18 @@ from repro.config import XSketchConfig
 from repro.core.reports import SimplexReport
 from repro.core.stage1 import Stage1
 from repro.core.stage2 import Stage2
+from repro.errors import MergeError
 from repro.hashing.family import HashFamily, ItemId, make_family
+
+
+def report_order(report: SimplexReport):
+    """Canonical report ordering: by window, then item (shard-stable).
+
+    Reports of a single sketch arrive in bucket-scan order; when several
+    shards' reports are combined, this key makes the merged stream
+    independent of shard interleaving.
+    """
+    return (report.report_window, str(report.item))
 
 
 @dataclass(frozen=True)
@@ -106,6 +117,28 @@ class XSketch:
     def reports(self) -> List[SimplexReport]:
         """All reports emitted so far, in emission order."""
         return list(self._reports)
+
+    def merge(self, other: "XSketch") -> "XSketch":
+        """Fold another X-Sketch into this one.
+
+        The fallback merge path of the sharded runtime (re-sharding and
+        checkpoint compaction).  Requirements: identical configuration,
+        identical seed-derived hash family, and both sketches paused at
+        the same window boundary.  Stage 1 merges counter-wise; Stage 2
+        merges by weight election (see :meth:`Stage2.merge`); the report
+        streams interleave in canonical :func:`report_order`.
+        """
+        if self.config != other.config:
+            raise MergeError("cannot merge X-Sketches with different configurations")
+        if self.window != other.window:
+            raise MergeError(
+                f"cannot merge X-Sketches at different windows "
+                f"({self.window} vs {other.window}); merge at a window boundary"
+            )
+        self.stage1.merge(other.stage1)
+        self.stage2.merge(other.stage2, self.window)
+        self._reports = sorted(self._reports + other._reports, key=report_order)
+        return self
 
     def query_tracked_frequencies(self, item: ItemId) -> Optional[List[int]]:
         """Last-p-window frequencies of a tracked item (exact, Theorem 2)."""

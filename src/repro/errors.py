@@ -24,3 +24,11 @@ class FittingError(ReproError):
 
 class StreamError(ReproError):
     """A stream or trace is malformed or used out of protocol."""
+
+
+class MergeError(ReproError):
+    """Two sketches are not merge-compatible (geometry, seed or type)."""
+
+
+class RuntimeShardError(ReproError):
+    """The sharded runtime was used out of protocol or a worker failed."""

@@ -27,6 +27,8 @@ def make_algorithm(
     memory_kb: float,
     seed: int = 0,
     stage1_structure: str = "tower",
+    shards: int = 1,
+    shard_backend: str = "process",
     **overrides,
 ):
     """Build an algorithm instance by name.
@@ -34,7 +36,24 @@ def make_algorithm(
     ``xs-cm`` / ``xs-cu`` are the two X-Sketch variants; ``baseline`` is
     the Section III-A solution.  Extra keyword arguments land on the
     X-Sketch configuration (``s``, ``u``, ``r``, ``G``, ``d``, ...).
+
+    ``shards > 1`` wraps an ``xs-cm`` / ``xs-cu`` configuration in the
+    sharded runtime (:class:`repro.runtime.ShardedXSketch`); each shard
+    gets the full ``memory_kb`` budget.  Remember to ``close()`` the
+    returned coordinator when using the process backend.
     """
+    if shards > 1:
+        from repro.runtime.sharded import ShardedXSketch
+
+        if name not in ("xs-cm", "xs-cu"):
+            raise ConfigurationError(
+                f"sharding supports xs-cm / xs-cu, not {name!r}"
+            )
+        config = XSketchConfig(
+            task=task, memory_kb=memory_kb, update_rule=name[3:],
+            stage1_structure=stage1_structure, **overrides,
+        )
+        return ShardedXSketch(config, n_shards=shards, seed=seed, backend=shard_backend)
     if name == "xs-cm":
         config = XSketchConfig(
             task=task, memory_kb=memory_kb, update_rule="cm",

@@ -12,14 +12,23 @@ from repro.metrics.classification import (
     score_reports,
 )
 from repro.metrics.error import average_relative_error, lasting_time_are
-from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.metrics.throughput import (
+    ShardThroughput,
+    ShardedThroughputResult,
+    ThroughputResult,
+    measure_sharded_throughput,
+    measure_throughput,
+)
 
 __all__ = [
     "ClassificationScores",
+    "ShardThroughput",
+    "ShardedThroughputResult",
     "ThroughputResult",
     "average_relative_error",
     "f1_score",
     "lasting_time_are",
+    "measure_sharded_throughput",
     "measure_throughput",
     "precision_rate",
     "recall_rate",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.streams.model import Trace
 
@@ -45,3 +46,78 @@ def measure_throughput(algorithm, trace: Trace) -> ThroughputResult:
         end_window()
     elapsed = time.perf_counter() - start
     return ThroughputResult(total_items=len(trace), elapsed_seconds=elapsed)
+
+
+@dataclass(frozen=True)
+class ShardThroughput:
+    """One shard's contribution to a sharded-throughput run.
+
+    ``busy_seconds`` counts sketch work inside the worker (insert loops
+    + window transitions), so ``sum(busy) > wall`` measures achieved
+    parallelism; ``queue_depth`` is the command backlog sampled at the
+    end of the run (None when the platform cannot report it).
+    """
+
+    shard_id: int
+    items: int
+    batches: int
+    busy_seconds: float
+    queue_depth: Optional[int]
+
+    @property
+    def mops(self) -> float:
+        """Millions of inserts per second of in-worker sketch time."""
+        if self.busy_seconds <= 0:
+            return float("inf")
+        return self.items / self.busy_seconds / 1e6
+
+
+@dataclass(frozen=True)
+class ShardedThroughputResult:
+    """Wall-clock + per-shard view of one sharded ingest run."""
+
+    total: ThroughputResult
+    per_shard: Tuple[ShardThroughput, ...]
+
+    @property
+    def mops(self) -> float:
+        """End-to-end Mops (coordinator wall clock, the headline number)."""
+        return self.total.mops
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallelism: summed shard busy time over wall time."""
+        if self.total.elapsed_seconds <= 0:
+            return float("inf")
+        busy = sum(shard.busy_seconds for shard in self.per_shard)
+        return busy / self.total.elapsed_seconds
+
+
+def measure_sharded_throughput(sharded, trace: Trace) -> ShardedThroughputResult:
+    """Run a :class:`repro.runtime.ShardedXSketch` over ``trace``, timed.
+
+    Ingest uses the batch path (one ``ingest_batch`` per window, then
+    ``flush_window``), matching how the runtime is meant to be fed;
+    wall time includes partitioning, queue transfer and the barrier at
+    every window close.
+    """
+    start = time.perf_counter()
+    for window in trace.windows():
+        sharded.ingest_batch(window)
+        sharded.flush_window()
+    elapsed = time.perf_counter() - start
+    stats = sharded.stats()
+    per_shard = tuple(
+        ShardThroughput(
+            shard_id=shard.shard_id,
+            items=shard.worker.items_ingested,
+            batches=shard.worker.batches,
+            busy_seconds=shard.worker.busy_seconds,
+            queue_depth=shard.queue_depth,
+        )
+        for shard in stats.shards
+    )
+    return ShardedThroughputResult(
+        total=ThroughputResult(total_items=len(trace), elapsed_seconds=elapsed),
+        per_shard=per_shard,
+    )

@@ -1,0 +1,37 @@
+"""Sharded parallel streaming runtime.
+
+One Python process is the throughput ceiling of every engine in
+:mod:`repro.core`.  This subsystem lifts it the way Hokusai-style
+aggregatable sketches do: sketch state gained ``merge()`` everywhere
+(see :class:`Mergeable`), items are hash-partitioned so each key lives
+on exactly one shard (:class:`KeyPartitioner`), and a coordinator fans
+window batches out to ``N`` worker processes and folds their per-window
+simplex reports back together (:class:`ShardedXSketch`).
+
+Because the partitioner routes every arrival of a key to the same
+shard, per-key counters never need cross-shard reconciliation on the
+hot path; ``merge()`` is the documented *fallback* path used for
+re-sharding and checkpoint compaction
+(:meth:`ShardedXSketch.merged_sketch`).
+"""
+
+from repro.runtime.mergeable import Mergeable, merge_all
+from repro.runtime.partition import KeyPartitioner
+from repro.runtime.sharded import ShardedStats, ShardedXSketch, ShardStats
+from repro.runtime.worker import WorkerReport
+from repro.runtime.checkpoint import (
+    load_sharded_checkpoint,
+    save_sharded_checkpoint,
+)
+
+__all__ = [
+    "KeyPartitioner",
+    "Mergeable",
+    "ShardStats",
+    "ShardedStats",
+    "ShardedXSketch",
+    "WorkerReport",
+    "load_sharded_checkpoint",
+    "merge_all",
+    "save_sharded_checkpoint",
+]

@@ -1,0 +1,66 @@
+"""The ``Mergeable`` protocol: sketch state that folds together.
+
+Every counter-array sketch in :mod:`repro.sketch` (CM, CU, Count,
+Tower and the windowed Stage-1 variants) and the X-Sketch stages
+implement ``merge(other)``: fold ``other``'s state into ``self`` and
+return ``self``.  Merge semantics per structure:
+
+================  =======================================================
+structure         merged state vs. one sketch over the whole stream
+================  =======================================================
+CM, Count         exact (counter-wise addition commutes with insertion)
+CU                upper bound (never below the single-pass estimate or
+                  the true count)
+Tower (CM rule)   exact up to saturation; overflow markers are preserved
+Tower (CU rule)   upper bound, overflow markers preserved
+Windowed CM/CU/   as their flat counterparts, per window slot
+Tower
+Windowed Cold     bounded (threshold-crossing mass may sit in layer 1)
+Windowed LogLog   register-wise max (standard log-register approximation)
+Stage 2           weight election on bucket overflow (deterministic
+                  analogue of the paper's replacement rule)
+================  =======================================================
+
+Merging requires both sides to be built from the same geometry and the
+same seed-derived hash family; implementations raise
+:class:`repro.errors.MergeError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
+
+
+M = TypeVar("M", bound="Mergeable")
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """Structural type of mergeable sketch state."""
+
+    def merge(self, other):
+        """Fold ``other`` into ``self``; return ``self``.
+
+        Raises :class:`repro.errors.MergeError` when the two sides are
+        not merge-compatible (different geometry, seed or type).
+        """
+
+
+def merge_all(first: M, *others: M) -> M:
+    """Left-fold ``merge`` over several sketches; returns ``first`` mutated.
+
+    ``merge_all(a, b, c)`` is ``a.merge(b).merge(c)`` — the compaction
+    idiom of the sharded runtime's checkpoint path.
+    """
+    merged = first
+    for other in others:
+        merged = merged.merge(other)
+    return merged

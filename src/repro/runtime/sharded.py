@@ -1,0 +1,454 @@
+"""``ShardedXSketch``: N X-Sketch shards behind one stream interface.
+
+The coordinator hash-partitions every batch with a
+:class:`repro.runtime.partition.KeyPartitioner` and fans the per-shard
+sub-batches out to worker processes (``backend="process"``, the
+default) or to in-process sketches (``backend="inline"``, used for
+deterministic tests and as a zero-dependency fallback).  Both backends
+run byte-identical sketch code, so they produce identical reports.
+
+Sharding model
+    Each shard owns a full :class:`XSketchConfig` worth of memory and a
+    disjoint slice of the key space.  Per-key counters therefore never
+    need cross-shard reconciliation: a window's reports are simply the
+    union of the shards' reports, interleaved in canonical
+    :func:`repro.core.xsketch.report_order`.
+
+Protocol
+    ``ingest_batch(items)`` routes a batch into the current window;
+    ``flush_window()`` closes the window on every shard and returns the
+    merged reports (aliased as ``end_window`` / ``run_window`` so the
+    coordinator quacks like every other engine); ``report()`` returns
+    all reports so far; ``checkpoint(directory)`` writes a shard-aware
+    snapshot; ``merged_sketch()`` compacts all shards into one
+    single-process :class:`XSketch` via the mergeable fallback path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import XSketchConfig
+from repro.core.reports import SimplexReport
+from repro.core.serialize import restore_xsketch, snapshot_xsketch
+from repro.core.xsketch import XSketch, report_order
+from repro.errors import ConfigurationError, RuntimeShardError
+from repro.hashing.family import ItemId
+from repro.runtime.partition import KeyPartitioner
+from repro.runtime.worker import WorkerReport, shard_worker_main
+
+#: insert()-path buffering: a shard's buffer is flushed to its queue
+#: once it holds this many items (ingest_batch sends immediately).
+DEFAULT_BATCH_SIZE = 2048
+
+#: Seconds the coordinator waits for a worker reply before declaring
+#: the shard dead.
+DEFAULT_REPLY_TIMEOUT = 300.0
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Coordinator- plus worker-side counters of one shard."""
+
+    shard_id: int
+    #: arrivals the partitioner routed to this shard
+    items_routed: int
+    #: ingest commands sent to this shard
+    batches_sent: int
+    #: command-queue backlog at sampling time (None when the platform
+    #: does not support qsize, e.g. macOS sem_getvalue)
+    queue_depth: Optional[int]
+    #: the worker's own counters (ingested items, busy time, sketch stats)
+    worker: WorkerReport
+
+
+@dataclass(frozen=True)
+class ShardedStats:
+    """A point-in-time view of the whole sharded runtime."""
+
+    n_shards: int
+    window: int
+    items_routed: int
+    reports: int
+    #: X-Sketch merge() calls performed by compaction so far
+    merge_count: int
+    shards: Tuple[ShardStats, ...]
+
+    @property
+    def total_busy_seconds(self) -> float:
+        """Summed sketch time across shards (> wall time when parallel)."""
+        return sum(shard.worker.busy_seconds for shard in self.shards)
+
+
+class ShardedXSketch:
+    """Coordinator over ``n_shards`` X-Sketch workers.
+
+    Args:
+        config: per-shard X-Sketch configuration.  Every shard gets the
+            full budget, so total memory is ``n_shards x config`` —
+            sharding buys throughput and tracking capacity, not memory.
+        n_shards: number of shards (>= 1).
+        seed: base seed; shared by all shards so their hash families
+            are identical, which keeps shard states merge-compatible
+            for the compaction path.  Key routing uses a salted seed
+            and is independent of the sketch hashes.
+        backend: ``"process"`` (worker processes, spawn-safe) or
+            ``"inline"`` (in-process shards; deterministic, no IPC).
+        mp_context: multiprocessing start method for the process
+            backend (``"spawn"`` by default — safe everywhere).
+        batch_size: insert()-path buffer size per shard.
+        reply_timeout: seconds to wait for worker replies.
+        snapshots: per-shard snapshot dicts to restore from (used by
+            :func:`repro.runtime.checkpoint.load_sharded_checkpoint`).
+    """
+
+    def __init__(
+        self,
+        config: XSketchConfig,
+        n_shards: int,
+        seed: int = 0,
+        backend: str = "process",
+        mp_context: str = "spawn",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        snapshots: Optional[Sequence[Dict]] = None,
+    ):
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        if backend not in ("process", "inline"):
+            raise ConfigurationError(
+                f"backend must be 'process' or 'inline', got {backend!r}"
+            )
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if snapshots is not None and len(snapshots) != n_shards:
+            raise ConfigurationError(
+                f"got {len(snapshots)} snapshots for {n_shards} shards"
+            )
+        self.config = config
+        self.n_shards = n_shards
+        self.seed = seed
+        self.backend = backend
+        self.batch_size = batch_size
+        self.reply_timeout = reply_timeout
+        self.partitioner = KeyPartitioner(
+            n_shards, seed=seed, hash_family=config.hash_family
+        )
+        self.window = 0
+        self._reports: List[SimplexReport] = []
+        self._closed = False
+        #: coordinator-side per-shard counters
+        self.items_routed = [0] * n_shards
+        self.batches_sent = [0] * n_shards
+        #: X-Sketch merges performed by merged_sketch() so far
+        self.merge_count = 0
+        self._buffers: List[List[ItemId]] = [[] for _ in range(n_shards)]
+        self._memory_bytes: Optional[float] = None
+        if backend == "inline":
+            self._locals = [
+                restore_xsketch(snapshots[i], seed=seed) if snapshots else XSketch(config, seed=seed)
+                for i in range(n_shards)
+            ]
+            self._inline_busy = [0.0] * n_shards
+            if snapshots:
+                self.window = self._locals[0].window
+        else:
+            self._spawn_workers(mp_context, snapshots)
+            if snapshots:
+                self.window = snapshots[0]["window"]
+
+    # ------------------------------------------------------------------
+    # process-backend plumbing
+
+    def _spawn_workers(self, mp_context: str, snapshots) -> None:
+        ctx = multiprocessing.get_context(mp_context)
+        self._result_queue = ctx.Queue()
+        self._command_queues = []
+        self._workers = []
+        for shard_id in range(self.n_shards):
+            command_queue = ctx.Queue()
+            worker = ctx.Process(
+                target=shard_worker_main,
+                args=(
+                    shard_id,
+                    self.config,
+                    self.seed,
+                    command_queue,
+                    self._result_queue,
+                    snapshots[shard_id] if snapshots else None,
+                ),
+                daemon=True,
+                name=f"xsketch-shard-{shard_id}",
+            )
+            worker.start()
+            self._command_queues.append(command_queue)
+            self._workers.append(worker)
+
+    def _collect(self, kind: str) -> List:
+        """Gather one ``kind`` reply from every shard, in shard order.
+
+        Polls in short intervals so a worker that died without replying
+        (e.g. killed, or crashed before the protocol loop) surfaces as
+        a :class:`RuntimeShardError` immediately instead of after the
+        full reply timeout.
+        """
+        payloads: List = [None] * self.n_shards
+        seen = 0
+        deadline = time.monotonic() + self.reply_timeout
+        while seen < self.n_shards:
+            try:
+                reply_kind, shard_id, payload = self._result_queue.get(timeout=0.25)
+            except Exception as exc:  # queue.Empty
+                dead = [
+                    shard
+                    for shard, worker in enumerate(self._workers)
+                    if payloads[shard] is None and not worker.is_alive()
+                ]
+                if dead and self._result_queue.empty():
+                    raise RuntimeShardError(
+                        f"shard(s) {dead} exited without replying to {kind!r}"
+                    ) from exc
+                if time.monotonic() > deadline:
+                    raise RuntimeShardError(
+                        f"no reply from workers within {self.reply_timeout}s "
+                        f"while waiting for {kind!r}"
+                    ) from exc
+                continue
+            if reply_kind == "error":
+                raise RuntimeShardError(f"shard {shard_id} failed:\n{payload}")
+            if reply_kind != kind:
+                raise RuntimeShardError(
+                    f"protocol violation: expected {kind!r}, got {reply_kind!r}"
+                )
+            payloads[shard_id] = payload
+            seen += 1
+        return payloads
+
+    # ------------------------------------------------------------------
+    # stream protocol
+
+    def insert(self, item: ItemId) -> None:
+        """Route one arrival (buffered; flushed by size or at flush_window)."""
+        shard = self.partitioner.shard_of(item)
+        buffer = self._buffers[shard]
+        buffer.append(item)
+        if len(buffer) >= self.batch_size:
+            self._dispatch(shard, buffer)
+            self._buffers[shard] = []
+
+    def ingest_batch(self, items: Sequence[ItemId]) -> None:
+        """Route a batch of arrivals into the current window."""
+        for shard, part in enumerate(self.partitioner.split(items)):
+            if part:
+                self._dispatch(shard, part)
+
+    def _dispatch(self, shard: int, items: List[ItemId]) -> None:
+        if self._closed:
+            raise RuntimeShardError("ShardedXSketch is closed")
+        self.items_routed[shard] += len(items)
+        self.batches_sent[shard] += 1
+        if self.backend == "inline":
+            start = time.perf_counter()
+            insert = self._locals[shard].insert
+            for item in items:
+                insert(item)
+            self._inline_busy[shard] += time.perf_counter() - start
+        else:
+            self._command_queues[shard].put(("ingest", items))
+
+    def _flush_buffers(self) -> None:
+        for shard, buffer in enumerate(self._buffers):
+            if buffer:
+                self._dispatch(shard, buffer)
+                self._buffers[shard] = []
+
+    def flush_window(self) -> List[SimplexReport]:
+        """Close the current window on every shard; merged reports back."""
+        self._flush_buffers()
+        if self.backend == "inline":
+            merged: List[SimplexReport] = []
+            for shard, sketch in enumerate(self._locals):
+                start = time.perf_counter()
+                merged.extend(sketch.end_window())
+                self._inline_busy[shard] += time.perf_counter() - start
+        else:
+            for queue in self._command_queues:
+                queue.put(("end_window",))
+            merged = [
+                report
+                for reports in self._collect("end_window")
+                for report in reports
+            ]
+        merged.sort(key=report_order)
+        self._reports.extend(merged)
+        self.window += 1
+        return merged
+
+    #: alias so the coordinator matches the engine protocol
+    end_window = flush_window
+
+    def run_window(self, items: Sequence[ItemId]) -> List[SimplexReport]:
+        """Convenience: ingest a whole window of arrivals, then close it."""
+        self.ingest_batch(items)
+        return self.flush_window()
+
+    def report(self) -> List[SimplexReport]:
+        """All reports emitted so far, in canonical order."""
+        return list(self._reports)
+
+    @property
+    def reports(self) -> List[SimplexReport]:
+        """Alias of :meth:`report` (engine protocol)."""
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def queue_depths(self) -> List[Optional[int]]:
+        """Approximate command-queue backlog per shard (None if unknown)."""
+        if self.backend == "inline":
+            return [0] * self.n_shards
+        depths: List[Optional[int]] = []
+        for queue in self._command_queues:
+            try:
+                depths.append(queue.qsize())
+            except NotImplementedError:  # pragma: no cover - macOS
+                depths.append(None)
+        return depths
+
+    def stats(self) -> ShardedStats:
+        """Coordinator and worker counters for every shard."""
+        if self.backend == "inline":
+            worker_reports = [
+                WorkerReport(
+                    shard_id=shard,
+                    items_ingested=self.items_routed[shard],
+                    batches=self.batches_sent[shard],
+                    windows=sketch.window,
+                    busy_seconds=self._inline_busy[shard],
+                    stats=sketch.stats,
+                )
+                for shard, sketch in enumerate(self._locals)
+            ]
+        else:
+            for queue in self._command_queues:
+                queue.put(("stats",))
+            worker_reports = self._collect("stats")
+        depths = self.queue_depths()
+        shards = tuple(
+            ShardStats(
+                shard_id=shard,
+                items_routed=self.items_routed[shard],
+                batches_sent=self.batches_sent[shard],
+                queue_depth=depths[shard],
+                worker=worker_reports[shard],
+            )
+            for shard in range(self.n_shards)
+        )
+        return ShardedStats(
+            n_shards=self.n_shards,
+            window=self.window,
+            items_routed=sum(self.items_routed),
+            reports=len(self._reports),
+            merge_count=self.merge_count,
+            shards=shards,
+        )
+
+    @property
+    def memory_bytes(self) -> float:
+        """Accounted memory across all shards (n_shards x one sketch)."""
+        if self._memory_bytes is None:
+            if self.backend == "inline":
+                self._memory_bytes = sum(s.memory_bytes for s in self._locals)
+            else:
+                probe = XSketch(self.config, seed=self.seed)
+                self._memory_bytes = self.n_shards * probe.memory_bytes
+        return self._memory_bytes
+
+    # ------------------------------------------------------------------
+    # checkpoint / compaction
+
+    def _collect_snapshots(self) -> List[Dict]:
+        """Per-shard snapshots at the current window boundary."""
+        if any(self._buffers[shard] for shard in range(self.n_shards)):
+            raise RuntimeShardError(
+                "snapshot only at a window boundary (insert buffers not empty); "
+                "call flush_window() first"
+            )
+        if self.backend == "inline":
+            return [snapshot_xsketch(sketch) for sketch in self._locals]
+        for queue in self._command_queues:
+            queue.put(("checkpoint",))
+        return self._collect("checkpoint")
+
+    def checkpoint(self, directory) -> None:
+        """Write a shard-aware checkpoint directory (manifest + shards)."""
+        from repro.runtime.checkpoint import save_sharded_checkpoint
+
+        save_sharded_checkpoint(self, directory)
+
+    @classmethod
+    def restore(cls, directory, backend: str = "process", **kwargs) -> "ShardedXSketch":
+        """Rebuild a sharded runtime from :meth:`checkpoint` output."""
+        from repro.runtime.checkpoint import load_sharded_checkpoint
+
+        return load_sharded_checkpoint(directory, backend=backend, **kwargs)
+
+    def merged_sketch(self) -> XSketch:
+        """Compact all shards into one single-process :class:`XSketch`.
+
+        The documented fallback merge path: per-shard states are
+        snapshotted at the current window boundary, rebuilt locally and
+        folded together (Stage 1 counter-wise, Stage 2 by weight
+        election).  The running shards are not disturbed.  Note the
+        merged sketch holds one ``config`` worth of memory, so Stage-2
+        buckets may overflow and elect by weight; with ample memory the
+        merged report stream matches the sharded one.
+        """
+        snapshots = self._collect_snapshots()
+        merged = restore_xsketch(snapshots[0], seed=self.seed)
+        for snapshot in snapshots[1:]:
+            merged.merge(restore_xsketch(snapshot, seed=self.seed))
+            self.merge_count += 1
+        merged._reports = sorted(self._reports, key=report_order)
+        return merged
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        """Stop all workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.backend == "inline":
+            return
+        try:
+            for queue in self._command_queues:
+                queue.put(("stop",))
+            self._collect("stopped")
+        except RuntimeShardError:
+            pass
+        for worker in self._workers:
+            worker.join(timeout=10)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=10)
+        for queue in self._command_queues:
+            queue.close()
+        self._result_queue.close()
+
+    def __enter__(self) -> "ShardedXSketch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass

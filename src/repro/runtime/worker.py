@@ -1,0 +1,120 @@
+"""Shard worker: one X-Sketch served over a command queue.
+
+:func:`shard_worker_main` is the target of each worker ``Process``.  It
+is spawn-safe by construction: a plain module-level function whose
+arguments are all picklable (the frozen :class:`XSketchConfig`, an
+explicit integer seed, the two queues), so it works identically under
+the ``spawn``, ``fork`` and ``forkserver`` start methods.  The child
+rebuilds its hash family from the explicit seed — the families in
+:mod:`repro.hashing` depend on nothing process-local, so a key hashes
+identically in every worker and in the coordinator.
+
+Command protocol (tuples on ``command_queue``; replies on
+``result_queue`` are ``(kind, shard_id, payload)``):
+
+``("ingest", items)``
+    Insert a batch into the current window.  No reply (pipelined).
+``("end_window",)``
+    Close the window; replies ``("end_window", shard, reports)``.
+``("stats",)``
+    Replies ``("stats", shard, WorkerReport)``.
+``("checkpoint",)``
+    Replies ``("checkpoint", shard, snapshot dict)``.
+``("stop",)``
+    Replies ``("stopped", shard, None)`` and exits the loop.
+
+Any exception escapes as ``("error", shard, traceback_text)`` followed
+by worker exit; the coordinator converts it to
+:class:`repro.errors.RuntimeShardError`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import XSketchConfig
+from repro.core.serialize import restore_xsketch, snapshot_xsketch
+from repro.core.xsketch import XSketch, XSketchStats
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Observability counters of one shard worker.
+
+    ``busy_seconds`` is time spent inside sketch calls (insert loops and
+    window transitions), excluding queue waits — per-shard throughput is
+    ``items_ingested / busy_seconds``.
+    """
+
+    shard_id: int
+    items_ingested: int
+    batches: int
+    windows: int
+    busy_seconds: float
+    stats: XSketchStats
+
+    @property
+    def mops(self) -> float:
+        """Millions of insert operations per second of sketch work."""
+        if self.busy_seconds <= 0:
+            return float("inf")
+        return self.items_ingested / self.busy_seconds / 1e6
+
+
+def shard_worker_main(
+    shard_id: int,
+    config: XSketchConfig,
+    seed: int,
+    command_queue,
+    result_queue,
+    snapshot: Optional[dict] = None,
+) -> None:
+    """Run one shard's X-Sketch until a ``stop`` command arrives."""
+    try:
+        if snapshot is not None:
+            sketch = restore_xsketch(snapshot, seed=seed)
+        else:
+            sketch = XSketch(config, seed=seed)
+        items_ingested = 0
+        batches = 0
+        busy_seconds = 0.0
+        perf_counter = time.perf_counter
+        while True:
+            command = command_queue.get()
+            op = command[0]
+            if op == "ingest":
+                items = command[1]
+                start = perf_counter()
+                insert = sketch.insert
+                for item in items:
+                    insert(item)
+                busy_seconds += perf_counter() - start
+                items_ingested += len(items)
+                batches += 1
+            elif op == "end_window":
+                start = perf_counter()
+                reports = sketch.end_window()
+                busy_seconds += perf_counter() - start
+                result_queue.put(("end_window", shard_id, reports))
+            elif op == "stats":
+                report = WorkerReport(
+                    shard_id=shard_id,
+                    items_ingested=items_ingested,
+                    batches=batches,
+                    windows=sketch.window,
+                    busy_seconds=busy_seconds,
+                    stats=sketch.stats,
+                )
+                result_queue.put(("stats", shard_id, report))
+            elif op == "checkpoint":
+                result_queue.put(("checkpoint", shard_id, snapshot_xsketch(sketch)))
+            elif op == "stop":
+                result_queue.put(("stopped", shard_id, None))
+                return
+            else:
+                raise ValueError(f"unknown worker command {op!r}")
+    except Exception:
+        result_queue.put(("error", shard_id, traceback.format_exc()))

@@ -8,7 +8,7 @@ Section III-A is built from ``p`` of these.
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
@@ -57,6 +57,33 @@ class CMSketch(FrequencySketch):
 
     def query(self, item: ItemId) -> int:
         return min(self.arrays[i].get(pos) for i, pos in enumerate(self._positions(item)))
+
+    def merge(self, other: "CMSketch") -> "CMSketch":
+        """Fold ``other``'s counters into this sketch (counter-wise add).
+
+        Both sketches must share geometry (``d``, ``width``) and hash
+        seed, so counter ``(i, j)`` means the same thing on both sides.
+        For CM the merge is *exact*: a sketch merged over substreams
+        equals one sketch fed the concatenated stream (absent 32-bit
+        saturation).  For the CU subclass the merged state is an upper
+        bound — counter-wise addition can only overestimate what a
+        single conservative-update pass would have produced — so merged
+        queries stay one-sided (never below the true count).
+        """
+        if not isinstance(other, CMSketch):
+            raise MergeError(f"cannot merge {type(self).__name__} with {type(other).__name__}")
+        if self.d != other.d or self.width != other.width:
+            raise MergeError(
+                f"CM geometry differs: d={self.d} w={self.width} vs d={other.d} w={other.width}"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "counters would not align"
+            )
+        for mine, theirs in zip(self.arrays, other.arrays):
+            mine.merge(theirs)
+        return self
 
     def clear(self) -> None:
         for array in self.arrays:

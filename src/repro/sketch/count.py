@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import statistics
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 
@@ -55,6 +55,29 @@ class CountSketch(FrequencySketch):
             pos, sign = self._pos_and_sign(item, row)
             readings.append(sign * self._rows[row][pos])
         return int(statistics.median(readings))
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Fold ``other`` into this sketch (signed counter-wise add).
+
+        Exact: Count-sketch counters are plain sums of signed
+        contributions, so merging substream sketches reproduces the
+        whole-stream sketch bit-for-bit (same geometry and hash seed
+        required).
+        """
+        if not isinstance(other, CountSketch):
+            raise MergeError(f"cannot merge CountSketch with {type(other).__name__}")
+        if self.d != other.d or self.width != other.width:
+            raise MergeError(
+                f"Count geometry differs: d={self.d} w={self.width} vs d={other.d} w={other.width}"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed})"
+            )
+        for mine, theirs in zip(self._rows, other._rows):
+            for index, value in enumerate(theirs):
+                mine[index] += value
+        return self
 
     def clear(self) -> None:
         self._rows = [[0] * self.width for _ in range(self.d)]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 
 
 class CounterArray:
@@ -63,6 +63,24 @@ class CounterArray:
     def is_saturated(self, index: int) -> bool:
         """True when the counter sits at its overflow marker."""
         return self._values[index] == self.max_value
+
+    def merge(self, other: "CounterArray") -> None:
+        """Add ``other``'s counters into this array, saturating per entry.
+
+        Saturation makes the merge respect tower overflow semantics: a
+        counter that is an overflow marker on either side stays at the
+        marker value after the merge (``min(a + b, max)`` is ``max``
+        whenever ``a`` or ``b`` is).
+        """
+        if self.size != other.size or self.bits != other.bits:
+            raise MergeError(
+                f"counter arrays differ: {self.size}x{self.bits}b vs "
+                f"{other.size}x{other.bits}b"
+            )
+        mv = self.max_value
+        mine = self._values
+        theirs = other._values
+        self._values = [min(a + b, mv) for a, b in zip(mine, theirs)]
 
     def clear(self) -> None:
         size = self.size

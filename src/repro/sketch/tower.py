@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
@@ -114,6 +114,30 @@ class TowerSketch(FrequencySketch):
             if best is None or value < best:
                 best = value
         return best if best is not None else largest_cap
+
+    def merge(self, other: "TowerSketch") -> "TowerSketch":
+        """Fold ``other`` into this tower (saturating counter-wise add).
+
+        Saturating addition preserves overflow markers: a counter that
+        overflowed on either side stays an overflow marker afterwards.
+        Under the CM rule the merge is exact (a merged tower equals one
+        tower over the concatenated stream); under the CU rule the
+        merged counters upper-bound the single-pass state, so queries
+        remain one-sided overestimates.
+        """
+        if not isinstance(other, TowerSketch):
+            raise MergeError(f"cannot merge TowerSketch with {type(other).__name__}")
+        if self.d != other.d or self.update_rule != other.update_rule or any(
+            a.size != b.size or a.bits != b.bits for a, b in zip(self.levels, other.levels)
+        ):
+            raise MergeError("tower geometries or update rules differ")
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed})"
+            )
+        for mine, theirs in zip(self.levels, other.levels):
+            mine.merge(theirs)
+        return self
 
     def clear(self) -> None:
         for level in self.levels:

@@ -19,7 +19,7 @@ import abc
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId, make_family
 from repro.sketch.counters import CounterArray
 from repro.sketch.tower import tower_level_widths
@@ -83,6 +83,28 @@ class WindowedFilter(abc.ABC):
         """Zero the whole structure."""
         for slot in range(self.s):
             self.clear_slot(slot)
+
+    def merge(self, other: "WindowedFilter") -> "WindowedFilter":
+        """Fold ``other``'s sub-counters into this filter.
+
+        Concrete structures override this; the default refuses, so a
+        structure without well-defined merge semantics fails loudly.
+        """
+        raise MergeError(f"{type(self).__name__} does not support merge()")
+
+    def _check_merge_peer(self, other: "WindowedFilter") -> None:
+        """Common merge-compatibility checks (type, s, hash seed)."""
+        if type(self) is not type(other):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.s != other.s:
+            raise MergeError(f"s differs: {self.s} vs {other.s}")
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "counters would not align"
+            )
 
     @property
     @abc.abstractmethod
@@ -238,6 +260,22 @@ class _WindowedArrays(WindowedFilter):
         for level in self.levels:
             level.clear_stride(slot, s)
 
+    def merge(self, other: "WindowedFilter") -> "WindowedFilter":
+        """Saturating counter-wise add of every sub-counter.
+
+        Exact for the CM update rule (merged sub-counters equal a single
+        filter over the concatenated stream, barring saturation); an
+        upper bound for the CU rule — either way merged per-slot queries
+        never under-report, which is what the Preliminary Condition and
+        Potential gate rely on.
+        """
+        self._check_merge_peer(other)
+        if self.update_rule != other.update_rule or self.level_counters != other.level_counters:
+            raise MergeError("windowed-array geometries or update rules differ")
+        for mine, theirs in zip(self.levels, other.levels):
+            mine.merge(theirs)
+        return self
+
     @property
     def memory_bytes(self) -> float:
         return sum(level.memory_bytes for level in self.levels)
@@ -392,6 +430,25 @@ class WindowedColdFilter(WindowedFilter):
         )
         return self.threshold + min2
 
+    def merge(self, other: "WindowedFilter") -> "WindowedFilter":
+        """Saturating add of both layers.
+
+        Bounded rather than one-sided: mass absorbed by layer 1 on
+        *both* sides collapses into a single saturating layer-1 counter,
+        so a merged query can sit below the true count by up to the
+        layer-1 threshold per merged peer.  It is never below either
+        side's own estimate, and a slot positive on either side stays
+        positive — the property Stage-1 screening actually relies on.
+        """
+        self._check_merge_peer(other)
+        if self.d != other.d or self.n1 != other.n1 or self.n2 != other.n2:
+            raise MergeError("cold-filter geometries differ")
+        for mine, theirs in zip(self.layer1, other.layer1):
+            mine.merge(theirs)
+        for mine, theirs in zip(self.layer2, other.layer2):
+            mine.merge(theirs)
+        return self
+
     def clear_slot(self, slot: int) -> None:
         self._check_slot(slot)
         s = self.s
@@ -458,6 +515,25 @@ class WindowedLogLog(WindowedFilter):
             self.registers[i].get(positions[i] * s + slot) for i in range(self.d)
         )
         return (1 << minimum) - 1
+
+    def merge(self, other: "WindowedFilter") -> "WindowedFilter":
+        """Register-wise maximum.
+
+        Morris-style log registers have no exact merge; the maximum is
+        the standard approximation (as in HyperLogLog register merges).
+        The merged estimate is at least each substream's estimate but
+        can under-report the concatenated total — acceptable for a
+        Stage-1 *filter*, whose job is positivity screening.
+        """
+        self._check_merge_peer(other)
+        if self.d != other.d or self.n_logical != other.n_logical:
+            raise MergeError("loglog-filter geometries differ")
+        for mine, theirs in zip(self.registers, other.registers):
+            values = mine.values
+            for index, value in enumerate(theirs.values):
+                if value > values[index]:
+                    values[index] = value
+        return self
 
     def clear_slot(self, slot: int) -> None:
         self._check_slot(slot)

@@ -47,6 +47,22 @@ class Trace:
         for window in self.window_items:
             yield from window
 
+    def window_batches(self, batch_size: int) -> Iterator[List[List[ItemId]]]:
+        """Iterate over windows as lists of ``batch_size``-item batches.
+
+        The feeding shape of the sharded runtime: each yielded window is
+        a list of sub-batches to pass to ``ingest_batch`` before one
+        ``flush_window`` call, bounding how much of a window sits in
+        flight at once.
+        """
+        if batch_size <= 0:
+            raise StreamError(f"batch_size must be positive, got {batch_size}")
+        for window in self.window_items:
+            yield [
+                window[start:start + batch_size]
+                for start in range(0, len(window), batch_size)
+            ]
+
     def distinct_items(self) -> int:
         """Number of distinct item IDs across the whole trace."""
         seen = set()

@@ -1,0 +1,108 @@
+"""Hash values must be identical across independent processes.
+
+The sharded runtime routes items and places counters with these hashes
+from several worker processes at once; any dependence on process state
+(most notably ``PYTHONHASHSEED`` string-hash randomisation) would break
+merge compatibility between shards. A child interpreter launched with a
+*different* ``PYTHONHASHSEED`` must reproduce the parent's values bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.hashing.bobhash import bob_hash
+from repro.hashing.family import make_family
+
+FAMILIES = ("bob", "murmur", "crc")
+ITEMS = ["flow-1", "", "a" * 100, 0, 2**32 - 1, 123456789, b"\x00\xffbytes"]
+SEEDS = (0, 1, 20230401)
+
+_CHILD_SCRIPT = """
+import json, sys
+from repro.hashing.bobhash import bob_hash
+from repro.hashing.family import make_family
+
+spec = json.loads(sys.stdin.read())
+items = [bytes(i, "latin1") if kind == "bytes" else i
+         for kind, i in spec["items"]]
+out = {"bob": [bob_hash(i if isinstance(i, bytes) else str(i).encode(), s)
+               for i in items for s in spec["seeds"]],
+       "derived": [], "hash32": []}
+for name in spec["families"]:
+    for seed in spec["seeds"]:
+        family = make_family(name, seed)
+        out["derived"].append([family._derive_seed(j) for j in range(8)])
+        out["hash32"].append([family.hash32(i, j) for i in items for j in range(4)])
+print(json.dumps(out))
+"""
+
+
+def _encode_items():
+    encoded = []
+    for item in ITEMS:
+        if isinstance(item, bytes):
+            encoded.append(["bytes", item.decode("latin1")])
+        else:
+            encoded.append(["plain", item])
+    return encoded
+
+
+def _expected():
+    out = {
+        "bob": [
+            bob_hash(i if isinstance(i, bytes) else str(i).encode(), s)
+            for i in ITEMS
+            for s in SEEDS
+        ],
+        "derived": [],
+        "hash32": [],
+    }
+    for name in FAMILIES:
+        for seed in SEEDS:
+            family = make_family(name, seed)
+            out["derived"].append([family._derive_seed(j) for j in range(8)])
+            out["hash32"].append(
+                [family.hash32(i, j) for i in ITEMS for j in range(4)]
+            )
+    return out
+
+
+def _run_child(extra_env):
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [src_dir, env.get("PYTHONPATH")] if p
+    )
+    env.update(extra_env)
+    spec = json.dumps(
+        {"items": _encode_items(), "seeds": list(SEEDS), "families": list(FAMILIES)}
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        input=spec,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def test_child_process_reproduces_all_hashes():
+    assert _run_child({}) == _expected()
+
+
+def test_hashes_are_independent_of_pythonhashseed():
+    # Two children with deliberately different string-hash randomisation.
+    first = _run_child({"PYTHONHASHSEED": "1"})
+    second = _run_child({"PYTHONHASHSEED": "4242"})
+    expected = _expected()
+    assert first == expected
+    assert second == expected

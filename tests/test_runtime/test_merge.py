@@ -1,0 +1,161 @@
+"""Merge semantics of X-Sketch stage state (Stage 1, Stage 2, XSketch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.stage1 import Promotion
+from repro.core.stage2 import Stage2
+from repro.core.xsketch import XSketch
+from repro.errors import MergeError
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.mergeable import Mergeable, merge_all
+
+SEED = 31
+
+
+def _config(**overrides):
+    overrides.setdefault("memory_kb", 40.0)
+    return XSketchConfig(task=SimplexTask.paper_default(1), **overrides)
+
+
+def _promotion(item, w_str, frequencies=(3, 5, 7, 9)):
+    return Promotion(item=item, frequencies=tuple(frequencies), w_str=w_str, potential=2.0)
+
+
+def _colliding_items(stage2, count=2):
+    """Items that share one Stage-2 bucket (forces weight election)."""
+    target = stage2.family.hash32("anchor-0", stage2._bucket_hash_index) % stage2.m
+    found = []
+    index = 0
+    while len(found) < count:
+        item = f"anchor-{index}"
+        if stage2.family.hash32(item, stage2._bucket_hash_index) % stage2.m == target:
+            found.append(item)
+        index += 1
+    return found
+
+
+class TestStage2Merge:
+    def test_disjoint_items_union(self):
+        config = _config()
+        a = Stage2(config, seed=SEED)
+        b = Stage2(config, seed=SEED)
+        a.try_insert(_promotion("left", w_str=0), window=3)
+        b.try_insert(_promotion("right", w_str=1), window=3)
+        a.merge(b, window=3)
+        assert a.lookup("left") is not None
+        assert a.lookup("right") is not None
+        assert len(a) == 2
+        assert a.merges == 1
+
+    def test_same_item_counts_add_and_w_str_keeps_earlier(self):
+        config = _config()
+        a = Stage2(config, seed=SEED)
+        b = Stage2(config, seed=SEED)
+        a.try_insert(_promotion("dup", w_str=2, frequencies=(1, 1, 1, 1)), window=5)
+        b.try_insert(_promotion("dup", w_str=0, frequencies=(2, 2, 2, 2)), window=5)
+        a.record_arrival("dup", 5)
+        a.merge(b, window=5)
+        cell = a.lookup("dup")
+        assert cell.w_str == 0
+        merged_total = sum(cell.counts)
+        assert merged_total == (1 + 1 + 1 + 1 + 1) + (2 + 2 + 2 + 2)
+
+    def test_full_bucket_elects_by_weight(self):
+        config = _config(u=1)
+        resident_side = Stage2(config, seed=SEED)
+        incoming_side = Stage2(config, seed=SEED)
+        heavy, light = _colliding_items(resident_side, 2)
+        resident_side.try_insert(_promotion(heavy, w_str=0), window=10)  # W = 10
+        incoming_side.try_insert(_promotion(light, w_str=8), window=10)  # W = 2
+        resident_side.merge(incoming_side, window=10)
+        assert resident_side.lookup(heavy) is not None
+        assert resident_side.lookup(light) is None
+        assert resident_side.merge_dropped == 1
+        # the election is by weight, not by merge direction
+        fresh_resident = Stage2(config, seed=SEED)
+        fresh_incoming = Stage2(config, seed=SEED)
+        fresh_resident.try_insert(_promotion(light, w_str=8), window=10)
+        fresh_incoming.try_insert(_promotion(heavy, w_str=0), window=10)
+        fresh_resident.merge(fresh_incoming, window=10)
+        assert fresh_resident.lookup(heavy) is not None
+        assert fresh_resident.lookup(light) is None
+
+    def test_geometry_and_seed_mismatch_rejected(self):
+        a = Stage2(_config(), seed=SEED)
+        with pytest.raises(MergeError):
+            a.merge(Stage2(_config(u=2), seed=SEED), window=0)
+        with pytest.raises(MergeError):
+            a.merge(Stage2(_config(), seed=SEED + 1), window=0)
+
+
+def _run_windows(sketch, windows):
+    for window in windows:
+        sketch.run_window(window)
+    return sketch
+
+
+class TestXSketchMerge:
+    def test_merged_equals_single_for_cm_rule_stage1(self, controlled_trace):
+        """Split the stream by key parity; CM-rule Stage-1 merge is exact.
+
+        Every key's full history stays on one side (the sharded-runtime
+        routing invariant), so merged Stage-1 counters equal the single
+        sketch's and the merged tracked set is the union.
+        """
+        config = _config(update_rule="cm", memory_kb=80.0)
+        windows = list(controlled_trace.windows())
+        left = [[i for i in w if hash_side(i) == 0] for w in windows]
+        right = [[i for i in w if hash_side(i) == 1] for w in windows]
+        single = _run_windows(XSketch(config, seed=SEED), windows)
+        a = _run_windows(XSketch(config, seed=SEED), left)
+        b = _run_windows(XSketch(config, seed=SEED), right)
+        a.merge(b)
+        probes = {item for w in windows for item in w}
+        for item in sorted(probes, key=str)[:200]:
+            merged_est = a.stage1.filter.query_slot(item, a.window % config.s)
+            single_est = single.stage1.filter.query_slot(item, single.window % config.s)
+            assert merged_est == single_est
+
+    def test_merge_requires_same_window_and_config(self):
+        a = XSketch(_config(), seed=SEED)
+        b = XSketch(_config(), seed=SEED)
+        b.run_window(["x"] * 10)
+        with pytest.raises(MergeError):
+            a.merge(b)
+        with pytest.raises(MergeError):
+            a.merge(XSketch(_config(memory_kb=50.0), seed=SEED))
+
+    def test_merge_combines_report_streams_in_canonical_order(self, controlled_trace):
+        config = _config(memory_kb=80.0)
+        windows = list(controlled_trace.windows())
+        left = [[i for i in w if hash_side(i) == 0] for w in windows]
+        right = [[i for i in w if hash_side(i) == 1] for w in windows]
+        a = _run_windows(XSketch(config, seed=SEED), left)
+        b = _run_windows(XSketch(config, seed=SEED), right)
+        expected = sorted(
+            [(r.report_window, str(r.item)) for r in a.reports + b.reports]
+        )
+        a.merge(b)
+        assert [(r.report_window, str(r.item)) for r in a.reports] == expected
+
+    def test_satisfies_mergeable_protocol(self):
+        assert isinstance(XSketch(_config(), seed=SEED), Mergeable)
+
+    def test_merge_all_folds_left(self):
+        config = _config(memory_kb=80.0)
+        sketches = [XSketch(config, seed=SEED) for _ in range(3)]
+        streams = (["a"] * 5, ["b"] * 5, ["c"] * 5)
+        for sketch, stream in zip(sketches, streams):
+            sketch.run_window(list(stream))
+        merged = merge_all(*sketches)
+        assert merged is sketches[0]
+        assert merged.stage1.arrivals == 15
+
+
+def hash_side(item) -> int:
+    """Deterministic 2-way key split, independent of PYTHONHASHSEED."""
+    text = item if isinstance(item, str) else repr(item)
+    return sum(text.encode()) % 2

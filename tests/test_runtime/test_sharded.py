@@ -1,0 +1,196 @@
+"""ShardedXSketch: equivalence with the single-process sketch, worker
+processes, checkpoint/restore, and observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.xsketch import XSketch
+from repro.errors import RuntimeShardError
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.sharded import ShardedXSketch
+
+SEED = 11
+
+
+def _config(memory_kb=60.0, **overrides):
+    return XSketchConfig(
+        task=SimplexTask.paper_default(1), memory_kb=memory_kb, **overrides
+    )
+
+
+def _report_keys(reports):
+    return [(r.report_window, str(r.item)) for r in reports]
+
+
+def _run_trace(algorithm, windows):
+    for window in windows:
+        algorithm.run_window(window)
+    return algorithm
+
+
+@pytest.fixture(scope="module")
+def planted_windows(controlled_trace):
+    return list(controlled_trace.windows())
+
+
+class TestInlineEquivalence:
+    def test_sharded_reports_equal_single_sketch(self, planted_windows):
+        """Acceptance criterion: same reported simplex items as the
+        single-process sketch on the same planted stream."""
+        config = _config()
+        single = _run_trace(XSketch(config, seed=SEED), planted_windows)
+        with ShardedXSketch(config, n_shards=2, seed=SEED, backend="inline") as sharded:
+            _run_trace(sharded, planted_windows)
+            sharded_keys = _report_keys(sharded.reports)
+        single_keys = sorted(_report_keys(single.reports))
+        assert sorted(sharded_keys) == single_keys
+        assert set(str(r.item) for r in single.reports) >= {"rise", "fall"}
+
+    def test_shard_count_does_not_change_report_set(self, planted_windows):
+        config = _config()
+        results = {}
+        for n_shards in (2, 3):
+            with ShardedXSketch(
+                config, n_shards=n_shards, seed=SEED, backend="inline"
+            ) as sharded:
+                _run_trace(sharded, planted_windows)
+                results[n_shards] = sorted(_report_keys(sharded.reports))
+        assert results[2] == results[3]
+
+    def test_insert_buffering_matches_ingest_batch(self, planted_windows):
+        config = _config()
+        windows = planted_windows[:6]
+        with ShardedXSketch(
+            config, n_shards=2, seed=SEED, backend="inline", batch_size=64
+        ) as by_item, ShardedXSketch(
+            config, n_shards=2, seed=SEED, backend="inline"
+        ) as by_batch:
+            for window in windows:
+                for item in window:
+                    by_item.insert(item)
+                by_item.flush_window()
+                by_batch.ingest_batch(window)
+                by_batch.flush_window()
+            assert _report_keys(by_item.reports) == _report_keys(by_batch.reports)
+            assert by_item.stats().items_routed == by_batch.stats().items_routed
+
+
+class TestProcessBackend:
+    def test_worker_processes_match_single_sketch(self, planted_windows):
+        """Acceptance criterion with real worker processes (N=2)."""
+        config = _config()
+        windows = planted_windows[:10]
+        single = _run_trace(XSketch(config, seed=SEED), windows)
+        with ShardedXSketch(config, n_shards=2, seed=SEED, backend="process") as sharded:
+            _run_trace(sharded, windows)
+            sharded_keys = _report_keys(sharded.reports)
+            stats = sharded.stats()
+        assert sorted(sharded_keys) == sorted(_report_keys(single.reports))
+        assert stats.n_shards == 2
+        assert stats.items_routed == sum(len(w) for w in windows)
+        assert all(s.worker is not None for s in stats.shards)
+        assert sum(s.worker.items_ingested for s in stats.shards) == stats.items_routed
+
+    def test_process_backend_equals_inline_backend(self, planted_windows):
+        config = _config()
+        windows = planted_windows[:8]
+        with ShardedXSketch(config, n_shards=2, seed=SEED, backend="process") as proc:
+            _run_trace(proc, windows)
+            proc_keys = _report_keys(proc.reports)
+        with ShardedXSketch(config, n_shards=2, seed=SEED, backend="inline") as inline:
+            _run_trace(inline, windows)
+            inline_keys = _report_keys(inline.reports)
+        assert proc_keys == inline_keys
+
+    def test_close_is_idempotent_and_workers_exit(self, planted_windows):
+        config = _config()
+        sharded = ShardedXSketch(config, n_shards=2, seed=SEED, backend="process")
+        sharded.run_window(planted_windows[0])
+        sharded.close()
+        sharded.close()
+        with pytest.raises(RuntimeShardError):
+            sharded.ingest_batch(planted_windows[0])
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_resumes_identically(self, planted_windows, tmp_path):
+        config = _config()
+        first, rest = planted_windows[:12], planted_windows[12:]
+        reference = ShardedXSketch(config, n_shards=2, seed=SEED, backend="inline")
+        _run_trace(reference, first)
+        reference.checkpoint(tmp_path / "ckpt")
+        _run_trace(reference, rest)
+
+        restored = ShardedXSketch.restore(tmp_path / "ckpt", backend="inline")
+        assert restored.window == len(first)
+        assert _report_keys(restored.reports) == _report_keys(
+            ShardedXSketch.restore(tmp_path / "ckpt", backend="inline").reports
+        )
+        _run_trace(restored, rest)
+        assert _report_keys(restored.reports) == _report_keys(reference.reports)
+        assert restored.stats().items_routed == reference.stats().items_routed
+
+    def test_checkpoint_layout(self, planted_windows, tmp_path):
+        config = _config()
+        with ShardedXSketch(config, n_shards=3, seed=SEED, backend="inline") as sharded:
+            _run_trace(sharded, planted_windows[:4])
+            sharded.checkpoint(tmp_path / "ckpt")
+        names = sorted(p.name for p in (tmp_path / "ckpt").iterdir())
+        assert names == [
+            "manifest.json",
+            "shard-00.json",
+            "shard-01.json",
+            "shard-02.json",
+        ]
+
+    def test_checkpoint_refuses_buffered_items(self, planted_windows, tmp_path):
+        config = _config()
+        with ShardedXSketch(
+            config, n_shards=2, seed=SEED, backend="inline", batch_size=10_000
+        ) as sharded:
+            sharded.insert("pending-item")
+            with pytest.raises(RuntimeShardError):
+                sharded.checkpoint(tmp_path / "ckpt")
+
+    def test_restore_into_worker_processes(self, planted_windows, tmp_path):
+        config = _config()
+        first, rest = planted_windows[:10], planted_windows[10:14]
+        reference = ShardedXSketch(config, n_shards=2, seed=SEED, backend="inline")
+        _run_trace(reference, first)
+        reference.checkpoint(tmp_path / "ckpt")
+        _run_trace(reference, rest)
+        with ShardedXSketch.restore(tmp_path / "ckpt", backend="process") as restored:
+            _run_trace(restored, rest)
+            assert _report_keys(restored.reports) == _report_keys(reference.reports)
+
+
+class TestCompactionAndObservability:
+    def test_merged_sketch_compacts_shards(self, planted_windows):
+        config = _config()
+        with ShardedXSketch(config, n_shards=3, seed=SEED, backend="inline") as sharded:
+            _run_trace(sharded, planted_windows)
+            merged = sharded.merged_sketch()
+            assert sharded.stats().merge_count == 2  # 3 shards -> 2 merges
+        assert merged.window == len(planted_windows)
+        assert _report_keys(merged.reports) == _report_keys(sharded.reports)
+
+    def test_stats_shapes(self, planted_windows):
+        config = _config()
+        with ShardedXSketch(config, n_shards=4, seed=SEED, backend="inline") as sharded:
+            _run_trace(sharded, planted_windows[:5])
+            stats = sharded.stats()
+            depths = sharded.queue_depths()
+        assert stats.window == 5
+        assert len(stats.shards) == 4
+        assert len(depths) == 4
+        assert sum(s.items_routed for s in stats.shards) == stats.items_routed
+        assert all(s.batches_sent > 0 for s in stats.shards)
+        assert stats.reports == len(sharded.reports)
+
+    def test_memory_budget_scales_with_shards(self):
+        config = _config()
+        with ShardedXSketch(config, n_shards=2, seed=SEED, backend="inline") as two, \
+                ShardedXSketch(config, n_shards=4, seed=SEED, backend="inline") as four:
+            assert four.memory_bytes == pytest.approx(2 * two.memory_bytes)

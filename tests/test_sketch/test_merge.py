@@ -1,0 +1,259 @@
+"""Merge semantics of the counter-array sketches (Mergeable protocol).
+
+The contract under test: a sketch merged over a split stream behaves
+like a single sketch over the whole stream — exactly for CM / Count
+(and TowerSketch under the CM rule), as a bounded overestimate for the
+conservative-update variants, and with overflow markers preserved in
+saturation cases.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import MergeError
+from repro.sketch.cm import CMSketch
+from repro.sketch.count import CountSketch
+from repro.sketch.counters import CounterArray
+from repro.sketch.cu import CUSketch
+from repro.sketch.tower import TowerSketch
+from repro.sketch.windowed import (
+    WindowedCM,
+    WindowedCU,
+    WindowedColdFilter,
+    WindowedLogLog,
+    WindowedTower,
+)
+
+SEED = 77
+
+
+def _split_stream(n_items=120, n_arrivals=6000, rng_seed=5):
+    """A heavy-tailed stream cut in two halves, plus its exact counts."""
+    rng = random.Random(rng_seed)
+    items = [f"flow-{i}" for i in range(n_items)]
+    stream = [items[min(rng.randrange(n_items), rng.randrange(n_items))] for _ in range(n_arrivals)]
+    half = n_arrivals // 2
+    return stream[:half], stream[half:], Counter(stream), items
+
+
+def _fill(sketch, arrivals):
+    for item in arrivals:
+        sketch.insert(item)
+    return sketch
+
+
+class TestCounterArrayMerge:
+    def test_saturating_add(self):
+        a = CounterArray(4, bits=4)
+        b = CounterArray(4, bits=4)
+        for index, (x, y) in enumerate([(3, 4), (10, 10), (15, 1), (0, 0)]):
+            a.set(index, x)
+            b.set(index, y)
+        a.merge(b)
+        assert list(a) == [7, 15, 15, 0]
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(MergeError):
+            CounterArray(4, bits=4).merge(CounterArray(5, bits=4))
+        with pytest.raises(MergeError):
+            CounterArray(4, bits=4).merge(CounterArray(4, bits=8))
+
+
+class TestFlatSketchMerge:
+    def test_cm_merge_is_exact(self):
+        first, second, truth, items = _split_stream()
+        whole = _fill(CMSketch(4096, d=3, seed=SEED), first + second)
+        part_a = _fill(CMSketch(4096, d=3, seed=SEED), first)
+        part_b = _fill(CMSketch(4096, d=3, seed=SEED), second)
+        part_a.merge(part_b)
+        for item in items:
+            assert part_a.query(item) == whole.query(item)
+
+    def test_count_merge_is_exact(self):
+        first, second, truth, items = _split_stream()
+        whole = _fill(CountSketch(4096, d=3, seed=SEED), first + second)
+        merged = _fill(CountSketch(4096, d=3, seed=SEED), first).merge(
+            _fill(CountSketch(4096, d=3, seed=SEED), second)
+        )
+        for item in items:
+            assert merged.query(item) == whole.query(item)
+
+    def test_cu_merge_is_bounded_overestimate(self):
+        first, second, truth, items = _split_stream()
+        merged = _fill(CUSketch(4096, d=3, seed=SEED), first).merge(
+            _fill(CUSketch(4096, d=3, seed=SEED), second)
+        )
+        cm_merged = _fill(CMSketch(4096, d=3, seed=SEED), first).merge(
+            _fill(CMSketch(4096, d=3, seed=SEED), second)
+        )
+        for item in items:
+            estimate = merged.query(item)
+            assert estimate >= truth[item]  # still one-sided
+            assert estimate <= cm_merged.query(item)  # no worse than CM
+
+    def test_tower_cm_merge_is_exact(self):
+        first, second, truth, items = _split_stream()
+        whole = _fill(TowerSketch(4096, d=3, update_rule="cm", seed=SEED), first + second)
+        merged = _fill(TowerSketch(4096, d=3, update_rule="cm", seed=SEED), first).merge(
+            _fill(TowerSketch(4096, d=3, update_rule="cm", seed=SEED), second)
+        )
+        for item in items:
+            assert merged.query(item) == whole.query(item)
+
+    def test_tower_cu_merge_is_bounded(self):
+        first, second, truth, items = _split_stream()
+        merged = _fill(TowerSketch(4096, d=3, update_rule="cu", seed=SEED), first).merge(
+            _fill(TowerSketch(4096, d=3, update_rule="cu", seed=SEED), second)
+        )
+        for item in items:
+            assert merged.query(item) >= truth[item]
+
+    def test_tower_merge_preserves_overflow_markers(self):
+        # Saturate the bottom-level counter on one side; after the merge
+        # the counter must still read as an overflow marker, not wrap.
+        a = TowerSketch(600, d=2, update_rule="cm", level_bits=[4, 32], seed=SEED)
+        b = TowerSketch(600, d=2, update_rule="cm", level_bits=[4, 32], seed=SEED)
+        a.insert("hot", count=10_000)  # saturates the 4-bit level
+        b.insert("hot", count=3)
+        a.merge(b)
+        level0 = a.levels[0]
+        pos0 = a._positions("hot")[0]
+        assert level0.is_saturated(pos0)
+        # query falls through to the larger level, which tracked the sum
+        assert a.query("hot") == 10_003
+
+    def test_seed_mismatch_rejected(self):
+        with pytest.raises(MergeError):
+            CMSketch(4096, d=3, seed=1).merge(CMSketch(4096, d=3, seed=2))
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(MergeError):
+            CMSketch(4096, d=3, seed=SEED).merge(CMSketch(2048, d=3, seed=SEED))
+        with pytest.raises(MergeError):
+            TowerSketch(4096, d=3, seed=SEED).merge(
+                TowerSketch(4096, d=3, update_rule="cu", seed=SEED)
+            )
+
+
+def _windowed_split(s=4, n_arrivals=4000, rng_seed=9):
+    """Per-(item, slot) split stream + exact per-slot counts."""
+    rng = random.Random(rng_seed)
+    items = [f"w-{i}" for i in range(60)]
+    arrivals = [
+        (items[min(rng.randrange(60), rng.randrange(60))], rng.randrange(s))
+        for _ in range(n_arrivals)
+    ]
+    half = n_arrivals // 2
+    truth = Counter(arrivals)
+    return arrivals[:half], arrivals[half:], truth, items
+
+
+def _fill_windowed(filter_, arrivals):
+    for item, slot in arrivals:
+        filter_.insert(item, slot)
+    return filter_
+
+
+class TestWindowedMerge:
+    S = 4
+
+    def _make(self, cls, **kwargs):
+        return cls(memory_bytes=6000, s=self.S, seed=SEED, **kwargs)
+
+    @pytest.mark.parametrize("cls", [WindowedTower, WindowedCM])
+    def test_cm_rule_merge_is_exact_per_slot(self, cls):
+        first, second, truth, items = _windowed_split(s=self.S)
+        whole = _fill_windowed(self._make(cls), first + second)
+        merged = _fill_windowed(self._make(cls), first).merge(
+            _fill_windowed(self._make(cls), second)
+        )
+        for item in items:
+            for slot in range(self.S):
+                assert merged.query_slot(item, slot) == whole.query_slot(item, slot)
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (WindowedCU, {}),
+            (WindowedTower, {"update_rule": "cu"}),
+        ],
+    )
+    def test_cu_style_merge_is_bounded_per_slot(self, cls, kwargs):
+        first, second, truth, items = _windowed_split(s=self.S)
+        merged = _fill_windowed(self._make(cls, **kwargs), first).merge(
+            _fill_windowed(self._make(cls, **kwargs), second)
+        )
+        for item in items:
+            for slot in range(self.S):
+                assert merged.query_slot(item, slot) >= truth[(item, slot)]
+
+    def test_cold_filter_merge_is_bounded_by_layer1_threshold(self):
+        # Layer-1 mass absorbed on both sides collapses into one
+        # saturating counter: the merged estimate may fall below the
+        # truth, but never by more than the layer-1 threshold per peer,
+        # and never below either side's own estimate.
+        first, second, truth, items = _windowed_split(s=self.S)
+        part_a = _fill_windowed(self._make(WindowedColdFilter), first)
+        part_b = _fill_windowed(self._make(WindowedColdFilter), second)
+        before = {
+            (item, slot): max(
+                part_a.query_slot(item, slot), part_b.query_slot(item, slot)
+            )
+            for item in items
+            for slot in range(self.S)
+        }
+        threshold = part_a.threshold
+        part_a.merge(part_b)
+        for item in items:
+            for slot in range(self.S):
+                estimate = part_a.query_slot(item, slot)
+                assert estimate >= before[(item, slot)]
+                assert estimate >= truth[(item, slot)] - threshold
+
+    def test_loglog_merge_takes_register_max(self):
+        first, second, truth, items = _windowed_split(s=self.S)
+        part_a = _fill_windowed(self._make(WindowedLogLog), first)
+        part_b = _fill_windowed(self._make(WindowedLogLog), second)
+        before_a = {
+            (item, slot): part_a.query_slot(item, slot)
+            for item in items
+            for slot in range(self.S)
+        }
+        before_b = {
+            (item, slot): part_b.query_slot(item, slot)
+            for item in items
+            for slot in range(self.S)
+        }
+        part_a.merge(part_b)
+        for key, value in before_a.items():
+            item, slot = key
+            merged = part_a.query_slot(item, slot)
+            assert merged >= value
+            assert merged >= before_b[key]
+
+    def test_positivity_never_lost_by_merge(self):
+        # The Stage-1 contract: a slot positive on either side must stay
+        # positive after the merge (the Preliminary Condition relies on it).
+        first, second, truth, items = _windowed_split(s=self.S)
+        merged = _fill_windowed(self._make(WindowedTower), first).merge(
+            _fill_windowed(self._make(WindowedTower), second)
+        )
+        for (item, slot), count in truth.items():
+            if count > 0:
+                assert merged.query_slot(item, slot) > 0
+
+    def test_type_and_s_mismatch_rejected(self):
+        with pytest.raises(MergeError):
+            self._make(WindowedTower).merge(self._make(WindowedCM))
+        with pytest.raises(MergeError):
+            self._make(WindowedTower).merge(
+                WindowedTower(memory_bytes=6000, s=self.S + 1, seed=SEED)
+            )
+        with pytest.raises(MergeError):
+            self._make(WindowedTower).merge(
+                WindowedTower(memory_bytes=6000, s=self.S, seed=SEED + 1)
+            )
