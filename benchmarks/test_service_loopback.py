@@ -1,0 +1,100 @@
+"""Extension bench: loopback throughput of the async service layer.
+
+Not a paper figure.  The service layer (PR 2) puts a TCP hop, JSON
+framing, bounded queues and the window resequencer between the producer
+and the sketch; this bench measures what that plumbing costs by
+replaying the same stream (a) directly into a ShardedXSketch and
+(b) through ``repro.service`` over loopback with 1 and 4 connections.
+The delivered/dropped accounting and the send-latency percentiles are
+printed alongside, so backpressure behaviour is visible, not just the
+headline Mops.
+
+Pure-Python caveat as everywhere in this repo: absolute Mops are
+hundreds of times below the paper's C++ numbers; only the ratios
+between rows mean anything.
+"""
+
+import asyncio
+
+from conftest import BENCH_SEED, run_once
+from repro.config import XSketchConfig
+from repro.experiments.harness import SeriesTable
+from repro.fitting.simplex import SimplexTask
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams.datasets import synthetic_stream
+
+N_WINDOWS = 8
+WINDOW_SIZE = 4_000
+CONNECTION_COUNTS = (1, 4)
+
+
+def _config():
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=60.0)
+
+
+def _engine():
+    return ShardedXSketch(_config(), n_shards=2, seed=BENCH_SEED, backend="inline")
+
+
+async def _loopback_run(trace, connections):
+    service = StreamService(
+        _engine(),
+        ServiceConfig(window_size=WINDOW_SIZE, micro_batch=512),
+    )
+    await service.start()
+    host, port = service.ingest_address
+    stats = await replay_trace(
+        trace, host, port, connections=connections, batch_size=512
+    )
+    await service.stop()
+    assert service.failure is None
+    assert stats.received_items == len(trace)
+    return stats
+
+
+def _sweep():
+    trace = synthetic_stream(
+        n_windows=N_WINDOWS, window_size=WINDOW_SIZE, seed=BENCH_SEED
+    )
+
+    class _DirectAdapter:
+        """Feed the sharded engine through the single-process protocol."""
+
+        def __init__(self, engine):
+            self._engine = engine
+
+        def insert(self, item):
+            self._engine.ingest_batch([item])
+
+        def end_window(self):
+            return self._engine.flush_window()
+
+    with _engine() as direct_engine:
+        direct = measure_throughput(_DirectAdapter(direct_engine), trace)
+
+    rows = {"direct": direct}
+    for connections in CONNECTION_COUNTS:
+        stats = asyncio.run(_loopback_run(trace, connections))
+        rows[f"service/{connections}conn"] = ThroughputResult(
+            total_items=stats.total_items, elapsed_seconds=stats.elapsed_seconds
+        )
+        print(f"  {connections} connection(s): {stats.render()}")
+
+    labels = list(rows)
+    table = SeriesTable(
+        title="Service loopback ingest vs direct (2 inline shards, k=1)",
+        x_label="Path",
+        x_values=labels,
+        series={"Mops": [round(rows[label].mops, 4) for label in labels]},
+    )
+    return table, rows
+
+
+def test_service_loopback_throughput(benchmark, show):
+    table, rows = run_once(benchmark, _sweep)
+    show(table)
+    for label, result in rows.items():
+        assert result.mops > 0.0, f"{label} measured no throughput"

@@ -8,20 +8,30 @@ sketch's stable-line reports into a pinned prefetch buffer recovers
 those hits.
 
 Run:  python examples/cache_prefetch.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
+
+import os
 
 from repro.apps import run_prefetch_experiment
 from repro.apps.cache_prefetch import make_access_trace
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
-    trace = make_access_trace(n_windows=40, window_size=2000, n_stable_lines=150, seed=5)
+    trace = make_access_trace(
+        n_windows=10 if SMOKE else 40,
+        window_size=400 if SMOKE else 2000,
+        n_stable_lines=40 if SMOKE else 150,
+        seed=5,
+    )
     print(
         f"access stream: {trace.geometry.n_windows} windows x "
         f"{trace.geometry.window_size} accesses, {trace.distinct_items()} distinct lines"
     )
 
-    for capacity in (128, 256, 512):
+    for capacity in (64, 128) if SMOKE else (128, 256, 512):
         result = run_prefetch_experiment(
             trace, cache_capacity=capacity, memory_kb=40.0, seed=5
         )

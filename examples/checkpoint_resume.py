@@ -7,8 +7,10 @@ example runs half a stream, snapshots the sketch to JSON, "restarts",
 and shows the resumed sketch produces the identical report stream.
 
 Run:  python examples/checkpoint_resume.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -16,9 +18,13 @@ from repro import SimplexTask, XSketch, XSketchConfig
 from repro.core import load_xsketch, save_xsketch
 from repro.streams import ip_trace_stream
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
-    trace = ip_trace_stream(n_windows=30, window_size=1500, seed=21)
+    trace = ip_trace_stream(
+        n_windows=16 if SMOKE else 30, window_size=400 if SMOKE else 1500, seed=21
+    )
     windows = list(trace.windows())
     task = SimplexTask.paper_default(1)
     config = XSketchConfig(task=task, memory_kb=30.0)
@@ -27,16 +33,17 @@ def main() -> None:
     for window in windows:
         reference.run_window(window)
 
+    half = len(windows) // 2
     first_half = XSketch(config, seed=5)
-    for window in windows[:15]:
+    for window in windows[:half]:
         first_half.run_window(window)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "sketch-checkpoint.json"
         save_xsketch(first_half, path)
-        print(f"checkpoint after window 15: {path.stat().st_size / 1024:.1f} KB on disk")
+        print(f"checkpoint after window {half}: {path.stat().st_size / 1024:.1f} KB on disk")
         resumed = load_xsketch(path, seed=5)
 
-    for window in windows[15:]:
+    for window in windows[half:]:
         resumed.run_window(window)
 
     match = [r.instance for r in resumed.reports] == [r.instance for r in reference.reports]

@@ -6,19 +6,24 @@ linearly at window 20, runs the streaming detector, and reports
 detection coverage, latency, and false alarms.
 
 Run:  python examples/ddos_detection.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
+
+import os
 
 from repro.apps import DDoSDetector, evaluate_detector
 from repro.streams import ddos_stream
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     trace, scenario = ddos_stream(
-        n_windows=60,
-        window_size=2000,
-        n_attackers=12,
-        onset_window=20,
-        duration=25,
+        n_windows=24 if SMOKE else 60,
+        window_size=400 if SMOKE else 2000,
+        n_attackers=6 if SMOKE else 12,
+        onset_window=8 if SMOKE else 20,
+        duration=12 if SMOKE else 25,
         seed=11,
     )
     print(

@@ -11,14 +11,23 @@ an IP-trace-like stream:
 * per-item ARIMA (time-series model) -- same sweep, heavier fit.
 
 Run:  python examples/ml_acceleration.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
 
+import os
+
+from repro.config import StreamGeometry
 from repro.experiments import ml_comparison_table
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
-    for dataset in ("ip_trace", "transactional"):
-        text, results = ml_comparison_table(dataset=dataset, memory_kb=40.0, seed=3)
+    overrides = {"geometry": StreamGeometry(n_windows=10, window_size=300)} if SMOKE else {}
+    for dataset in ("ip_trace",) if SMOKE else ("ip_trace", "transactional"):
+        text, results = ml_comparison_table(
+            dataset=dataset, memory_kb=40.0, seed=3, **overrides
+        )
         print(text)
         for k, result in results.items():
             print(

@@ -7,19 +7,30 @@ monitor merges consecutive reports into burst events with an estimated
 peak window and height.
 
 Run:  python examples/periodic_traffic.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
 
+import os
 from collections import defaultdict
 
 from repro.apps import PeriodicMonitor
 from repro.apps.periodic_monitor import make_periodic_trace
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
+    n_nodes, period = (4, 12) if SMOKE else (6, 16)
     trace = make_periodic_trace(
-        n_windows=70, window_size=2000, n_nodes=6, period=16, burst_len=9, seed=9
+        n_windows=36 if SMOKE else 70,
+        window_size=400 if SMOKE else 2000,
+        n_nodes=n_nodes,
+        period=period,
+        burst_len=7 if SMOKE else 9,
+        seed=9,
     )
-    print(f"trace: {trace.geometry.n_windows} windows, 6 nodes bursting every 16 windows")
+    print(f"trace: {trace.geometry.n_windows} windows, {n_nodes} nodes "
+          f"bursting every {period} windows")
 
     monitor = PeriodicMonitor(memory_kb=40.0, seed=9)
     events = monitor.run(trace)
@@ -40,7 +51,8 @@ def main() -> None:
         gaps.extend(b - a for a, b in zip(peaks, peaks[1:]))
     if gaps:
         mean_gap = sum(gaps) / len(gaps)
-        print(f"\nestimated burst period from peak gaps: {mean_gap:.1f} windows (truth: 16)")
+        print(f"\nestimated burst period from peak gaps: {mean_gap:.1f} windows "
+              f"(truth: {period})")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,10 @@ plants two contrasting items into one stream --
 disjoint things.
 
 Run:  python examples/persistent_vs_simplex.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
+
+import os
 
 from repro.config import StreamGeometry, XSketchConfig
 from repro.core.xsketch import XSketch
@@ -29,14 +32,22 @@ from repro.streams.planted import (
     linear_pattern,
 )
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
-    geometry = StreamGeometry(n_windows=30, window_size=1000)
+    geometry = (
+        StreamGeometry(n_windows=20, window_size=400)
+        if SMOKE
+        else StreamGeometry(n_windows=30, window_size=1000)
+    )
     plants = [
         PlantedItem("erratic", 0, geometry.n_windows, constant_pattern(12.0), noise=10.0),
         PlantedItem("ramp", 6, 8, linear_pattern(4.0, 3.0)),
     ]
-    background = BackgroundTraffic(n_flows=2000, skew=1.0, n_stable=20, rotation_period=3)
+    background = BackgroundTraffic(
+        n_flows=600 if SMOKE else 2000, skew=1.0, n_stable=20, rotation_period=3
+    )
     trace = PlantedWorkload("demo", geometry, background, plants).build(seed=4)
 
     task = SimplexTask.paper_default(1)

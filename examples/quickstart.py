@@ -6,16 +6,23 @@ by window, prints the simplex items it reports, and cross-checks the
 result against the exact oracle.
 
 Run:  python examples/quickstart.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
+
+import os
 
 from repro import SimplexOracle, SimplexTask, XSketch, XSketchConfig
 from repro.metrics import score_reports
 from repro.streams import ip_trace_stream
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     # 1. A stream: 40 windows of 2000 arrivals, CAIDA-like statistics.
-    trace = ip_trace_stream(n_windows=40, window_size=2000, seed=7)
+    trace = ip_trace_stream(
+        n_windows=10 if SMOKE else 40, window_size=300 if SMOKE else 2000, seed=7
+    )
     print(f"stream: {trace.geometry.n_windows} windows x {trace.geometry.window_size} items, "
           f"{trace.distinct_items()} distinct items")
 

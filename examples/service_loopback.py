@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Serving X-Sketch over the network: loopback service + load generator.
+
+Boots the async ingest/query service (`repro.service`) over a 2-shard
+inline `ShardedXSketch`, replays an IP-trace substitute through the
+bundled load generator on three concurrent connections, polls the HTTP
+query API, and shows the drained service produced exactly the reports a
+direct in-process run of the same trace produces.
+
+Run:  python examples/service_loopback.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
+"""
+
+import asyncio
+import json
+import os
+
+from repro import ShardedXSketch, SimplexTask, XSketchConfig
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams import ip_trace_stream
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+
+async def http_get(host: str, port: int, path: str) -> dict:
+    """Minimal HTTP GET against the service's query listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    return json.loads(response.split(b"\r\n\r\n", 1)[1])
+
+
+async def main_async() -> None:
+    trace = ip_trace_stream(
+        n_windows=12 if SMOKE else 30, window_size=400 if SMOKE else 800, seed=7
+    )
+    config = XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=60.0)
+
+    engine = ShardedXSketch(config, n_shards=2, seed=7, backend="inline")
+    service = StreamService(
+        engine,
+        ServiceConfig(window_size=trace.geometry.window_size, micro_batch=256),
+    )
+    await service.start()
+    ingest_host, ingest_port = service.ingest_address
+    http_host, http_port = service.http_address
+    print(f"service up: ingest={ingest_host}:{ingest_port} http={http_host}:{http_port}")
+
+    stats = await replay_trace(
+        trace, ingest_host, ingest_port, connections=3, batch_size=200
+    )
+    print(f"loadgen: {stats.render()}")
+
+    health = await http_get(http_host, http_port, "/healthz")
+    reports = await http_get(http_host, http_port, "/reports?limit=3")
+    print(f"healthz: {health}")
+    print(f"reports: {reports['total']} total, first {len(reports['reports'])}:")
+    for report in reports["reports"]:
+        print(f"  window {report['report_window']:3d}: {report['item']} "
+              f"from window {report['start_window']}")
+
+    await service.stop()
+    served = list(service.manager.snapshot.reports)
+    print(f"drained: {service.manager.windows_closed} windows, {len(served)} reports")
+
+    direct = ShardedXSketch(config, n_shards=2, seed=7, backend="inline")
+    for window in trace.windows():
+        direct.run_window(window)
+    direct.close()
+    print(f"identical to direct in-process run: {served == direct.report()}")
+
+
+def main() -> None:
+    asyncio.run(main_async())
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ the fastest-rising / fastest-falling flows.  During the planted DDoS
 ramp the rising leaderboard is taken over by attack flows.
 
 Run:  python examples/trend_telemetry.py
+(REPRO_SMOKE=1 shrinks the stream for the examples smoke test.)
 """
+
+import os
 
 from repro.apps import TelemetryAggregator
 from repro.config import XSketchConfig
@@ -16,10 +19,17 @@ from repro.fitting.simplex import SimplexTask
 from repro.ml import extract_features, feature_matrix
 from repro.streams import ddos_stream
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     trace, scenario = ddos_stream(
-        n_windows=50, window_size=2000, n_attackers=8, onset_window=15, duration=25, seed=13
+        n_windows=20 if SMOKE else 50,
+        window_size=400 if SMOKE else 2000,
+        n_attackers=4 if SMOKE else 8,
+        onset_window=6 if SMOKE else 15,
+        duration=10 if SMOKE else 25,
+        seed=13,
     )
     task = SimplexTask.paper_default(1)
     sketch = BatchedXSketch(XSketchConfig(task=task, memory_kb=40.0), seed=13)

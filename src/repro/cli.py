@@ -11,6 +11,10 @@ Commands:
     Regenerate one of the paper's figures (see ``--list``).
 ``ml``
     Run the Section-VI ML comparison (Tables II/III).
+``serve``
+    Boot the async ingest/query service over an engine (docs/SERVICE.md).
+``loadgen``
+    Replay a dataset substitute against a running service.
 """
 
 from __future__ import annotations
@@ -180,6 +184,85 @@ def _cmd_ml(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.experiments.harness import make_algorithm
+    from repro.service import ServiceConfig, StreamService
+
+    task = SimplexTask(k=args.k, p=args.p, T=args.T, L=args.L)
+    engine = make_algorithm(
+        args.algorithm, task, args.memory_kb, seed=args.seed,
+        shards=args.shards, shard_backend=args.shard_backend,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        ingest_port=args.ingest_port,
+        http_port=args.http_port,
+        window_size=args.window_size,
+        window_seconds=args.window_seconds,
+        micro_batch=args.micro_batch,
+        queue_batches=args.queue_batches,
+        overload=args.overload,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def _run() -> StreamService:
+        service = StreamService(engine, config)
+        await service.start()
+        ingest_host, ingest_port = service.ingest_address
+        http_host, http_port = service.http_address
+        print(
+            f"serving ingest={ingest_host}:{ingest_port} "
+            f"http={http_host}:{http_port} "
+            f"(engine={args.algorithm}, shards={args.shards}, "
+            f"window_size={config.window_size}, overload={config.overload})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        if args.duration is not None:
+            loop.call_later(args.duration, service.request_stop)
+        await service.wait_stopped()
+        return service
+
+    service = asyncio.run(_run())
+    manager = service.manager
+    print(
+        f"drained: windows={manager.windows_closed} "
+        f"reports={len(manager.snapshot.reports)} "
+        f"items={manager.items_total} dropped={service.dropped_items}",
+        flush=True,
+    )
+    if service.failure is not None:
+        print(f"engine failure: {service.failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    trace = make_dataset(args.dataset, args.windows, args.window_size, args.seed)
+    stats = run_loadgen(
+        trace,
+        args.host,
+        args.port,
+        connections=args.connections,
+        batch_size=args.batch_size,
+        protocol=args.protocol,
+        ordered=not args.unordered,
+        shutdown=args.shutdown,
+    )
+    print(stats.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -241,6 +324,71 @@ def build_parser() -> argparse.ArgumentParser:
     ml.add_argument("--window-size", type=int, default=2000)
     ml.add_argument("--seed", type=int, default=0)
     ml.set_defaults(handler=_cmd_ml)
+
+    serve = subparsers.add_parser(
+        "serve", help="boot the async ingest/query service (docs/SERVICE.md)"
+    )
+    serve.add_argument(
+        "--algorithm", choices=["xs-cm", "xs-cu", "baseline"], default="xs-cu"
+    )
+    serve.add_argument("-k", type=int, default=1, help="polynomial degree")
+    serve.add_argument("-p", type=int, default=7, help="windows in the definition")
+    serve.add_argument("-T", type=float, default=2.0, help="MSE threshold")
+    serve.add_argument("-L", type=float, default=1.0, help="|a_k| lower bound")
+    serve.add_argument("--memory-kb", type=float, default=60.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="serve a ShardedXSketch with N shards (xs-cm/xs-cu only)",
+    )
+    serve.add_argument(
+        "--shard-backend", choices=["process", "inline"], default="process"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--ingest-port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument("--http-port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument(
+        "--window-size", type=_positive_int, default=2000,
+        help="items per count-based window",
+    )
+    serve.add_argument(
+        "--window-seconds", type=float, default=None,
+        help="also close windows on this wall-clock tick",
+    )
+    serve.add_argument("--micro-batch", type=_positive_int, default=512)
+    serve.add_argument(
+        "--queue-batches", type=_positive_int, default=64,
+        help="per-connection queue capacity in wire batches",
+    )
+    serve.add_argument("--overload", choices=["pushback", "drop"], default="pushback")
+    serve.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write a final checkpoint here on drain; default for /checkpoint",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="drain and exit after this many seconds (default: run until signal)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="replay a dataset substitute against a running service"
+    )
+    _add_stream_args(loadgen)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True, help="ingest port")
+    loadgen.add_argument("--connections", type=_positive_int, default=1)
+    loadgen.add_argument("--batch-size", type=_positive_int, default=512)
+    loadgen.add_argument("--protocol", choices=["framed", "jsonl"], default="framed")
+    loadgen.add_argument(
+        "--unordered", action="store_true",
+        help="omit sequence stamps (independent-producer mode)",
+    )
+    loadgen.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the service to drain and stop after the replay",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     return parser
 

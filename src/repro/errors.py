@@ -32,3 +32,7 @@ class MergeError(ReproError):
 
 class RuntimeShardError(ReproError):
     """The sharded runtime was used out of protocol or a worker failed."""
+
+
+class ServiceError(ReproError):
+    """The streaming service received malformed traffic or was misused."""

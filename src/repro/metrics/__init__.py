@@ -12,6 +12,7 @@ from repro.metrics.classification import (
     score_reports,
 )
 from repro.metrics.error import average_relative_error, lasting_time_are
+from repro.metrics.service import LatencySummary, ServiceStats, percentile
 from repro.metrics.throughput import (
     ShardThroughput,
     ShardedThroughputResult,
@@ -22,6 +23,8 @@ from repro.metrics.throughput import (
 
 __all__ = [
     "ClassificationScores",
+    "LatencySummary",
+    "ServiceStats",
     "ShardThroughput",
     "ShardedThroughputResult",
     "ThroughputResult",
@@ -30,6 +33,7 @@ __all__ = [
     "lasting_time_are",
     "measure_sharded_throughput",
     "measure_throughput",
+    "percentile",
     "precision_rate",
     "recall_rate",
     "score_reports",

@@ -1,0 +1,106 @@
+"""Client-side statistics of one load-generation run against the service.
+
+The load generator (:mod:`repro.service.loadgen`) replays a trace over
+the wire and measures what a real producer would observe: end-to-end
+wall clock (first byte sent to last acknowledgement), per-batch *send
+latency* (time for a frame to clear the client's socket buffer — under
+server pushback this is where backpressure becomes visible), and the
+server's own received/dropped accounting returned in the per-connection
+acknowledgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty).
+
+    ``q`` is in [0, 100].  Nearest-rank keeps the value an actual
+    observation, which is what latency reporting wants.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    rank = max(0, min(len(sorted_values) - 1, round(q / 100.0 * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentiles of one latency sample, in seconds."""
+
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            p50=percentile(ordered, 50),
+            p90=percentile(ordered, 90),
+            p99=percentile(ordered, 99),
+            max=ordered[-1] if ordered else 0.0,
+        )
+
+    def render(self) -> str:
+        return (
+            f"p50={self.p50 * 1e3:.2f}ms p90={self.p90 * 1e3:.2f}ms "
+            f"p99={self.p99 * 1e3:.2f}ms max={self.max * 1e3:.2f}ms"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """What one load-generation run achieved against a running service.
+
+    Attributes:
+        connections: concurrent ingest connections used.
+        batches: frames sent (micro-batches on the wire).
+        total_items: items sent by the client.
+        received_items: items the server acknowledged as enqueued.
+        dropped_items: items the server counted as dropped (overload
+            policy ``drop``); always 0 under ``pushback``.
+        elapsed_seconds: wall clock from first send to last ack.
+        send_latency: per-batch send+drain latency percentiles.
+    """
+
+    connections: int
+    batches: int
+    total_items: int
+    received_items: int
+    dropped_items: int
+    elapsed_seconds: float
+    send_latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+
+    @property
+    def mops(self) -> float:
+        """Millions of items pushed per second of wall clock (0.0 when empty)."""
+        if self.total_items <= 0 or self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_items / self.elapsed_seconds / 1e6
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Acknowledged fraction of sent items (1.0 for an empty run)."""
+        if self.total_items <= 0:
+            return 1.0
+        return self.received_items / self.total_items
+
+    def render(self) -> str:
+        """One human-readable summary line."""
+        return (
+            f"{self.total_items} items / {self.batches} batches over "
+            f"{self.connections} connection(s) in {self.elapsed_seconds:.3f}s: "
+            f"{self.mops:.4f} Mops, delivered {self.delivery_ratio:.1%} "
+            f"(dropped {self.dropped_items}); send latency {self.send_latency.render()}"
+        )

@@ -24,9 +24,14 @@ class ThroughputResult:
 
     @property
     def mops(self) -> float:
-        """Millions of insert operations per second."""
-        if self.elapsed_seconds <= 0:
-            return float("inf")
+        """Millions of insert operations per second.
+
+        Degenerate runs (no items, or a clock too coarse to measure the
+        elapsed time) report 0.0 rather than raising or returning inf,
+        so aggregation over many runs never blows up on an empty one.
+        """
+        if self.total_items <= 0 or self.elapsed_seconds <= 0:
+            return 0.0
         return self.total_items / self.elapsed_seconds / 1e6
 
 
@@ -66,9 +71,12 @@ class ShardThroughput:
 
     @property
     def mops(self) -> float:
-        """Millions of inserts per second of in-worker sketch time."""
-        if self.busy_seconds <= 0:
-            return float("inf")
+        """Millions of inserts per second of in-worker sketch time.
+
+        0.0 for idle shards (no items or unmeasurably small busy time).
+        """
+        if self.items <= 0 or self.busy_seconds <= 0:
+            return 0.0
         return self.items / self.busy_seconds / 1e6
 
 
@@ -86,9 +94,12 @@ class ShardedThroughputResult:
 
     @property
     def parallelism(self) -> float:
-        """Achieved parallelism: summed shard busy time over wall time."""
+        """Achieved parallelism: summed shard busy time over wall time.
+
+        0.0 when the wall clock measured no elapsed time (empty run).
+        """
         if self.total.elapsed_seconds <= 0:
-            return float("inf")
+            return 0.0
         busy = sum(shard.busy_seconds for shard in self.per_shard)
         return busy / self.total.elapsed_seconds
 

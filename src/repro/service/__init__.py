@@ -1,0 +1,39 @@
+"""Async ingest/query service layer over the sketch engines.
+
+The ROADMAP's serving shape: a backpressured TCP write path feeding a
+single-writer window manager in front of any engine (``XSketch`` or the
+sharded runtime), and a snapshot-consistent HTTP read path that never
+blocks ingest.  See ``docs/SERVICE.md`` for the wire protocol, flow
+control and lifecycle, and :mod:`repro.service.loadgen` for the bundled
+load generator (``repro loadgen`` on the CLI, ``repro serve`` for the
+server).
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import replay_trace, run_loadgen, send_shutdown
+from repro.service.protocol import (
+    MAGIC,
+    batch_message,
+    encode_frame,
+    encode_line,
+    parse_message,
+)
+from repro.service.server import StreamService, serve
+from repro.service.window import EngineAdapter, ServiceSnapshot, WindowManager
+
+__all__ = [
+    "EngineAdapter",
+    "MAGIC",
+    "ServiceConfig",
+    "ServiceSnapshot",
+    "StreamService",
+    "WindowManager",
+    "batch_message",
+    "encode_frame",
+    "encode_line",
+    "parse_message",
+    "replay_trace",
+    "run_loadgen",
+    "send_shutdown",
+    "serve",
+]

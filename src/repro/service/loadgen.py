@@ -1,0 +1,163 @@
+"""Load generator: replay a :class:`repro.streams.Trace` over the wire.
+
+Slices every window into wire batches, distributes them round-robin
+over ``connections`` concurrent TCP connections, and measures what a
+producer observes: wall clock, per-batch send latency (the time for a
+frame to clear the socket — server pushback shows up here) and the
+server's received/dropped acknowledgement.  Results come back as a
+:class:`repro.metrics.ServiceStats`.
+
+Ordered mode (default) stamps every batch with a global sequence
+number, so the service reconstructs the exact trace order no matter how
+the connections interleave — a multi-connection replay then produces
+byte-identical reports to an in-process run of the same trace.
+Unordered mode omits the stamps and models independent producers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.hashing.family import ItemId
+from repro.metrics.service import LatencySummary, ServiceStats
+from repro.service.protocol import (
+    MAGIC,
+    batch_message,
+    decode_payload,
+    encode_frame,
+    encode_line,
+    iter_window_batches,
+    read_frame,
+)
+from repro.streams.model import Trace
+
+#: Wire batch size used when the caller does not pick one.
+DEFAULT_BATCH_SIZE = 512
+
+
+def plan_batches(
+    trace: Trace, batch_size: int, ordered: bool
+) -> List[Tuple[Optional[int], List[ItemId]]]:
+    """Flatten a trace into ``(seq, items)`` wire batches in stream order."""
+    plan: List[Tuple[Optional[int], List[ItemId]]] = []
+    seq = 0
+    for window in trace.windows():
+        for batch in iter_window_batches(window, batch_size):
+            plan.append((seq if ordered else None, batch))
+            seq += 1
+    return plan
+
+
+async def _run_connection(
+    host: str,
+    port: int,
+    batches: Sequence[Tuple[Optional[int], List[ItemId]]],
+    protocol: str,
+    latencies: List[float],
+) -> Tuple[int, int]:
+    """Send one connection's share; returns the server's (received, dropped)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        framed = protocol == "framed"
+        if framed:
+            writer.write(MAGIC)
+        encode = encode_frame if framed else encode_line
+        for seq, items in batches:
+            start = time.perf_counter()
+            writer.write(encode(batch_message(items, seq)))
+            await writer.drain()
+            latencies.append(time.perf_counter() - start)
+        if framed:
+            writer.write_eof()
+            ack_payload = await read_frame(reader, 1 << 20)
+            if ack_payload is None:
+                raise ServiceError("connection closed before acknowledgement")
+            ack = decode_payload(ack_payload)
+        else:
+            writer.write_eof()
+            line = await reader.readline()
+            if not line:
+                raise ServiceError("connection closed before acknowledgement")
+            ack = decode_payload(line)
+        if "error" in ack:
+            raise ServiceError(f"server rejected stream: {ack['error']}")
+        return ack.get("received", 0), ack.get("dropped", 0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def send_shutdown(host: str, port: int, protocol: str = "framed") -> None:
+    """Ask a running service to drain and stop."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if protocol == "framed":
+            writer.write(MAGIC + encode_frame({"op": "shutdown"}))
+        else:
+            writer.write(encode_line({"op": "shutdown"}))
+        await writer.drain()
+        writer.write_eof()
+        await reader.read()  # wait for the ack / close
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def replay_trace(
+    trace: Trace,
+    host: str,
+    port: int,
+    connections: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    protocol: str = "framed",
+    ordered: bool = True,
+    shutdown: bool = False,
+) -> ServiceStats:
+    """Replay ``trace`` against a running service; returns client-side stats.
+
+    ``shutdown=True`` sends a drain request after every connection has
+    been acknowledged, so all replayed items are already in the engine
+    when the service stops.
+    """
+    if connections <= 0:
+        raise ServiceError(f"connections must be positive, got {connections}")
+    if protocol not in ("framed", "jsonl"):
+        raise ServiceError(f"protocol must be 'framed' or 'jsonl', got {protocol!r}")
+    plan = plan_batches(trace, batch_size, ordered)
+    shares: List[List[Tuple[Optional[int], List[ItemId]]]] = [
+        plan[index::connections] for index in range(connections)
+    ]
+    latencies: List[float] = []
+    start = time.perf_counter()
+    acks = await asyncio.gather(
+        *(
+            _run_connection(host, port, share, protocol, latencies)
+            for share in shares
+        )
+    )
+    elapsed = time.perf_counter() - start
+    if shutdown:
+        await send_shutdown(host, port, protocol)
+    return ServiceStats(
+        connections=connections,
+        batches=len(plan),
+        total_items=len(trace),
+        received_items=sum(received for received, _ in acks),
+        dropped_items=sum(dropped for _, dropped in acks),
+        elapsed_seconds=elapsed,
+        send_latency=LatencySummary.from_samples(latencies),
+    )
+
+
+def run_loadgen(trace: Trace, host: str, port: int, **kwargs) -> ServiceStats:
+    """Synchronous wrapper around :func:`replay_trace` (own event loop)."""
+    return asyncio.run(replay_trace(trace, host, port, **kwargs))

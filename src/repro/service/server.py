@@ -1,0 +1,486 @@
+"""The asyncio streaming service fronting a sketch engine.
+
+Write path: ingest connections (framed or JSONL, see
+:mod:`repro.service.protocol`) feed bounded per-connection queues; one
+pump task per connection moves batches into the
+:class:`~repro.service.window.WindowManager`, which micro-batches into
+the engine and advances windows.  A full queue either stops the socket
+read loop (``overload="pushback"`` — TCP backpressure reaches the
+producer) or drops the incoming batch and counts it
+(``overload="drop"``); either way queue memory is bounded by
+``queue_batches`` frames per connection.
+
+Read path: a minimal HTTP/1.1 listener answers ``/reports``, ``/stats``,
+``/healthz`` and ``/checkpoint`` from the manager's published snapshot,
+so queries never contend with ingest for the engine.
+
+Lifecycle: ``stop()`` drains — stop accepting, sever producers, finish
+every queued batch, flush the open window, write a final checkpoint
+when configured, close the engine — and is idempotent.  An engine
+failure (e.g. :class:`~repro.errors.RuntimeShardError` from a dead
+shard) fails fast: the error is recorded, ``/healthz`` turns 503, and
+the service initiates its own shutdown (skipping the final flush, which
+would fail again).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+from typing import List, Optional, Set, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    MAGIC,
+    decode_payload,
+    encode_frame,
+    encode_line,
+    parse_message,
+    read_frame,
+    read_lines,
+)
+from repro.service.window import WindowManager, report_to_dict
+
+
+class _Connection:
+    """Per-ingest-connection state shared by its reader and pump tasks."""
+
+    _next_id = 0
+
+    def __init__(self, queue_capacity: int, writer: asyncio.StreamWriter):
+        _Connection._next_id += 1
+        self.id = _Connection._next_id
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_capacity)
+        self.writer = writer
+        self.mode = "unknown"
+        self.task: Optional[asyncio.Task] = None
+        #: items this connection's pump handed to the window manager
+        self.received_items = 0
+        #: items discarded by the drop overload policy
+        self.dropped_items = 0
+        self.frames = 0
+
+
+class StreamService:
+    """Serve one sketch engine over TCP ingest + HTTP queries.
+
+    Args:
+        engine: anything the :class:`~repro.service.window.EngineAdapter`
+            accepts — an ``XSketch``-protocol engine or a
+            :class:`~repro.runtime.ShardedXSketch`.  The service owns it
+            from here: it will be closed on shutdown.
+        config: network and flow-control settings.
+    """
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.manager = WindowManager(
+            engine,
+            window_size=self.config.window_size,
+            micro_batch=self.config.micro_batch,
+        )
+        self.failure: Optional[BaseException] = None
+        self._connections: Set[_Connection] = set()
+        self.connections_accepted = 0
+        self.dropped_items = 0
+        self._ingest_server: Optional[asyncio.base_events.Server] = None
+        self._http_server: Optional[asyncio.base_events.Server] = None
+        self._ticker_task: Optional[asyncio.Task] = None
+        self._stop_task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        limit = max(65536, self.config.max_frame_bytes)
+        self._ingest_server = await asyncio.start_server(
+            self._handle_ingest, self.config.host, self.config.ingest_port, limit=limit
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.config.host, self.config.http_port
+        )
+        if self.config.window_seconds is not None:
+            self._ticker_task = asyncio.create_task(self._ticker())
+
+    def _address(self, server) -> Tuple[str, int]:
+        sock = server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def ingest_address(self) -> Tuple[str, int]:
+        return self._address(self._ingest_server)
+
+    @property
+    def http_address(self) -> Tuple[str, int]:
+        return self._address(self._http_server)
+
+    def request_stop(self) -> asyncio.Task:
+        """Begin a graceful drain in the background; returns the stop task."""
+        if self._stop_task is None:
+            self._stop_task = asyncio.create_task(self.stop())
+        return self._stop_task
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Drain and shut down; safe to call repeatedly / concurrently."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        self._ingest_server.close()
+        await self._ingest_server.wait_closed()
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker_task
+        # Sever producers: closing the transports EOFs their read loops;
+        # frames already received keep flowing through the queues.
+        for conn in list(self._connections):
+            conn.writer.close()
+        # A pump may be parked on a sequence gap that will now never
+        # arrive; admit everything so the drain cannot deadlock.
+        await self.manager.release_sequencer()
+        handlers = [c.task for c in list(self._connections) if c.task is not None]
+        if handlers:
+            done, pending = await asyncio.wait(
+                handlers, timeout=self.config.drain_timeout
+            )
+            for task in pending:  # pragma: no cover - unresponsive producer
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
+        if self.failure is None:
+            try:
+                await self.manager.drain()
+                if self.config.checkpoint_dir is not None:
+                    await self.manager.checkpoint(self.config.checkpoint_dir)
+            except ReproError as exc:
+                self._record_failure(exc)
+        await self.manager.close_engine()
+        self._http_server.close()
+        await self._http_server.wait_closed()
+        self._stopped.set()
+
+    def _record_failure(self, exc: BaseException) -> None:
+        if self.failure is None:
+            self.failure = exc
+
+    def _fail(self, exc: BaseException) -> None:
+        """Fail fast: record the first engine error and start shutdown."""
+        self._record_failure(exc)
+        if self._stop_task is None and not self._stopping:
+            self.request_stop()
+
+    async def __aenter__(self) -> "StreamService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # ingest path
+
+    async def _handle_ingest(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._stopping:
+            writer.close()
+            return
+        conn = _Connection(self.config.queue_batches, writer)
+        conn.task = asyncio.current_task()
+        self.connections_accepted += 1
+        self._connections.add(conn)
+        pump_task = asyncio.create_task(self._pump(conn))
+        error: Optional[str] = None
+        shutdown_requested = False
+        try:
+            try:
+                head = await self._read_head(reader)
+                if head == MAGIC:
+                    conn.mode = "framed"
+                    while True:
+                        payload = await read_frame(reader, self.config.max_frame_bytes)
+                        if payload is None:
+                            break
+                        message = parse_message(decode_payload(payload))
+                        shutdown_requested |= await self._dispatch(conn, message)
+                else:
+                    conn.mode = "jsonl"
+                    async for line in read_lines(
+                        reader, head, self.config.max_frame_bytes
+                    ):
+                        message = parse_message(decode_payload(line))
+                        shutdown_requested |= await self._dispatch(conn, message)
+            except ServiceError as exc:
+                error = str(exc)
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            # End of stream: let the pump finish everything queued, then ack.
+            await conn.queue.put(None)
+            await pump_task
+            ack = {"received": conn.received_items, "dropped": conn.dropped_items}
+            if error is not None:
+                ack["error"] = error
+            encode = encode_frame if conn.mode == "framed" else encode_line
+            with contextlib.suppress(ConnectionError):
+                writer.write(encode(ack))
+                await writer.drain()
+        finally:
+            pump_task.cancel()
+            self._connections.discard(conn)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+        if shutdown_requested:
+            self.request_stop()
+
+    async def _read_head(self, reader: asyncio.StreamReader) -> bytes:
+        head = b""
+        while len(head) < len(MAGIC):
+            chunk = await reader.read(len(MAGIC) - len(head))
+            if not chunk:
+                break
+            head += chunk
+        return head
+
+    async def _dispatch(self, conn: _Connection, message) -> bool:
+        """Queue one parsed message; True when it asks for shutdown."""
+        kind = message[0]
+        if kind == "shutdown":
+            return True
+        if kind == "flush":
+            await conn.queue.put(("flush", None, None))
+            return False
+        _, items, seq = message
+        conn.frames += 1
+        entry = ("batch", items, seq)
+        if self.config.overload == "pushback":
+            await conn.queue.put(entry)
+        else:
+            try:
+                conn.queue.put_nowait(entry)
+            except asyncio.QueueFull:
+                conn.dropped_items += len(items)
+                self.dropped_items += len(items)
+                if seq is not None:
+                    await self.manager.skip_seq(seq)
+        return False
+
+    async def _pump(self, conn: _Connection) -> None:
+        """Single consumer of one connection's queue; never raises."""
+        while True:
+            entry = await conn.queue.get()
+            try:
+                if entry is None:
+                    return
+                kind, items, seq = entry
+                if self.failure is not None:
+                    # Discard after failure so the drain still unwinds.
+                    if seq is not None:
+                        await self.manager.skip_seq(seq)
+                    continue
+                try:
+                    if kind == "flush":
+                        await self.manager.flush_window()
+                    else:
+                        await self.manager.submit(items, seq)
+                        conn.received_items += len(items)
+                except ReproError as exc:
+                    self._fail(exc)
+            finally:
+                conn.queue.task_done()
+
+    async def _ticker(self) -> None:
+        """Wall-clock window advance (skips ticks with an empty window)."""
+        while True:
+            await asyncio.sleep(self.config.window_seconds)
+            try:
+                await self.manager.flush_window()
+            except ReproError as exc:
+                self._fail(exc)
+                return
+
+    # ------------------------------------------------------------------
+    # HTTP query path
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._http_response(reader)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        payload = json.dumps(body).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        with contextlib.suppress(ConnectionError):
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        writer.close()
+
+    async def _http_response(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {request_line!r}"}
+        method, target, _ = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip() or 0)
+        body = b""
+        if content_length:
+            body = await reader.readexactly(min(content_length, 1 << 20))
+        url = urlsplit(target)
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        return await self._route(method, url.path, query, body)
+
+    async def _route(self, method: str, path: str, query: dict, body: bytes):
+        if path == "/healthz":
+            if self.failure is not None:
+                return 503, {"status": "failing", "error": str(self.failure)}
+            if self._stopping:
+                return 503, {"status": "stopping"}
+            return 200, {
+                "status": "ok",
+                "window": self.manager.windows_closed,
+                "items_total": self.manager.items_total,
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            stats = self._service_stats()
+            if query.get("engine") in ("1", "true"):
+                engine_stats = await self.manager.engine_stats()
+                if dataclasses.is_dataclass(engine_stats):
+                    engine_stats = dataclasses.asdict(engine_stats)
+                stats["engine"] = engine_stats
+            return 200, stats
+        if path == "/reports":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return self._reports_response(query)
+        if path == "/checkpoint":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            directory = query.get("dir")
+            if directory is None and body:
+                parsed = json.loads(body.decode("utf-8"))
+                directory = parsed.get("directory")
+            directory = directory or self.config.checkpoint_dir
+            if directory is None:
+                return 400, {"error": "no checkpoint directory configured or given"}
+            try:
+                written = await self.manager.checkpoint(directory)
+            except ReproError as exc:
+                self._fail(exc)
+                return 503, {"error": str(exc)}
+            return 200, {
+                "directory": str(written),
+                "window": self.manager.windows_closed,
+                "reports": len(self.manager.snapshot.reports),
+            }
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _reports_response(self, query: dict):
+        snapshot = self.manager.snapshot
+        reports = snapshot.reports
+        try:
+            if "item" in query:
+                reports = [r for r in reports if str(r.item) == query["item"]]
+            if "since" in query:
+                since = int(query["since"])
+                reports = [r for r in reports if r.report_window >= since]
+            limit = int(query["limit"]) if "limit" in query else None
+        except ValueError as exc:
+            return 400, {"error": f"bad query parameter: {exc}"}
+        total = len(reports)
+        if limit is not None:
+            reports = reports[:limit]
+        return 200, {
+            "window": snapshot.window,
+            "total": total,
+            "reports": [report_to_dict(r) for r in reports],
+        }
+
+    def _service_stats(self) -> dict:
+        snapshot = self.manager.snapshot
+        return {
+            "window": self.manager.windows_closed,
+            "items_total": self.manager.items_total,
+            "items_window": self.manager.items_window,
+            "engine_batches": self.manager.engine_batches,
+            "reports": len(snapshot.reports),
+            "snapshot_updated_at": snapshot.updated_at,
+            "overload": self.config.overload,
+            "window_size": self.config.window_size,
+            "dropped_items": self.dropped_items,
+            "connections": {
+                "accepted": self.connections_accepted,
+                "open": len(self._connections),
+            },
+            "per_connection": [
+                {
+                    "id": conn.id,
+                    "mode": conn.mode,
+                    "queue_depth": conn.queue.qsize(),
+                    "queue_capacity": self.config.queue_batches,
+                    "received_items": conn.received_items,
+                    "dropped_items": conn.dropped_items,
+                    "frames": conn.frames,
+                }
+                for conn in sorted(self._connections, key=lambda c: c.id)
+            ],
+        }
+
+
+async def serve(
+    engine,
+    config: Optional[ServiceConfig] = None,
+    *,
+    ready: Optional[asyncio.Event] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> StreamService:
+    """Run a service until ``stop`` is set (or forever); returns it drained.
+
+    Convenience driver used by the CLI and tests: starts the service,
+    optionally signals ``ready``, waits for ``stop``, then drains.
+    """
+    service = StreamService(engine, config)
+    await service.start()
+    if ready is not None:
+        ready.set()
+    try:
+        if stop is not None:
+            stopper = asyncio.create_task(stop.wait())
+            stopped = asyncio.create_task(service.wait_stopped())
+            done, pending = await asyncio.wait(
+                {stopper, stopped}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+    finally:
+        await service.stop()
+    return service

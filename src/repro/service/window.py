@@ -1,0 +1,257 @@
+"""Window management between the network layer and a sketch engine.
+
+The :class:`WindowManager` is the single writer in the service: every
+engine touch (ingest, window close, checkpoint, stats) happens under
+one asyncio lock, off the event loop via ``asyncio.to_thread`` so a
+process-backend barrier never stalls the HTTP listener.  Around the
+engine it adds:
+
+micro-batching
+    Wire batches are coalesced into a pending buffer and handed to the
+    engine in ``ingest_batch`` calls of at most ``micro_batch`` items.
+
+count/tick window advance
+    The manager closes the engine's window every ``window_size`` items;
+    a wall-clock ticker may close a partially-filled window early.
+    Batches that straddle a boundary are split so windows are exact.
+
+ordered ingest (the resequencer)
+    Batches carrying a global ``seq`` are admitted in exactly ``seq``
+    order across all connections, making multi-connection replays
+    byte-deterministic (see ``docs/SERVICE.md``).
+
+query snapshots
+    After every window close the manager publishes an immutable
+    :class:`ServiceSnapshot`; queries read the snapshot and never take
+    the engine lock, so they cannot block ingest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.reports import SimplexReport
+from repro.errors import ServiceError
+from repro.hashing.family import ItemId
+
+
+def report_to_dict(report: SimplexReport) -> dict:
+    """JSON-safe rendering of one report for the HTTP API."""
+    return {
+        "item": report.item,
+        "start_window": report.start_window,
+        "report_window": report.report_window,
+        "lasting_time": report.lasting_time,
+        "coefficients": list(report.coefficients),
+        "mse": report.mse,
+    }
+
+
+class EngineAdapter:
+    """Uniform engine protocol over ``XSketch``-likes and the sharded runtime.
+
+    Engines must provide ``insert``/``end_window`` (single-process) or
+    ``ingest_batch``/``flush_window`` (sharded); ``reports``,
+    ``checkpoint``/``close``/``stats`` are optional and degrade
+    gracefully.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._batch_ingest = getattr(engine, "ingest_batch", None)
+
+    def ingest_batch(self, items: Sequence[ItemId]) -> None:
+        if self._batch_ingest is not None:
+            self._batch_ingest(items)
+        else:
+            insert = self.engine.insert
+            for item in items:
+                insert(item)
+
+    def flush_window(self) -> List[SimplexReport]:
+        flush = getattr(self.engine, "flush_window", None)
+        if flush is not None:
+            return flush()
+        return self.engine.end_window()
+
+    def reports(self) -> List[SimplexReport]:
+        return list(self.engine.reports)
+
+    def checkpoint(self, directory) -> Path:
+        directory = Path(directory)
+        if hasattr(self.engine, "checkpoint"):
+            self.engine.checkpoint(directory)
+            return directory
+        from repro.core.serialize import save_xsketch
+
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "xsketch.json"
+        save_xsketch(self.engine, path)
+        return directory
+
+    def close(self) -> None:
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def stats(self):
+        stats = getattr(self.engine, "stats", None)
+        if stats is None:
+            return None
+        return stats() if callable(stats) else stats
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """Immutable read-side view published at every window boundary."""
+
+    #: windows closed by the service so far
+    window: int
+    #: items ingested up to (and including) the last closed window
+    items_at_boundary: int
+    #: all reports emitted so far, in the engine's canonical order
+    reports: Tuple[SimplexReport, ...]
+    #: ``time.time()`` of the last window close (0.0 before the first)
+    updated_at: float
+
+
+class WindowManager:
+    """Single-writer gateway to the engine (see module docstring)."""
+
+    def __init__(self, engine, window_size: int, micro_batch: int):
+        self.adapter = engine if isinstance(engine, EngineAdapter) else EngineAdapter(engine)
+        self.window_size = window_size
+        self.micro_batch = micro_batch
+        self._lock = asyncio.Lock()
+        self._pending: List[ItemId] = []
+        #: items already in the open window (pending + handed to engine)
+        self.items_window = 0
+        self.items_total = 0
+        self.engine_batches = 0
+        self.windows_closed = 0
+        self.snapshot = ServiceSnapshot(
+            window=0, items_at_boundary=0, reports=(), updated_at=0.0
+        )
+        # resequencer state (ordered ingest)
+        self._seq_cond = asyncio.Condition()
+        self._next_seq = 0
+        self._skipped: set = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # ordered-ingest admission
+
+    async def _admit(self, seq: int) -> None:
+        async with self._seq_cond:
+            await self._seq_cond.wait_for(
+                lambda: self._draining or seq <= self._next_seq
+            )
+
+    async def _advance_seq(self, seq: int) -> None:
+        async with self._seq_cond:
+            if seq >= self._next_seq:
+                self._next_seq = seq + 1
+                while self._next_seq in self._skipped:
+                    self._skipped.discard(self._next_seq)
+                    self._next_seq += 1
+            self._seq_cond.notify_all()
+
+    async def skip_seq(self, seq: int) -> None:
+        """Record a dropped sequenced batch so the sequencer never stalls."""
+        async with self._seq_cond:
+            if seq == self._next_seq:
+                self._next_seq += 1
+                while self._next_seq in self._skipped:
+                    self._skipped.discard(self._next_seq)
+                    self._next_seq += 1
+            elif seq > self._next_seq:
+                self._skipped.add(seq)
+            self._seq_cond.notify_all()
+
+    async def release_sequencer(self) -> None:
+        """Drain aid: admit every waiting sequenced batch (gaps included)."""
+        async with self._seq_cond:
+            self._draining = True
+            self._seq_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # write path
+
+    async def submit(self, items: Sequence[ItemId], seq: Optional[int] = None) -> None:
+        """Route one wire batch into the open window (splits at boundaries)."""
+        if seq is not None:
+            await self._admit(seq)
+        try:
+            async with self._lock:
+                offset = 0
+                while offset < len(items):
+                    space = self.window_size - self.items_window
+                    chunk = items[offset:offset + space]
+                    offset += len(chunk)
+                    self._pending.extend(chunk)
+                    self.items_window += len(chunk)
+                    self.items_total += len(chunk)
+                    if len(self._pending) >= self.micro_batch:
+                        await self._ingest_pending()
+                    if self.items_window >= self.window_size:
+                        await self._close_window_locked()
+        finally:
+            if seq is not None:
+                await self._advance_seq(seq)
+
+    async def _ingest_pending(self) -> None:
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.engine_batches += 1
+        await asyncio.to_thread(self.adapter.ingest_batch, batch)
+
+    async def _close_window_locked(self) -> None:
+        await self._ingest_pending()
+        await asyncio.to_thread(self.adapter.flush_window)
+        self.windows_closed += 1
+        self.items_window = 0
+        self._publish_snapshot()
+
+    def _publish_snapshot(self) -> None:
+        self.snapshot = ServiceSnapshot(
+            window=self.windows_closed,
+            items_at_boundary=self.items_total,
+            reports=tuple(self.adapter.reports()),
+            updated_at=time.time(),
+        )
+
+    async def flush_window(self) -> None:
+        """Close the open window now (no-op when it is empty)."""
+        async with self._lock:
+            if self.items_window > 0 or self._pending:
+                await self._close_window_locked()
+
+    async def drain(self) -> None:
+        """Final flush on shutdown: push the open window out."""
+        await self.flush_window()
+
+    # ------------------------------------------------------------------
+    # control path
+
+    async def checkpoint(self, directory) -> Path:
+        """Flush the open window, then checkpoint the engine to ``directory``."""
+        if directory is None:
+            raise ServiceError("no checkpoint directory configured or given")
+        async with self._lock:
+            if self.items_window > 0 or self._pending:
+                await self._close_window_locked()
+            return await asyncio.to_thread(self.adapter.checkpoint, directory)
+
+    async def engine_stats(self):
+        """Live engine counters (takes the engine lock; may block on IPC)."""
+        async with self._lock:
+            return await asyncio.to_thread(self.adapter.stats)
+
+    async def close_engine(self) -> None:
+        async with self._lock:
+            await asyncio.to_thread(self.adapter.close)

@@ -85,3 +85,90 @@ class TestMLCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "X-Sketch" in out and "speedup" in out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.algorithm == "xs-cu"
+        assert args.ingest_port == 0 and args.http_port == 0
+        assert args.overload == "pushback"
+        assert args.handler.__name__ == "_cmd_serve"
+
+    def test_parser_full_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--algorithm", "xs-cm", "--shards", "2",
+             "--shard-backend", "inline", "--window-size", "500",
+             "--window-seconds", "0.5", "--overload", "drop",
+             "--queue-batches", "8", "--duration", "3"]
+        )
+        assert args.shards == 2
+        assert args.shard_backend == "inline"
+        assert args.window_seconds == 0.5
+        assert args.overload == "drop"
+        assert args.duration == 3.0
+
+    def test_rejects_bad_overload(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--overload", "panic"])
+
+
+class TestLoadgenCommand:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "9999", "--connections", "3",
+             "--protocol", "jsonl", "--unordered", "--shutdown"]
+        )
+        assert args.port == 9999
+        assert args.connections == 3
+        assert args.protocol == "jsonl"
+        assert args.unordered and args.shutdown
+        assert args.handler.__name__ == "_cmd_loadgen"
+
+    def test_port_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+
+@pytest.mark.slow
+class TestServeLoadgenEndToEnd:
+    def test_serve_drains_after_loadgen_shutdown(self):
+        """Boot `repro serve` as a real process, replay a dataset at it
+        with the in-process loadgen, and check the drain summary."""
+        import os
+        import re
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--shards", "2",
+             "--shard-backend", "inline", "--window-size", "400",
+             "--memory-kb", "40", "--duration", "60"],
+            env=env, cwd=repo,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"ingest=([\d.]+):(\d+)", banner)
+            assert match, f"no ingest address in banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            code = main(
+                ["loadgen", "--dataset", "ip_trace", "--windows", "8",
+                 "--window-size", "400", "--host", host, "--port", str(port),
+                 "--connections", "2", "--shutdown"]
+            )
+            assert code == 0
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, f"serve failed: {err}"
+        summary = re.search(r"drained: windows=(\d+) reports=(\d+) items=(\d+)", out)
+        assert summary, f"no drain summary in: {out!r}"
+        assert int(summary.group(1)) == 8
+        assert int(summary.group(3)) == 8 * 400

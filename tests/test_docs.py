@@ -47,6 +47,14 @@ API_EXPORTS = {
     "repro.metrics": [
         "score_reports", "precision_rate", "recall_rate", "f1_score",
         "average_relative_error", "lasting_time_are", "measure_throughput",
+        "measure_sharded_throughput", "ServiceStats", "LatencySummary",
+        "percentile",
+    ],
+    "repro.service": [
+        "StreamService", "ServiceConfig", "WindowManager", "ServiceSnapshot",
+        "EngineAdapter", "serve", "replay_trace", "run_loadgen",
+        "send_shutdown", "MAGIC", "encode_frame", "encode_line",
+        "batch_message", "parse_message",
     ],
     "repro.ml": [
         "LinearRegression", "LinearRegressionModel", "fit_arima",
@@ -84,7 +92,8 @@ class TestDocFiles:
     @pytest.mark.parametrize(
         "filename",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-         "docs/ALGORITHMS.md", "docs/API.md", "docs/PARAMETERS.md", "docs/DATASETS.md"],
+         "docs/ALGORITHMS.md", "docs/API.md", "docs/PARAMETERS.md",
+         "docs/DATASETS.md", "docs/RUNTIME.md", "docs/SERVICE.md"],
     )
     def test_doc_exists_and_nonempty(self, filename):
         path = REPO / filename

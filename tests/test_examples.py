@@ -1,0 +1,51 @@
+"""Examples smoke test: every ``examples/*.py`` must still run.
+
+Each example is executed in a subprocess with ``REPRO_SMOKE=1``, which
+the examples honor by shrinking their streams to a few small windows —
+enough to exercise the whole code path without turning the tier-1 suite
+into a benchmark.  A broken import, renamed API, or crashed main() in
+any example fails here instead of rotting silently.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLES, "no examples found — did examples/ move?"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_in_smoke_mode(example):
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed (exit {result.returncode})\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_has_main_guard(example):
+    """Examples must be import-safe: work happens under a __main__ guard."""
+    source = example.read_text()
+    assert 'if __name__ == "__main__":' in source, (
+        f"{example.name} lacks a __main__ guard"
+    )

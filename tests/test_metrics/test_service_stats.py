@@ -1,0 +1,126 @@
+"""Unit tests for service-side metrics and the throughput zero-guards."""
+
+import pytest
+
+from repro.metrics import LatencySummary, ServiceStats, percentile
+from repro.metrics.throughput import (
+    ShardThroughput,
+    ShardedThroughputResult,
+    ThroughputResult,
+)
+
+
+class TestPercentile:
+    def test_empty_sample(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 100) == 7.0
+
+    def test_nearest_rank_is_an_observation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert percentile(values, q) in values
+
+    def test_monotone_in_q(self):
+        values = sorted(float(v) for v in [5, 1, 9, 3, 7, 2, 8, 4, 6, 10])
+        results = [percentile(values, q) for q in range(0, 101, 5)]
+        assert results == sorted(results)
+        assert percentile(values, 100) == 10.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        summary = LatencySummary.from_samples([0.003, 0.001, 0.002])
+        assert summary.count == 3
+        assert summary.p50 == 0.002
+        assert summary.max == 0.003
+
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary == LatencySummary(count=0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+
+    def test_render(self):
+        text = LatencySummary.from_samples([0.001]).render()
+        assert "p50=1.00ms" in text and "max=1.00ms" in text
+
+
+class TestServiceStats:
+    def make(self, **overrides):
+        base = dict(
+            connections=2,
+            batches=10,
+            total_items=1_000_000,
+            received_items=900_000,
+            dropped_items=100_000,
+            elapsed_seconds=2.0,
+        )
+        base.update(overrides)
+        return ServiceStats(**base)
+
+    def test_mops(self):
+        assert self.make().mops == pytest.approx(0.5)
+
+    def test_mops_guards_degenerate_runs(self):
+        assert self.make(total_items=0, received_items=0, dropped_items=0).mops == 0.0
+        assert self.make(elapsed_seconds=0.0).mops == 0.0
+
+    def test_delivery_ratio(self):
+        assert self.make().delivery_ratio == pytest.approx(0.9)
+        assert self.make(total_items=0, received_items=0).delivery_ratio == 1.0
+
+    def test_render_mentions_the_essentials(self):
+        text = self.make().render()
+        assert "1000000 items" in text
+        assert "2 connection(s)" in text
+        assert "dropped 100000" in text
+
+
+class TestThroughputGuards:
+    """The satellite fix: degenerate runs report 0.0 Mops, never inf."""
+
+    def test_zero_duration_run(self):
+        assert ThroughputResult(total_items=100, elapsed_seconds=0.0).mops == 0.0
+
+    def test_empty_run(self):
+        assert ThroughputResult(total_items=0, elapsed_seconds=1.0).mops == 0.0
+
+    def test_normal_run_unaffected(self):
+        assert ThroughputResult(2_000_000, 2.0).mops == pytest.approx(1.0)
+
+    def test_idle_shard(self):
+        idle = ShardThroughput(
+            shard_id=0, items=0, batches=0, busy_seconds=0.0, queue_depth=None
+        )
+        assert idle.mops == 0.0
+
+    def test_unmeasurable_shard_busy_time(self):
+        fast = ShardThroughput(
+            shard_id=1, items=5, batches=1, busy_seconds=0.0, queue_depth=0
+        )
+        assert fast.mops == 0.0
+
+    def test_parallelism_guard(self):
+        empty = ShardedThroughputResult(
+            total=ThroughputResult(total_items=0, elapsed_seconds=0.0),
+            per_shard=(),
+        )
+        assert empty.parallelism == 0.0
+        assert empty.mops == 0.0
+
+    def test_parallelism_normal(self):
+        result = ShardedThroughputResult(
+            total=ThroughputResult(total_items=100, elapsed_seconds=1.0),
+            per_shard=(
+                ShardThroughput(0, 50, 1, 0.8, None),
+                ShardThroughput(1, 50, 1, 0.9, None),
+            ),
+        )
+        assert result.parallelism == pytest.approx(1.7)

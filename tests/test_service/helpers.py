@@ -1,0 +1,69 @@
+"""Shared helpers for the service tests: HTTP micro-client, stub engines."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import List, Optional, Tuple
+
+
+async def http_request(
+    host: str,
+    port: int,
+    path: str,
+    method: str = "GET",
+    body: Optional[dict] = None,
+) -> Tuple[int, dict]:
+    """One HTTP/1.1 exchange against the service's query listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+    writer.write(request)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, raw = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(raw)
+
+
+class RecordingEngine:
+    """Engine stub that records every call; optionally slow or failing.
+
+    ``delay`` seconds of sleep per ``ingest_batch`` simulate a slow
+    consumer for the overload tests; ``fail_after`` items makes the next
+    ingest raise ``RuntimeShardError`` for the fail-fast tests.
+    """
+
+    def __init__(self, delay: float = 0.0, fail_after: Optional[int] = None):
+        self.delay = delay
+        self.fail_after = fail_after
+        self.items: List = []
+        self.batches: List[int] = []
+        self.windows = 0
+        self.closed = False
+
+    def ingest_batch(self, items) -> None:
+        from repro.errors import RuntimeShardError
+
+        if self.fail_after is not None and len(self.items) >= self.fail_after:
+            raise RuntimeShardError("injected shard failure")
+        if self.delay:
+            time.sleep(self.delay)
+        self.items.extend(items)
+        self.batches.append(len(items))
+
+    def flush_window(self):
+        self.windows += 1
+        return []
+
+    @property
+    def reports(self):
+        return []
+
+    def close(self) -> None:
+        self.closed = True

@@ -1,0 +1,132 @@
+"""Checkpoint round-trip through the service's ``/checkpoint`` endpoint.
+
+Satellite acceptance: run a *process*-backend sharded engine behind the
+service, checkpoint it over HTTP mid-stream, restore the checkpoint
+into an *inline* engine, and get identical reports — the service layer
+adds nothing and loses nothing across the backend swap.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams.datasets import make_dataset
+
+from tests.test_service.helpers import http_request
+
+SEED = 11
+WINDOWS = 8
+WINDOW_SIZE = 400
+
+
+def sketch_config():
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0)
+
+
+@pytest.mark.slow
+class TestServiceCheckpoint:
+    def test_process_checkpoint_restores_inline(self, tmp_path):
+        """process-backend service -> POST /checkpoint -> inline restore."""
+        trace = make_dataset("ip_trace", WINDOWS, WINDOW_SIZE, SEED)
+        ckpt = tmp_path / "service-ckpt"
+
+        async def scenario():
+            engine = ShardedXSketch(
+                sketch_config(), n_shards=2, seed=SEED, backend="process"
+            )
+            service = StreamService(
+                engine, ServiceConfig(window_size=WINDOW_SIZE, micro_batch=200)
+            )
+            await service.start()
+            host, port = service.ingest_address
+            # Exact multiple of window_size, so the checkpoint lands on a
+            # window boundary with no buffered items to refuse.
+            await replay_trace(trace, host, port, connections=2, batch_size=100)
+            status, body = await http_request(
+                *service.http_address, f"/checkpoint?dir={ckpt}", method="POST"
+            )
+            served = list(service.manager.snapshot.reports)
+            await service.stop()
+            return status, body, served
+
+        status, body, served = asyncio.run(scenario())
+        assert status == 200
+        assert body["window"] == WINDOWS
+        assert body["directory"] == str(ckpt)
+
+        restored = ShardedXSketch.restore(ckpt, backend="inline")
+        try:
+            assert restored.window == WINDOWS
+            restored_reports = restored.report()
+        finally:
+            restored.close()
+        assert restored_reports == served
+
+        # ...and the restored engine equals a direct run of the same trace.
+        direct = ShardedXSketch(
+            sketch_config(), n_shards=2, seed=SEED, backend="inline"
+        )
+        for window in trace.windows():
+            direct.run_window(window)
+        direct_reports = direct.report()
+        direct.close()
+        assert restored_reports == direct_reports
+
+    def test_checkpoint_body_and_default_errors(self, tmp_path):
+        """Directory can come from the JSON body; none configured -> 400."""
+
+        async def scenario():
+            engine = ShardedXSketch(
+                sketch_config(), n_shards=1, seed=SEED, backend="inline"
+            )
+            service = StreamService(engine, ServiceConfig(window_size=100))
+            await service.start()
+            http = service.http_address
+            no_dir = await http_request(*http, "/checkpoint", method="POST")
+            body_dir = await http_request(
+                *http,
+                "/checkpoint",
+                method="POST",
+                body={"directory": str(tmp_path / "from-body")},
+            )
+            await service.stop()
+            return no_dir, body_dir
+
+        no_dir, body_dir = asyncio.run(scenario())
+        assert no_dir[0] == 400
+        assert "no checkpoint directory" in no_dir[1]["error"]
+        assert body_dir[0] == 200
+        assert (tmp_path / "from-body").is_dir()
+
+    def test_final_checkpoint_on_drain(self, tmp_path):
+        """checkpoint_dir in the config -> stop() writes a final checkpoint."""
+        trace = make_dataset("ip_trace", 2, 100, SEED)
+        ckpt = tmp_path / "final"
+
+        async def scenario():
+            engine = ShardedXSketch(
+                sketch_config(), n_shards=2, seed=SEED, backend="inline"
+            )
+            service = StreamService(
+                engine,
+                ServiceConfig(
+                    window_size=100, micro_batch=50, checkpoint_dir=str(ckpt)
+                ),
+            )
+            await service.start()
+            host, port = service.ingest_address
+            await replay_trace(trace, host, port)
+            await service.stop()
+
+        asyncio.run(scenario())
+        restored = ShardedXSketch.restore(ckpt, backend="inline")
+        try:
+            assert restored.window == 2
+            assert restored.stats().items_routed == len(trace)
+        finally:
+            restored.close()

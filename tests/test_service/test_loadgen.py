@@ -1,0 +1,54 @@
+"""Load-generator unit tests: batch planning and share distribution."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.loadgen import plan_batches, replay_trace, run_loadgen
+from repro.streams.datasets import make_dataset
+
+TRACE = make_dataset("ip_trace", 4, 100, 3)
+
+
+class TestPlanBatches:
+    def test_preserves_stream_order(self):
+        plan = plan_batches(TRACE, batch_size=30, ordered=True)
+        replayed = [item for _, items in plan for item in items]
+        assert replayed == list(TRACE.items())
+
+    def test_sequence_numbers_are_dense(self):
+        plan = plan_batches(TRACE, batch_size=30, ordered=True)
+        assert [seq for seq, _ in plan] == list(range(len(plan)))
+
+    def test_unordered_has_no_sequence(self):
+        plan = plan_batches(TRACE, batch_size=30, ordered=False)
+        assert all(seq is None for seq, _ in plan)
+
+    def test_batches_never_straddle_windows(self):
+        # window_size=100 with batch_size=30 -> 30/30/30/10 per window
+        plan = plan_batches(TRACE, batch_size=30, ordered=True)
+        assert [len(items) for _, items in plan[:4]] == [30, 30, 30, 10]
+        assert len(plan) == 16
+
+    def test_round_robin_shares_recombine(self):
+        """Splitting plan[i::n] over n connections loses nothing."""
+        plan = plan_batches(TRACE, batch_size=25, ordered=True)
+        for connections in (1, 2, 3, 5):
+            shares = [plan[index::connections] for index in range(connections)]
+            recombined = sorted(
+                (entry for share in shares for entry in share),
+                key=lambda entry: entry[0],
+            )
+            assert recombined == plan
+
+
+class TestReplayValidation:
+    def test_rejects_bad_connection_count(self):
+        with pytest.raises(ServiceError, match="connections"):
+            run_loadgen(TRACE, "127.0.0.1", 1, connections=0)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ServiceError, match="protocol"):
+            run_loadgen(TRACE, "127.0.0.1", 1, protocol="pigeon")
+
+    def test_replay_trace_is_a_coroutine(self):
+        assert replay_trace.__code__.co_flags & 0x80  # CO_COROUTINE
