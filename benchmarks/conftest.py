@@ -13,9 +13,17 @@ with budgets scaled by ``MEMORY_SCALE``.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.config import StreamGeometry
+
+#: Repository root; extension benches drop their machine-readable
+#: ``BENCH_*.json`` result files here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Geometry of the parameter-sweep benches (Figures 3-9).  Calibrated so
 #: the paper's 150-350 KB label range (scaled by MEMORY_SCALE) spans the
@@ -47,3 +55,21 @@ def run_once(benchmark, fn):
     """Time ``fn`` with a single benchmark round (the experiment IS the
     workload; repeating a multi-minute grid would be wasteful)."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def write_bench_json(filename: str, params: dict, results) -> Path:
+    """Write one machine-readable bench result to the repository root.
+
+    Uniform schema across the ``BENCH_*.json`` files: ``run_date``
+    (ISO 8601, local time), ``params`` (the knobs that shaped the run)
+    and ``results`` (whatever the bench measured — Mops, percentiles,
+    overhead ratios).  Values must already be JSON-safe.
+    """
+    path = REPO_ROOT / filename
+    payload = {
+        "run_date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "params": params,
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -16,7 +16,7 @@ between rows mean anything.
 
 import asyncio
 
-from conftest import BENCH_SEED, run_once
+from conftest import BENCH_SEED, run_once, write_bench_json
 from repro.config import XSketchConfig
 from repro.experiments.harness import SeriesTable
 from repro.fitting.simplex import SimplexTask
@@ -76,12 +76,41 @@ def _sweep():
         direct = measure_throughput(_DirectAdapter(direct_engine), trace)
 
     rows = {"direct": direct}
+    bench_rows = [{"path": "direct", "mops": round(direct.mops, 4)}]
     for connections in CONNECTION_COUNTS:
         stats = asyncio.run(_loopback_run(trace, connections))
         rows[f"service/{connections}conn"] = ThroughputResult(
             total_items=stats.total_items, elapsed_seconds=stats.elapsed_seconds
         )
         print(f"  {connections} connection(s): {stats.render()}")
+        latency = stats.send_latency
+        bench_rows.append(
+            {
+                "path": f"service/{connections}conn",
+                "connections": connections,
+                "mops": round(stats.mops, 4),
+                "delivery_ratio": round(stats.delivery_ratio, 4),
+                "dropped_items": stats.dropped_items,
+                "send_latency_seconds": {
+                    "p50": latency.p50,
+                    "p90": latency.p90,
+                    "p99": latency.p99,
+                    "max": latency.max,
+                },
+            }
+        )
+    write_bench_json(
+        "BENCH_service.json",
+        params={
+            "n_windows": N_WINDOWS,
+            "window_size": WINDOW_SIZE,
+            "seed": BENCH_SEED,
+            "engine": "sharded/2-inline",
+            "batch_size": 512,
+            "micro_batch": 512,
+        },
+        results=bench_rows,
+    )
 
     labels = list(rows)
     table = SeriesTable(

@@ -20,7 +20,7 @@ import os
 
 import pytest
 
-from conftest import BENCH_SEED, run_once
+from conftest import BENCH_SEED, run_once, write_bench_json
 from repro.config import XSketchConfig
 from repro.experiments.harness import SeriesTable
 from repro.fitting.simplex import SimplexTask
@@ -55,6 +55,26 @@ def _sweep():
     table.notes.append(
         f"{N_WINDOWS} windows x {WINDOW_SIZE} items, process backend, "
         f"wall clock includes routing + IPC, {os.cpu_count()} CPU(s)"
+    )
+    write_bench_json(
+        "BENCH_sharded.json",
+        params={
+            "n_windows": N_WINDOWS,
+            "window_size": WINDOW_SIZE,
+            "seed": BENCH_SEED,
+            "backend": "process",
+            "memory_kb": 60.0,
+            "cpus": os.cpu_count(),
+        },
+        results=[
+            {
+                "shards": n_shards,
+                "mops": round(r.mops, 4),
+                "speedup": round(r.mops / results[0].mops, 3),
+                "parallelism": round(r.parallelism, 3),
+            }
+            for n_shards, r in zip(SHARD_COUNTS, results)
+        ],
     )
     return table
 

@@ -15,6 +15,12 @@ Commands:
     Boot the async ingest/query service over an engine (docs/SERVICE.md).
 ``loadgen``
     Replay a dataset substitute against a running service.
+``stats``
+    Run an algorithm over a dataset and print its aggregated metrics
+    registry in Prometheus text format (docs/OBSERVABILITY.md).
+
+``run``, ``serve`` and ``stats`` accept ``--obs-trace <path>``: attach
+a live recorder and dump the decision-trace ring as JSONL on exit.
 """
 
 from __future__ import annotations
@@ -49,6 +55,22 @@ def _add_stream_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _trace_events(algorithm) -> List[dict]:
+    """Decision-trace events of a finished algorithm ([] when obs is off)."""
+    trace_events = getattr(algorithm, "trace_events", None)
+    if trace_events is not None:
+        return trace_events()
+    ring = getattr(getattr(algorithm, "recorder", None), "trace", None)
+    return ring.events() if ring is not None else []
+
+
+def _dump_trace(events: List[dict], path: str) -> None:
+    from repro.obs.trace import write_jsonl
+
+    written = write_jsonl(events, path)
+    print(f"wrote {written} trace events to {path}", flush=True)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.harness import make_algorithm
 
@@ -57,11 +79,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     algorithm = make_algorithm(
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
+        observability=args.obs_trace is not None,
     )
     try:
         for window in trace.windows():
             algorithm.run_window(window)
         reports = algorithm.reports
+        if args.obs_trace is not None:
+            # Gather before close(): process-backend shard workers hold
+            # their rings and cannot be queried once stopped.
+            _dump_trace(_trace_events(algorithm), args.obs_trace)
         if args.shards > 1 and not args.quiet:
             for shard in algorithm.stats().shards:
                 print(
@@ -184,6 +211,37 @@ def _cmd_ml(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import make_algorithm
+    from repro.obs import render_text
+
+    task = SimplexTask(k=args.k, p=args.p, T=args.T, L=args.L)
+    trace = make_dataset(args.dataset, args.windows, args.window_size, args.seed)
+    algorithm = make_algorithm(
+        args.algorithm, task, args.memory_kb, seed=args.seed,
+        shards=args.shards, shard_backend=args.shard_backend,
+        observability=True,
+    )
+    collect = getattr(algorithm, "metrics_registry", None)
+    if collect is None:
+        print(
+            f"algorithm {args.algorithm!r} does not export metrics",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        for window in trace.windows():
+            algorithm.run_window(window)
+        registry = collect()
+        if args.obs_trace is not None:
+            _dump_trace(_trace_events(algorithm), args.obs_trace)
+    finally:
+        if hasattr(algorithm, "close"):
+            algorithm.close()
+    print(render_text(registry), end="")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -195,6 +253,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = make_algorithm(
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
+        observability=args.obs_trace is not None,
     )
     config = ServiceConfig(
         host=args.host,
@@ -232,6 +291,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return service
 
     service = asyncio.run(_run())
+    if args.obs_trace is not None:
+        _dump_trace(service.trace_events, args.obs_trace)
     manager = service.manager
     print(
         f"drained: windows={manager.windows_closed} "
@@ -292,7 +353,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="run shards as worker processes or in-process",
     )
     run.add_argument("--quiet", action="store_true", help="metrics only, no reports")
+    run.add_argument(
+        "--obs-trace", default=None, metavar="PATH",
+        help="record decision traces and dump them as JSONL to PATH on exit",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run an algorithm, print its metrics registry (Prometheus text)",
+    )
+    _add_stream_args(stats)
+    stats.add_argument(
+        "--algorithm",
+        choices=["xs-cm", "xs-cu", "xs-batched", "xs-vectorized", "baseline"],
+        default="xs-cu",
+    )
+    stats.add_argument("-k", type=int, default=1, help="polynomial degree")
+    stats.add_argument("-p", type=int, default=7, help="windows in the definition")
+    stats.add_argument("-T", type=float, default=2.0, help="MSE threshold")
+    stats.add_argument("-L", type=float, default=1.0, help="|a_k| lower bound")
+    stats.add_argument("--memory-kb", type=float, default=30.0)
+    stats.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="partition the stream over N X-Sketch shards (xs-cm/xs-cu only)",
+    )
+    stats.add_argument(
+        "--shard-backend", choices=["process", "inline"], default="process"
+    )
+    stats.add_argument(
+        "--obs-trace", default=None, metavar="PATH",
+        help="also dump the decision-trace ring as JSONL to PATH",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     datasets = subparsers.add_parser("datasets", help="list or export dataset substitutes")
     datasets.add_argument("--generate", choices=ALL_DATASETS, default=None)
@@ -368,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=None,
         help="drain and exit after this many seconds (default: run until signal)",
+    )
+    serve.add_argument(
+        "--obs-trace", default=None, metavar="PATH",
+        help="record engine decision traces; dump them as JSONL to PATH on drain",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -49,12 +49,22 @@ class BatchedXSketch:
         seed: int = 0,
         family: HashFamily = None,
         rng: random.Random = None,
+        recorder=None,
     ):
         self.config = config
         shared_family = family if family is not None else make_family(config.hash_family, seed)
         shared_rng = rng if rng is not None else random.Random(seed)
-        self.stage1 = Stage1(config, family=shared_family, seed=seed, rng=shared_rng)
-        self.stage2 = Stage2(config, family=shared_family, seed=seed, rng=shared_rng)
+        from repro.obs.recorder import NULL_RECORDER
+
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.stage1 = Stage1(
+            config, family=shared_family, seed=seed, rng=shared_rng,
+            recorder=self.recorder,
+        )
+        self.stage2 = Stage2(
+            config, family=shared_family, seed=seed, rng=shared_rng,
+            recorder=self.recorder,
+        )
         self.window = 0
         self._reports: List[SimplexReport] = []
         self._buffer: Dict[ItemId, int] = {}
@@ -103,6 +113,12 @@ class BatchedXSketch:
         """Accounted memory across both stages (the window buffer is
         working storage, not sketch state)."""
         return self.stage1.memory_bytes + self.stage2.memory_bytes
+
+    def metrics_registry(self, registry=None):
+        """Canonical metrics view (same catalog as :class:`XSketch`)."""
+        from repro.obs.collect import collect_xsketch
+
+        return collect_xsketch(self, registry)
 
     @property
     def stats(self) -> XSketchStats:

@@ -94,12 +94,14 @@ def snapshot_xsketch(sketch, shard: Dict = None) -> Dict:
     return snapshot
 
 
-def restore_xsketch(snapshot: Dict, seed: int = 0) -> XSketch:
+def restore_xsketch(snapshot: Dict, seed: int = 0, recorder=None) -> XSketch:
     """Rebuild an X-Sketch from :func:`snapshot_xsketch` output.
 
     ``seed`` must be the seed the original sketch was built with (the
     hash family derives from it; the replacement RNG state is restored
-    exactly from the snapshot).
+    exactly from the snapshot).  ``recorder`` optionally attaches an
+    observability recorder to the rebuilt sketch (registries are not
+    part of snapshots; a restored sketch starts with fresh metrics).
     """
     if snapshot.get("format_version") != FORMAT_VERSION:
         raise ConfigurationError(
@@ -108,7 +110,11 @@ def restore_xsketch(snapshot: Dict, seed: int = 0) -> XSketch:
     task = SimplexTask(**snapshot["task"])
     config = XSketchConfig(task=task, **snapshot["config"])
     variant = snapshot.get("variant", "per-arrival")
-    sketch = BatchedXSketch(config, seed=seed) if variant == "batched" else XSketch(config, seed=seed)
+    sketch = (
+        BatchedXSketch(config, seed=seed, recorder=recorder)
+        if variant == "batched"
+        else XSketch(config, seed=seed, recorder=recorder)
+    )
     sketch.window = snapshot["window"]
     sketch.stage2._rng.setstate(_decode_state(snapshot["seed_state"]))
 

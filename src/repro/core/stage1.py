@@ -19,6 +19,8 @@ from typing import List, Optional, Tuple
 from repro.config import XSketchConfig
 from repro.fitting.polyfit import fit_leading_and_mse
 from repro.hashing.family import HashFamily, ItemId
+from repro.obs.collect import POTENTIAL_BUCKETS
+from repro.obs.recorder import NULL_RECORDER
 from repro.sketch.windowed import WindowedFilter, make_windowed_filter
 
 
@@ -45,6 +47,10 @@ class Stage1:
             ``delta`` and the task's ``k``).
         family: hash family shared with the rest of the sketch.
         rng: random source (only used by the LogLog structure).
+        recorder: observability recorder; the default no-op recorder
+            leaves the per-arrival path untouched, a live one gets the
+            Potential histogram and promotion trace events (at fit
+            frequency, never per arrival).
     """
 
     def __init__(
@@ -53,8 +59,10 @@ class Stage1:
         family: HashFamily = None,
         seed: int = 0,
         rng: random.Random = None,
+        recorder=None,
     ):
         self.config = config
+        recorder = recorder if recorder is not None else NULL_RECORDER
         self.filter: WindowedFilter = make_windowed_filter(
             structure=config.stage1_structure,
             memory_bytes=config.stage1_bytes,
@@ -65,6 +73,7 @@ class Stage1:
             seed=seed,
             hash_family=config.hash_family,
             rng=rng,
+            recorder=recorder,
         )
         self._k = config.task.k
         self._s = config.s
@@ -78,6 +87,12 @@ class Stage1:
         self.fits = 0
         #: promotions emitted (Potential reached G)
         self.promotions = 0
+        self._obs = recorder if recorder.enabled else None
+        self._h_potential = recorder.histogram(
+            "xsketch_stage1_potential",
+            "Potential Λ = |a_k| / (ε + Δ) at each short-term fit",
+            buckets=POTENTIAL_BUCKETS,
+        )
 
     def _recent_slots(self, window: int) -> List[int]:
         """Slots of windows ``window - s + 1 .. window``, oldest first.
@@ -108,9 +123,17 @@ class Stage1:
         self.fits += 1
         leading, mse = fit_leading_and_mse(frequencies, self._k)
         lam = abs(leading) / (mse + self._delta)
+        obs = self._obs
+        if obs is not None:
+            self._h_potential.observe(lam)
         if lam < self._g:
             return None
         self.promotions += 1
+        if obs is not None:
+            obs.event(
+                "stage1_promotion", item=str(item), window=window,
+                potential=round(lam, 6),
+            )
         return Promotion(
             item=item,
             frequencies=tuple(frequencies),
@@ -136,9 +159,17 @@ class Stage1:
         self.fits += 1
         leading, mse = fit_leading_and_mse(frequencies, self._k)
         lam = abs(leading) / (mse + self._delta)
+        obs = self._obs
+        if obs is not None:
+            self._h_potential.observe(lam)
         if lam < self._g:
             return None
         self.promotions += 1
+        if obs is not None:
+            obs.event(
+                "stage1_promotion", item=str(item), window=window,
+                potential=round(lam, 6),
+            )
         return Promotion(
             item=item,
             frequencies=tuple(frequencies),

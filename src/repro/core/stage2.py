@@ -25,6 +25,8 @@ from repro.core.stage1 import Promotion
 from repro.errors import MergeError
 from repro.fitting.polyfit import fit_polynomial
 from repro.hashing.family import HashFamily, ItemId, make_family
+from repro.obs.collect import OCCUPANCY_BUCKETS, WMIN_BUCKETS
+from repro.obs.recorder import NULL_RECORDER
 
 
 class Stage2Cell:
@@ -61,6 +63,7 @@ class Stage2:
         family: HashFamily = None,
         seed: int = 0,
         rng: random.Random = None,
+        recorder=None,
     ):
         self.config = config
         self.family = family if family is not None else make_family(config.hash_family, seed)
@@ -86,6 +89,18 @@ class Stage2:
         self.merges = 0
         #: incoming cells dropped by weight election during merges
         self.merge_dropped = 0
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        self._obs = recorder if recorder.enabled else None
+        self._h_wmin = recorder.histogram(
+            "xsketch_stage2_wmin",
+            "W_min of the victim at each full-bucket weight election",
+            buckets=WMIN_BUCKETS,
+        )
+        self._h_occupancy = recorder.histogram(
+            "xsketch_stage2_bucket_occupancy",
+            "cells used per Stage-2 bucket, sampled at each window close",
+            buckets=OCCUPANCY_BUCKETS,
+        )
 
     def _bucket_of(self, item: ItemId) -> List[Stage2Cell]:
         return self.buckets[self.family.hash32(item, self._bucket_hash_index) % self.m]
@@ -117,14 +132,27 @@ class Stage2:
             self.inserts_empty += 1
             return True
         victim = min(bucket, key=lambda c: c.weight(window))
+        obs = self._obs
+        if obs is not None:
+            self._h_wmin.observe(victim.weight(window))
         policy = self.config.replacement
         if policy == "never":
             self.replacements_lost += 1
+            if obs is not None:
+                obs.event(
+                    "stage2_election", item=str(promotion.item), window=window,
+                    accepted=False, w_min=victim.weight(window),
+                )
             return False
         if policy == "probabilistic":
             w_min = victim.weight(window)
             if w_min >= 1 and self._rng.random() >= 1.0 / w_min:
                 self.replacements_lost += 1
+                if obs is not None:
+                    obs.event(
+                        "stage2_election", item=str(promotion.item),
+                        window=window, accepted=False, w_min=w_min,
+                    )
                 return False
         bucket.remove(victim)
         del self._index[victim.item]
@@ -132,6 +160,12 @@ class Stage2:
         bucket.append(cell)
         self._index[promotion.item] = cell
         self.replacements_won += 1
+        if obs is not None:
+            obs.event(
+                "stage2_election", item=str(promotion.item), window=window,
+                accepted=True, victim=str(victim.item),
+                w_min=victim.weight(window),
+            )
         return True
 
     def _make_cell(self, promotion: Promotion, window: int) -> Stage2Cell:
@@ -149,12 +183,18 @@ class Stage2:
         current_slot = window % p
         next_slot = (window + 1) % p
         reports: List[SimplexReport] = []
+        obs = self._obs
         for bucket in self.buckets:
             survivors: List[Stage2Cell] = []
             for cell in bucket:
                 if cell.counts[current_slot] == 0:
                     del self._index[cell.item]
                     self.evictions_zero += 1
+                    if obs is not None:
+                        obs.event(
+                            "stage2_evict", item=str(cell.item), window=window,
+                            w_str=cell.w_str,
+                        )
                     continue
                 if window - cell.w_str + 1 >= p:
                     frequencies = cell.frequencies_ending_at(window)
@@ -170,11 +210,24 @@ class Stage2:
                                 mse=fit.mse,
                             )
                         )
+                        if obs is not None:
+                            obs.event(
+                                "stage2_report", item=str(cell.item),
+                                window=window, lasting=cell.weight(window),
+                                mse=round(fit.mse, 6),
+                            )
                     else:
                         cell.w_str = window - p + 2
+                        if obs is not None:
+                            obs.event(
+                                "stage2_slide", item=str(cell.item),
+                                window=window, mse=round(fit.mse, 6),
+                            )
                 cell.counts[next_slot] = 0
                 survivors.append(cell)
             bucket[:] = survivors
+            if obs is not None:
+                self._h_occupancy.observe(len(bucket))
         return reports
 
     def merge(self, other: "Stage2", window: int) -> "Stage2":

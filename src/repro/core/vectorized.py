@@ -163,6 +163,16 @@ class VectorizedXSketch:
     def memory_bytes(self) -> float:
         return self.tower.memory_bytes + self.stage2.memory_bytes
 
+    def metrics_registry(self, registry=None):
+        """Canonical metrics view (same catalog as :class:`XSketch`).
+
+        The vectorized engine runs uninstrumented (no recorder hook on
+        its numpy hot path); only the decision counters are exported.
+        """
+        from repro.obs.collect import collect_xsketch
+
+        return collect_xsketch(self, registry)
+
     @property
     def stats(self) -> XSketchStats:
         return XSketchStats(

@@ -25,6 +25,7 @@ from repro.core.stage1 import Stage1
 from repro.core.stage2 import Stage2
 from repro.errors import MergeError
 from repro.hashing.family import HashFamily, ItemId, make_family
+from repro.obs.recorder import NULL_RECORDER
 
 
 def report_order(report: SimplexReport):
@@ -73,6 +74,12 @@ class XSketch:
         family: optionally share a prebuilt hash family.
         rng: optionally inject the randomness source (replacement coin
             flips and the LogLog structure), for deterministic tests.
+        recorder: observability recorder shared by both stages
+            (``repro.obs.Recorder``); defaults to the no-op recorder,
+            which leaves the insert hot path uninstrumented.  The
+            decision *counters* are available either way through
+            :meth:`metrics_registry`; a live recorder adds the
+            Potential / W_min / occupancy histograms and trace events.
     """
 
     def __init__(
@@ -81,12 +88,20 @@ class XSketch:
         seed: int = 0,
         family: HashFamily = None,
         rng: random.Random = None,
+        recorder=None,
     ):
         self.config = config
         shared_family = family if family is not None else make_family(config.hash_family, seed)
         shared_rng = rng if rng is not None else random.Random(seed)
-        self.stage1 = Stage1(config, family=shared_family, seed=seed, rng=shared_rng)
-        self.stage2 = Stage2(config, family=shared_family, seed=seed, rng=shared_rng)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.stage1 = Stage1(
+            config, family=shared_family, seed=seed, rng=shared_rng,
+            recorder=self.recorder,
+        )
+        self.stage2 = Stage2(
+            config, family=shared_family, seed=seed, rng=shared_rng,
+            recorder=self.recorder,
+        )
         self.window = 0
         self._reports: List[SimplexReport] = []
 
@@ -153,6 +168,18 @@ class XSketch:
     def memory_bytes(self) -> float:
         """Accounted memory across both stages."""
         return self.stage1.memory_bytes + self.stage2.memory_bytes
+
+    def metrics_registry(self, registry=None):
+        """Canonical metrics view of this sketch (``repro.obs`` catalog).
+
+        Decision counters are synced from the stages' plain-int counters
+        at call time (exact, zero hot-path cost); when a live recorder
+        is attached its histograms and tower-overflow counters merge in.
+        Collecting several sketches into one ``registry`` sums them.
+        """
+        from repro.obs.collect import collect_xsketch
+
+        return collect_xsketch(self, registry)
 
     @property
     def stats(self) -> XSketchStats:

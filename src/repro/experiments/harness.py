@@ -29,6 +29,7 @@ def make_algorithm(
     stage1_structure: str = "tower",
     shards: int = 1,
     shard_backend: str = "process",
+    observability: bool = False,
     **overrides,
 ):
     """Build an algorithm instance by name.
@@ -41,7 +42,22 @@ def make_algorithm(
     sharded runtime (:class:`repro.runtime.ShardedXSketch`); each shard
     gets the full ``memory_kb`` budget.  Remember to ``close()`` the
     returned coordinator when using the process backend.
+
+    ``observability=True`` attaches a live ``repro.obs`` recorder
+    (registry + trace ring) to the X-Sketch variants that support one
+    (xs-cm / xs-cu / xs-batched and their sharded forms); the
+    vectorized engine and the baseline run uninstrumented either way.
     """
+
+    def _recorder():
+        if not observability:
+            return None
+        from repro.obs.recorder import Recorder
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.trace import TraceRing
+
+        return Recorder(MetricsRegistry(), trace=TraceRing())
+
     if shards > 1:
         from repro.runtime.sharded import ShardedXSketch
 
@@ -53,25 +69,28 @@ def make_algorithm(
             task=task, memory_kb=memory_kb, update_rule=name[3:],
             stage1_structure=stage1_structure, **overrides,
         )
-        return ShardedXSketch(config, n_shards=shards, seed=seed, backend=shard_backend)
+        return ShardedXSketch(
+            config, n_shards=shards, seed=seed, backend=shard_backend,
+            observability=observability,
+        )
     if name == "xs-cm":
         config = XSketchConfig(
             task=task, memory_kb=memory_kb, update_rule="cm",
             stage1_structure=stage1_structure, **overrides,
         )
-        return XSketch(config, seed=seed)
+        return XSketch(config, seed=seed, recorder=_recorder())
     if name == "xs-cu":
         config = XSketchConfig(
             task=task, memory_kb=memory_kb, update_rule="cu",
             stage1_structure=stage1_structure, **overrides,
         )
-        return XSketch(config, seed=seed)
+        return XSketch(config, seed=seed, recorder=_recorder())
     if name == "xs-batched":
         config = XSketchConfig(
             task=task, memory_kb=memory_kb, update_rule="cu",
             stage1_structure=stage1_structure, **overrides,
         )
-        return BatchedXSketch(config, seed=seed)
+        return BatchedXSketch(config, seed=seed, recorder=_recorder())
     if name == "xs-vectorized":
         from repro.core.vectorized import VectorizedXSketch
 

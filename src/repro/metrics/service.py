@@ -11,6 +11,7 @@ acknowledgement.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence, Tuple
 
@@ -19,13 +20,18 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted sample (0 if empty).
 
     ``q`` is in [0, 100].  Nearest-rank keeps the value an actual
-    observation, which is what latency reporting wants.
+    observation, which is what latency reporting wants: the rank is
+    ``ceil(q/100 * n)`` (1-based).  ``round()`` would be wrong here —
+    banker's rounding pulls half-way ranks down (p50 of 2 samples would
+    round 1.0 → rank 0 correctly but p50 of 6 samples rounds 3.0 → 2,
+    then ties-to-even makes p25 of 2 samples round 0.5 → 0, i.e. an
+    *under*-estimating, sample-size-dependent definition).
     """
     if not sorted_values:
         return 0.0
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    rank = max(0, min(len(sorted_values) - 1, round(q / 100.0 * len(sorted_values)) - 1))
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(q / 100.0 * len(sorted_values)) - 1))
     return sorted_values[rank]
 
 

@@ -1,0 +1,76 @@
+"""Unified observability layer: metrics, decision traces, exposition.
+
+Three pieces, usable separately (see ``docs/OBSERVABILITY.md``):
+
+registry (:mod:`repro.obs.registry`)
+    :class:`MetricsRegistry` — lock-cheap counters / gauges /
+    fixed-bucket histograms that ``merge()`` like sketch state, so
+    per-shard registries reduce into one coordinator view.
+
+recorders (:mod:`repro.obs.recorder`)
+    :data:`NULL_RECORDER` (default: the hot path stays uninstrumented)
+    and :class:`Recorder` (registry + optional :class:`TraceRing`),
+    accepted by :class:`~repro.core.xsketch.XSketch`, its stages,
+    :class:`~repro.sketch.tower.TowerSketch` and the sharded runtime.
+
+exposition (:mod:`repro.obs.expo`)
+    Prometheus text rendering (the service's ``/metrics`` endpoint and
+    the CLI ``stats`` view) plus a parser/validator for tests and CI.
+
+Quick taste::
+
+    from repro import XSketch, XSketchConfig, SimplexTask
+    from repro.obs import Recorder, TraceRing
+
+    recorder = Recorder(trace=TraceRing())
+    sketch = XSketch(XSketchConfig(task=SimplexTask(k=1)), seed=7,
+                     recorder=recorder)
+    ...  # stream windows through the sketch
+    print(sketch.metrics_registry().render_text())
+    recorder.trace.dump_jsonl("trace.jsonl")
+"""
+
+from repro.obs.collect import (
+    BATCH_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    POTENTIAL_BUCKETS,
+    WMIN_BUCKETS,
+    collect_service,
+    collect_sharded,
+    collect_xsketch,
+)
+from repro.obs.expo import parse_text, render_text, validate_text
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import TraceRing, write_jsonl
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "OCCUPANCY_BUCKETS",
+    "POTENTIAL_BUCKETS",
+    "Recorder",
+    "TraceRing",
+    "WMIN_BUCKETS",
+    "collect_service",
+    "collect_sharded",
+    "collect_xsketch",
+    "parse_text",
+    "render_text",
+    "validate_text",
+    "write_jsonl",
+]

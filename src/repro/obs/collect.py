@@ -1,0 +1,157 @@
+"""Collectors: algorithm counters → canonical registry metrics.
+
+The sketch keeps its decision counters as plain Python ints (free on
+the hot path); collectors translate them into the canonical metric
+names of the catalog (``docs/OBSERVABILITY.md``) **additively**, so
+collecting several sketches into one registry sums them — the same
+reduction the sharded coordinator performs over worker snapshots.
+
+Collectors are duck-typed on the counter attributes rather than
+importing the algorithm classes, so this module stays import-cycle-free
+(everything under ``repro.obs`` depends only on ``repro.errors``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: Buckets for the Potential histogram ``Λ = |a_k| / (ε + Δ)``: the
+#: interesting range straddles G (default 0.5-1.0 in the paper sweeps).
+POTENTIAL_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+                     5.0, 10.0, 50.0, 100.0)
+
+#: Buckets for the W_min distribution at Stage-2 elections (weights are
+#: window counts; long-lasting residents sit far right).
+WMIN_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0)
+
+#: Buckets for Stage-2 bucket occupancy (cells used of ``u``).
+OCCUPANCY_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+
+#: Buckets for wire/engine batch sizes (items per batch).
+BATCH_BUCKETS = (16.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+                 4096.0, 8192.0, 16384.0)
+
+
+def collect_xsketch(sketch, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Fold one X-Sketch's counters (and its live registry) into ``registry``.
+
+    Works on any object with the :class:`~repro.core.xsketch.XSketch`
+    shape (``stats`` property, ``stage1``/``stage2`` attributes, an
+    optional ``recorder``).  Counters add into the target registry, so
+    calling this once per shard aggregates naturally.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    stats = sketch.stats
+    registry.counter(
+        "xsketch_windows_total", "windows closed by the sketch"
+    ).inc(stats.windows)
+    registry.counter(
+        "xsketch_stage1_arrivals_total",
+        "arrivals routed through Stage 1 (item not tracked by Stage 2)",
+    ).inc(stats.stage1_arrivals)
+    registry.counter(
+        "xsketch_stage1_fits_total",
+        "short-term fits performed (Preliminary Condition held)",
+    ).inc(stats.stage1_fits)
+    registry.counter(
+        "xsketch_stage1_promotions_total",
+        "Stage-1 promotions (Potential reached G)",
+    ).inc(stats.promotions)
+    registry.counter(
+        "xsketch_stage2_inserts_empty_total",
+        "promoted items placed in empty Stage-2 cells",
+    ).inc(stats.inserts_empty)
+    registry.counter(
+        "xsketch_stage2_elections_won_total",
+        "full-bucket weight elections won (resident replaced)",
+    ).inc(stats.replacements_won)
+    registry.counter(
+        "xsketch_stage2_elections_lost_total",
+        "full-bucket weight elections lost (promotion discarded)",
+    ).inc(stats.replacements_lost)
+    registry.counter(
+        "xsketch_stage2_evictions_total",
+        "Stage-2 evictions of items silent in the closing window",
+    ).inc(stats.evictions_zero)
+    registry.counter(
+        "xsketch_reports_total", "simplex reports emitted"
+    ).inc(stats.reports)
+    registry.gauge(
+        "xsketch_stage2_tracked_items", "items currently tracked by Stage 2"
+    ).inc(stats.stage2_tracked)
+    stage1 = getattr(sketch, "stage1", None)
+    if stage1 is not None:
+        saturated = getattr(stage1.filter, "saturated_counters", None)
+        if saturated is not None:
+            registry.gauge(
+                "xsketch_stage1_saturated_counters",
+                "Stage-1 sub-counters sitting at their overflow marker",
+            ).inc(saturated())
+    recorder = getattr(sketch, "recorder", None)
+    if recorder is not None and recorder.registry is not None:
+        registry.merge(recorder.registry)
+    return registry
+
+
+def collect_sharded(sharded, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Coordinator-side metrics of a sharded runtime (no worker I/O).
+
+    The per-worker sketch registries are gathered separately by
+    :meth:`repro.runtime.sharded.ShardedXSketch.metrics_registry`, which
+    calls this for the coordinator's own counters.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.gauge("runtime_shards", "shards behind the coordinator").set(
+        sharded.n_shards
+    )
+    registry.counter(
+        "runtime_items_routed_total", "arrivals routed by the partitioner"
+    ).inc(sum(sharded.items_routed))
+    registry.counter(
+        "runtime_batches_sent_total", "ingest batches dispatched to shards"
+    ).inc(sum(sharded.batches_sent))
+    registry.counter(
+        "runtime_windows_total", "windows closed by the coordinator"
+    ).inc(sharded.window)
+    depths = [d for d in sharded.queue_depths() if d is not None]
+    registry.gauge(
+        "runtime_queue_depth", "summed shard command-queue backlog"
+    ).set(sum(depths))
+    return registry
+
+
+def collect_service(service, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Service-level metrics of a :class:`~repro.service.server.StreamService`."""
+    registry = registry if registry is not None else MetricsRegistry()
+    manager = service.manager
+    registry.counter(
+        "service_connections_accepted_total", "ingest connections accepted"
+    ).inc(service.connections_accepted)
+    registry.gauge(
+        "service_connections_open", "ingest connections currently open"
+    ).set(len(service._connections))
+    registry.counter(
+        "service_items_ingested_total", "items admitted into windows"
+    ).inc(manager.items_total)
+    registry.counter(
+        "service_items_dropped_total", "items dropped by the overload policy"
+    ).inc(service.dropped_items)
+    registry.counter(
+        "service_windows_closed_total", "windows closed by the window manager"
+    ).inc(manager.windows_closed)
+    registry.counter(
+        "service_engine_batches_total", "micro-batches handed to the engine"
+    ).inc(manager.engine_batches)
+    registry.counter(
+        "service_reports_total", "reports in the published snapshot"
+    ).inc(len(manager.snapshot.reports))
+    registry.gauge(
+        "service_queue_depth", "summed per-connection queue backlog (batches)"
+    ).set(sum(conn.queue.qsize() for conn in service._connections))
+    registry.gauge(
+        "service_healthy", "1 while no engine failure is recorded"
+    ).set(0 if service.failure is not None else 1)
+    registry.merge(manager.metrics)
+    return registry

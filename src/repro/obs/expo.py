@@ -1,0 +1,133 @@
+"""Prometheus text exposition: render, parse and validate.
+
+``render_text`` produces exposition format 0.0.4 — one ``# HELP`` /
+``# TYPE`` pair per metric family followed by its samples; histograms
+expand into cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+``_count``.  ``parse_text`` / ``validate_text`` are the inverse used by
+tests and the CI smoke job to assert the endpoint stays well-formed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Render every instrument of ``registry`` in exposition format."""
+    lines: List[str] = []
+    for instrument in registry:
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative()
+            for bound, count in zip(instrument.bounds, cumulative):
+                lines.append(f'{name}_bucket{{le="{_format_bound(bound)}"}} {count}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+        else:
+            lines.append(f"{name} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_text(text: str) -> Dict[str, float]:
+    """Parse exposition text into ``{sample_name_or_labeled: value}``.
+
+    Histogram bucket samples keep their label part as-is, e.g.
+    ``'xsketch_stage1_potential_bucket{le="+Inf"}'``.  Malformed lines
+    raise ``ValueError`` — the function doubles as a validator.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value_text = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"line {lineno}: no sample name in {raw!r}")
+        value_text = value_text.strip()
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)  # raises ValueError on garbage
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
+    return samples
+
+
+def validate_text(text: str) -> Tuple[int, int]:
+    """Check exposition invariants; returns ``(families, samples)``.
+
+    Raises ``ValueError`` on: duplicate ``# HELP`` / ``# TYPE`` for a
+    family, a ``TYPE`` line naming an unknown kind, samples that appear
+    before their family's ``TYPE`` line, duplicate samples, or
+    unparseable values.  Used by tests and the CI smoke job.
+    """
+    typed: Dict[str, str] = {}
+    helped: set = set()
+    sample_count = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            family = line.split(None, 3)[2]
+            if family in helped:
+                raise ValueError(f"line {lineno}: duplicate HELP for {family!r}")
+            helped.add(family)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            family, kind = parts[2], parts[3]
+            if family in typed:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            typed[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        sample_count += 1
+        sample = line.split()[0]
+        base = sample.partition("{")[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                family = base[: -len(suffix)]
+                break
+        if family not in typed:
+            raise ValueError(f"line {lineno}: sample {sample!r} without a TYPE line")
+    parse_text(text)  # duplicate-sample and value checks
+    return len(typed), sample_count

@@ -1,0 +1,153 @@
+"""Recorders: the switch between free-running and observed code.
+
+Instrumented components take a ``recorder`` at construction and ask it
+for instruments (:meth:`counter` / :meth:`gauge` / :meth:`histogram`)
+and for event/span recording.  Two implementations exist:
+
+* :data:`NULL_RECORDER` (the default everywhere): hands out no-op
+  instruments and ignores events.  Components additionally gate their
+  instrumentation blocks on ``recorder.enabled``, so the per-arrival
+  hot path carries **zero** added calls when observability is off —
+  the overhead budget measured by ``benchmarks/test_obs_overhead.py``.
+* :class:`Recorder`: backed by a :class:`~repro.obs.registry.MetricsRegistry`
+  and optionally a :class:`~repro.obs.trace.TraceRing`.
+
+``span(name)`` times a block into a ``<name>_seconds`` histogram and
+records begin/duration in the trace ring — used around window closes
+and other coarse phases, never per arrival.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DURATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.trace import TraceRing
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: everything is a no-op; ``enabled`` is False."""
+
+    enabled = False
+    registry: Optional[MetricsRegistry] = None
+    trace: Optional[TraceRing] = None
+
+    def counter(self, name: str, help: str = ""):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = ""):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS):
+        return _NULL_INSTRUMENT
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **fields):
+        return _NULL_SPAN
+
+
+#: Shared no-op recorder; components default to this.
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """Times one block into ``<name>_seconds`` + a trace event."""
+
+    __slots__ = ("_recorder", "_name", "_fields", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, fields: dict):
+        self._recorder = recorder
+        self._name = name
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self._start
+        recorder = self._recorder
+        recorder.registry.histogram(
+            f"{self._name}_seconds", f"duration of {self._name}",
+            buckets=DURATION_BUCKETS,
+        ).observe(duration)
+        if recorder.trace is not None:
+            recorder.trace.record(
+                "span", name=self._name, seconds=round(duration, 6),
+                error=exc_type.__name__ if exc_type else None, **self._fields,
+            )
+        return False
+
+
+class Recorder(NullRecorder):
+    """A live recorder: registry-backed instruments + optional trace ring.
+
+    Args:
+        registry: the :class:`MetricsRegistry` instruments land in
+            (fresh one by default).
+        trace: a :class:`TraceRing` for decision events, or None to
+            record metrics only.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRing] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+
+    def counter(self, name: str, help: str = ""):
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = ""):
+        return self.registry.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS):
+        return self.registry.histogram(name, help, buckets=buckets)
+
+    def event(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, **fields)
+
+    def span(self, name: str, **fields):
+        return _Span(self, name, fields)

@@ -1,0 +1,93 @@
+"""Bounded structured trace ring.
+
+A :class:`TraceRing` keeps the last ``capacity`` decision events —
+promotions, elections, evictions, reports, spans — as plain dicts, so a
+finished (or crashed) run can answer "why was item X (not) reported?"
+without any external tooling.  Events carry wall-clock timestamps and
+whatever context the instrumentation point attached (item, window,
+potential, W_min, ...).  ``dump_jsonl`` writes one JSON object per line.
+
+The ring is deliberately lossy: it is a flight recorder, not a log
+pipeline.  ``recorded`` / ``dropped`` make the loss visible.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+#: Default ring capacity (events).
+DEFAULT_CAPACITY = 4096
+
+
+def write_jsonl(events: Iterable[Dict], path) -> int:
+    """Write ``events`` to ``path`` as JSONL; returns the line count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True, default=str))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+class TraceRing:
+    """Last-``capacity`` structured events, oldest first."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        #: events ever recorded (including those since rotated out)
+        self.recorded = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound so far."""
+        return self.recorded - len(self._events)
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; ``kind`` plus arbitrary JSON-safe context."""
+        self.recorded += 1
+        event = {"ts": round(time.time(), 6), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Dict]) -> None:
+        """Adopt already-built events (merging per-shard rings)."""
+        for event in events:
+            self.recorded += 1
+            self._events.append(event)
+
+    def events(self, kind: Optional[str] = None) -> List[Dict]:
+        """The retained events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.get("kind") == kind]
+
+    def for_item(self, item) -> List[Dict]:
+        """Events mentioning ``item`` — the "why (not) reported?" query."""
+        wanted = str(item)
+        return [
+            event for event in self._events
+            if str(event.get("item", "")) == wanted
+        ]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump_jsonl(self, path) -> int:
+        """Write the retained events to ``path`` as JSONL."""
+        return write_jsonl(self._events, path)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)

@@ -103,6 +103,12 @@ class ShardedXSketch:
         reply_timeout: seconds to wait for worker replies.
         snapshots: per-shard snapshot dicts to restore from (used by
             :func:`repro.runtime.checkpoint.load_sharded_checkpoint`).
+        observability: attach a live ``repro.obs.Recorder`` (registry +
+            trace ring) to every shard sketch.  Off by default — the
+            canonical decision counters are available either way through
+            :meth:`metrics_registry`; turning this on adds the
+            algorithm histograms and the per-shard trace rings read by
+            :meth:`trace_events`.
     """
 
     def __init__(
@@ -115,6 +121,7 @@ class ShardedXSketch:
         batch_size: int = DEFAULT_BATCH_SIZE,
         reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
         snapshots: Optional[Sequence[Dict]] = None,
+        observability: bool = False,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -147,11 +154,16 @@ class ShardedXSketch:
         self.merge_count = 0
         self._buffers: List[List[ItemId]] = [[] for _ in range(n_shards)]
         self._memory_bytes: Optional[float] = None
+        self.observability = observability
         if backend == "inline":
-            self._locals = [
-                restore_xsketch(snapshots[i], seed=seed) if snapshots else XSketch(config, seed=seed)
-                for i in range(n_shards)
-            ]
+            self._locals = []
+            for i in range(n_shards):
+                recorder = self._make_recorder() if observability else None
+                if snapshots:
+                    sketch = restore_xsketch(snapshots[i], seed=seed, recorder=recorder)
+                else:
+                    sketch = XSketch(config, seed=seed, recorder=recorder)
+                self._locals.append(sketch)
             self._inline_busy = [0.0] * n_shards
             if snapshots:
                 self.window = self._locals[0].window
@@ -159,6 +171,14 @@ class ShardedXSketch:
             self._spawn_workers(mp_context, snapshots)
             if snapshots:
                 self.window = snapshots[0]["window"]
+
+    @staticmethod
+    def _make_recorder():
+        from repro.obs.recorder import Recorder
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.trace import TraceRing
+
+        return Recorder(MetricsRegistry(), trace=TraceRing())
 
     # ------------------------------------------------------------------
     # process-backend plumbing
@@ -179,6 +199,7 @@ class ShardedXSketch:
                     command_queue,
                     self._result_queue,
                     snapshots[shard_id] if snapshots else None,
+                    self.observability,
                 ),
                 daemon=True,
                 name=f"xsketch-shard-{shard_id}",
@@ -356,6 +377,59 @@ class ShardedXSketch:
             merge_count=self.merge_count,
             shards=shards,
         )
+
+    def metrics_registry(self, registry=None):
+        """Aggregated metrics of the whole runtime, as one registry.
+
+        Walks the same reduction path as report merging: each shard
+        contributes its sketch's canonical registry (counters synced
+        from the plain-int decision counters, plus any live-recorder
+        histograms), serialized as a snapshot on the process backend and
+        collected directly on the inline one; the coordinator folds the
+        per-shard views together (counters/gauges add, histograms add
+        bucket-wise) and stamps its own routing counters on top.
+        """
+        from repro.obs.collect import collect_sharded
+        from repro.obs.registry import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        if self.backend == "inline":
+            for sketch in self._locals:
+                sketch.metrics_registry(registry)
+        else:
+            for queue in self._command_queues:
+                queue.put(("metrics",))
+            for snapshot in self._collect("metrics"):
+                registry.merge_snapshot(snapshot)
+        return collect_sharded(self, registry)
+
+    def trace_events(self) -> List[Dict]:
+        """All shards' trace-ring events, ordered by timestamp.
+
+        Empty unless the runtime was built with ``observability=True``.
+        Each event is a JSON-safe dict carrying at least ``ts``,
+        ``kind`` and ``shard``.
+        """
+        events: List[Dict] = []
+        if self.backend == "inline":
+            per_shard = [
+                sketch.recorder.trace.events()
+                if getattr(sketch.recorder, "trace", None) is not None
+                else []
+                for sketch in self._locals
+            ]
+        else:
+            for queue in self._command_queues:
+                queue.put(("trace",))
+            per_shard = self._collect("trace")
+        for shard, shard_events in enumerate(per_shard):
+            for event in shard_events:
+                stamped = dict(event)
+                stamped["shard"] = shard
+                events.append(stamped)
+        events.sort(key=lambda e: e.get("ts", 0.0))
+        return events
 
     @property
     def memory_bytes(self) -> float:

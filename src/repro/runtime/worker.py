@@ -18,6 +18,14 @@ Command protocol (tuples on ``command_queue``; replies on
     Close the window; replies ``("end_window", shard, reports)``.
 ``("stats",)``
     Replies ``("stats", shard, WorkerReport)``.
+``("metrics",)``
+    Replies ``("metrics", shard, registry snapshot dict)``: the shard
+    sketch's canonical metrics view (``repro.obs``), serialized with
+    ``MetricsRegistry.snapshot()`` so it crosses the process boundary
+    as plain picklable data and merges coordinator-side.
+``("trace",)``
+    Replies ``("trace", shard, events list)``: the worker recorder's
+    trace-ring contents (empty when observability is off).
 ``("checkpoint",)``
     Replies ``("checkpoint", shard, snapshot dict)``.
 ``("stop",)``
@@ -71,13 +79,29 @@ def shard_worker_main(
     command_queue,
     result_queue,
     snapshot: Optional[dict] = None,
+    observability: bool = False,
 ) -> None:
-    """Run one shard's X-Sketch until a ``stop`` command arrives."""
+    """Run one shard's X-Sketch until a ``stop`` command arrives.
+
+    ``observability=True`` attaches a live ``repro.obs.Recorder`` (own
+    registry + trace ring) to the shard sketch; the extra histograms and
+    trace events are then available over the ``metrics`` / ``trace``
+    commands.  Off by default: the sketch runs with the no-op recorder
+    and the ``metrics`` reply still carries the exact decision counters
+    (synced from plain ints at collect time).
+    """
     try:
+        recorder = None
+        if observability:
+            from repro.obs.recorder import Recorder
+            from repro.obs.registry import MetricsRegistry
+            from repro.obs.trace import TraceRing
+
+            recorder = Recorder(MetricsRegistry(), trace=TraceRing())
         if snapshot is not None:
-            sketch = restore_xsketch(snapshot, seed=seed)
+            sketch = restore_xsketch(snapshot, seed=seed, recorder=recorder)
         else:
-            sketch = XSketch(config, seed=seed)
+            sketch = XSketch(config, seed=seed, recorder=recorder)
         items_ingested = 0
         batches = 0
         busy_seconds = 0.0
@@ -109,6 +133,13 @@ def shard_worker_main(
                     stats=sketch.stats,
                 )
                 result_queue.put(("stats", shard_id, report))
+            elif op == "metrics":
+                registry = sketch.metrics_registry()
+                result_queue.put(("metrics", shard_id, registry.snapshot()))
+            elif op == "trace":
+                trace = getattr(sketch.recorder, "trace", None)
+                events = trace.events() if trace is not None else []
+                result_queue.put(("trace", shard_id, events))
             elif op == "checkpoint":
                 result_queue.put(("checkpoint", shard_id, snapshot_xsketch(sketch)))
             elif op == "stop":

@@ -12,7 +12,11 @@ producer) or drops the incoming batch and counts it
 
 Read path: a minimal HTTP/1.1 listener answers ``/reports``, ``/stats``,
 ``/healthz`` and ``/checkpoint`` from the manager's published snapshot,
-so queries never contend with ingest for the engine.
+so queries never contend with ingest for the engine.  ``/metrics``
+renders the aggregated observability registry — service counters, the
+window manager's batch histogram and the engine's algorithm counters —
+in Prometheus text exposition format (this one does take the engine
+lock, like ``/stats?engine=1``).
 
 Lifecycle: ``stop()`` drains — stop accepting, sever producers, finish
 every queued batch, flush the open window, write a final checkpoint
@@ -33,6 +37,8 @@ from typing import List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ReproError, ServiceError
+from repro.obs.collect import collect_service
+from repro.obs.expo import render_text
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
     MAGIC,
@@ -84,6 +90,9 @@ class StreamService:
             micro_batch=self.config.micro_batch,
         )
         self.failure: Optional[BaseException] = None
+        #: engine trace-ring events, captured just before the engine is
+        #: closed on drain ([] unless the engine records observability)
+        self.trace_events: List[dict] = []
         self._connections: Set[_Connection] = set()
         self.connections_accepted = 0
         self.dropped_items = 0
@@ -165,6 +174,10 @@ class StreamService:
                     await self.manager.checkpoint(self.config.checkpoint_dir)
             except ReproError as exc:
                 self._record_failure(exc)
+        with contextlib.suppress(ReproError):
+            self.trace_events = await asyncio.to_thread(
+                self.manager.adapter.trace_events
+            )
         await self.manager.close_engine()
         self._http_server.close()
         await self._http_server.wait_closed()
@@ -319,13 +332,19 @@ class StreamService:
             status, body = await self._http_response(reader)
         except Exception as exc:  # pragma: no cover - defensive
             status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        payload = json.dumps(body).encode("utf-8")
+        if isinstance(body, str):
+            # Routes returning text (only /metrics) ship as-is.
+            payload = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: close\r\n\r\n"
         )
@@ -376,6 +395,12 @@ class StreamService:
                     engine_stats = dataclasses.asdict(engine_stats)
                 stats["engine"] = engine_stats
             return 200, stats
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            registry = await self.manager.engine_metrics()
+            collect_service(self, registry)
+            return 200, render_text(registry)
         if path == "/reports":
             if method != "GET":
                 return 405, {"error": "GET only"}

@@ -37,6 +37,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.reports import SimplexReport
 from repro.errors import ServiceError
 from repro.hashing.family import ItemId
+from repro.obs.collect import BATCH_BUCKETS
+from repro.obs.registry import MetricsRegistry
 
 
 def report_to_dict(report: SimplexReport) -> dict:
@@ -104,6 +106,30 @@ class EngineAdapter:
             return None
         return stats() if callable(stats) else stats
 
+    def metrics_registry(self, registry=None):
+        """The engine's canonical metrics, folded into ``registry``.
+
+        Engines without a ``metrics_registry`` method (stub engines in
+        tests) contribute nothing; the registry comes back unchanged.
+        """
+        collect = getattr(self.engine, "metrics_registry", None)
+        if collect is not None:
+            return collect(registry)
+        return registry if registry is not None else MetricsRegistry()
+
+    def trace_events(self) -> List[dict]:
+        """The engine's trace-ring events ([] when observability is off).
+
+        Gated so an observability-off sharded engine pays no worker
+        round-trips: the sharded runtime is asked only when its
+        ``observability`` flag is set, a plain sketch only when its
+        recorder carries a ring.
+        """
+        if getattr(self.engine, "observability", False):
+            return self.engine.trace_events()
+        ring = getattr(getattr(self.engine, "recorder", None), "trace", None)
+        return ring.events() if ring is not None else []
+
 
 @dataclass(frozen=True)
 class ServiceSnapshot:
@@ -133,6 +159,14 @@ class WindowManager:
         self.items_total = 0
         self.engine_batches = 0
         self.windows_closed = 0
+        #: always-on service-side registry (wire-batch granularity only,
+        #: so the cost is one histogram observe per submitted batch)
+        self.metrics = MetricsRegistry()
+        self._h_batch = self.metrics.histogram(
+            "service_batch_items",
+            "items per wire batch submitted to the window manager",
+            buckets=BATCH_BUCKETS,
+        )
         self.snapshot = ServiceSnapshot(
             window=0, items_at_boundary=0, reports=(), updated_at=0.0
         )
@@ -183,6 +217,7 @@ class WindowManager:
 
     async def submit(self, items: Sequence[ItemId], seq: Optional[int] = None) -> None:
         """Route one wire batch into the open window (splits at boundaries)."""
+        self._h_batch.observe(len(items))
         if seq is not None:
             await self._admit(seq)
         try:
@@ -251,6 +286,12 @@ class WindowManager:
         """Live engine counters (takes the engine lock; may block on IPC)."""
         async with self._lock:
             return await asyncio.to_thread(self.adapter.stats)
+
+    async def engine_metrics(self, registry=None) -> MetricsRegistry:
+        """The engine's metrics registry (takes the engine lock; may
+        block on worker IPC for the sharded process backend)."""
+        async with self._lock:
+            return await asyncio.to_thread(self.adapter.metrics_registry, registry)
 
     async def close_engine(self) -> None:
         async with self._lock:

@@ -16,6 +16,7 @@ from typing import List, Sequence
 
 from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
+from repro.obs.recorder import NULL_RECORDER
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
 
@@ -40,6 +41,10 @@ class TowerSketch(FrequencySketch):
         update_rule: ``"cm"`` or ``"cu"``.
         level_bits: optional explicit per-level widths (defaults to
             :func:`tower_level_widths`).
+        recorder: observability recorder; with the default no-op
+            recorder the insert path is byte-identical to an
+            uninstrumented tower, with a live one every counter that
+            crosses into saturation ticks ``tower_overflow_total``.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class TowerSketch(FrequencySketch):
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        recorder=None,
     ):
         super().__init__(family=family, seed=seed, hash_family=hash_family)
         if update_rule not in ("cm", "cu"):
@@ -69,6 +75,15 @@ class TowerSketch(FrequencySketch):
             self.levels.append(CounterArray(n_counters, width_bits))
         self.d = d
         self.update_rule = update_rule
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        self.recorder = recorder
+        # With the no-op recorder _obs is None and insert() takes the
+        # original unobserved branches (zero added work per arrival).
+        self._obs = recorder if recorder.enabled else None
+        self._c_overflow = recorder.counter(
+            "tower_overflow_total",
+            "tower counters that crossed into their overflow marker",
+        )
 
     def _positions(self, item: ItemId) -> List[int]:
         family = self.family
@@ -77,6 +92,13 @@ class TowerSketch(FrequencySketch):
     def insert(self, item: ItemId, count: int = 1) -> None:
         positions = self._positions(item)
         if self.update_rule == "cm":
+            if self._obs is not None:
+                for level, pos in zip(self.levels, positions):
+                    saturated_before = level.is_saturated(pos)
+                    level.increment(pos, count)
+                    if not saturated_before and level.is_saturated(pos):
+                        self._c_overflow.inc()
+                return
             for level, pos in zip(self.levels, positions):
                 level.increment(pos, count)
             return
@@ -100,6 +122,8 @@ class TowerSketch(FrequencySketch):
         target = minimum + count
         for level, pos, value in zip(self.levels, positions, readings):
             if value is not None and value < target:
+                if target >= level.max_value and self._obs is not None:
+                    self._c_overflow.inc()
                 level.set(pos, min(target, level.max_value))
 
     def query(self, item: ItemId) -> int:
@@ -142,6 +166,16 @@ class TowerSketch(FrequencySketch):
     def clear(self) -> None:
         for level in self.levels:
             level.clear()
+
+    def saturated_counters(self) -> int:
+        """Counters currently sitting at their overflow marker (a scan;
+        cheap enough per window close, not meant for the per-item path)."""
+        return sum(
+            1
+            for level in self.levels
+            for value in level.values
+            if value == level.max_value
+        )
 
     @property
     def memory_bytes(self) -> float:

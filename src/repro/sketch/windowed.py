@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId, make_family
+from repro.obs.recorder import NULL_RECORDER
 from repro.sketch.counters import CounterArray
 from repro.sketch.tower import tower_level_widths
 
@@ -133,11 +134,20 @@ class _WindowedArrays(WindowedFilter):
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        recorder=None,
     ):
         super().__init__(s=s, family=family, seed=seed, hash_family=hash_family)
         if update_rule not in ("cm", "cu"):
             raise ConfigurationError(f"update_rule must be 'cm' or 'cu', got {update_rule!r}")
         self.update_rule = update_rule
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        # With the no-op recorder _obs is None and the insert paths take
+        # their original unobserved branches (zero added work per arrival).
+        self._obs = recorder if recorder.enabled else None
+        self._c_overflow = recorder.counter(
+            "tower_overflow_total",
+            "tower counters that crossed into their overflow marker",
+        )
         self.d = len(level_bits)
         per_level = memory_bytes / self.d
         self.levels: List[CounterArray] = []
@@ -162,11 +172,28 @@ class _WindowedArrays(WindowedFilter):
             self._pos_cache[item] = cached
         return cached
 
+    def saturated_counters(self) -> int:
+        """Sub-counters at their overflow marker (observability scan)."""
+        return sum(
+            1
+            for level in self.levels
+            for value in level.values
+            if value == level.max_value
+        )
+
     def insert(self, item: ItemId, slot: int) -> None:
         self._check_slot(slot)
         positions = self._positions(item)
         s = self.s
         if self.update_rule == "cm":
+            if self._obs is not None:
+                for level, pos in zip(self.levels, positions):
+                    index = pos * s + slot
+                    before = level.values[index]
+                    level.increment(index, 1)
+                    if before != level.max_value and level.values[index] == level.max_value:
+                        self._c_overflow.inc()
+                return
             for level, pos in zip(self.levels, positions):
                 level.increment(pos * s + slot, 1)
             return
@@ -186,6 +213,8 @@ class _WindowedArrays(WindowedFilter):
                 minimum = value
         for level, index, value in readings:
             if value == minimum:
+                if value + 1 >= level.max_value and self._obs is not None:
+                    self._c_overflow.inc()
                 level.increment(index, 1)
 
     def insert_count(self, item: ItemId, slot: int, count: int) -> None:
@@ -194,6 +223,14 @@ class _WindowedArrays(WindowedFilter):
         positions = self._positions(item)
         s = self.s
         if self.update_rule == "cm":
+            if self._obs is not None:
+                for level, pos in zip(self.levels, positions):
+                    index = pos * s + slot
+                    before = level.values[index]
+                    level.increment(index, count)
+                    if before != level.max_value and level.values[index] == level.max_value:
+                        self._c_overflow.inc()
+                return
             for level, pos in zip(self.levels, positions):
                 level.increment(pos * s + slot, count)
             return
@@ -214,6 +251,8 @@ class _WindowedArrays(WindowedFilter):
         target = minimum + count
         for level, index, value in readings:
             if value < target:
+                if target >= level.max_value and self._obs is not None:
+                    self._c_overflow.inc()
                 level.set(index, min(target, level.max_value))
 
     def query_slot(self, item: ItemId, slot: int) -> int:
@@ -297,6 +336,7 @@ class WindowedTower(_WindowedArrays):
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        recorder=None,
     ):
         super().__init__(
             memory_bytes=memory_bytes,
@@ -306,6 +346,7 @@ class WindowedTower(_WindowedArrays):
             family=family,
             seed=seed,
             hash_family=hash_family,
+            recorder=recorder,
         )
 
 
@@ -320,6 +361,7 @@ class WindowedCM(_WindowedArrays):
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        recorder=None,
     ):
         super().__init__(
             memory_bytes=memory_bytes,
@@ -329,6 +371,7 @@ class WindowedCM(_WindowedArrays):
             family=family,
             seed=seed,
             hash_family=hash_family,
+            recorder=recorder,
         )
 
 
@@ -343,6 +386,7 @@ class WindowedCU(_WindowedArrays):
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        recorder=None,
     ):
         super().__init__(
             memory_bytes=memory_bytes,
@@ -352,6 +396,7 @@ class WindowedCU(_WindowedArrays):
             family=family,
             seed=seed,
             hash_family=hash_family,
+            recorder=recorder,
         )
 
 
@@ -560,22 +605,31 @@ def make_windowed_filter(
     seed: int = 0,
     hash_family: str = "crc",
     rng: random.Random = None,
+    recorder=None,
 ) -> WindowedFilter:
     """Build a Stage-1 windowed filter by structure name.
 
     ``update_rule`` only applies to ``"tower"`` (XS-CM vs XS-CU); the flat
     ``"cm"``/``"cu"`` names carry their rule, Cold Filter is inherently
     conservative-update and LogLog Filter has its own register update.
+    ``recorder`` instruments the array-backed structures (tower/cm/cu)
+    with overflow counting; the others ignore it.
     """
     if structure == "tower":
         return WindowedTower(
             memory_bytes, s, d=d, update_rule=update_rule,
-            family=family, seed=seed, hash_family=hash_family,
+            family=family, seed=seed, hash_family=hash_family, recorder=recorder,
         )
     if structure == "cm":
-        return WindowedCM(memory_bytes, s, d=d, family=family, seed=seed, hash_family=hash_family)
+        return WindowedCM(
+            memory_bytes, s, d=d, family=family, seed=seed, hash_family=hash_family,
+            recorder=recorder,
+        )
     if structure == "cu":
-        return WindowedCU(memory_bytes, s, d=d, family=family, seed=seed, hash_family=hash_family)
+        return WindowedCU(
+            memory_bytes, s, d=d, family=family, seed=seed, hash_family=hash_family,
+            recorder=recorder,
+        )
     if structure == "cold":
         return WindowedColdFilter(
             memory_bytes, s, d=d, family=family, seed=seed, hash_family=hash_family,

@@ -87,6 +87,76 @@ class TestMLCommand:
         assert "X-Sketch" in out and "speedup" in out
 
 
+class TestStatsCommand:
+    ARGS = ["stats", "--windows", "10", "--window-size", "300",
+            "--memory-kb", "20", "--seed", "1"]
+
+    def test_prints_valid_exposition(self, capsys):
+        from repro.obs import parse_text, validate_text
+
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        validate_text(out)
+        samples = parse_text(out)
+        assert samples["xsketch_windows_total"] == 10
+        assert samples["xsketch_stage1_arrivals_total"] > 0
+        # stats runs with observability on, so histograms are present
+        assert "xsketch_stage1_potential_count" in samples
+
+    def test_sharded_aggregation(self, capsys):
+        from repro.obs import parse_text
+
+        code = main(self.ARGS + ["--shards", "2", "--shard-backend", "inline"])
+        assert code == 0
+        samples = parse_text(capsys.readouterr().out)
+        assert samples["runtime_windows_total"] == 10
+        assert samples["xsketch_windows_total"] == 2 * 10
+        assert samples["runtime_items_routed_total"] == 10 * 300
+
+    def test_obs_trace_dump(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--obs-trace", str(trace_path)]) == 0
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert events
+        assert all("kind" in e and "ts" in e for e in events)
+
+    def test_baseline_has_no_metrics(self, capsys):
+        code = main(self.ARGS + ["--algorithm", "baseline"])
+        assert code == 2
+        assert "does not export metrics" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.handler.__name__ == "_cmd_stats"
+        assert args.obs_trace is None
+
+
+class TestRunObsTrace:
+    def test_run_dumps_trace_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run_trace.jsonl"
+        code = main(
+            ["run", "--windows", "10", "--window-size", "300", "--quiet",
+             "--memory-kb", "20", "--seed", "1", "--obs-trace", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace events to {trace_path}" in out
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert any(e["kind"] == "stage1_promotion" for e in events)
+
+    def test_run_without_flag_writes_nothing(self, tmp_path, capsys):
+        code = main(
+            ["run", "--windows", "6", "--window-size", "200", "--quiet",
+             "--memory-kb", "20", "--seed", "1"]
+        )
+        assert code == 0
+        assert "trace events" not in capsys.readouterr().out
+
+
 class TestServeCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["serve"])

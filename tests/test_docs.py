@@ -56,6 +56,12 @@ API_EXPORTS = {
         "send_shutdown", "MAGIC", "encode_frame", "encode_line",
         "batch_message", "parse_message",
     ],
+    "repro.obs": [
+        "MetricsRegistry", "Counter", "Gauge", "Histogram",
+        "Recorder", "NullRecorder", "NULL_RECORDER", "TraceRing",
+        "write_jsonl", "render_text", "parse_text", "validate_text",
+        "collect_xsketch", "collect_sharded", "collect_service",
+    ],
     "repro.ml": [
         "LinearRegression", "LinearRegressionModel", "fit_arima",
         "arima_forecast", "ArimaModel", "fit_holt", "HoltModel",
@@ -93,7 +99,8 @@ class TestDocFiles:
         "filename",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
          "docs/ALGORITHMS.md", "docs/API.md", "docs/PARAMETERS.md",
-         "docs/DATASETS.md", "docs/RUNTIME.md", "docs/SERVICE.md"],
+         "docs/DATASETS.md", "docs/RUNTIME.md", "docs/SERVICE.md",
+         "docs/OBSERVABILITY.md"],
     )
     def test_doc_exists_and_nonempty(self, filename):
         path = REPO / filename

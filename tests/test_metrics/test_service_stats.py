@@ -35,6 +35,35 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], -1)
 
+    @pytest.mark.parametrize(
+        ("values", "q", "expected"),
+        [
+            # n=1 boundary cases
+            ([7.0], 0, 7.0),
+            ([7.0], 50, 7.0),
+            ([7.0], 100, 7.0),
+            # nearest-rank definition: rank = ceil(q/100 * n), 1-based.
+            # round() got these wrong: banker's rounding pulled half-way
+            # ranks down (p25 of 2: 0.5 rounds to 0 -> IndexError-adjacent
+            # clamp to the *first* element instead of the first at rank 1).
+            ([1.0, 2.0], 25, 1.0),      # ceil(0.5)=1 -> first value
+            ([1.0, 2.0], 50, 1.0),      # ceil(1.0)=1
+            ([1.0, 2.0], 75, 2.0),      # ceil(1.5)=2; round() gives 2 too
+            ([1.0, 2.0, 3.0, 4.0], 50, 2.0),   # ceil(2.0)=2; round() -> 2
+            ([1.0, 2.0, 3.0, 4.0], 62.5, 3.0),  # ceil(2.5)=3; round() -> 2 (ties-to-even)
+            ([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 25, 2.0),  # ceil(1.5)=2; round() -> 1
+            ([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 75, 5.0),  # ceil(4.5)=5; round() -> 4
+            # q=0 must clamp to the minimum, q=100 to the maximum
+            ([1.0, 2.0, 3.0], 0, 1.0),
+            ([1.0, 2.0, 3.0], 100, 3.0),
+            # p99 of a large-ish sample
+            ([float(v) for v in range(1, 101)], 99, 99.0),
+            ([float(v) for v in range(1, 101)], 99.5, 100.0),
+        ],
+    )
+    def test_nearest_rank_table(self, values, q, expected):
+        assert percentile(values, q) == expected
+
 
 class TestLatencySummary:
     def test_from_samples(self):

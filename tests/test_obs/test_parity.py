@@ -1,0 +1,140 @@
+"""Cross-backend metrics parity (satellite c).
+
+The same trace pushed through an inline-backend and a process-backend
+``ShardedXSketch`` must yield *identical* aggregated registries: the
+decision counters are exact facts about the algorithm, not samples, so
+shipping them across a process boundary must not change a single count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.fitting.simplex import SimplexTask
+from repro.obs import MetricsRegistry
+from repro.runtime.sharded import ShardedXSketch
+from repro.streams.datasets import ip_trace_stream
+
+SEED = 7
+N_SHARDS = 3
+
+
+def _config():
+    return XSketchConfig(task=SimplexTask(k=1), memory_kb=40.0)
+
+
+def _windows():
+    return [list(w) for w in ip_trace_stream(n_windows=12, window_size=600, seed=3).windows()]
+
+
+def _run(backend, observability=True):
+    with ShardedXSketch(
+        _config(),
+        n_shards=N_SHARDS,
+        seed=SEED,
+        backend=backend,
+        observability=observability,
+    ) as sharded:
+        for window in _windows():
+            sharded.run_window(window)
+        registry = sharded.metrics_registry()
+        events = sharded.trace_events() if observability else []
+        reports = sorted((r.report_window, str(r.item)) for r in sharded.reports)
+    return registry, events, reports
+
+
+@pytest.fixture(scope="module")
+def inline_run():
+    return _run("inline")
+
+
+@pytest.fixture(scope="module")
+def process_run():
+    return _run("process")
+
+
+class TestCrossBackendParity:
+    def test_aggregated_registries_identical(self, inline_run, process_run):
+        inline_registry, _, _ = inline_run
+        process_registry, _, _ = process_run
+        assert inline_registry.as_dict() == process_registry.as_dict()
+
+    def test_key_counters_nonzero(self, inline_run):
+        registry, _, _ = inline_run
+        assert registry.value("xsketch_stage1_promotions_total") > 0
+        assert registry.value("runtime_items_routed_total") == 12 * 600
+        # per-shard windows sum across shards; the coordinator count does not
+        assert registry.value("xsketch_windows_total") == N_SHARDS * 12
+        assert registry.value("runtime_windows_total") == 12
+
+    def test_counters_match_single_sketch_ground_truth(self, inline_run):
+        """Shard aggregation equals an unsharded run of the same trace:
+        promotions, elections, and reports are partition-invariant."""
+        from repro.core.xsketch import XSketch
+        from repro.runtime.partition import KeyPartitioner
+
+        registry, _, _ = inline_run
+        # replay the same partition locally to derive ground truth
+        config = _config()
+        partitioner = KeyPartitioner(N_SHARDS, seed=SEED, hash_family=config.hash_family)
+        shards = [XSketch(config, seed=SEED) for _ in range(N_SHARDS)]
+        for window in _windows():
+            for sketch, part in zip(shards, partitioner.split(window)):
+                sketch.run_window(part)
+        assert registry.value("xsketch_stage1_promotions_total") == sum(
+            s.stats.promotions for s in shards
+        )
+        assert registry.value("xsketch_stage2_elections_won_total") == sum(
+            s.stats.replacements_won for s in shards
+        )
+        assert registry.value("xsketch_reports_total") == sum(
+            s.stats.reports for s in shards
+        )
+
+    def test_trace_events_survive_the_process_boundary(self, inline_run, process_run):
+        _, inline_events, _ = inline_run
+        _, process_events, _ = process_run
+        assert len(inline_events) == len(process_events)
+        assert inline_events, "observability run must record trace events"
+        # every shipped event is stamped with its shard of origin
+        assert all("shard" in event for event in process_events)
+        assert {e["shard"] for e in process_events} <= set(range(N_SHARDS))
+
+    def test_reports_unaffected_by_observability(self, inline_run):
+        _, _, observed_reports = inline_run
+        _, _, plain_reports = _run("inline", observability=False)
+        assert observed_reports == plain_reports
+
+    def test_observability_off_still_collects_exact_counters(self):
+        registry, events, _ = _run("inline", observability=False)
+        assert events == []
+        assert registry.value("xsketch_stage1_promotions_total") > 0
+        # histograms exist only when a live recorder was attached
+        assert registry.get("xsketch_stage1_potential") is None
+
+    def test_collection_is_repeatable_not_cumulative(self):
+        """metrics_registry() is a pull-style snapshot: collecting twice
+        into fresh registries gives the same values, not doubled ones."""
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline", observability=True
+        ) as sharded:
+            for window in _windows():
+                sharded.run_window(window)
+            first = sharded.metrics_registry()
+            second = sharded.metrics_registry()
+        assert first.as_dict() == second.as_dict()
+
+    def test_merge_into_caller_registry(self):
+        """A caller-supplied registry receives the aggregate (service path)."""
+        mine = MetricsRegistry()
+        mine.counter("service_items_ingested_total").inc(5)
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline", observability=True
+        ) as sharded:
+            for window in _windows()[:4]:
+                sharded.run_window(window)
+            out = sharded.metrics_registry(mine)
+        assert out is mine
+        assert mine.value("service_items_ingested_total") == 5
+        assert mine.value("xsketch_windows_total") == 2 * 4
