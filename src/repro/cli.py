@@ -21,6 +21,11 @@ Commands:
 
 ``run``, ``serve`` and ``stats`` accept ``--obs-trace <path>``: attach
 a live recorder and dump the decision-trace ring as JSONL on exit.
+With ``--shards > 1`` they also accept the sharded runtime's
+self-healing knobs (``--supervise``, ``--auto-checkpoint-interval``,
+``--max-restarts``) and deterministic fault injection
+(``--inject-fault``, repeatable; see docs/RUNTIME.md "Fault
+tolerance").
 """
 
 from __future__ import annotations
@@ -55,6 +60,47 @@ def _add_stream_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Self-healing / fault-injection knobs of the sharded runtime."""
+    parser.add_argument(
+        "--supervise", action=argparse.BooleanOptionalAction, default=True,
+        help="self-heal dead/wedged shard workers from the last "
+        "auto-checkpoint (process backend; docs/RUNTIME.md)",
+    )
+    parser.add_argument(
+        "--auto-checkpoint-interval", type=int, default=1, metavar="N",
+        help="checkpoint every N-th window boundary for restarts (0 disables)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="total supervised restarts before giving up (default 5)",
+    )
+    parser.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="deterministic worker fault, e.g. "
+        "'kill:shard=0,window=3,point=checkpoint' or "
+        "'drop_reply:shard=1,op=end_window' (repeatable; needs "
+        "--shards > 1 and the process backend)",
+    )
+
+
+def _shard_kwargs(args: argparse.Namespace) -> dict:
+    """Translate supervision CLI flags into make_algorithm keywords."""
+    from repro.runtime.faults import parse_faults
+
+    faults = parse_faults(args.inject_fault)
+    if faults and (args.shards < 2 or args.shard_backend != "process"):
+        raise SystemExit(
+            "--inject-fault needs --shards >= 2 and --shard-backend process"
+        )
+    return dict(
+        supervise=args.supervise,
+        auto_checkpoint_interval=args.auto_checkpoint_interval,
+        max_restarts=args.max_restarts,
+        shard_faults=faults or None,
+    )
+
+
 def _trace_events(algorithm) -> List[dict]:
     """Decision-trace events of a finished algorithm ([] when obs is off)."""
     trace_events = getattr(algorithm, "trace_events", None)
@@ -80,6 +126,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
         observability=args.obs_trace is not None,
+        **_shard_kwargs(args),
     )
     try:
         for window in trace.windows():
@@ -221,6 +268,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
         observability=True,
+        **_shard_kwargs(args),
     )
     collect = getattr(algorithm, "metrics_registry", None)
     if collect is None:
@@ -254,6 +302,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
         observability=args.obs_trace is not None,
+        **_shard_kwargs(args),
     )
     config = ServiceConfig(
         host=args.host,
@@ -265,6 +314,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_batches=args.queue_batches,
         overload=args.overload,
         checkpoint_dir=args.checkpoint_dir,
+        on_engine_error=args.on_engine_error,
     )
 
     async def _run() -> StreamService:
@@ -352,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-backend", choices=["process", "inline"], default="process",
         help="run shards as worker processes or in-process",
     )
+    _add_supervision_args(run)
     run.add_argument("--quiet", action="store_true", help="metrics only, no reports")
     run.add_argument(
         "--obs-trace", default=None, metavar="PATH",
@@ -381,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--shard-backend", choices=["process", "inline"], default="process"
     )
+    _add_supervision_args(stats)
     stats.add_argument(
         "--obs-trace", default=None, metavar="PATH",
         help="also dump the decision-trace ring as JSONL to PATH",
@@ -436,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shard-backend", choices=["process", "inline"], default="process"
+    )
+    _add_supervision_args(serve)
+    serve.add_argument(
+        "--on-engine-error", choices=["shutdown", "degrade"], default="degrade",
+        help="engine failure policy: fail fast, or stay up serving "
+        "last-good snapshots (default: degrade)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--ingest-port", type=int, default=0, help="0 = ephemeral")

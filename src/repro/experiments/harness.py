@@ -30,6 +30,10 @@ def make_algorithm(
     shards: int = 1,
     shard_backend: str = "process",
     observability: bool = False,
+    supervise: bool = True,
+    auto_checkpoint_interval: int = 1,
+    max_restarts: Optional[int] = None,
+    shard_faults: Optional[Sequence] = None,
     **overrides,
 ):
     """Build an algorithm instance by name.
@@ -47,6 +51,11 @@ def make_algorithm(
     (registry + trace ring) to the X-Sketch variants that support one
     (xs-cm / xs-cu / xs-batched and their sharded forms); the
     vectorized engine and the baseline run uninstrumented either way.
+
+    ``supervise`` / ``auto_checkpoint_interval`` / ``max_restarts`` /
+    ``shard_faults`` configure the sharded runtime's self-healing and
+    fault-injection layer (docs/RUNTIME.md, "Fault tolerance"); they
+    only apply when ``shards > 1`` and are ignored otherwise.
     """
 
     def _recorder():
@@ -69,9 +78,17 @@ def make_algorithm(
             task=task, memory_kb=memory_kb, update_rule=name[3:],
             stage1_structure=stage1_structure, **overrides,
         )
+        kwargs = dict(
+            observability=observability,
+            supervised=supervise,
+            auto_checkpoint_interval=auto_checkpoint_interval,
+            faults=shard_faults,
+        )
+        if max_restarts is not None:
+            kwargs["max_restarts"] = max_restarts
         return ShardedXSketch(
             config, n_shards=shards, seed=seed, backend=shard_backend,
-            observability=observability,
+            **kwargs,
         )
     if name == "xs-cm":
         config = XSketchConfig(

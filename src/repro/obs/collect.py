@@ -119,6 +119,23 @@ def collect_sharded(sharded, registry: Optional[MetricsRegistry] = None) -> Metr
     registry.gauge(
         "runtime_queue_depth", "summed shard command-queue backlog"
     ).set(sum(depths))
+    registry.counter(
+        "runtime_shard_restarts_total",
+        "supervised worker restarts (dead or wedged shards respawned)",
+    ).inc(sum(getattr(sharded, "shard_restarts", ())))
+    registry.counter(
+        "runtime_items_lost_estimate",
+        "items estimated lost across supervised restarts (dispatched since "
+        "the restored checkpoint minus salvaged queue batches)",
+    ).inc(getattr(sharded, "items_lost_estimate", 0))
+    registry.counter(
+        "runtime_command_retries_total",
+        "coordinator commands resent to a restarted shard",
+    ).inc(getattr(sharded, "command_retries", 0))
+    registry.counter(
+        "runtime_close_errors_total",
+        "errors swallowed (but recorded) by the shutdown path",
+    ).inc(len(getattr(sharded, "close_errors", ())))
     return registry
 
 

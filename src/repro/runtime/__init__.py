@@ -15,6 +15,7 @@ re-sharding and checkpoint compaction
 (:meth:`ShardedXSketch.merged_sketch`).
 """
 
+from repro.runtime.faults import Fault, FaultInjector, parse_fault, parse_faults
 from repro.runtime.mergeable import Mergeable, merge_all
 from repro.runtime.partition import KeyPartitioner
 from repro.runtime.sharded import ShardedStats, ShardedXSketch, ShardStats
@@ -25,6 +26,8 @@ from repro.runtime.checkpoint import (
 )
 
 __all__ = [
+    "Fault",
+    "FaultInjector",
     "KeyPartitioner",
     "Mergeable",
     "ShardStats",
@@ -33,5 +36,7 @@ __all__ = [
     "WorkerReport",
     "load_sharded_checkpoint",
     "merge_all",
+    "parse_fault",
+    "parse_faults",
     "save_sharded_checkpoint",
 ]

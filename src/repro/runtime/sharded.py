@@ -22,13 +22,33 @@ Protocol
     all reports so far; ``checkpoint(directory)`` writes a shard-aware
     snapshot; ``merged_sketch()`` compacts all shards into one
     single-process :class:`XSketch` via the mergeable fallback path.
+
+Supervision (``supervised=True``, the default on the process backend)
+    The coordinator holds an in-memory checkpoint of every shard, taken
+    at window boundaries every ``auto_checkpoint_interval`` windows.
+    When a worker exits without replying, or misses the reply deadline
+    (wedged), the coordinator respawns it on fresh queues, restores the
+    last checkpoint, fast-forwards it to the current window, replays
+    the batches still sitting in the dead incarnation's command queue
+    (nothing else — data the dead process had already consumed is
+    gone), resends the in-flight command, and carries on.  The loss is
+    recorded honestly: ``shard_restarts``, ``items_lost_estimate`` and
+    ``command_retries`` feed the ``runtime_*`` metrics in
+    :func:`repro.obs.collect.collect_sharded`, and :meth:`health`
+    exposes the live view the service layer serves on ``/healthz``.
+    Worker ``error`` replies (exceptions in sketch code) are *not*
+    recovered — deterministic bugs would crash-loop; they still raise
+    :class:`RuntimeShardError`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
+import warnings
 from dataclasses import dataclass
+from queue import Empty
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import XSketchConfig
@@ -37,6 +57,7 @@ from repro.core.serialize import restore_xsketch, snapshot_xsketch
 from repro.core.xsketch import XSketch, report_order
 from repro.errors import ConfigurationError, RuntimeShardError
 from repro.hashing.family import ItemId
+from repro.runtime.faults import Fault
 from repro.runtime.partition import KeyPartitioner
 from repro.runtime.worker import WorkerReport, shard_worker_main
 
@@ -45,8 +66,28 @@ from repro.runtime.worker import WorkerReport, shard_worker_main
 DEFAULT_BATCH_SIZE = 2048
 
 #: Seconds the coordinator waits for a worker reply before declaring
-#: the shard dead.
+#: the shard wedged (dead workers are detected much faster via
+#: ``is_alive`` polling).
 DEFAULT_REPLY_TIMEOUT = 300.0
+
+#: Default cap on supervised restarts across the runtime's lifetime —
+#: a crash-looping deployment must eventually surface as an error.
+DEFAULT_MAX_RESTARTS = 5
+
+#: Seconds between reply polls while collecting (also the dead-worker
+#: detection latency per shard).
+_POLL_INTERVAL = 0.05
+
+#: Command to resend after a restart, keyed by the reply kind the
+#: coordinator was collecting when the shard died.
+_RESEND_COMMANDS = {
+    "end_window": ("end_window",),
+    "stats": ("stats",),
+    "metrics": ("metrics",),
+    "trace": ("trace",),
+    "checkpoint": ("checkpoint",),
+    "stopped": ("stop",),
+}
 
 
 @dataclass(frozen=True)
@@ -100,7 +141,8 @@ class ShardedXSketch:
         mp_context: multiprocessing start method for the process
             backend (``"spawn"`` by default — safe everywhere).
         batch_size: insert()-path buffer size per shard.
-        reply_timeout: seconds to wait for worker replies.
+        reply_timeout: seconds to wait for worker replies before a
+            non-replying but alive worker counts as wedged.
         snapshots: per-shard snapshot dicts to restore from (used by
             :func:`repro.runtime.checkpoint.load_sharded_checkpoint`).
         observability: attach a live ``repro.obs.Recorder`` (registry +
@@ -109,6 +151,19 @@ class ShardedXSketch:
             :meth:`metrics_registry`; turning this on adds the
             algorithm histograms and the per-shard trace rings read by
             :meth:`trace_events`.
+        supervised: self-heal dead or wedged workers from the last
+            auto-checkpoint instead of raising (process backend only;
+            see the module docstring).  Worker exceptions still raise.
+        auto_checkpoint_interval: take an in-memory checkpoint of every
+            shard at each ``interval``-th window boundary (0 disables —
+            a restart then restores a blank shard).  Only meaningful
+            with ``supervised=True`` on the process backend.
+        max_restarts: total supervised restarts allowed across the
+            runtime's lifetime before giving up with
+            :class:`RuntimeShardError`.
+        faults: deterministic fault plan (:mod:`repro.runtime.faults`)
+            handed to the initial worker processes; replacements are
+            always spawned fault-free.  Process backend only.
     """
 
     def __init__(
@@ -122,6 +177,10 @@ class ShardedXSketch:
         reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
         snapshots: Optional[Sequence[Dict]] = None,
         observability: bool = False,
+        supervised: bool = True,
+        auto_checkpoint_interval: int = 1,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        faults: Optional[Sequence[Fault]] = None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -135,12 +194,32 @@ class ShardedXSketch:
             raise ConfigurationError(
                 f"got {len(snapshots)} snapshots for {n_shards} shards"
             )
+        if auto_checkpoint_interval < 0:
+            raise ConfigurationError(
+                f"auto_checkpoint_interval must be >= 0, got {auto_checkpoint_interval}"
+            )
+        if max_restarts < 0:
+            raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
+        if faults:
+            if backend != "process":
+                raise ConfigurationError(
+                    "fault injection requires the process backend"
+                )
+            for fault in faults:
+                if fault.shard >= n_shards:
+                    raise ConfigurationError(
+                        f"fault targets shard {fault.shard}, runtime has {n_shards}"
+                    )
         self.config = config
         self.n_shards = n_shards
         self.seed = seed
         self.backend = backend
         self.batch_size = batch_size
         self.reply_timeout = reply_timeout
+        self.supervised = supervised
+        self.auto_checkpoint_interval = auto_checkpoint_interval
+        self.max_restarts = max_restarts
+        self.faults = list(faults) if faults else []
         self.partitioner = KeyPartitioner(
             n_shards, seed=seed, hash_family=config.hash_family
         )
@@ -152,9 +231,24 @@ class ShardedXSketch:
         self.batches_sent = [0] * n_shards
         #: X-Sketch merges performed by merged_sketch() so far
         self.merge_count = 0
+        #: supervision counters (honest loss accounting; see health())
+        self.shard_restarts = [0] * n_shards
+        self.items_lost_estimate = 0
+        self.command_retries = 0
+        self.reports_discarded = 0
+        #: errors swallowed by the shutdown path, surfaced as warnings
+        #: and counted by the obs collector instead of silently dropped
+        self.close_errors: List[str] = []
+        self._recovering = False
         self._buffers: List[List[ItemId]] = [[] for _ in range(n_shards)]
         self._memory_bytes: Optional[float] = None
         self.observability = observability
+        #: last auto-checkpoint per shard (restart restore point)
+        self._shard_snapshots: List[Optional[Dict]] = (
+            [dict(s) for s in snapshots] if snapshots else [None] * n_shards
+        )
+        self._snapshot_window = snapshots[0]["window"] if snapshots else 0
+        self._items_since_snapshot = [0] * n_shards
         if backend == "inline":
             self._locals = []
             for i in range(n_shards):
@@ -184,69 +278,269 @@ class ShardedXSketch:
     # process-backend plumbing
 
     def _spawn_workers(self, mp_context: str, snapshots) -> None:
-        ctx = multiprocessing.get_context(mp_context)
-        self._result_queue = ctx.Queue()
+        self._ctx = multiprocessing.get_context(mp_context)
         self._command_queues = []
+        self._result_queues = []
         self._workers = []
         for shard_id in range(self.n_shards):
-            command_queue = ctx.Queue()
-            worker = ctx.Process(
+            command_queue = self._ctx.Queue()
+            result_queue = self._ctx.Queue()
+            worker = self._ctx.Process(
                 target=shard_worker_main,
                 args=(
                     shard_id,
                     self.config,
                     self.seed,
                     command_queue,
-                    self._result_queue,
+                    result_queue,
                     snapshots[shard_id] if snapshots else None,
                     self.observability,
+                    self.faults or None,
                 ),
                 daemon=True,
                 name=f"xsketch-shard-{shard_id}",
             )
             worker.start()
             self._command_queues.append(command_queue)
+            self._result_queues.append(result_queue)
             self._workers.append(worker)
 
-    def _collect(self, kind: str) -> List:
+    def _broadcast(self, command: Tuple) -> None:
+        for queue in self._command_queues:
+            queue.put(command)
+
+    def _collect(
+        self,
+        kind: str,
+        supervised: Optional[bool] = None,
+        timeout: Optional[float] = None,
+    ) -> List:
         """Gather one ``kind`` reply from every shard, in shard order.
 
-        Polls in short intervals so a worker that died without replying
-        (e.g. killed, or crashed before the protocol loop) surfaces as
-        a :class:`RuntimeShardError` immediately instead of after the
-        full reply timeout.
+        Polls each shard's private result queue in short intervals so a
+        worker that died without replying (e.g. killed, or crashed
+        before the protocol loop) surfaces immediately instead of after
+        the full reply deadline.  With supervision on, a dead or
+        deadline-expired shard is restarted in place and the command is
+        resent; otherwise (or once the restart budget is exhausted) a
+        :class:`RuntimeShardError` is raised.
         """
+        if supervised is None:
+            supervised = self.supervised
+        deadline_seconds = self.reply_timeout if timeout is None else timeout
         payloads: List = [None] * self.n_shards
-        seen = 0
-        deadline = time.monotonic() + self.reply_timeout
-        while seen < self.n_shards:
-            try:
-                reply_kind, shard_id, payload = self._result_queue.get(timeout=0.25)
-            except Exception as exc:  # queue.Empty
-                dead = [
-                    shard
-                    for shard, worker in enumerate(self._workers)
-                    if payloads[shard] is None and not worker.is_alive()
-                ]
-                if dead and self._result_queue.empty():
+        # A shard has replied iff it is in this set.  (Payloads may
+        # legitimately be None — e.g. ``stopped`` — so ``payloads[shard]
+        # is None`` must never be used as the replied test.)
+        replied = set()
+        deadline = time.monotonic() + deadline_seconds
+        while len(replied) < self.n_shards:
+            for shard in range(self.n_shards):
+                if shard in replied:
+                    continue
+                try:
+                    reply = self._result_queues[shard].get(timeout=_POLL_INTERVAL)
+                except Empty:
+                    # Only a timeout means "no reply yet"; queue plumbing
+                    # or unpickling failures must propagate as what they
+                    # are rather than masquerade as a silent shard.
+                    worker = self._workers[shard]
+                    if not worker.is_alive() and self._result_queues[shard].empty():
+                        self._recover_shard(
+                            shard, kind, f"shard {shard} exited without replying",
+                            supervised,
+                        )
+                        deadline = time.monotonic() + deadline_seconds
+                    continue
+                reply_kind, reply_shard, payload = reply
+                if reply_kind == "error":
+                    raise RuntimeShardError(f"shard {reply_shard} failed:\n{payload}")
+                if reply_kind != kind or reply_shard != shard:
                     raise RuntimeShardError(
-                        f"shard(s) {dead} exited without replying to {kind!r}"
-                    ) from exc
+                        f"protocol violation: expected {kind!r} from shard "
+                        f"{shard}, got {reply_kind!r} from shard {reply_shard}"
+                    )
+                payloads[shard] = payload
+                replied.add(shard)
+            if len(replied) < self.n_shards and time.monotonic() > deadline:
+                wedged = [s for s in range(self.n_shards) if s not in replied]
+                for shard in wedged:
+                    self._recover_shard(
+                        shard, kind,
+                        f"shard {shard} sent no reply within {deadline_seconds}s "
+                        f"while waiting for {kind!r}",
+                        supervised,
+                    )
+                deadline = time.monotonic() + deadline_seconds
+        return payloads
+
+    def _recover_shard(
+        self, shard: int, resend_kind: str, reason: str, supervised: bool
+    ) -> None:
+        """Restart ``shard`` in place, or raise when supervision can't."""
+        if not supervised or self._recovering:
+            raise RuntimeShardError(reason)
+        if sum(self.shard_restarts) >= self.max_restarts:
+            raise RuntimeShardError(
+                f"{reason}; restart budget exhausted "
+                f"({self.max_restarts} restarts used, "
+                f"items_lost_estimate={self.items_lost_estimate})"
+            )
+        self._restart_shard(shard, resend_kind, reason)
+
+    def _restart_shard(self, shard: int, resend_kind: str, reason: str) -> None:
+        """Respawn one worker from its last checkpoint and resync it.
+
+        Sequence: retire the old process and queues, salvage the ingest
+        batches still sitting in the dead incarnation's command queue,
+        spawn a fault-free replacement on fresh queues restoring the
+        last auto-checkpoint, fast-forward it to the coordinator's
+        window (discarding catch-up reports the merged stream already
+        has), replay the salvaged batches, and resend the command whose
+        reply we were waiting for.
+        """
+        self._recovering = True
+        try:
+            restarts = self.shard_restarts[shard] + 1
+            old = self._workers[shard]
+            if old.is_alive():
+                old.terminate()
+                old.join(timeout=10)
+                if old.is_alive():  # pragma: no cover - defensive
+                    old.kill()
+                    old.join(timeout=10)
+            else:
+                old.join(timeout=10)
+            salvaged = self._drain_salvageable(shard)
+            self._retire_queue(self._command_queues[shard])
+            self._retire_queue(self._result_queues[shard])
+            command_queue = self._ctx.Queue()
+            result_queue = self._ctx.Queue()
+            worker = self._ctx.Process(
+                target=shard_worker_main,
+                args=(
+                    shard,
+                    self.config,
+                    self.seed,
+                    command_queue,
+                    result_queue,
+                    self._shard_snapshots[shard],
+                    self.observability,
+                    None,  # replacements run fault-free
+                ),
+                daemon=True,
+                name=f"xsketch-shard-{shard}-r{restarts}",
+            )
+            worker.start()
+            self._command_queues[shard] = command_queue
+            self._result_queues[shard] = result_queue
+            self._workers[shard] = worker
+            self.shard_restarts[shard] = restarts
+            # Fast-forward from the snapshot boundary to the current
+            # window before replaying anything.
+            command_queue.put(("advance", self.window))
+            advance = self._collect_from(shard, "advance")
+            self.reports_discarded += advance["reports_discarded"]
+            salvaged_items = sum(len(batch) for batch in salvaged)
+            lost = max(0, self._items_since_snapshot[shard] - salvaged_items)
+            self.items_lost_estimate += lost
+            self._items_since_snapshot[shard] = salvaged_items
+            for batch in salvaged:
+                command_queue.put(("ingest", batch))
+            if resend_kind in _RESEND_COMMANDS:
+                command_queue.put(_RESEND_COMMANDS[resend_kind])
+                self.command_retries += 1
+            warnings.warn(
+                f"ShardedXSketch: restarted shard {shard} ({reason}); "
+                f"restored window {self._snapshot_window}, advanced "
+                f"{advance['closed']} windows, salvaged {salvaged_items} "
+                f"queued items, ~{lost} items lost",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        finally:
+            self._recovering = False
+
+    def _drain_salvageable(self, shard: int) -> List[List[ItemId]]:
+        """Ingest batches still queued for a dead worker (best effort).
+
+        The dead incarnation never consumed these, so the replacement
+        can legitimately replay them.  Control commands are dropped (the
+        collect loop resends the one in flight).
+
+        The cooperative ``get()`` path cannot be used here: a worker
+        SIGKILLed while blocked in ``get()`` dies *holding the queue's
+        shared reader lock*, so ``get(timeout=...)`` would report
+        ``Empty`` with every batch still sitting in the pipe.  The dead
+        worker was the only other reader, so the coordinator bypasses
+        the lock and reads the raw pipe directly; each ``poll`` wait
+        also gives its own feeder thread time to finish flushing
+        buffered ``put``\\s.  (``Queue.close()`` must NOT be called
+        first — it closes the calling process's *read* end.)  Broad
+        exception catch is deliberate: a reader killed mid-recv can
+        leave a truncated message, and anything unreadable past it is
+        simply counted as lost.
+        """
+        salvaged: List[List[ItemId]] = []
+        reader = getattr(self._command_queues[shard], "_reader", None)
+        if reader is None:  # pragma: no cover - defensive
+            return salvaged
+        while True:
+            try:
+                if not reader.poll(_POLL_INTERVAL):
+                    break
+                command = pickle.loads(reader.recv_bytes())
+            except Exception:
+                break
+            if command[0] == "ingest":
+                salvaged.append(command[1])
+        return salvaged
+
+    @staticmethod
+    def _retire_queue(queue) -> None:
+        """Abandon a dead incarnation's queue without blocking on it."""
+        try:
+            queue.cancel_join_thread()
+            queue.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _collect_from(self, shard: int, kind: str):
+        """One reply from one (freshly restarted) shard; never recovers."""
+        deadline = time.monotonic() + self.reply_timeout
+        while True:
+            try:
+                reply = self._result_queues[shard].get(timeout=_POLL_INTERVAL)
+            except Empty:
+                worker = self._workers[shard]
+                if not worker.is_alive() and self._result_queues[shard].empty():
+                    raise RuntimeShardError(
+                        f"replacement for shard {shard} exited before "
+                        f"replying to {kind!r}"
+                    )
                 if time.monotonic() > deadline:
                     raise RuntimeShardError(
-                        f"no reply from workers within {self.reply_timeout}s "
-                        f"while waiting for {kind!r}"
-                    ) from exc
+                        f"no {kind!r} reply from restarted shard {shard} "
+                        f"within {self.reply_timeout}s"
+                    )
                 continue
+            reply_kind, reply_shard, payload = reply
             if reply_kind == "error":
-                raise RuntimeShardError(f"shard {shard_id} failed:\n{payload}")
-            if reply_kind != kind:
+                raise RuntimeShardError(f"shard {reply_shard} failed:\n{payload}")
+            if reply_kind != kind or reply_shard != shard:
                 raise RuntimeShardError(
-                    f"protocol violation: expected {kind!r}, got {reply_kind!r}"
+                    f"protocol violation: expected {kind!r} from shard {shard}, "
+                    f"got {reply_kind!r} from shard {reply_shard}"
                 )
-            payloads[shard_id] = payload
-            seen += 1
-        return payloads
+            return payload
+
+    def _auto_checkpoint(self) -> None:
+        """Refresh the in-memory restore point at a window boundary."""
+        self._broadcast(("checkpoint",))
+        snapshots = self._collect("checkpoint")
+        self._shard_snapshots = snapshots
+        self._snapshot_window = self.window
+        self._items_since_snapshot = [0] * self.n_shards
 
     # ------------------------------------------------------------------
     # stream protocol
@@ -278,6 +572,7 @@ class ShardedXSketch:
                 insert(item)
             self._inline_busy[shard] += time.perf_counter() - start
         else:
+            self._items_since_snapshot[shard] += len(items)
             self._command_queues[shard].put(("ingest", items))
 
     def _flush_buffers(self) -> None:
@@ -296,8 +591,7 @@ class ShardedXSketch:
                 merged.extend(sketch.end_window())
                 self._inline_busy[shard] += time.perf_counter() - start
         else:
-            for queue in self._command_queues:
-                queue.put(("end_window",))
+            self._broadcast(("end_window",))
             merged = [
                 report
                 for reports in self._collect("end_window")
@@ -306,6 +600,13 @@ class ShardedXSketch:
         merged.sort(key=report_order)
         self._reports.extend(merged)
         self.window += 1
+        if (
+            self.backend == "process"
+            and self.supervised
+            and self.auto_checkpoint_interval
+            and self.window % self.auto_checkpoint_interval == 0
+        ):
+            self._auto_checkpoint()
         return merged
 
     #: alias so the coordinator matches the engine protocol
@@ -340,6 +641,38 @@ class ShardedXSketch:
                 depths.append(None)
         return depths
 
+    def health(self) -> Dict:
+        """Non-blocking liveness view (no worker IPC; safe cross-thread).
+
+        ``status`` is ``"degraded"`` while any worker process is dead
+        and not yet restarted, or while a restart is in progress;
+        ``"ok"`` otherwise.  The service layer serves this from
+        ``/healthz`` so a recovering runtime is visible without tearing
+        anything down.
+        """
+        dead: List[int] = []
+        pids: List[Optional[int]] = []
+        if self.backend == "process" and not self._closed:
+            for shard, worker in enumerate(self._workers):
+                pids.append(worker.pid)
+                if not worker.is_alive():
+                    dead.append(shard)
+        recovering = self._recovering
+        return {
+            "status": "degraded" if (dead or recovering) else "ok",
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "window": self.window,
+            "supervised": self.supervised,
+            "recovering": recovering,
+            "dead_shards": dead,
+            "worker_pids": pids,
+            "restarts": list(self.shard_restarts),
+            "restarts_total": sum(self.shard_restarts),
+            "items_lost_estimate": self.items_lost_estimate,
+            "command_retries": self.command_retries,
+        }
+
     def stats(self) -> ShardedStats:
         """Coordinator and worker counters for every shard."""
         if self.backend == "inline":
@@ -355,8 +688,7 @@ class ShardedXSketch:
                 for shard, sketch in enumerate(self._locals)
             ]
         else:
-            for queue in self._command_queues:
-                queue.put(("stats",))
+            self._broadcast(("stats",))
             worker_reports = self._collect("stats")
         depths = self.queue_depths()
         shards = tuple(
@@ -387,7 +719,8 @@ class ShardedXSketch:
         histograms), serialized as a snapshot on the process backend and
         collected directly on the inline one; the coordinator folds the
         per-shard views together (counters/gauges add, histograms add
-        bucket-wise) and stamps its own routing counters on top.
+        bucket-wise) and stamps its own routing and supervision
+        counters on top.
         """
         from repro.obs.collect import collect_sharded
         from repro.obs.registry import MetricsRegistry
@@ -398,8 +731,7 @@ class ShardedXSketch:
             for sketch in self._locals:
                 sketch.metrics_registry(registry)
         else:
-            for queue in self._command_queues:
-                queue.put(("metrics",))
+            self._broadcast(("metrics",))
             for snapshot in self._collect("metrics"):
                 registry.merge_snapshot(snapshot)
         return collect_sharded(self, registry)
@@ -409,7 +741,8 @@ class ShardedXSketch:
 
         Empty unless the runtime was built with ``observability=True``.
         Each event is a JSON-safe dict carrying at least ``ts``,
-        ``kind`` and ``shard``.
+        ``kind`` and ``shard``.  A restarted shard's ring restarts with
+        it — flight-recorder contents do not survive a crash.
         """
         events: List[Dict] = []
         if self.backend == "inline":
@@ -420,8 +753,7 @@ class ShardedXSketch:
                 for sketch in self._locals
             ]
         else:
-            for queue in self._command_queues:
-                queue.put(("trace",))
+            self._broadcast(("trace",))
             per_shard = self._collect("trace")
         for shard, shard_events in enumerate(per_shard):
             for event in shard_events:
@@ -454,8 +786,7 @@ class ShardedXSketch:
             )
         if self.backend == "inline":
             return [snapshot_xsketch(sketch) for sketch in self._locals]
-        for queue in self._command_queues:
-            queue.put(("checkpoint",))
+        self._broadcast(("checkpoint",))
         return self._collect("checkpoint")
 
     def checkpoint(self, directory) -> None:
@@ -493,27 +824,54 @@ class ShardedXSketch:
     # ------------------------------------------------------------------
     # lifecycle
 
+    def _note_close_error(self, message: str) -> None:
+        """Record an error swallowed on the shutdown path, visibly."""
+        self.close_errors.append(message)
+        warnings.warn(
+            f"ShardedXSketch.close: {message}", RuntimeWarning, stacklevel=3
+        )
+
     def close(self) -> None:
-        """Stop all workers; idempotent."""
-        if self._closed:
+        """Stop all workers; idempotent.
+
+        The shutdown path never raises, but neither does it hide
+        trouble: every swallowed error is appended to ``close_errors``,
+        emitted as a :class:`RuntimeWarning`, and counted by the obs
+        collector (``runtime_close_errors_total``), so leaked workers
+        or broken queues stay visible.
+        """
+        # getattr: __init__ may have raised before _closed was set, and
+        # __del__ still runs on the half-constructed object.
+        if getattr(self, "_closed", True):
             return
         self._closed = True
         if self.backend == "inline":
             return
         try:
-            for queue in self._command_queues:
-                queue.put(("stop",))
-            self._collect("stopped")
-        except RuntimeShardError:
-            pass
+            self._broadcast(("stop",))
+            # Never supervise the shutdown handshake (restarting a
+            # worker just to stop it again would be absurd), and don't
+            # wait the full reply deadline for a wedged one.
+            self._collect(
+                "stopped", supervised=False, timeout=min(self.reply_timeout, 10.0)
+            )
+        except RuntimeShardError as exc:
+            self._note_close_error(f"shutdown handshake failed: {exc}")
         for worker in self._workers:
             worker.join(timeout=10)
             if worker.is_alive():  # pragma: no cover - defensive
+                self._note_close_error(
+                    f"worker {worker.name} did not exit; terminating it"
+                )
                 worker.terminate()
                 worker.join(timeout=10)
-        for queue in self._command_queues:
-            queue.close()
-        self._result_queue.close()
+        for queue in (*self._command_queues, *self._result_queues):
+            try:
+                queue.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._note_close_error(
+                    f"queue close failed: {type(exc).__name__}: {exc}"
+                )
 
     def __enter__(self) -> "ShardedXSketch":
         return self
@@ -524,5 +882,12 @@ class ShardedXSketch:
     def __del__(self):  # pragma: no cover - best effort
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            try:
+                warnings.warn(
+                    f"ShardedXSketch.__del__: close failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                )
+            except Exception:
+                pass

@@ -9,13 +9,24 @@ rebuilds its hash family from the explicit seed — the families in
 :mod:`repro.hashing` depend on nothing process-local, so a key hashes
 identically in every worker and in the coordinator.
 
-Command protocol (tuples on ``command_queue``; replies on
+Each worker owns a *private* result queue (one coordinator reader, one
+worker writer).  That isolation is what makes supervision safe: a
+worker SIGKILLed mid-write can only poison its own reply pipe, and the
+replacement worker starts on fresh queues, so stale or truncated
+replies from a dead incarnation can never be misread as current ones.
+
+Command protocol (tuples on ``command_queue``; replies on the worker's
 ``result_queue`` are ``(kind, shard_id, payload)``):
 
 ``("ingest", items)``
     Insert a batch into the current window.  No reply (pipelined).
 ``("end_window",)``
     Close the window; replies ``("end_window", shard, reports)``.
+``("advance", target_window)``
+    Recovery fast-forward: close empty windows until the sketch reaches
+    ``target_window``.  Reports produced by those catch-up closes are
+    discarded (the coordinator's merged stream already covers the
+    windows); replies ``("advance", shard, {"closed", "reports_discarded"})``.
 ``("stats",)``
     Replies ``("stats", shard, WorkerReport)``.
 ``("metrics",)``
@@ -33,7 +44,13 @@ Command protocol (tuples on ``command_queue``; replies on
 
 Any exception escapes as ``("error", shard, traceback_text)`` followed
 by worker exit; the coordinator converts it to
-:class:`repro.errors.RuntimeShardError`.
+:class:`repro.errors.RuntimeShardError` (deterministic worker bugs are
+*not* recoverable crashes — supervision never retries them).
+
+``faults`` optionally arms a :class:`repro.runtime.faults.FaultInjector`
+so tests and the CLI can crash, wedge or slow this worker at an exact,
+reproducible instant.  Supervised replacements are always spawned
+fault-free.
 """
 
 from __future__ import annotations
@@ -41,11 +58,12 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.config import XSketchConfig
 from repro.core.serialize import restore_xsketch, snapshot_xsketch
 from repro.core.xsketch import XSketch, XSketchStats
+from repro.runtime.faults import Fault, FaultInjector
 
 
 @dataclass(frozen=True)
@@ -54,7 +72,9 @@ class WorkerReport:
 
     ``busy_seconds`` is time spent inside sketch calls (insert loops and
     window transitions), excluding queue waits — per-shard throughput is
-    ``items_ingested / busy_seconds``.
+    ``items_ingested / busy_seconds``.  Counters are per *incarnation*:
+    a supervised restart resets them (the coordinator's routing counters
+    and loss estimates keep the cross-restart truth).
     """
 
     shard_id: int
@@ -80,6 +100,7 @@ def shard_worker_main(
     result_queue,
     snapshot: Optional[dict] = None,
     observability: bool = False,
+    faults: Optional[Sequence[Fault]] = None,
 ) -> None:
     """Run one shard's X-Sketch until a ``stop`` command arrives.
 
@@ -91,6 +112,9 @@ def shard_worker_main(
     (synced from plain ints at collect time).
     """
     try:
+        injector = FaultInjector(faults, shard_id) if faults else None
+        if injector is not None and not injector:
+            injector = None
         recorder = None
         if observability:
             from repro.obs.recorder import Recorder
@@ -106,9 +130,26 @@ def shard_worker_main(
         batches = 0
         busy_seconds = 0.0
         perf_counter = time.perf_counter
+
+        # Fault matching is by the sketch window *at command receipt*
+        # (processing the command may advance it, e.g. end_window).
+        window_at_receipt = 0
+
+        def reply(kind, op, payload) -> None:
+            if injector is not None and injector.should_drop_reply(
+                op, window_at_receipt
+            ):
+                return
+            result_queue.put((kind, shard_id, payload))
+            if injector is not None:
+                injector.after_reply(op, window_at_receipt, result_queue)
+
         while True:
             command = command_queue.get()
             op = command[0]
+            window_at_receipt = sketch.window
+            if injector is not None:
+                injector.on_command(op, window_at_receipt)
             if op == "ingest":
                 items = command[1]
                 start = perf_counter()
@@ -122,7 +163,21 @@ def shard_worker_main(
                 start = perf_counter()
                 reports = sketch.end_window()
                 busy_seconds += perf_counter() - start
-                result_queue.put(("end_window", shard_id, reports))
+                reply("end_window", op, reports)
+            elif op == "advance":
+                target = command[1]
+                base = len(sketch._reports)
+                closed = 0
+                while sketch.window < target:
+                    sketch.end_window()
+                    closed += 1
+                # Catch-up closes happen on windows the coordinator has
+                # already merged; their reports are stale duplicates and
+                # must not linger in sketch state (future snapshots
+                # would resurrect them).
+                discarded = len(sketch._reports) - base
+                del sketch._reports[base:]
+                reply("advance", op, {"closed": closed, "reports_discarded": discarded})
             elif op == "stats":
                 report = WorkerReport(
                     shard_id=shard_id,
@@ -132,18 +187,18 @@ def shard_worker_main(
                     busy_seconds=busy_seconds,
                     stats=sketch.stats,
                 )
-                result_queue.put(("stats", shard_id, report))
+                reply("stats", op, report)
             elif op == "metrics":
                 registry = sketch.metrics_registry()
-                result_queue.put(("metrics", shard_id, registry.snapshot()))
+                reply("metrics", op, registry.snapshot())
             elif op == "trace":
                 trace = getattr(sketch.recorder, "trace", None)
                 events = trace.events() if trace is not None else []
-                result_queue.put(("trace", shard_id, events))
+                reply("trace", op, events)
             elif op == "checkpoint":
-                result_queue.put(("checkpoint", shard_id, snapshot_xsketch(sketch)))
+                reply("checkpoint", op, snapshot_xsketch(sketch))
             elif op == "stop":
-                result_queue.put(("stopped", shard_id, None))
+                reply("stopped", op, None)
                 return
             else:
                 raise ValueError(f"unknown worker command {op!r}")

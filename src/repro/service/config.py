@@ -13,6 +13,9 @@ DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Overload policies for a full per-connection queue.
 OVERLOAD_POLICIES = ("pushback", "drop")
 
+#: What the service does when the engine raises during ingest/flush.
+ENGINE_ERROR_POLICIES = ("shutdown", "degrade")
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -43,6 +46,14 @@ class ServiceConfig:
             directory uses it.
         drain_timeout: seconds the shutdown path waits for connected
             producers to finish before severing them.
+        on_engine_error: what to do when the engine raises during
+            ingest or window close: ``"shutdown"`` fails fast (record
+            the failure, stop the service — the historical behaviour),
+            ``"degrade"`` records the failure but keeps the server up,
+            serving the last-good ``/reports`` snapshot and a degraded
+            ``/healthz`` while further ingest is discarded.  A
+            supervised sharded engine recovers *below* this policy —
+            worker crashes it can heal never surface here.
     """
 
     host: str = "127.0.0.1"
@@ -56,6 +67,7 @@ class ServiceConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     checkpoint_dir: Optional[str] = None
     drain_timeout: float = 30.0
+    on_engine_error: str = "shutdown"
 
     def __post_init__(self) -> None:
         if self.window_size <= 0:
@@ -90,4 +102,9 @@ class ServiceConfig:
         if self.drain_timeout <= 0:
             raise ConfigurationError(
                 f"drain_timeout must be positive, got {self.drain_timeout}"
+            )
+        if self.on_engine_error not in ENGINE_ERROR_POLICIES:
+            raise ConfigurationError(
+                f"on_engine_error must be one of {ENGINE_ERROR_POLICIES}, "
+                f"got {self.on_engine_error!r}"
             )

@@ -22,9 +22,17 @@ Lifecycle: ``stop()`` drains — stop accepting, sever producers, finish
 every queued batch, flush the open window, write a final checkpoint
 when configured, close the engine — and is idempotent.  An engine
 failure (e.g. :class:`~repro.errors.RuntimeShardError` from a dead
-shard) fails fast: the error is recorded, ``/healthz`` turns 503, and
-the service initiates its own shutdown (skipping the final flush, which
-would fail again).
+shard) follows ``config.on_engine_error``: ``"shutdown"`` fails fast
+(the error is recorded, ``/healthz`` turns 503, and the service
+initiates its own shutdown, skipping the final flush, which would fail
+again); ``"degrade"`` records the error but keeps the server up —
+further ingest is discarded while ``/reports`` keeps serving the
+last-good snapshot and ``/healthz`` answers 503 ``"failing"`` until an
+operator stops it.  Below either policy, a *supervised* sharded engine
+heals worker crashes itself: during a restart ``/healthz`` reports
+``"degraded"`` (from the engine's non-blocking ``health()`` view) and
+flips back to ``"ok"`` once the shard is restored — no failure is ever
+recorded service-side.
 """
 
 from __future__ import annotations
@@ -188,9 +196,18 @@ class StreamService:
             self.failure = exc
 
     def _fail(self, exc: BaseException) -> None:
-        """Fail fast: record the first engine error and start shutdown."""
+        """Apply the engine-error policy: record, then maybe shut down.
+
+        Under ``on_engine_error="degrade"`` the server stays up serving
+        last-good snapshots (the pumps discard further ingest once a
+        failure is recorded); under ``"shutdown"`` it fails fast.
+        """
         self._record_failure(exc)
-        if self._stop_task is None and not self._stopping:
+        if (
+            self.config.on_engine_error == "shutdown"
+            and self._stop_task is None
+            and not self._stopping
+        ):
             self.request_stop()
 
     async def __aenter__(self) -> "StreamService":
@@ -377,18 +394,35 @@ class StreamService:
     async def _route(self, method: str, path: str, query: dict, body: bytes):
         if path == "/healthz":
             if self.failure is not None:
-                return 503, {"status": "failing", "error": str(self.failure)}
+                return 503, {
+                    "status": "failing",
+                    "error": str(self.failure),
+                    "on_engine_error": self.config.on_engine_error,
+                }
             if self._stopping:
                 return 503, {"status": "stopping"}
-            return 200, {
+            body = {
                 "status": "ok",
                 "window": self.manager.windows_closed,
                 "items_total": self.manager.items_total,
             }
+            # The engine health view is non-blocking (no engine lock, no
+            # worker IPC), so /healthz stays cheap.  A supervised engine
+            # mid-recovery degrades the service status without failing
+            # it: the server keeps serving last-good snapshots.
+            engine_health = self.manager.adapter.health()
+            if engine_health is not None:
+                body["engine"] = engine_health
+                if engine_health.get("status") != "ok":
+                    body["status"] = "degraded"
+            return 200, body
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "GET only"}
             stats = self._service_stats()
+            engine_health = self.manager.adapter.health()
+            if engine_health is not None:
+                stats["engine_health"] = engine_health
             if query.get("engine") in ("1", "true"):
                 engine_stats = await self.manager.engine_stats()
                 if dataclasses.is_dataclass(engine_stats):

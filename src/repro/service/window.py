@@ -117,6 +117,18 @@ class EngineAdapter:
             return collect(registry)
         return registry if registry is not None else MetricsRegistry()
 
+    def health(self) -> Optional[dict]:
+        """The engine's liveness view, or ``None`` for engines without one.
+
+        The sharded runtime's :meth:`~repro.runtime.ShardedXSketch.health`
+        is non-blocking (no worker IPC), so the service can serve it
+        from ``/healthz`` without the engine lock.
+        """
+        health = getattr(self.engine, "health", None)
+        if health is None:
+            return None
+        return health()
+
     def trace_events(self) -> List[dict]:
         """The engine's trace-ring events ([] when observability is off).
 

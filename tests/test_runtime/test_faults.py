@@ -1,0 +1,109 @@
+"""Fault-spec parsing and validation (no worker processes involved)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.config import XSketchConfig
+from repro.runtime.faults import (
+    Fault,
+    FaultInjector,
+    parse_fault,
+    parse_faults,
+)
+from repro.runtime.sharded import ShardedXSketch
+
+
+def _config():
+    task = SimplexTask.paper_default(1)
+    return XSketchConfig(task=task, memory_kb=60.0)
+
+
+class TestParse:
+    def test_kill_spec_round_trip(self):
+        fault = parse_fault("kill:shard=0,window=3,point=checkpoint")
+        assert fault == Fault(kind="kill", shard=0, window=3, point="checkpoint")
+
+    def test_drop_reply_spec(self):
+        fault = parse_fault("drop_reply:shard=1,op=end_window,count=2")
+        assert fault.kind == "drop_reply"
+        assert fault.shard == 1
+        assert fault.op == "end_window"
+        assert fault.count == 2
+
+    def test_slow_spec(self):
+        fault = parse_fault("slow:shard=0,op=stats,seconds=2.5")
+        assert fault.seconds == pytest.approx(2.5)
+
+    def test_error_spec_defaults(self):
+        fault = parse_fault("error:shard=1")
+        assert fault.op == "end_window"
+        assert fault.window is None
+        assert fault.count == 1
+
+    def test_parse_faults_none_is_empty(self):
+        assert parse_faults(None) == []
+        assert parse_faults([]) == []
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "kill",                          # no shard
+            "kill:window=3",                 # no shard
+            "explode:shard=0",               # unknown kind
+            "kill:shard=0,point=nowhere",    # bad kill point
+            "slow:shard=0,seconds=0",        # non-positive sleep
+            "drop_reply:shard=0,op=advance", # not a faultable op
+            "kill:shard=0,shardx=1",         # unknown field
+            "kill:shard=zero",               # unparsable value
+            "kill:shard=0,count=0",          # count < 1
+            "kill:shard=-1",                 # negative shard
+        ],
+    )
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_fault(spec)
+
+
+class TestInjectorSelection:
+    def test_injector_filters_by_shard(self):
+        faults = [Fault(kind="slow", shard=0, op="stats", seconds=1.0)]
+        assert bool(FaultInjector(faults, shard_id=0))
+        assert not bool(FaultInjector(faults, shard_id=1))
+
+    def test_drop_reply_fires_count_times(self):
+        faults = [Fault(kind="drop_reply", shard=0, op="end_window", count=2)]
+        injector = FaultInjector(faults, shard_id=0)
+        assert injector.should_drop_reply("end_window", 0)
+        assert injector.should_drop_reply("end_window", 1)
+        assert not injector.should_drop_reply("end_window", 2)
+
+    def test_window_filter(self):
+        faults = [Fault(kind="drop_reply", shard=0, op="end_window", window=5)]
+        injector = FaultInjector(faults, shard_id=0)
+        assert not injector.should_drop_reply("end_window", 4)
+        assert injector.should_drop_reply("end_window", 5)
+
+
+class TestRuntimeValidation:
+    def test_inline_backend_rejects_faults(self):
+        with pytest.raises(ConfigurationError, match="process backend"):
+            ShardedXSketch(
+                _config(), n_shards=2, backend="inline",
+                faults=[Fault(kind="kill", shard=0)],
+            )
+
+    def test_fault_shard_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="shard 5"):
+            ShardedXSketch(
+                _config(), n_shards=2, backend="process",
+                faults=[Fault(kind="kill", shard=5)],
+            )
+
+    def test_bad_supervision_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ShardedXSketch(_config(), n_shards=2, backend="inline",
+                           auto_checkpoint_interval=-1)
+        with pytest.raises(ConfigurationError):
+            ShardedXSketch(_config(), n_shards=2, backend="inline",
+                           max_restarts=-1)

@@ -1,0 +1,235 @@
+"""Graceful degradation: the service survives engine trouble.
+
+Two layers are under test.  ``on_engine_error="degrade"`` keeps the
+server up after an *unrecoverable* engine failure, serving last-good
+snapshots and a 503 ``/healthz``.  Below that, a *supervised* sharded
+engine (process backend) heals worker crashes itself: the service only
+ever sees a transient ``"degraded"`` health status and never records a
+failure — the end-to-end test SIGKILLs a real worker under a running
+service and watches ``/healthz`` go degraded, then ok.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+
+from tests.test_service.helpers import RecordingEngine, http_request
+
+SEED = 42
+WINDOW_SIZE = 400
+
+
+def sketch_config():
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0)
+
+
+async def http_get_text(host, port, path):
+    """One HTTP/1.1 exchange returning (status, body text) — for routes
+    like /metrics whose body is not JSON."""
+    reader, writer = await asyncio.open_connection(host, port)
+    request = f"GET {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: 0\r\n\r\n"
+    writer.write(request.encode())
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.decode().split("\r\n")[0].split(" ", 2)[1])
+    return status, body.decode()
+
+
+class HealthyEngine(RecordingEngine):
+    """Stub engine with a controllable health() view."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.health_status = "ok"
+
+    def health(self):
+        return {"status": self.health_status, "restarts_total": 0}
+
+
+class TestConfig:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_engine_error"):
+            ServiceConfig(on_engine_error="retry")
+
+
+class TestDegradeMode:
+    def test_engine_failure_keeps_server_up(self):
+        """degrade policy: a failing engine turns /healthz 503 but the
+        server keeps answering /reports and /stats from the last-good
+        snapshot instead of shutting down."""
+
+        async def scenario():
+            engine = RecordingEngine(fail_after=64)
+            service = StreamService(
+                engine,
+                ServiceConfig(
+                    window_size=64, micro_batch=16, on_engine_error="degrade"
+                ),
+            )
+            await service.start()
+            http_host, http_port = service.http_address
+            host, port = service.ingest_address
+            reader, writer = await asyncio.open_connection(host, port)
+            # First window succeeds and publishes a snapshot; the second
+            # trips fail_after inside the engine.
+            from repro.service.protocol import encode_line
+
+            writer.write(encode_line({"items": list(range(64))}))
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            writer.write(encode_line({"items": list(range(64))}))
+            await writer.drain()
+            writer.write_eof()
+            await reader.read()
+            writer.close()
+            for _ in range(100):
+                if service.failure is not None:
+                    break
+                await asyncio.sleep(0.05)
+            assert service.failure is not None
+            # Server must still be up and answering.
+            health_status, health = await http_request(
+                http_host, http_port, "/healthz"
+            )
+            reports_status, reports = await http_request(
+                http_host, http_port, "/reports"
+            )
+            stats_status, stats = await http_request(http_host, http_port, "/stats")
+            await service.stop()
+            return health_status, health, reports_status, reports, stats_status
+
+        health_status, health, reports_status, reports, stats_status = asyncio.run(
+            scenario()
+        )
+        assert health_status == 503
+        assert health["status"] == "failing"
+        assert health["on_engine_error"] == "degrade"
+        assert "injected shard failure" in health["error"]
+        assert reports_status == 200
+        assert reports["window"] == 1
+        assert stats_status == 200
+
+    def test_shutdown_mode_still_fails_fast(self):
+        """The historical default is untouched: shutdown policy stops
+        the service on the first engine error."""
+
+        async def scenario():
+            engine = RecordingEngine(fail_after=0)
+            service = StreamService(
+                engine, ServiceConfig(window_size=64, micro_batch=16)
+            )
+            await service.start()
+            host, port = service.ingest_address
+            from repro.service.protocol import encode_line
+
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_line({"items": list(range(16))}))
+            await writer.drain()
+            writer.write_eof()
+            await reader.read()
+            writer.close()
+            await asyncio.wait_for(service.wait_stopped(), timeout=10)
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.config.on_engine_error == "shutdown"
+        assert service.failure is not None
+
+
+class TestEngineHealthPassthrough:
+    def test_healthz_carries_engine_health(self):
+        async def scenario():
+            engine = HealthyEngine()
+            service = StreamService(engine, ServiceConfig(window_size=64))
+            await service.start()
+            host, port = service.http_address
+            ok_status, ok_body = await http_request(host, port, "/healthz")
+            engine.health_status = "degraded"
+            deg_status, deg_body = await http_request(host, port, "/healthz")
+            stats_status, stats_body = await http_request(host, port, "/stats")
+            await service.stop()
+            return ok_status, ok_body, deg_status, deg_body, stats_body
+
+        ok_status, ok_body, deg_status, deg_body, stats_body = asyncio.run(scenario())
+        assert ok_status == 200
+        assert ok_body["status"] == "ok"
+        assert ok_body["engine"]["status"] == "ok"
+        # Degraded engine: still HTTP 200 (the service itself is fine,
+        # load balancers should not evict it) but visibly degraded.
+        assert deg_status == 200
+        assert deg_body["status"] == "degraded"
+        assert deg_body["engine"]["status"] == "degraded"
+        assert stats_body["engine_health"]["status"] == "degraded"
+
+
+class TestSupervisedRecoveryEndToEnd:
+    def test_worker_kill_degrades_then_heals(self):
+        """SIGKILL a real shard worker under a running service: the
+        service never fails, /healthz dips to degraded, and the next
+        window flush triggers a supervised restart back to ok with
+        shard_restarts_total visible in /metrics."""
+
+        async def scenario():
+            engine = ShardedXSketch(
+                sketch_config(), n_shards=2, seed=SEED, backend="process",
+                reply_timeout=60.0,
+            )
+            service = StreamService(
+                engine,
+                ServiceConfig(
+                    window_size=WINDOW_SIZE,
+                    micro_batch=128,
+                    on_engine_error="degrade",
+                ),
+            )
+            await service.start()
+            http_host, http_port = service.http_address
+            items = [f"item-{i % 50}" for i in range(WINDOW_SIZE)]
+            await service.manager.submit(items)
+            status, body = await http_request(http_host, http_port, "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            victim_pid = body["engine"]["worker_pids"][0]
+            os.kill(victim_pid, signal.SIGKILL)
+            for _ in range(200):
+                status, body = await http_request(http_host, http_port, "/healthz")
+                if body["status"] == "degraded":
+                    break
+                await asyncio.sleep(0.05)
+            degraded_seen = body["status"] == "degraded"
+            assert body["engine"]["dead_shards"] == [0]
+            # The next window flush hits the dead shard and supervision
+            # restarts it; after that the service is healthy again.
+            with pytest.warns(RuntimeWarning, match="restarted shard 0"):
+                await service.manager.submit(items)
+            status, healed = await http_request(http_host, http_port, "/healthz")
+            metrics_status, metrics = await http_get_text(
+                http_host, http_port, "/metrics"
+            )
+            assert metrics_status == 200
+            await service.stop()
+            assert service.failure is None
+            return degraded_seen, status, healed, metrics
+
+        degraded_seen, status, healed, metrics = asyncio.run(scenario())
+        assert degraded_seen
+        assert status == 200
+        assert healed["status"] == "ok"
+        assert healed["engine"]["restarts_total"] == 1
+        # The worker died idle (blocked in get(), holding the queue's
+        # reader lock); everything dispatched after the kill is salvaged
+        # through the raw-pipe drain, so recovery is lossless.
+        assert healed["engine"]["items_lost_estimate"] == 0
+        assert "runtime_shard_restarts_total 1" in metrics
+        assert "runtime_items_lost_estimate 0" in metrics

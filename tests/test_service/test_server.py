@@ -444,8 +444,13 @@ class TestHttpApi:
          limited, since, missing, bad_method) = asyncio.run(scenario())
         direct = direct_reports(trace)
 
-        assert health == (200, {"status": "ok", "window": WINDOWS,
-                                "items_total": len(trace)})
+        assert health[0] == 200
+        assert health[1]["status"] == "ok"
+        assert health[1]["window"] == WINDOWS
+        assert health[1]["items_total"] == len(trace)
+        # Sharded engines expose their supervision view on /healthz.
+        assert health[1]["engine"]["status"] == "ok"
+        assert health[1]["engine"]["restarts_total"] == 0
         assert stats[0] == 200
         assert stats[1]["items_total"] == len(trace)
         assert stats[1]["window"] == WINDOWS
