@@ -18,6 +18,8 @@ Commands:
 ``stats``
     Run an algorithm over a dataset and print its aggregated metrics
     registry in Prometheus text format (docs/OBSERVABILITY.md).
+``lint``
+    Run the codebase-specific AST lint rules (docs/LINT.md).
 
 ``run``, ``serve`` and ``stats`` accept ``--obs-trace <path>``: attach
 a live recorder and dump the decision-trace ring as JSONL on exit.
@@ -31,6 +33,7 @@ tolerance").
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -331,10 +334,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
+            with contextlib.suppress(NotImplementedError):  # non-unix
                 loop.add_signal_handler(signum, service.request_stop)
-            except NotImplementedError:  # pragma: no cover - non-unix
-                pass
         if args.duration is not None:
             loop.call_later(args.duration, service.request_stop)
         await service.wait_stopped()
@@ -544,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the service to drain and stop after the replay",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    from repro.lint.cli import configure_parser as _configure_lint
+
+    _configure_lint(subparsers)
 
     return parser
 

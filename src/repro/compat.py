@@ -1,0 +1,34 @@
+"""Small cross-version compatibility helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class FrozenSlots:
+    """Pickle/copy support for frozen dataclasses with manual ``__slots__``.
+
+    This repo supports Python 3.9, where ``@dataclass(slots=True)`` is
+    unavailable and ``__slots__`` must be declared by hand.  That
+    combination breaks pickling: the default reducer restores slot state
+    through ``setattr``, which a frozen dataclass rejects.  (3.10+'s
+    ``slots=True`` generates exactly this pair of methods for the same
+    reason.)  Worker replies carry these objects across process queues,
+    so they must round-trip.
+    """
+
+    __slots__: Tuple[str, ...] = ()
+
+    def _slot_names(self) -> Tuple[str, ...]:
+        return tuple(
+            name
+            for cls in type(self).__mro__
+            for name in getattr(cls, "__slots__", ())
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in self._slot_names()}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)

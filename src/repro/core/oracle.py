@@ -39,6 +39,8 @@ class SimplexOracle:
     Call :meth:`finalize` (idempotent) before reading results.
     """
 
+    __slots__ = ("task", "window", "_counts", "_instances", "_chain_start")
+
     def __init__(self, task: SimplexTask):
         self.task = task
         self.window = 0

@@ -5,11 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.compat import FrozenSlots
 from repro.hashing.family import ItemId
 
 
 @dataclass(frozen=True)
-class SimplexReport:
+class SimplexReport(FrozenSlots):
     """One reported k-simplex instance.
 
     A report at window ``w`` claims the item satisfied the k-simplex
@@ -25,6 +26,15 @@ class SimplexReport:
         coefficients: fitted polynomial coefficients ``(a_0, ..., a_k)``.
         mse: MSE of the fit over the reported span.
     """
+
+    __slots__ = (
+        "item",
+        "start_window",
+        "report_window",
+        "lasting_time",
+        "coefficients",
+        "mse",
+    )
 
     item: ItemId
     start_window: int

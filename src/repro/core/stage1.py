@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.compat import FrozenSlots
 from repro.config import XSketchConfig
 from repro.fitting.polyfit import fit_leading_and_mse
 from repro.hashing.family import HashFamily, ItemId
@@ -25,12 +26,18 @@ from repro.sketch.windowed import WindowedFilter, make_windowed_filter
 
 
 @dataclass(frozen=True)
-class Promotion:
+class Promotion(FrozenSlots):
     """A potential simplex item handed from Stage 1 to Stage 2.
 
     ``frequencies`` are Stage 1's estimates for the latest ``s`` windows
     (oldest first); ``w_str`` is the logical starting window ``w - s + 1``.
+
+    ``__slots__`` because promotions are minted on the per-item insert
+    path (hot-loop-alloc); explicit tuple since ``slots=True`` needs
+    Python 3.10 and this repo supports 3.9.
     """
+
+    __slots__ = ("item", "frequencies", "w_str", "potential")
 
     item: ItemId
     frequencies: Tuple[int, ...]

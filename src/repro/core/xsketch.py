@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.compat import FrozenSlots
 from repro.config import XSketchConfig
 from repro.core.reports import SimplexReport
 from repro.core.stage1 import Stage1
@@ -39,13 +40,26 @@ def report_order(report: SimplexReport):
 
 
 @dataclass(frozen=True)
-class XSketchStats:
+class XSketchStats(FrozenSlots):
     """Operational counters of one X-Sketch run.
 
     Useful for understanding where traffic goes: how much of it the
     Short-Term Filter absorbed, how selective the Potential gate was,
     and how contended Stage 2's buckets were.
     """
+
+    __slots__ = (
+        "windows",
+        "stage1_arrivals",
+        "stage1_fits",
+        "promotions",
+        "stage2_tracked",
+        "inserts_empty",
+        "replacements_won",
+        "replacements_lost",
+        "evictions_zero",
+        "reports",
+    )
 
     windows: int
     stage1_arrivals: int

@@ -1,0 +1,42 @@
+"""``repro.lint``: project-specific static analysis (docs/LINT.md).
+
+A pure-stdlib AST rule engine enforcing the invariants the sharded,
+supervised, observable runtime depends on: exception hygiene at the
+process boundary, deterministic randomness and clocks on hot paths,
+mergeable-protocol completeness across the sketch substrate, spawn-safe
+worker arguments, documented Prometheus metric names, and
+allocation-free per-item code.
+
+The rules are deliberately codebase-specific — this is not a general
+Python linter, it is the mechanical form of bug classes PRs 1–4 fixed
+by hand (blanket ``except Exception`` swallowing ``queue.Empty``,
+sentinel-vs-``None`` reply tracking, unseeded stream generators).
+
+Entry points:
+
+- CLI: ``repro lint [--strict] [--format text|json] [paths ...]``
+- API: :func:`run_lint` over paths, :func:`lint_source` over a string
+  (used by the golden fixture tests).
+
+Findings can be silenced three ways, in decreasing order of preference:
+fix the code; justify inline (``# lint: ignore[rule-id] -- why`` on the
+offending line, or a ``# pragma:`` justification for the exception
+rules); or grandfather it in the baseline file (``lint-baseline.txt``)
+with a reason — reserved for invariants that are deliberate on a
+defensive path.
+"""
+
+from repro.lint.engine import LintEngine, lint_source, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules, get_rule, iter_rule_ids
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintEngine",
+    "run_lint",
+    "lint_source",
+    "all_rules",
+    "get_rule",
+    "iter_rule_ids",
+]

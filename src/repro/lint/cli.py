@@ -1,0 +1,77 @@
+"""``repro lint`` subcommand (docs/LINT.md)."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.engine import BASELINE_PATH, run_lint
+from repro.lint.registry import all_rules
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.rules:
+        for rule_id, rule_cls in all_rules().items():
+            print(f"{rule_id:20s} [{rule_cls.severity}] {rule_cls.rationale}")
+        return 0
+    paths = args.paths or ["src"]
+    code, report = run_lint(
+        paths,
+        root=Path(args.root) if args.root else None,
+        strict=args.strict,
+        output_format=args.format,
+        enable=args.enable or None,
+        disable=args.disable or None,
+        baseline=args.baseline,
+    )
+    print(report)
+    return code
+
+
+def configure_parser(subparsers) -> None:
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the codebase-specific AST lint rules (docs/LINT.md)",
+        description=(
+            "Static analysis tuned to this repo's invariants: exception "
+            "hygiene, queue-timeout discipline, determinism, the "
+            "mergeable-sketch protocol, spawn safety, metric naming, and "
+            "hot-path allocation. Findings suppressed per line with "
+            "'# lint: ignore[rule-id]' or grandfathered in "
+            f"{BASELINE_PATH} (with a reason)."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any finding or stale baseline entry",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is what CI consumes)",
+    )
+    lint.add_argument(
+        "--rule", dest="enable", action="append", metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--no-rule", dest="disable", action="append", metavar="ID",
+        help="skip this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: <root>/{BASELINE_PATH})",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root for relative paths and the docs lookup "
+        "(default: current directory)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="list the registered rules with their rationales and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)

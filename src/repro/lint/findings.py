@@ -1,0 +1,80 @@
+"""Finding and severity types shared by the rule engine and the rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both severities fail ``--strict``; the split exists so the text
+    report can foreground correctness hazards over efficiency ones.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, addressable as ``path:line``.
+
+    ``symbol`` is the enclosing qualified name (``Class.method`` or the
+    module itself) — the baseline matches on ``(rule, path, symbol)``
+    rather than line numbers, so grandfathered findings survive
+    unrelated edits above them.
+    """
+
+    path: str
+    line: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+    symbol: str = field(compare=False, default="<module>")
+    col: int = field(compare=False, default=0)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> "BaselineKey":
+        return BaselineKey(self.rule, self.path, self.symbol)
+
+
+@dataclass(frozen=True)
+class BaselineKey:
+    """Line-number-free identity of a finding, for the baseline file."""
+
+    rule: str
+    path: str
+    symbol: str
+
+    def render(self) -> str:
+        return f"{self.rule} {self.path}::{self.symbol}"
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["BaselineKey"]:
+        parts = text.split(None, 1)
+        if len(parts) != 2 or "::" not in parts[1]:
+            return None
+        path, _, symbol = parts[1].partition("::")
+        return cls(rule=parts[0], path=path, symbol=symbol)

@@ -1,0 +1,67 @@
+"""Rule registry: discovery, enable/disable, stable ordering."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Type
+
+if TYPE_CHECKING:  # circular at runtime: rule modules import `register`
+    from repro.lint.rules.base import Rule
+
+_REGISTRY: Dict[str, "Type[Rule]"] = {}
+
+
+def register(rule_cls: "Type[Rule]") -> "Type[Rule]":
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rule modules populates the registry via @register.
+    from repro.lint import rules  # noqa: F401
+
+
+def all_rules() -> Dict[str, "Type[Rule]"]:
+    _ensure_loaded()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(rule_id: str) -> "Type[Rule]":
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def iter_rule_ids() -> Iterator[str]:
+    _ensure_loaded()
+    yield from sorted(_REGISTRY)
+
+
+def select_rules(
+    enable: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+) -> "List[Type[Rule]]":
+    """Resolve ``--rule`` / ``--no-rule`` selections to rule classes.
+
+    ``enable`` restricts the run to exactly those rules; ``disable``
+    drops rules from whatever is enabled.  Unknown ids raise.
+    """
+    _ensure_loaded()
+    chosen = list(iter_rule_ids())
+    if enable:
+        for rule_id in enable:
+            get_rule(rule_id)
+        chosen = [rule_id for rule_id in chosen if rule_id in set(enable)]
+    if disable:
+        for rule_id in disable:
+            get_rule(rule_id)
+        chosen = [rule_id for rule_id in chosen if rule_id not in set(disable)]
+    return [_REGISTRY[rule_id] for rule_id in chosen]

@@ -1,0 +1,14 @@
+"""Rule modules. Importing this package populates the registry."""
+
+from repro.lint.rules import (  # noqa: F401
+    concurrency,
+    determinism,
+    exceptions,
+    hotpath,
+    hygiene,
+    obsdoc,
+    protocol,
+)
+from repro.lint.rules.base import Rule  # noqa: F401
+
+__all__ = ["Rule"]

@@ -1,0 +1,103 @@
+"""Rule framework: the visitor base class rules are built from."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.context import ModuleInfo, ProjectContext
+from repro.lint.findings import Finding, Severity
+
+
+class Rule:
+    """One lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`
+    (per module).  Rules needing the whole-project view read it from
+    ``self.project`` — the engine guarantees every module was added to
+    the :class:`ProjectContext` before any ``check`` runs.
+    """
+
+    #: stable kebab-case identifier used in reports, suppressions and
+    #: the baseline file
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    #: one-line rationale shown by ``repro lint --rules``
+    rationale: str = ""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def finding(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        symbol: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            symbol=symbol or "<module>",
+        )
+
+
+def walk_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualified_symbol, node)`` for every node, where the
+    symbol is the innermost enclosing ``Class.method`` / function /
+    ``<module>``.  Nested scopes join with ``.``."""
+
+    def visit(node: ast.AST, symbol: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                inner = child.name if symbol == "<module>" else f"{symbol}.{child.name}"
+                yield inner, child
+                yield from visit(child, inner)
+            else:
+                yield symbol, child
+                yield from visit(child, symbol)
+
+    yield from visit(tree, "<module>")
+
+
+def enclosing_symbols(tree: ast.Module) -> dict:
+    """Map ``id(node) -> qualified symbol`` for the whole tree."""
+    return {id(node): symbol for symbol, node in walk_scopes(tree)}
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (``queue.get``), ``""`` if opaque."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    return ""
+
+
+def literal_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def body_is_only_pass(body: List[ast.stmt]) -> bool:
+    return all(isinstance(stmt, ast.Pass) for stmt in body)

@@ -1,0 +1,191 @@
+"""Concurrency rules: reply-deadline discipline and spawn safety.
+
+The sharded runtime's supervision contract (docs/RUNTIME.md) depends on
+two invariants: the coordinator never blocks forever on a queue a dead
+worker will never fill, and everything handed to a worker ``Process``
+survives the ``spawn`` start method (picklable, no closures, no locks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, call_name, dotted_name, enclosing_symbols
+
+#: (module, qualified symbol) pairs allowed to block without a timeout.
+#: The worker main loop is *designed* to park on its command queue —
+#: the coordinator owns liveness (is_alive polling + reply deadlines).
+DESIGNATED_BLOCKING_SITES: Set[Tuple[str, str]] = {
+    ("repro.runtime.worker", "shard_worker_main"),
+}
+
+_BLOCKING_METHODS = {"get", "recv"}
+
+
+def _awaited_nodes(tree: ast.Module) -> Set[int]:
+    return {
+        id(node.value) for node in ast.walk(tree) if isinstance(node, ast.Await)
+    }
+
+
+@register
+class BlockingGetRule(Rule):
+    """``queue.get()`` / ``conn.recv()`` without a timeout outside the
+    designated blocking sites."""
+
+    id = "blocking-get"
+    severity = Severity.ERROR
+    rationale = (
+        "a no-timeout get() on a queue whose writer can die blocks the "
+        "coordinator forever; pass timeout= and handle queue.Empty "
+        "(await ...get() is fine — cancellation bounds it)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.is_src:
+            return
+        symbols = enclosing_symbols(info.tree)
+        awaited = _awaited_nodes(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            method = name.rsplit(".", 1)[-1]
+            if method not in _BLOCKING_METHODS or "." not in name:
+                continue
+            # dict.get(key[, default]) and socket.recv(bufsize) take
+            # positional arguments; the unbounded-blocking forms do not.
+            if node.args or any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            if id(node) in awaited:
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            base_symbol = symbol.split(".", 1)[0]
+            if (info.module, symbol) in DESIGNATED_BLOCKING_SITES or (
+                info.module,
+                base_symbol,
+            ) in DESIGNATED_BLOCKING_SITES:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"unbounded blocking call {name}() — pass timeout= and "
+                f"handle queue.Empty, or register the site in "
+                f"DESIGNATED_BLOCKING_SITES with a liveness owner",
+                symbol=symbol,
+            )
+
+
+def _lambda_names(tree: ast.Module) -> Set[str]:
+    """Names bound to a lambda anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Functions defined inside another function (unpicklable targets)."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, False)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "Event"}
+
+
+@register
+class SpawnSafetyRule(Rule):
+    """Unpicklable or fork-only values reaching worker-process spawns."""
+
+    id = "spawn-safety"
+    severity = Severity.ERROR
+    rationale = (
+        "Process(target=...) must survive the spawn start method: "
+        "lambdas and nested functions do not pickle, and "
+        "threading locks must not cross process boundaries"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(info.tree)
+        lambda_names = _lambda_names(info.tree)
+        nested_names = _nested_function_names(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node).rsplit(".", 1)[-1] != "Process":
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    yield from self._check_value(
+                        info, keyword.value, "target", symbol,
+                        lambda_names, nested_names,
+                    )
+                elif keyword.arg == "args" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    for element in keyword.value.elts:
+                        yield from self._check_value(
+                            info, element, "args", symbol,
+                            lambda_names, nested_names,
+                        )
+
+    def _check_value(
+        self, info, value, where, symbol, lambda_names, nested_names
+    ) -> Iterator[Finding]:
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                info,
+                value,
+                f"lambda in Process {where}= does not survive the spawn "
+                f"start method; use a module-level function",
+                symbol=symbol,
+            )
+        elif isinstance(value, ast.Name) and value.id in lambda_names:
+            yield self.finding(
+                info,
+                value,
+                f"{value.id!r} is bound to a lambda and used as Process "
+                f"{where}=; spawn cannot pickle it",
+                symbol=symbol,
+            )
+        elif isinstance(value, ast.Name) and value.id in nested_names:
+            yield self.finding(
+                info,
+                value,
+                f"{value.id!r} is a nested function used as Process "
+                f"{where}=; spawn needs a module-level function",
+                symbol=symbol,
+            )
+        elif (
+            isinstance(value, ast.Call)
+            and call_name(value).rsplit(".", 1)[-1] in _LOCK_FACTORIES
+        ):
+            yield self.finding(
+                info,
+                value,
+                f"{call_name(value)}() constructed inline in Process "
+                f"{where}=; synchronization primitives must come from the "
+                f"multiprocessing context, not be smuggled through spawn",
+                symbol=symbol,
+            )

@@ -1,0 +1,153 @@
+"""Determinism rules: injected seeded randomness, no wall clocks.
+
+X-Sketch's accuracy guarantees (and every replay/equivalence test in
+this repo) assume a run is a pure function of ``(stream, seed)``.  The
+module-level ``random`` functions draw from a hidden global generator,
+and wall-clock reads make window contents timing-dependent — both
+destroy replayability, cross-backend equivalence, and the checkpoint /
+restore contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, call_name, enclosing_symbols
+
+#: packages whose per-item / per-window behavior must be deterministic
+HOT_PACKAGES = ("repro.sketch", "repro.core", "repro.fitting", "repro.runtime")
+
+#: wall-clock reads (monotonic/perf_counter timing is fine — it measures,
+#: it does not steer behavior)
+_WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: module-level ``random`` functions backed by the hidden global RNG
+_GLOBAL_RNG_FUNCS: Set[str] = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "lognormvariate",
+    "normalvariate",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+    "getrandbits",
+    "seed",
+}
+
+
+def _is_global_random_call(name: str) -> bool:
+    parts = name.split(".")
+    return len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RNG_FUNCS
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock or global-RNG reads inside the hot packages."""
+
+    id = "wall-clock"
+    severity = Severity.ERROR
+    rationale = (
+        "sketch/fitting/runtime behavior must be a function of "
+        "(stream, seed): inject a seeded random.Random and take clocks "
+        "from the caller; time.monotonic/perf_counter for measurement "
+        "are fine"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.in_package(*HOT_PACKAGES):
+            return
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    info,
+                    node,
+                    f"wall-clock read {name}() in a hot package; pass the "
+                    f"timestamp in from the caller (service layer owns "
+                    f"wall time)",
+                    symbol=symbols.get(id(node), "<module>"),
+                )
+            elif _is_global_random_call(name):
+                yield self.finding(
+                    info,
+                    node,
+                    f"{name}() draws from the hidden global RNG; use the "
+                    f"injected seeded random.Random instance",
+                    symbol=symbols.get(id(node), "<module>"),
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    """RNG constructed without an explicit seed, or module-level
+    ``random.*`` use outside the hot packages."""
+
+    id = "unseeded-rng"
+    severity = Severity.ERROR
+    rationale = (
+        "PRs 1-3 each chased a flaky repro back to an unseeded "
+        "generator; every RNG must take an explicit seed so repeated "
+        "runs are bit-identical"
+    )
+
+    #: tests are exempt (pytest seeds what it needs to); everything
+    #: shipped or benchmarked must be reproducible
+    _SCOPES = ("repro", "examples", "benchmarks")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.in_package(*self._SCOPES):
+            return
+        hot = info.in_package(*HOT_PACKAGES)
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not node.args and not node.keywords:
+                if name == "random.Random" or name.endswith("random.default_rng"):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"{name}() without a seed is a different stream "
+                        f"every run; pass an explicit seed",
+                        symbol=symbols.get(id(node), "<module>"),
+                    )
+                    continue
+            # Outside the hot packages (where wall-clock already flags
+            # this), module-level random.* still breaks reproducibility.
+            if not hot and _is_global_random_call(name):
+                yield self.finding(
+                    info,
+                    node,
+                    f"{name}() uses the hidden global RNG; construct a "
+                    f"seeded random.Random and thread it through",
+                    symbol=symbols.get(id(node), "<module>"),
+                )

@@ -1,0 +1,154 @@
+"""Exception-hygiene rules.
+
+PR 4's supervision work surfaced this bug class twice: a blanket
+``except Exception`` swallowed ``queue.Empty`` and turned a healthy
+poll timeout into a dead shard, and a silent ``except: pass`` on the
+shutdown path hid leaked workers.  These rules make both mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import (
+    Rule,
+    body_is_only_pass,
+    call_name,
+    enclosing_symbols,
+)
+
+#: handler calls accepted as "the error was surfaced, not swallowed"
+_MITIGATION_CALLS: Set[str] = {
+    "warn",
+    "warn_explicit",
+    "exception",
+    "format_exc",
+    "print_exc",
+    "print_exception",
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "critical",
+    "log",
+}
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler_type) -> bool:
+    if handler_type is None:  # bare except:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD_NAMES
+    if isinstance(handler_type, ast.Attribute):
+        return handler_type.attr in _BROAD_NAMES
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(element) for element in handler_type.elts)
+    return False
+
+
+def _has_mitigation(handler: ast.ExceptHandler) -> bool:
+    """Re-raise or an error-surfacing call anywhere in the handler body
+    (nested function bodies excluded — they don't run in the handler)."""
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            last = call_name(node).rsplit(".", 1)[-1]
+            if last in _MITIGATION_CALLS:
+                return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _justified(info: ModuleInfo, line: int) -> bool:
+    return "pragma:" in info.line_comment(line)
+
+
+@register
+class BroadExceptRule(Rule):
+    """``except Exception`` / bare ``except`` that neither re-raises nor
+    surfaces the error, with no ``# pragma:`` justification."""
+
+    id = "broad-except"
+    severity = Severity.ERROR
+    rationale = (
+        "blanket handlers swallow unrelated bugs (PR 4: queue.Empty was "
+        "eaten by one); catch what you mean, surface what you catch, or "
+        "justify the defensive path with a '# pragma:' comment"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _has_mitigation(node) or _justified(info, node.lineno):
+                continue
+            caught = "bare except" if node.type is None else "except Exception"
+            yield self.finding(
+                info,
+                node,
+                f"{caught} without re-raise, error surfacing, or a "
+                f"'# pragma:' justification — catch the specific "
+                f"exceptions this handler means",
+                symbol=symbols.get(id(node), "<module>"),
+            )
+        # contextlib.suppress(Exception) is the same hazard in a coat
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node).rsplit(".", 1)[-1] != "suppress":
+                continue
+            if any(
+                isinstance(arg, (ast.Name, ast.Attribute))
+                and (getattr(arg, "id", None) or getattr(arg, "attr", None))
+                in _BROAD_NAMES
+                for arg in node.args
+            ) and not _justified(info, node.lineno):
+                yield self.finding(
+                    info,
+                    node,
+                    "contextlib.suppress(Exception) swallows every bug in "
+                    "the block; suppress specific exceptions",
+                    symbol=symbols.get(id(node), "<module>"),
+                )
+
+
+@register
+class ExceptPassRule(Rule):
+    """``except`` blocks whose entire body is ``pass``."""
+
+    id = "except-pass"
+    severity = Severity.ERROR
+    rationale = (
+        "a silent handler leaves no trace the error ever happened; use "
+        "contextlib.suppress(SpecificError) to make intent greppable, "
+        "or record what was swallowed"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not body_is_only_pass(node.body):
+                continue
+            yield self.finding(
+                info,
+                node,
+                "except block whose body is only 'pass'; use "
+                "contextlib.suppress(...) or handle the error",
+                symbol=symbols.get(id(node), "<module>"),
+            )

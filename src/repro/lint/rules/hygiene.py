@@ -1,0 +1,85 @@
+"""General hygiene rules: mutable defaults, asserts as validation.
+
+Both are classic Python footguns with sharpened edges here: a mutable
+default on a sketch constructor becomes shared state across every
+instance in a shard, and ``assert`` statements vanish under ``-O`` so
+they must never guard runtime invariants in shipped code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, walk_scopes
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default argument values."""
+
+    id = "mutable-default"
+    severity = Severity.ERROR
+    rationale = (
+        "a mutable default is evaluated once and shared by every call; "
+        "on a sketch constructor that means cross-instance state "
+        "bleeding between shards — default to None and construct inside"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for symbol, node in walk_scopes(info.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        info,
+                        default,
+                        f"mutable default argument in {node.name}(); it is "
+                        f"evaluated once and shared across calls — use "
+                        f"None and construct inside the body",
+                        symbol=symbol,
+                    )
+
+
+@register
+class AssertStmtRule(Rule):
+    """``assert`` used for runtime validation in shipped code."""
+
+    id = "assert-stmt"
+    severity = Severity.ERROR
+    rationale = (
+        "assert disappears under python -O, so shipped code loses the "
+        "check exactly when someone optimises; raise ValueError / "
+        "RuntimeError for runtime validation (tests may assert freely)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.is_src:
+            return
+        for symbol, node in walk_scopes(info.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    info,
+                    node,
+                    "assert statement in shipped code is stripped under "
+                    "-O; raise ValueError/RuntimeError instead",
+                    symbol=symbol,
+                )

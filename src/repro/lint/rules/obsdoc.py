@@ -1,0 +1,81 @@
+"""Observability rule: metric names valid and documented.
+
+The metrics registry (``repro.obs.registry``) rejects names that do not
+match the Prometheus identifier grammar — but only at runtime, on a
+code path a unit test may never exercise.  And a metric that is emitted
+but missing from ``docs/OBSERVABILITY.md`` is invisible to whoever is
+building dashboards from that doc.  This rule moves both checks to lint
+time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, call_name, enclosing_symbols, literal_str
+
+#: mirror of repro.obs.registry._NAME_RE (Prometheus metric grammar)
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+_DOC_PATH = "docs/OBSERVABILITY.md"
+
+
+@register
+class MetricNameRule(Rule):
+    """Metric registrations with invalid or undocumented names."""
+
+    id = "metric-name"
+    severity = Severity.ERROR
+    rationale = (
+        "metric names must satisfy the Prometheus grammar (the registry "
+        "raises otherwise, but only at runtime) and appear in "
+        "docs/OBSERVABILITY.md, which is the dashboard ground truth"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.is_src:
+            return
+        doc = self.project.doc_text(_DOC_PATH)
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = call_name(node).rsplit(".", 1)[-1]
+            if method not in _INSTRUMENT_METHODS:
+                continue
+            name = None
+            if node.args:
+                name = literal_str(node.args[0])
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        name = literal_str(keyword.value)
+            if name is None:
+                # dict.get-style or dynamically-named calls — out of
+                # scope for a static check.
+                continue
+            symbol = symbols.get(id(node), "<module>")
+            if not _PROM_NAME_RE.match(name):
+                yield self.finding(
+                    info,
+                    node,
+                    f"metric name {name!r} is not a valid Prometheus "
+                    f"identifier ([a-zA-Z_:][a-zA-Z0-9_:]*); the registry "
+                    f"will reject it at runtime",
+                    symbol=symbol,
+                )
+            elif doc is not None and f"`{name}`" not in doc and name not in doc:
+                yield self.finding(
+                    info,
+                    node,
+                    f"metric {name!r} is not documented in {_DOC_PATH}; "
+                    f"add a row to the metric table there",
+                    symbol=symbol,
+                )

@@ -52,6 +52,7 @@ CLI spec grammar (one fault per ``--inject-fault``)::
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass
@@ -189,11 +190,9 @@ def _exit_now(result_queue=None) -> None:  # pragma: no cover - exits the proces
     if result_queue is not None:
         # Flush buffered replies so a post-reply kill cannot retract the
         # reply the coordinator is already owed.
-        try:
+        with contextlib.suppress(OSError, ValueError):
             result_queue.close()
             result_queue.join_thread()
-        except Exception:
-            pass
     os._exit(KILL_EXIT_CODE)
 
 

@@ -203,4 +203,9 @@ def shard_worker_main(
             else:
                 raise ValueError(f"unknown worker command {op!r}")
     except Exception:
+        # Boundary catch: report the failure to the coordinator (which
+        # raises RuntimeShardError on this reply), then re-raise so the
+        # worker process dies loudly with a non-zero exit code instead
+        # of pretending the command stream ended cleanly.
         result_queue.put(("error", shard_id, traceback.format_exc()))
+        raise

@@ -17,6 +17,7 @@ Unordered mode omits the stamps and models independent producers.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from typing import List, Optional, Sequence, Tuple
 
@@ -87,10 +88,8 @@ async def _run_connection(
         return ack.get("received", 0), ack.get("dropped", 0)
     finally:
         writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
 
 
 async def send_shutdown(host: str, port: int, protocol: str = "framed") -> None:
@@ -106,10 +105,8 @@ async def send_shutdown(host: str, port: int, protocol: str = "framed") -> None:
         await reader.read()  # wait for the ack / close
     finally:
         writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
 
 
 async def replay_trace(

@@ -254,7 +254,10 @@ class StreamService:
             except ServiceError as exc:
                 error = str(exc)
             except (ConnectionResetError, BrokenPipeError):
-                pass
+                # Abrupt peer disconnect: note it in the ack (the write
+                # below is best-effort on a dead socket) and drain as a
+                # normal end of stream.
+                error = "connection reset by peer"
             # End of stream: let the pump finish everything queued, then ack.
             await conn.queue.put(None)
             await pump_task

@@ -9,7 +9,7 @@ evaluates it as an alternative Stage-1 structure (Figure 9).
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
@@ -87,6 +87,43 @@ class ColdFilter(FrequencySketch):
         mapped2 = self._positions(item, self.layer2, self.d1)
         min2 = min(array.get(pos) for array, pos in mapped2)
         return self.threshold + min2
+
+    def merge(self, other: "ColdFilter") -> "ColdFilter":
+        """Fold ``other`` into this filter (layer-wise saturating add).
+
+        Layer-1 counters saturate at the spill threshold, so a counter
+        saturated on either side stays saturated — "already spilled"
+        survives the merge.  Two caveats, both inherent to merging a
+        threshold filter: conservative-update states added counter-wise
+        can overestimate what one pass would have produced, and an item
+        whose *combined* layer-1 count crosses the threshold only after
+        the merge reads as exactly ``threshold`` (its excess was never
+        spilled to layer 2 on either side, an undercount of at most
+        ``threshold`` per side).  Fine for its Stage-1 filter role;
+        do not use merged ColdFilters as one-sided estimators.
+        """
+        if not isinstance(other, ColdFilter):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if (
+            self.d1 != other.d1
+            or self.d2 != other.d2
+            or self.threshold != other.threshold
+            or self.layer1[0].size != other.layer1[0].size
+            or self.layer2[0].size != other.layer2[0].size
+        ):
+            raise MergeError("ColdFilter geometry differs; counters would not align")
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "counters would not align"
+            )
+        for mine, theirs in zip(self.layer1, other.layer1):
+            mine.merge(theirs)
+        for mine, theirs in zip(self.layer2, other.layer2):
+            mine.merge(theirs)
+        return self
 
     def clear(self) -> None:
         for array in self.layer1:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
@@ -55,6 +55,33 @@ class CSMSketch(FrequencySketch):
             total += self.arrays[row].get(pos)
         noise = self.d * self.total_insertions / (self.d * self.width)
         return max(0, round(total - noise))
+
+    def merge(self, other: "CSMSketch") -> "CSMSketch":
+        """Fold ``other`` into this sketch (counter-wise add).
+
+        Exact in the same sense as a single CSM fed both substreams:
+        each arrival still landed in one uniformly-chosen row, and the
+        noise correction uses the summed ``total_insertions``, so the
+        merged estimator is the estimator of the concatenated stream.
+        """
+        if not isinstance(other, CSMSketch):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.d != other.d or self.width != other.width:
+            raise MergeError(
+                f"CSM geometry differs: d={self.d} w={self.width} "
+                f"vs d={other.d} w={other.width}"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "counters would not align"
+            )
+        for mine, theirs in zip(self.arrays, other.arrays):
+            mine.merge(theirs)
+        self.total_insertions += other.total_insertions
+        return self
 
     def clear(self) -> None:
         for array in self.arrays:

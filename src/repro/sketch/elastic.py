@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.cm import CMSketch
@@ -111,6 +111,60 @@ class ElasticSketch(FrequencySketch):
             for bucket in self.buckets
             if bucket.key is not None and self.query(bucket.key) >= threshold
         }
+
+    def merge(self, other: "ElasticSketch") -> "ElasticSketch":
+        """Fold ``other`` into this sketch (bucket election + light add).
+
+        The light CM parts merge counter-wise (exact).  Each heavy
+        bucket pair holds an election: same resident — counts add;
+        different residents — the larger ``positive`` keeps the bucket
+        and the loser's count spills to the light part with the bucket
+        flagged, exactly what the insert-path eviction does.  Estimates
+        stay one-sided (never below a CM-style lower estimate) because
+        no count is dropped, only demoted to the light part.
+        """
+        if not isinstance(other, ElasticSketch):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if (
+            self.n_buckets != other.n_buckets
+            or self.eviction_ratio != other.eviction_ratio
+        ):
+            raise MergeError(
+                f"Elastic geometry differs: buckets={self.n_buckets} "
+                f"vs {other.n_buckets}"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "buckets would not align"
+            )
+        self.light.merge(other.light)
+        for mine, theirs in zip(self.buckets, other.buckets):
+            if theirs.key is None:
+                continue
+            if mine.key is None:
+                mine.key = theirs.key
+                mine.positive = theirs.positive
+                mine.negative = theirs.negative
+                mine.flag = theirs.flag
+            elif mine.key == theirs.key:
+                mine.positive += theirs.positive
+                mine.negative += theirs.negative
+                mine.flag = mine.flag or theirs.flag
+            else:
+                winner, loser = (
+                    (mine, theirs)
+                    if mine.positive >= theirs.positive
+                    else (theirs, mine)
+                )
+                self.light.insert(loser.key, loser.positive)
+                mine.key = winner.key
+                mine.positive = winner.positive
+                mine.negative = winner.negative + loser.negative
+                mine.flag = True
+        return self
 
     def clear(self) -> None:
         for bucket in self.buckets:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 from repro.sketch.counters import CounterArray
@@ -72,6 +72,39 @@ class LogLogFilter(FrequencySketch):
     def query(self, item: ItemId) -> int:
         minimum = min(array.get(pos) for array, pos in self._mapped(item))
         return (1 << minimum) - 1
+
+    def merge(self, other: "LogLogFilter") -> "LogLogFilter":
+        """Fold ``other`` into this filter (register-wise max).
+
+        Morris registers hold log-scale ranks, not counts, so the
+        standard union rule for register sketches applies: take the
+        per-register maximum.  The merged estimate for an item split
+        across shards is ``max`` rather than ``sum`` of the shard
+        estimates — an undercount of at most 2x in expectation, which
+        matches the deliberately coarse log-scale decode this filter
+        already feeds the fit (see the module docstring).
+        """
+        if not isinstance(other, LogLogFilter):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if (
+            self.d != other.d
+            or self.registers[0].size != other.registers[0].size
+            or self.registers[0].bits != other.registers[0].bits
+        ):
+            raise MergeError("LogLog geometry differs; registers would not align")
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "registers would not align"
+            )
+        for mine, theirs in zip(self.registers, other.registers):
+            values = mine.values
+            for index, rank in enumerate(theirs):
+                if rank > values[index]:
+                    values[index] = rank
+        return self
 
     def clear(self) -> None:
         for array in self.registers:

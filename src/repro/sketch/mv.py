@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import HashFamily, ItemId
 from repro.sketch.base import FrequencySketch
 
@@ -99,6 +99,45 @@ class MVSketch(FrequencySketch):
                 if estimate >= threshold:
                     found[bucket.key] = estimate
         return found
+
+    def merge(self, other: "MVSketch") -> "MVSketch":
+        """Fold ``other`` into this sketch (Boyer-Moore vote combine).
+
+        Totals add exactly.  Candidates combine with the pairwise
+        majority-vote rule the insert path already uses: same key —
+        indicators add; different keys — the larger indicator keeps the
+        candidacy and is reduced by the smaller (MV-Sketch's published
+        merge).  The majority-item guarantee survives: any flow holding
+        a true majority of a bucket's combined total ends up its
+        candidate.
+        """
+        if not isinstance(other, MVSketch):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.d != other.d or self.width != other.width:
+            raise MergeError(
+                f"MV geometry differs: d={self.d} w={self.width} "
+                f"vs d={other.d} w={other.width}"
+            )
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "buckets would not align"
+            )
+        for mine_row, theirs_row in zip(self.rows, other.rows):
+            for mine, theirs in zip(mine_row, theirs_row):
+                mine.total += theirs.total
+                if theirs.key is None:
+                    continue
+                if mine.key == theirs.key:
+                    mine.indicator += theirs.indicator
+                elif mine.indicator >= theirs.indicator:
+                    mine.indicator -= theirs.indicator
+                else:
+                    mine.key = theirs.key
+                    mine.indicator = theirs.indicator - mine.indicator
+        return self
 
     def clear(self) -> None:
         for row in self.rows:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MergeError
 from repro.hashing.family import ItemId
 
 
@@ -23,6 +23,10 @@ class _Entry:
     def __init__(self, count: int, error: int):
         self.count = count
         self.error = error
+
+
+def _entry_count(pair: "Tuple[ItemId, _Entry]") -> int:
+    return pair[1].count
 
 
 class SpaceSaving:
@@ -44,7 +48,7 @@ class SpaceSaving:
         if len(self._entries) < self.capacity:
             self._entries[item] = _Entry(count, 0)
             return
-        victim_item = min(self._entries, key=lambda i: self._entries[i].count)
+        victim_item = min(self._entries.items(), key=_entry_count)[0]
         victim = self._entries.pop(victim_item)
         # the newcomer inherits the victim's count as its error bound
         self._entries[item] = _Entry(victim.count + count, victim.count)
@@ -73,6 +77,59 @@ class SpaceSaving:
             raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
         threshold = phi * self.total
         return [(item, count) for item, count in self.top() if count > threshold]
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Fold ``other`` into this summary (mergeable-summaries union).
+
+        Agarwal et al.'s merge rule: an item absent from one side is
+        assumed to have been seen up to that side's minimum tracked
+        count, which joins both its count and its error bound; the
+        union is then pruned back to ``capacity`` by estimated count.
+        The SpaceSaving guarantees survive the merge: ``count - error
+        <= true <= count`` and every item above ``N / capacity`` of the
+        combined total stays tracked.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.capacity != other.capacity:
+            raise MergeError(
+                f"capacities differ ({self.capacity} vs {other.capacity}); "
+                "merged error bounds would be meaningless"
+            )
+        floor_self = (
+            min(entry.count for entry in self._entries.values())
+            if len(self._entries) >= self.capacity
+            else 0
+        )
+        floor_other = (
+            min(entry.count for entry in other._entries.values())
+            if len(other._entries) >= other.capacity
+            else 0
+        )
+        combined: Dict[ItemId, _Entry] = {}
+        for item, entry in self._entries.items():
+            theirs = other._entries.get(item)
+            if theirs is not None:
+                combined[item] = _Entry(
+                    entry.count + theirs.count, entry.error + theirs.error
+                )
+            else:
+                combined[item] = _Entry(
+                    entry.count + floor_other, entry.error + floor_other
+                )
+        for item, theirs in other._entries.items():
+            if item not in combined:
+                combined[item] = _Entry(
+                    theirs.count + floor_self, theirs.error + floor_self
+                )
+        ranked = sorted(
+            combined.items(), key=lambda kv: (-kv[1].count, str(kv[0]))
+        )
+        self._entries = dict(ranked[: self.capacity])
+        self.total += other.total
+        return self
 
     def __len__(self) -> int:
         return len(self._entries)

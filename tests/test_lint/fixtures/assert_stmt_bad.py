@@ -1,0 +1,12 @@
+"""Deliberate assert-as-validation violations (lint fixture)."""
+
+
+def check(value):
+    assert value >= 0, "value must be non-negative"  # EXPECT: assert-stmt
+    return value
+
+
+class Gate:
+    def admit(self, token):
+        assert token is not None  # EXPECT: assert-stmt
+        return token

@@ -1,0 +1,14 @@
+"""Runtime validation that survives python -O."""
+
+
+def check(value):
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return value
+
+
+class Gate:
+    def admit(self, token):
+        if token is None:
+            raise RuntimeError("token must be set")
+        return token

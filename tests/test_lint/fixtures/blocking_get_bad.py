@@ -1,0 +1,14 @@
+"""Deliberate blocking-get violations (lint fixture, never executed)."""
+
+
+def drain(result_queue):
+    return result_queue.get()  # EXPECT: blocking-get
+
+
+def receive(conn):
+    return conn.recv()  # EXPECT: blocking-get
+
+
+class Coordinator:
+    def collect(self):
+        return self.queue.get()  # EXPECT: blocking-get

@@ -1,0 +1,22 @@
+"""Bounded or designated blocking calls that must not be flagged."""
+
+
+def drain(result_queue):
+    return result_queue.get(timeout=1.0)
+
+
+def lookup(table, key):
+    return table.get(key)
+
+
+def read(sock):
+    return sock.recv(4096)
+
+
+async def apull(queue):
+    return await queue.get()
+
+
+def shard_worker_main(command_queue):
+    # Designated blocking site: the coordinator owns this loop's liveness.
+    return command_queue.get()

@@ -1,0 +1,28 @@
+"""Deliberate broad-except violations (lint fixture, never executed)."""
+import contextlib
+
+
+def blanket():
+    try:
+        work()
+    except Exception:  # EXPECT: broad-except
+        cleanup()
+
+
+def bare():
+    try:
+        work()
+    except:  # EXPECT: broad-except
+        cleanup()
+
+
+def tupled():
+    try:
+        work()
+    except (ValueError, Exception):  # EXPECT: broad-except
+        cleanup()
+
+
+def smothered():
+    with contextlib.suppress(Exception):  # EXPECT: broad-except
+        work()

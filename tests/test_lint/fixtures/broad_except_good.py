@@ -1,0 +1,33 @@
+"""Broad handlers done right: specific, surfaced, re-raised, or justified."""
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def specific():
+    try:
+        work()
+    except ValueError:
+        cleanup()
+
+
+def surfaced():
+    try:
+        work()
+    except Exception:
+        logger.exception("work failed")
+
+
+def reraised():
+    try:
+        work()
+    except Exception:
+        cleanup()
+        raise
+
+
+def justified():
+    try:
+        work()
+    except Exception:  # pragma: fixture demo of a justified defensive path
+        cleanup()

@@ -1,0 +1,16 @@
+"""Deliberate except-pass violations (lint fixture, never executed)."""
+
+
+def swallow():
+    try:
+        work()
+    except ValueError:  # EXPECT: except-pass
+        pass
+
+
+def swallow_many():
+    try:
+        work()
+    except (OSError, KeyError):  # EXPECT: except-pass
+        pass
+        pass

@@ -1,0 +1,14 @@
+"""Silent-skip intent made greppable with contextlib.suppress."""
+import contextlib
+
+
+def suppressed():
+    with contextlib.suppress(ValueError):
+        work()
+
+
+def handled():
+    try:
+        work()
+    except ValueError:
+        recover()

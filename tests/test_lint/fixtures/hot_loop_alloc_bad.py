@@ -1,0 +1,16 @@
+"""Un-slotted allocation inside a per-item path (lint fixture)."""
+
+
+class _Record:
+    def __init__(self, count):
+        self.count = count
+
+
+class Tracker:
+    def __init__(self):
+        self.entries = {}
+
+    def insert(self, item, count=1):
+        entry = _Record(count)  # EXPECT: hot-loop-alloc
+        keyed = lambda: entry  # EXPECT: hot-loop-alloc
+        self.entries[item] = keyed

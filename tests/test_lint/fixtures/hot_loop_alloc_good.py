@@ -1,0 +1,21 @@
+"""Slotted per-item records; helpers hoisted to module level."""
+
+
+class _Slotted:
+    __slots__ = ("count",)
+
+    def __init__(self, count):
+        self.count = count
+
+
+def _keyed(entry):
+    return entry
+
+
+class Tracker:
+    def __init__(self):
+        self.entries = {}
+
+    def insert(self, item, count=1):
+        entry = _Slotted(count)
+        self.entries[item] = _keyed(entry)

@@ -1,0 +1,12 @@
+"""A sketch without merge() (lint fixture, never executed)."""
+
+
+class UnmergeableSketch:  # EXPECT: mergeable-protocol
+    def __init__(self):
+        self.counts = {}
+
+    def insert(self, item, count=1):
+        self.counts[item] = self.counts.get(item, 0) + count
+
+    def query(self, item):
+        return self.counts.get(item, 0)

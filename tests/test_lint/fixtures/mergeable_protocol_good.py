@@ -1,0 +1,28 @@
+"""Merge resolved directly, via inheritance, or not required (abstract)."""
+import abc
+
+
+class AbstractSketch(abc.ABC):
+    @abc.abstractmethod
+    def insert(self, item, count=1):
+        ...
+
+    @abc.abstractmethod
+    def query(self, item):
+        ...
+
+
+class MergeableSketch(AbstractSketch):
+    def insert(self, item, count=1):
+        ...
+
+    def query(self, item):
+        ...
+
+    def merge(self, other):
+        return self
+
+
+class InheritsMerge(MergeableSketch):
+    def insert(self, item, count=2):
+        ...

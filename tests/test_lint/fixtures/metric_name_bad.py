@@ -1,0 +1,6 @@
+"""Invalid and undocumented metric names (lint fixture, never executed)."""
+
+
+def register_metrics(registry):
+    registry.counter("bad metric name", "spaces violate the grammar")  # EXPECT: metric-name
+    registry.gauge("repro_lint_fixture_undocumented_gauge", "absent from the doc")  # EXPECT: metric-name

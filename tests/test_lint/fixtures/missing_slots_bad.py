@@ -1,0 +1,7 @@
+"""A record class without __slots__ in a hot package (lint fixture)."""
+
+
+class Cell:  # EXPECT: missing-slots
+    def __init__(self, count, error):
+        self.count = count
+        self.error = error

@@ -1,0 +1,16 @@
+"""Slotted records; default-bearing dataclasses are exempt on 3.9."""
+from dataclasses import dataclass
+
+
+class Cell:
+    __slots__ = ("count", "error")
+
+    def __init__(self, count, error):
+        self.count = count
+        self.error = error
+
+
+@dataclass(frozen=True)
+class Geometry:
+    width: int = 8
+    depth: int = 3

@@ -1,0 +1,18 @@
+"""Deliberate mutable-default violations (lint fixture, never executed)."""
+
+
+def extend(values, extra=[]):  # EXPECT: mutable-default
+    extra.extend(values)
+    return extra
+
+
+def tally(counts={}):  # EXPECT: mutable-default
+    return counts
+
+
+def collect(*, seen=set()):  # EXPECT: mutable-default
+    return seen
+
+
+def chronicle(log=list()):  # EXPECT: mutable-default
+    return log

@@ -1,0 +1,15 @@
+"""Immutable defaults; mutables constructed inside the body."""
+
+
+def extend(values, extra=None):
+    result = list(extra) if extra is not None else []
+    result.extend(values)
+    return result
+
+
+def label(name, suffix=""):
+    return name + suffix
+
+
+def pick(choices=(1, 2, 3)):
+    return choices[0]

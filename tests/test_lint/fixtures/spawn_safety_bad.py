@@ -1,0 +1,27 @@
+"""Deliberate spawn-safety violations (lint fixture, never executed)."""
+import multiprocessing
+import threading
+
+
+def run(queue):
+    pass
+
+
+def inline_lambda():
+    return multiprocessing.Process(target=lambda: None)  # EXPECT: spawn-safety
+
+
+def named_lambda():
+    worker = lambda: None
+    return multiprocessing.Process(target=worker)  # EXPECT: spawn-safety
+
+
+def inline_lock():
+    return multiprocessing.Process(target=run, args=(threading.Lock(),))  # EXPECT: spawn-safety
+
+
+def closure_target():
+    def inner():
+        pass
+
+    return multiprocessing.Process(target=inner)  # EXPECT: spawn-safety

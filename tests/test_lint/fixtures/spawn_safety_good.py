@@ -1,0 +1,11 @@
+"""Spawn-safe worker construction: module-level target, context locks."""
+import multiprocessing
+
+
+def run(queue, lock):
+    pass
+
+
+def build(ctx):
+    lock = ctx.Lock()
+    return multiprocessing.Process(target=run, args=(ctx.Queue(), lock))

@@ -1,0 +1,16 @@
+"""Deliberate unseeded-RNG violations (lint fixture, never executed)."""
+import random
+
+import numpy as np
+
+
+def make_rng():
+    return random.Random()  # EXPECT: unseeded-rng
+
+
+def make_np():
+    return np.random.default_rng()  # EXPECT: unseeded-rng
+
+
+def scramble(items):
+    random.shuffle(items)  # EXPECT: unseeded-rng

@@ -1,0 +1,16 @@
+"""Seeded, injected randomness."""
+import random
+
+import numpy as np
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def make_np(seed: int):
+    return np.random.default_rng(seed)
+
+
+def scramble(items, rng: random.Random):
+    rng.shuffle(items)

@@ -1,0 +1,20 @@
+"""Deliberate wall-clock/global-RNG violations in a hot package."""
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # EXPECT: wall-clock
+
+
+def when():
+    return datetime.now()  # EXPECT: wall-clock
+
+
+def jitter():
+    return random.random()  # EXPECT: wall-clock
+
+
+def reseed():
+    random.seed(0)  # EXPECT: wall-clock

@@ -1,0 +1,19 @@
+"""Deterministic alternatives: injected RNG, monotonic measurement."""
+import random
+import time
+
+
+def measure():
+    return time.monotonic()
+
+
+def elapsed():
+    return time.perf_counter()
+
+
+def draw(rng: random.Random):
+    return rng.random()
+
+
+def stamped(now: float):
+    return now + 1.0

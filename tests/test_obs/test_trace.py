@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import NULL_RECORDER, MetricsRegistry, Recorder, TraceRing
 from repro.obs.trace import write_jsonl
 
@@ -97,10 +99,8 @@ class TestRecorder:
     def test_span_records_error_and_propagates(self):
         ring = TraceRing()
         recorder = Recorder(MetricsRegistry(), trace=ring)
-        try:
+        with pytest.raises(RuntimeError, match="boom"):
             with recorder.span("flush"):
                 raise RuntimeError("boom")
-        except RuntimeError:
-            pass
         (event,) = ring.events("span")
         assert event["error"] == "RuntimeError"

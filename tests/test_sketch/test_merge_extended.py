@@ -1,0 +1,259 @@
+"""Merge semantics of the remaining mergeable sketches.
+
+``test_merge.py`` covers the counter-array family (CM / Count / CU /
+Tower and the windowed wrappers); this module covers the six sketches
+whose merges are *not* plain counter addition:
+
+- CSM: counter-wise add with summed ``total_insertions`` (exact);
+- ColdFilter: layer-wise saturating add (bounded undercount, at most
+  the layer-1 threshold per merged peer);
+- LogLogFilter: register-wise max (union rule for rank registers);
+- ElasticSketch: per-bucket election with loser spill to the light part
+  (monotone — no estimate decreases);
+- MVSketch: Boyer-Moore vote combine (one-sided estimates survive);
+- SpaceSaving: Agarwal et al. union with min-count floors (the
+  ``count - error <= true <= count`` guarantee survives).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import MergeError
+from repro.sketch.cm import CMSketch
+from repro.sketch.coldfilter import ColdFilter
+from repro.sketch.csm import CSMSketch
+from repro.sketch.elastic import ElasticSketch
+from repro.sketch.loglogfilter import LogLogFilter
+from repro.sketch.mv import MVSketch
+from repro.sketch.spacesaving import SpaceSaving
+
+SEED = 77
+
+
+def _split_stream(n_items=120, n_arrivals=6000, rng_seed=5):
+    """A heavy-tailed stream cut in two halves, plus its exact counts."""
+    rng = random.Random(rng_seed)
+    items = [f"flow-{i}" for i in range(n_items)]
+    stream = [
+        items[min(rng.randrange(n_items), rng.randrange(n_items))]
+        for _ in range(n_arrivals)
+    ]
+    half = n_arrivals // 2
+    return stream[:half], stream[half:], Counter(stream), items
+
+
+def _fill(sketch, arrivals):
+    for item in arrivals:
+        sketch.insert(item)
+    return sketch
+
+
+class TestCSMMerge:
+    def _make(self):
+        return CSMSketch(32768, d=3, seed=SEED)
+
+    def test_merge_adds_counters_and_insertions(self):
+        first, second, truth, items = _split_stream()
+        part_a = _fill(self._make(), first)
+        part_b = _fill(self._make(), second)
+        rows_a = [list(array) for array in part_a.arrays]
+        rows_b = [list(array) for array in part_b.arrays]
+        part_a.merge(part_b)
+        for row, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
+            assert list(part_a.arrays[row]) == [
+                x + y for x, y in zip(row_a, row_b)
+            ]
+        assert part_a.total_insertions == len(first) + len(second)
+
+    def test_merged_estimates_track_truth(self):
+        # CSM's estimator is unbiased over the random row choices; with
+        # this geometry (width 2730, 6000 arrivals) the noise correction
+        # is ~2 counts, so merged estimates stay near the exact counts.
+        first, second, truth, items = _split_stream()
+        merged = _fill(self._make(), first).merge(_fill(self._make(), second))
+        for item, count in truth.most_common(10):
+            assert abs(merged.query(item) - count) <= max(10, count // 2)
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            self._make().merge(CSMSketch(32768, d=4, seed=SEED))
+        with pytest.raises(MergeError):
+            self._make().merge(CSMSketch(32768, d=3, seed=SEED + 1))
+        with pytest.raises(MergeError):
+            self._make().merge(CMSketch(4096, d=3, seed=SEED))
+
+
+class TestColdFilterMerge:
+    def _make(self):
+        return ColdFilter(16384, seed=SEED)
+
+    def test_merge_is_monotone_and_bounded_undercount(self):
+        first, second, truth, items = _split_stream()
+        part_a = _fill(self._make(), first)
+        part_b = _fill(self._make(), second)
+        before = {
+            item: max(part_a.query(item), part_b.query(item)) for item in items
+        }
+        threshold = part_a.threshold
+        part_a.merge(part_b)
+        for item in items:
+            estimate = part_a.query(item)
+            # saturating add never loses a side's own evidence
+            assert estimate >= before[item]
+            # the documented caveat: an item whose combined layer-1
+            # count crosses the threshold only at merge time reads low,
+            # by at most the threshold per merged peer
+            assert estimate >= truth[item] - threshold
+
+    def test_saturated_counters_stay_saturated(self):
+        part_a = self._make()
+        part_b = self._make()
+        part_a.insert("hot", count=1000)  # far past the layer-1 threshold
+        part_b.insert("hot", count=3)
+        part_a.merge(part_b)
+        assert part_a.query("hot") >= 1000
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            self._make().merge(ColdFilter(16384, seed=SEED + 1))
+        with pytest.raises(MergeError):
+            self._make().merge(ColdFilter(16384, bits1=8, seed=SEED))
+        with pytest.raises(MergeError):
+            self._make().merge(CMSketch(4096, d=3, seed=SEED))
+
+
+class TestLogLogFilterMerge:
+    def _make(self):
+        return LogLogFilter(8192, seed=SEED)
+
+    def test_merge_takes_register_max(self):
+        first, second, truth, items = _split_stream()
+        part_a = _fill(self._make(), first)
+        part_b = _fill(self._make(), second)
+        rows_b = [list(array) for array in part_b.registers]
+        before = {
+            item: max(part_a.query(item), part_b.query(item)) for item in items
+        }
+        part_a.merge(part_b)
+        for row, row_b in enumerate(rows_b):
+            merged_row = list(part_a.registers[row])
+            assert all(m >= b for m, b in zip(merged_row, row_b))
+        for item in items:
+            # rank registers decode to (1 << r) - 1; the max union never
+            # reads below either side
+            assert part_a.query(item) >= before[item]
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            self._make().merge(LogLogFilter(8192, seed=SEED + 1))
+        with pytest.raises(MergeError):
+            self._make().merge(LogLogFilter(8192, bits=8, seed=SEED))
+        with pytest.raises(MergeError):
+            self._make().merge(CMSketch(4096, d=3, seed=SEED))
+
+
+class TestElasticMerge:
+    def _make(self):
+        return ElasticSketch(8192, seed=SEED)
+
+    def test_merge_never_decreases_estimates(self):
+        # No count is dropped by the bucket elections — losers spill to
+        # the light part, exactly like the insert-path eviction — so
+        # every estimate is at least what either side reported alone.
+        first, second, truth, items = _split_stream()
+        part_a = _fill(self._make(), first)
+        part_b = _fill(self._make(), second)
+        before = {
+            item: max(part_a.query(item), part_b.query(item)) for item in items
+        }
+        part_a.merge(part_b)
+        for item in items:
+            assert part_a.query(item) >= before[item]
+
+    def test_disjoint_residents_sum_exactly(self):
+        part_a = self._make()
+        part_b = self._make()
+        part_a.insert("hot", count=40)
+        part_b.insert("hot", count=60)
+        part_a.merge(part_b)
+        assert part_a.query("hot") == 100
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            self._make().merge(ElasticSketch(8192, seed=SEED + 1))
+        with pytest.raises(MergeError):
+            self._make().merge(ElasticSketch(4096, seed=SEED))
+        with pytest.raises(MergeError):
+            self._make().merge(CMSketch(4096, d=3, seed=SEED))
+
+
+class TestMVMerge:
+    def _make(self):
+        return MVSketch(16384, d=3, seed=SEED)
+
+    def test_merged_estimates_stay_one_sided(self):
+        first, second, truth, items = _split_stream()
+        merged = _fill(self._make(), first).merge(_fill(self._make(), second))
+        for item in items:
+            assert merged.query(item) >= truth[item]
+
+    def test_majority_item_survives_merge(self):
+        # A flow holding a true majority of every bucket it maps to must
+        # come out as the candidate of the merged sketch (the Boyer-Moore
+        # combine preserves the majority-vote invariant).
+        part_a = self._make()
+        part_b = self._make()
+        part_a.insert("majority", count=300)
+        _fill(part_a, [f"bg-{i}" for i in range(100)])
+        part_b.insert("majority", count=300)
+        _fill(part_b, [f"bg-{i}" for i in range(100, 200)])
+        part_a.merge(part_b)
+        assert "majority" in part_a.heavy_candidates(threshold=500)
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            self._make().merge(MVSketch(16384, d=4, seed=SEED))
+        with pytest.raises(MergeError):
+            self._make().merge(MVSketch(16384, d=3, seed=SEED + 1))
+        with pytest.raises(MergeError):
+            self._make().merge(CMSketch(4096, d=3, seed=SEED))
+
+
+class TestSpaceSavingMerge:
+    def test_under_capacity_merge_is_exact(self):
+        first, second, truth, items = _split_stream(n_items=50)
+        part_a = _fill(SpaceSaving(200), first)
+        part_b = _fill(SpaceSaving(200), second)
+        part_a.merge(part_b)
+        assert part_a.total == len(first) + len(second)
+        for item in items:
+            assert part_a.query(item) == truth[item]
+            assert part_a.guaranteed(item) == truth[item]
+
+    def test_over_capacity_merge_keeps_guarantees(self):
+        first, second, truth, items = _split_stream()
+        capacity = 32
+        part_a = _fill(SpaceSaving(capacity), first)
+        part_b = _fill(SpaceSaving(capacity), second)
+        part_a.merge(part_b)
+        assert len(part_a) <= capacity
+        assert part_a.total == len(first) + len(second)
+        tracked = dict(part_a.top())
+        for item, estimate in tracked.items():
+            # SpaceSaving's two-sided sandwich survives the union
+            assert part_a.guaranteed(item) <= truth[item] <= estimate
+        # heavy-hitter guarantee: anything above N/capacity stays tracked
+        floor = part_a.total / capacity
+        for item, count in truth.items():
+            if count > floor:
+                assert item in tracked
+
+    def test_mismatches_rejected(self):
+        with pytest.raises(MergeError):
+            SpaceSaving(32).merge(SpaceSaving(64))
+        with pytest.raises(MergeError):
+            SpaceSaving(32).merge(CMSketch(4096, d=3, seed=SEED))
