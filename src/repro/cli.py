@@ -13,6 +13,13 @@ Commands:
     Run the Section-VI ML comparison (Tables II/III).
 ``serve``
     Boot the async ingest/query service over an engine (docs/SERVICE.md).
+    ``--temporal`` attaches the Hokusai time-travel tier
+    (docs/TEMPORAL.md): ``/reports?range=a:b`` and ``/history`` go
+    live, ``temporal_*`` metrics appear on ``/metrics``.
+``history``
+    Inspect sketch history: the retention ladder, range report
+    queries, growth ranking and frequency estimates — against a saved
+    store directory (``--store``) or a running service (``--port``).
 ``loadgen``
     Replay a dataset substitute against a running service.
 ``stats``
@@ -307,6 +314,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         observability=args.obs_trace is not None,
         **_shard_kwargs(args),
     )
+    temporal = None
+    if args.temporal:
+        from repro.temporal import TemporalPolicy, TemporalStore
+
+        policy = TemporalPolicy(
+            level_capacity=args.temporal_level_capacity,
+            fidelity_windows=args.temporal_fidelity,
+            spill_dir=args.temporal_spill_dir,
+        )
+        temporal = TemporalStore(policy, seed=args.seed)
+        from repro.runtime.sharded import ShardedXSketch
+
+        if isinstance(engine, ShardedXSketch):
+            # A sharded engine feeds the store itself (every dispatched
+            # arrival, merged snapshots off its per-window memo); other
+            # engines are fed by the window manager.
+            engine.temporal = temporal
     config = ServiceConfig(
         host=args.host,
         ingest_port=args.ingest_port,
@@ -321,7 +345,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _run() -> StreamService:
-        service = StreamService(engine, config)
+        service = StreamService(engine, config, temporal=temporal)
         await service.start()
         ingest_host, ingest_port = service.ingest_address
         http_host, http_port = service.http_address
@@ -351,10 +375,157 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"items={manager.items_total} dropped={service.dropped_items}",
         flush=True,
     )
+    if service.temporal is not None:
+        snap = service.temporal.snapshot
+        print(
+            f"temporal: windows={snap.windows_observed} "
+            f"nodes={len(snap.nodes)} depth={snap.depth} "
+            f"coarsenings={snap.coarsenings}",
+            flush=True,
+        )
+        if args.temporal_save is not None:
+            service.temporal.save(args.temporal_save)
+            print(f"temporal store saved to {args.temporal_save}", flush=True)
     if service.failure is not None:
         print(f"engine failure: {service.failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _print_report_line(report) -> None:
+    coeffs = ", ".join(f"{c:+.3f}" for c in report.coefficients)
+    print(
+        f"w={report.report_window:4d} item={report.item} "
+        f"start={report.start_window} lasting={report.lasting_time} "
+        f"fit=[{coeffs}] mse={report.mse:.3f}"
+    )
+
+
+def _history_range(args):
+    """The validated --range (None when absent); SystemExit on bad input."""
+    from repro.errors import ConfigurationError
+    from repro.temporal.query import parse_range
+
+    if args.range is None:
+        return None
+    try:
+        return parse_range(args.range)
+    except ConfigurationError as exc:
+        raise SystemExit(f"--range: {exc}") from None
+
+
+def _cmd_history_store(args) -> int:
+    """Offline mode: query a saved temporal store directory."""
+    from repro.temporal import restore_store
+
+    store = restore_store(args.store)
+    snap = store.snapshot
+    rq = _history_range(args)
+    print(
+        f"temporal ladder: base={snap.base} tip={snap.tip} "
+        f"windows={snap.windows_observed} nodes={len(snap.nodes)} "
+        f"depth={snap.depth} coarsenings={snap.coarsenings}"
+    )
+    for row in store.history():
+        print(
+            f"  L{row['level']} [{row['start']:6d},{row['end']:6d}) "
+            f"windows={row['windows']:<5d} items={row['items']:<8d} "
+            f"reports={row['reports']:<4d} {row['tier']}"
+            f"{' asof' if row['asof'] else ''}"
+        )
+    start, end = (rq.start, rq.end) if rq is not None else (
+        snap.base or 0, (snap.tip or 1) - 1
+    )
+    if args.item is not None:
+        estimate = store.range_frequency(args.item, start, end)
+        simplex = store.was_simplex(args.item, start, end)
+        print(
+            f"item {args.item!r} over [{start},{end}]: "
+            f"~{estimate} arrivals, simplex={'yes' if simplex else 'no'}"
+        )
+    if rq is not None and args.item is None:
+        reports = store.range_reports(start, end)
+        print(f"reports in [{start},{end}]: {len(reports)}")
+        for report in reports:
+            _print_report_line(report)
+    if args.growth is not None:
+        ranked = store.top_growth(start, end, top=args.growth)
+        print(f"top {args.growth} growth over [{start},{end}]:")
+        for report, slope in ranked:
+            print(f"  slope={slope:+.3f} item={report.item} w={report.report_window}")
+    return 0
+
+
+def _cmd_history_live(args) -> int:
+    """Live mode: query a running service over HTTP."""
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.core.reports import SimplexReport
+
+    rq = _history_range(args)
+    base_url = f"http://{args.host}:{args.port}"
+    try:
+        with urlopen(f"{base_url}/history") as response:
+            history = json.loads(response.read())
+    except URLError as exc:
+        raise SystemExit(f"cannot reach {base_url}/history: {exc}") from None
+    print(
+        f"temporal ladder: base={history['base']} tip={history['tip']} "
+        f"windows={history['windows_observed']} nodes={len(history['nodes'])} "
+        f"depth={history['depth']} coarsenings={history['coarsenings']}"
+    )
+    for row in history["nodes"]:
+        print(
+            f"  L{row['level']} [{row['start']:6d},{row['end']:6d}) "
+            f"windows={row['windows']:<5d} items={row['items']:<8d} "
+            f"reports={row['reports']:<4d} {row['tier']}"
+            f"{' asof' if row['asof'] else ''}"
+        )
+    if rq is None and args.growth is None:
+        return 0
+    start, end = (rq.start, rq.end) if rq is not None else (
+        history["base"] or 0, (history["tip"] or 1) - 1
+    )
+    url = f"{base_url}/reports?range={start}:{end}"
+    if args.item is not None:
+        url += f"&item={args.item}"
+    with urlopen(url) as response:
+        payload = json.loads(response.read())
+    reports = [
+        SimplexReport(
+            item=entry["item"],
+            start_window=entry["start_window"],
+            report_window=entry["report_window"],
+            lasting_time=entry["lasting_time"],
+            coefficients=tuple(entry["coefficients"]),
+            mse=entry["mse"],
+        )
+        for entry in payload["reports"]
+    ]
+    if args.growth is not None:
+        from repro.temporal.query import rank_growth
+
+        print(f"top {args.growth} growth over [{start},{end}]:")
+        for report, slope in rank_growth(reports, args.growth):
+            print(f"  slope={slope:+.3f} item={report.item} w={report.report_window}")
+    else:
+        print(f"reports in [{start},{end}]: {payload['total']}")
+        for report in reports:
+            _print_report_line(report)
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    if (args.store is None) == (args.port is None):
+        raise SystemExit(
+            "history needs exactly one of --store DIR (saved store) "
+            "or --port PORT (running service)"
+        )
+    if args.store is not None:
+        return _cmd_history_store(args)
+    return _cmd_history_live(args)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -525,7 +696,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-trace", default=None, metavar="PATH",
         help="record engine decision traces; dump them as JSONL to PATH on drain",
     )
+    serve.add_argument(
+        "--temporal", action="store_true",
+        help="retain sketch history in a Hokusai-style dyadic ladder; "
+        "enables /reports?range=a:b and /history (docs/TEMPORAL.md)",
+    )
+    serve.add_argument(
+        "--temporal-level-capacity", type=_positive_int, default=2, metavar="N",
+        help="retained nodes per dyadic level before coarsening (default 2)",
+    )
+    serve.add_argument(
+        "--temporal-fidelity", type=int, default=4, metavar="N",
+        help="recent windows keeping a full merged-sketch snapshot "
+        "(0 disables deep time travel; default 4)",
+    )
+    serve.add_argument(
+        "--temporal-spill-dir", default=None, metavar="DIR",
+        help="spill old node payloads to this directory (cold tier)",
+    )
+    serve.add_argument(
+        "--temporal-save", default=None, metavar="DIR",
+        help="persist the whole temporal store here on drain "
+        "(readable by 'repro history --store DIR')",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    history = subparsers.add_parser(
+        "history",
+        help="inspect sketch history: retention ladder and range queries",
+    )
+    history.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="a saved temporal store ('repro serve --temporal-save DIR')",
+    )
+    history.add_argument("--host", default="127.0.0.1")
+    history.add_argument(
+        "--port", type=int, default=None,
+        help="HTTP port of a running 'repro serve --temporal' service",
+    )
+    history.add_argument(
+        "--range", default=None, metavar="A:B",
+        help="print the simplex reports of windows A..B (inclusive)",
+    )
+    history.add_argument(
+        "--item", default=None,
+        help="with --store: estimate the item's arrivals over --range "
+        "(whole history when no range); live mode filters reports",
+    )
+    history.add_argument(
+        "--growth", type=_positive_int, default=None, metavar="N",
+        help="rank the N steepest items by fitted slope over --range",
+    )
+    history.set_defaults(handler=_cmd_history)
 
     loadgen = subparsers.add_parser(
         "loadgen", help="replay a dataset substitute against a running service"

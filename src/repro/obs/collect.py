@@ -139,6 +139,64 @@ def collect_sharded(sharded, registry: Optional[MetricsRegistry] = None) -> Metr
     return registry
 
 
+def collect_temporal(store, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Fold a temporal store's ladder shape and counters into ``registry``.
+
+    Works on any object with the
+    :class:`~repro.temporal.store.TemporalStore` shape (a published
+    ``snapshot`` with ``nodes``/``depth``, lifetime counters, a
+    ``metrics`` registry with the query fan-in histogram).  Gauges
+    describe the *published* snapshot — the O(log W) retention bound is
+    directly visible as ``temporal_nodes`` staying flat while
+    ``temporal_windows_covered`` grows.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    snapshot = store.snapshot
+    covered = (
+        snapshot.tip - snapshot.base
+        if snapshot.tip is not None and snapshot.base is not None
+        else 0
+    )
+    registry.gauge(
+        "temporal_nodes", "ladder nodes currently retained"
+    ).inc(len(snapshot.nodes))
+    registry.gauge(
+        "temporal_ladder_depth", "highest dyadic level present (-1 when empty)"
+    ).set(snapshot.depth)
+    registry.gauge(
+        "temporal_windows_covered", "closed windows covered by the ladder"
+    ).inc(covered)
+    registry.gauge(
+        "temporal_bytes_retained", "accounted hot bytes held by the ladder"
+    ).inc(store.memory_bytes)
+    registry.gauge(
+        "temporal_asof_snapshots",
+        "nodes still carrying a full merged-sketch snapshot",
+    ).inc(sum(1 for node in snapshot.nodes if node.asof is not None))
+    registry.counter(
+        "temporal_windows_total", "windows sealed into the ladder"
+    ).inc(store.windows_observed)
+    registry.counter(
+        "temporal_items_total", "arrivals observed by the temporal tier"
+    ).inc(store.items_observed)
+    registry.counter(
+        "temporal_coarsenings_total",
+        "dyadic sibling merges performed by the retention ladder",
+    ).inc(snapshot.coarsenings)
+    registry.counter(
+        "temporal_spills_total", "node payloads written to the cold tier"
+    ).inc(store.spills)
+    registry.counter(
+        "temporal_cold_loads_total",
+        "spilled node payloads reloaded to answer queries or coarsen",
+    ).inc(store.cold_loads)
+    registry.counter(
+        "temporal_range_queries_total", "range queries composed from the ladder"
+    ).inc(store.range_queries)
+    registry.merge(store.metrics)
+    return registry
+
+
 def collect_service(service, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Service-level metrics of a :class:`~repro.service.server.StreamService`."""
     registry = registry if registry is not None else MetricsRegistry()

@@ -165,6 +165,13 @@ class ShardedXSketch:
         faults: deterministic fault plan (:mod:`repro.runtime.faults`)
             handed to the initial worker processes; replacements are
             always spawned fault-free.  Process backend only.
+        temporal: a :class:`repro.temporal.store.TemporalStore` to feed
+            with the window lifecycle: every dispatched arrival goes to
+            its open-window frequency sketch, and each
+            :meth:`flush_window` seals the closed window into its
+            retention ladder (reports plus, inside the store's fidelity
+            horizon, a full merged-sketch snapshot).  ``None`` disables
+            history retention.
     """
 
     def __init__(
@@ -182,6 +189,7 @@ class ShardedXSketch:
         auto_checkpoint_interval: int = 1,
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         faults: Optional[Sequence[Fault]] = None,
+        temporal=None,
     ):
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
@@ -244,6 +252,10 @@ class ShardedXSketch:
         self._buffers: List[List[ItemId]] = [[] for _ in range(n_shards)]
         self._memory_bytes: Optional[float] = None
         self.observability = observability
+        self.temporal = temporal
+        #: merged_sketch() memo: (window id, sketch); new data or a
+        #: window boundary invalidates it
+        self._merged_cache: Optional[Tuple[int, XSketch]] = None
         #: last auto-checkpoint per shard (restart restore point)
         self._shard_snapshots: List[Optional[Dict]] = (
             [dict(s) for s in snapshots] if snapshots else [None] * n_shards
@@ -564,6 +576,9 @@ class ShardedXSketch:
             raise RuntimeShardError("ShardedXSketch is closed")
         self.items_routed[shard] += len(items)
         self.batches_sent[shard] += 1
+        self._merged_cache = None
+        if self.temporal is not None:
+            self.temporal.observe_items(items)
         if self.backend == "inline":
             start = time.perf_counter()
             insert = self._locals[shard].insert
@@ -598,7 +613,9 @@ class ShardedXSketch:
             ]
         merged.sort(key=report_order)
         self._reports.extend(merged)
+        closed_window = self.window
         self.window += 1
+        self._merged_cache = None
         if (
             self.backend == "process"
             and self.supervised
@@ -606,6 +623,16 @@ class ShardedXSketch:
             and self.window % self.auto_checkpoint_interval == 0
         ):
             self._auto_checkpoint()
+        if self.temporal is not None:
+            # The snapshot thunk rides the merged_sketch() memo (and the
+            # auto-checkpoint just taken, when there was one), so deep
+            # time-travel fidelity costs at most one compaction per
+            # boundary — and nothing once the store stops asking.
+            self.temporal.on_window(
+                closed_window,
+                merged,
+                snapshot_fn=lambda: snapshot_xsketch(self.merged_sketch()),
+            )
         return merged
 
     #: alias so the coordinator matches the engine protocol
@@ -811,14 +838,43 @@ class ShardedXSketch:
         merged sketch holds one ``config`` worth of memory, so Stage-2
         buckets may overflow and elect by weight; with ample memory the
         merged report stream matches the sharded one.
+
+        The result is memoized per window: repeated calls between
+        window boundaries return the same compacted sketch without
+        touching the workers.  Any new dispatched data or a
+        ``flush_window`` invalidates the memo, and when the supervision
+        auto-checkpoint already holds fresh per-shard snapshots at this
+        boundary they are reused instead of a second snapshot round-trip.
         """
-        snapshots = self._collect_snapshots()
+        if any(self._buffers):
+            raise RuntimeShardError(
+                "snapshot only at a window boundary (insert buffers not empty); "
+                "call flush_window() first"
+            )
+        if self._merged_cache is not None and self._merged_cache[0] == self.window:
+            merged = self._merged_cache[1]
+            merged._reports = sorted(self._reports, key=report_order)
+            return merged
+        snapshots = self._cached_shard_snapshots()
+        if snapshots is None:
+            snapshots = self._collect_snapshots()
         merged = restore_xsketch(snapshots[0], seed=self.seed)
         for snapshot in snapshots[1:]:
             merged.merge(restore_xsketch(snapshot, seed=self.seed))
             self.merge_count += 1
         merged._reports = sorted(self._reports, key=report_order)
+        self._merged_cache = (self.window, merged)
         return merged
+
+    def _cached_shard_snapshots(self) -> Optional[List[Dict]]:
+        """The auto-checkpoint's snapshots, when still at this boundary."""
+        if (
+            self._snapshot_window == self.window
+            and all(s is not None for s in self._shard_snapshots)
+            and not any(self._items_since_snapshot)
+        ):
+            return self._shard_snapshots
+        return None
 
     # ------------------------------------------------------------------
     # lifecycle

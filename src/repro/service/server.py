@@ -44,8 +44,8 @@ import json
 from typing import List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError, ServiceError
-from repro.obs.collect import collect_service
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.obs.collect import collect_service, collect_temporal
 from repro.obs.expo import render_text
 from repro.service.config import ServiceConfig
 from repro.service.protocol import (
@@ -58,6 +58,53 @@ from repro.service.protocol import (
     read_lines,
 )
 from repro.service.window import WindowManager, report_to_dict
+
+
+class BadParameter(ValueError):
+    """A malformed HTTP query parameter (rendered as a 400, never a 500)."""
+
+
+def query_int(query: dict, name: str, default=None, minimum: Optional[int] = None):
+    """Shared integer-parameter validation for the HTTP routes.
+
+    Missing parameters return ``default``; anything non-integer, or
+    below ``minimum``, raises :class:`BadParameter` with a message
+    naming the offending parameter — the routes map it to a 400 JSON
+    body instead of letting ``int()`` blow up into a 500.
+    """
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise BadParameter(
+            f"bad query parameter {name!r}: must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise BadParameter(
+            f"bad query parameter {name!r}: must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def query_range(query: dict, name: str = "range"):
+    """Parse an ``a:b`` window-range parameter (None when absent).
+
+    Delegates to :func:`repro.temporal.query.parse_range` and converts
+    its :class:`~repro.errors.ConfigurationError` (non-integer bounds,
+    ``b < a``, negatives) into :class:`BadParameter`, so ``range=b:a``
+    is a client error, not a server one.
+    """
+    raw = query.get(name)
+    if raw is None:
+        return None
+    from repro.temporal.query import parse_range
+
+    try:
+        return parse_range(raw)
+    except ConfigurationError as exc:
+        raise BadParameter(f"bad query parameter {name!r}: {exc}") from None
 
 
 class _Connection:
@@ -88,15 +135,27 @@ class StreamService:
             :class:`~repro.runtime.ShardedXSketch`.  The service owns it
             from here: it will be closed on shutdown.
         config: network and flow-control settings.
+        temporal: a :class:`repro.temporal.store.TemporalStore` backing
+            the time-travel routes (``/reports?range=a:b``,
+            ``/history``) and the ``temporal_*`` metrics.  An engine
+            that already owns a store (``ShardedXSketch(temporal=...)``)
+            is picked up automatically; passing one here attaches it to
+            an engine without its own (the window manager then feeds
+            it).  ``None`` with no engine store disables the routes.
     """
 
-    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+    def __init__(self, engine, config: Optional[ServiceConfig] = None,
+                 temporal=None):
         self.config = config or ServiceConfig()
         self.manager = WindowManager(
             engine,
             window_size=self.config.window_size,
             micro_batch=self.config.micro_batch,
+            temporal=temporal,
         )
+        #: the temporal store serving /history and range queries (None
+        #: when neither the engine nor the caller provided one)
+        self.temporal = self.manager.temporal
         self.failure: Optional[BaseException] = None
         #: engine trace-ring events, captured just before the engine is
         #: closed on drain ([] unless the engine records observability)
@@ -437,11 +496,17 @@ class StreamService:
                 return 405, {"error": "GET only"}
             registry = await self.manager.engine_metrics()
             collect_service(self, registry)
+            if self.temporal is not None:
+                collect_temporal(self.temporal, registry)
             return 200, render_text(registry)
         if path == "/reports":
             if method != "GET":
                 return 405, {"error": "GET only"}
             return self._reports_response(query)
+        if path == "/history":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return self._history_response(query)
         if path == "/checkpoint":
             if method != "POST":
                 return 405, {"error": "POST only"}
@@ -466,23 +531,64 @@ class StreamService:
 
     def _reports_response(self, query: dict):
         snapshot = self.manager.snapshot
-        reports = snapshot.reports
         try:
-            if "item" in query:
-                reports = [r for r in reports if str(r.item) == query["item"]]
-            if "since" in query:
-                since = int(query["since"])
-                reports = [r for r in reports if r.report_window >= since]
-            limit = int(query["limit"]) if "limit" in query else None
-        except ValueError as exc:
-            return 400, {"error": f"bad query parameter: {exc}"}
+            window_range = query_range(query)
+            since = query_int(query, "since", minimum=0)
+            limit = query_int(query, "limit", minimum=0)
+        except BadParameter as exc:
+            return 400, {"error": str(exc)}
+        if window_range is not None and self.temporal is not None:
+            # Served from the temporal store's immutable published
+            # snapshot: the dyadic cover of [a, b], report streams
+            # filtered by window stamp (exact at any coarsening).
+            reports = self.temporal.range_reports(
+                window_range.start, window_range.end
+            )
+        else:
+            reports = list(snapshot.reports)
+            if window_range is not None:
+                reports = [
+                    r for r in reports
+                    if window_range.start <= r.report_window <= window_range.end
+                ]
+        if "item" in query:
+            reports = [r for r in reports if str(r.item) == query["item"]]
+        if since is not None:
+            reports = [r for r in reports if r.report_window >= since]
         total = len(reports)
         if limit is not None:
             reports = reports[:limit]
-        return 200, {
+        body = {
             "window": snapshot.window,
             "total": total,
             "reports": [report_to_dict(r) for r in reports],
+        }
+        if window_range is not None:
+            body["range"] = {
+                "start": window_range.start, "end": window_range.end,
+                "source": "temporal" if self.temporal is not None else "snapshot",
+            }
+        return 200, body
+
+    def _history_response(self, query: dict):
+        if self.temporal is None:
+            return 400, {"error": "temporal store not configured"}
+        try:
+            limit = query_int(query, "limit", minimum=0)
+        except BadParameter as exc:
+            return 400, {"error": str(exc)}
+        snapshot = self.temporal.snapshot
+        nodes = self.temporal.history()
+        if limit is not None:
+            nodes = nodes[-limit:]
+        return 200, {
+            "base": snapshot.base,
+            "tip": snapshot.tip,
+            "windows_observed": snapshot.windows_observed,
+            "items_observed": snapshot.items_observed,
+            "depth": snapshot.depth,
+            "coarsenings": snapshot.coarsenings,
+            "nodes": nodes,
         }
 
     def _service_stats(self) -> dict:

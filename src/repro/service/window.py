@@ -158,12 +158,30 @@ class ServiceSnapshot:
 
 
 class WindowManager:
-    """Single-writer gateway to the engine (see module docstring)."""
+    """Single-writer gateway to the engine (see module docstring).
 
-    def __init__(self, engine, window_size: int, micro_batch: int):
+    ``temporal`` optionally attaches a
+    :class:`repro.temporal.store.TemporalStore`.  When the engine
+    already owns one (``ShardedXSketch(temporal=...)``), the engine
+    feeds it at its own window boundaries and the manager only exposes
+    it for queries; otherwise the manager feeds the store itself —
+    arrivals on ingest, reports (plus a single-sketch snapshot inside
+    the store's fidelity horizon) at each window close.  Either way the
+    feed happens on the engine-lock thread, so temporal queries read a
+    published store snapshot and never contend with ingest.
+    """
+
+    def __init__(self, engine, window_size: int, micro_batch: int,
+                 temporal=None):
         self.adapter = engine if isinstance(engine, EngineAdapter) else EngineAdapter(engine)
         self.window_size = window_size
         self.micro_batch = micro_batch
+        engine_store = getattr(self.adapter.engine, "temporal", None)
+        self.temporal = temporal if temporal is not None else engine_store
+        #: True when the manager (not the engine) drives the store
+        self._feed_temporal = (
+            temporal is not None and temporal is not engine_store
+        )
         self._lock = asyncio.Lock()
         self._pending: List[ItemId] = []
         #: items already in the open window (pending + handed to engine)
@@ -255,14 +273,48 @@ class WindowManager:
             return
         batch, self._pending = self._pending, []
         self.engine_batches += 1
-        await asyncio.to_thread(self.adapter.ingest_batch, batch)
+        await asyncio.to_thread(self._engine_ingest, batch)
+
+    def _engine_ingest(self, batch: List[ItemId]) -> None:
+        if self._feed_temporal:
+            self.temporal.observe_items(batch)
+        self.adapter.ingest_batch(batch)
 
     async def _close_window_locked(self) -> None:
         await self._ingest_pending()
-        await asyncio.to_thread(self.adapter.flush_window)
+        await asyncio.to_thread(self._engine_flush, self.windows_closed)
         self.windows_closed += 1
         self.items_window = 0
         self._publish_snapshot()
+
+    def _engine_flush(self, closed_window: int) -> List[SimplexReport]:
+        reports = self.adapter.flush_window()
+        if self._feed_temporal:
+            self.temporal.on_window(
+                closed_window,
+                reports if reports is not None else [],
+                snapshot_fn=self._temporal_snapshot_fn(),
+            )
+        return reports
+
+    def _temporal_snapshot_fn(self):
+        """A thunk producing the engine's full-sketch snapshot, if it can.
+
+        A sharded engine compacts via ``merged_sketch`` (memoized per
+        window); a plain X-Sketch snapshots directly; stub engines
+        (tests) contribute no as-of payloads.
+        """
+        engine = self.adapter.engine
+        merged = getattr(engine, "merged_sketch", None)
+        if merged is not None:
+            from repro.core.serialize import snapshot_xsketch
+
+            return lambda: snapshot_xsketch(merged())
+        if hasattr(engine, "stage1") and hasattr(engine, "config"):
+            from repro.core.serialize import snapshot_xsketch
+
+            return lambda: snapshot_xsketch(engine)
+        return None
 
     def _publish_snapshot(self) -> None:
         self.snapshot = ServiceSnapshot(

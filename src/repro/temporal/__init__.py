@@ -1,0 +1,46 @@
+"""``repro.temporal``: the time-travel tier (docs/TEMPORAL.md).
+
+Everything else in this codebase answers "what is simplex *now*"; this
+package answers "what was simplex *then*".  Following Hokusai
+(PAPERS.md), a :class:`TemporalStore` subscribes to window boundaries —
+of a :class:`~repro.runtime.ShardedXSketch` (``temporal=``) or of the
+service's :class:`~repro.service.window.WindowManager` — and retains,
+per window, the simplex reports plus a Hokusai-style frequency sketch
+of that window's arrivals.  Recent windows additionally carry a full
+merged X-Sketch snapshot (time travel of the whole engine state).
+
+Retention is a dyadic ladder: level-``L`` nodes cover ``2**L`` windows,
+each level keeps a bounded number of nodes, and overflowing siblings
+merge into their parent (frequency sketches add counter-wise — the
+exactly-mergeable half of the six-way ``merge()`` coverage — and report
+streams concatenate in canonical order), so the ladder holds
+``O(log W)`` nodes regardless of stream length.  A cold on-disk tier
+(:mod:`repro.temporal.coldtier`, same manifest conventions as
+``repro/runtime/checkpoint.py``) spills old node payloads and restores
+whole stores.
+
+Range queries compose the minimal set of retained nodes covering
+``[a, b]``: report queries are *exact* (reports carry their window
+stamp), frequency queries are one-sided upper bounds whose slack grows
+with coarsening age — the Hokusai trade.
+"""
+
+from repro.temporal.coldtier import ColdTier, restore_store
+from repro.temporal.ladder import DyadicLadder
+from repro.temporal.node import LadderNode
+from repro.temporal.policy import TemporalPolicy
+from repro.temporal.query import RangeQuery, parse_range, rank_growth
+from repro.temporal.store import TemporalSnapshot, TemporalStore
+
+__all__ = [
+    "ColdTier",
+    "DyadicLadder",
+    "LadderNode",
+    "RangeQuery",
+    "TemporalPolicy",
+    "TemporalSnapshot",
+    "TemporalStore",
+    "parse_range",
+    "rank_growth",
+    "restore_store",
+]

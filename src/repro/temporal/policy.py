@@ -1,0 +1,100 @@
+"""Retention policy of the temporal store.
+
+The policy is the adaptive knob Sublime (PAPERS.md) argues for: rather
+than a fixed retention horizon, the ladder keeps *resolution* bounded
+(``level_capacity`` finished nodes per dyadic level) so total state is
+``O(level_capacity * log W)`` however long the stream runs, and the
+fidelity / spill horizons trade recall depth against memory and disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Default per-window frequency-sketch budget (KB).  Small on purpose:
+#: the ladder holds O(log W) of these, each mergeable counter-wise.
+DEFAULT_FREQ_KB = 4.0
+
+#: Default finished-node capacity per ladder level (Hokusai keeps ~2).
+DEFAULT_LEVEL_CAPACITY = 2
+
+#: Default number of recent windows whose nodes keep a full merged
+#: X-Sketch snapshot (deep time travel); older nodes keep only the
+#: frequency sketch and the report stream.
+DEFAULT_FIDELITY_WINDOWS = 4
+
+
+@dataclass(frozen=True)
+class TemporalPolicy:
+    """Knobs of a :class:`~repro.temporal.store.TemporalStore`.
+
+    Attributes:
+        freq_memory_kb: counter memory of each node's frequency sketch
+            (a Count-Min over that node's window span; exact merge).
+        freq_depth: hash rows of the frequency sketch.
+        level_capacity: finished nodes retained per dyadic level before
+            the two oldest aligned siblings coarsen into their parent.
+            Total ladder size is ``O(level_capacity * log W)``.
+        fidelity_windows: how many of the most recent windows keep the
+            full merged X-Sketch snapshot (``0`` disables deep
+            time-travel snapshots entirely).
+        spill_dir: when set, node payloads beyond ``hot_payloads`` are
+            written to this directory (cold tier) and reloaded on
+            demand; ``None`` keeps everything hot.
+        hot_payloads: maximum node payloads held in memory before the
+            oldest spill to the cold tier (only with ``spill_dir``).
+        track_reports: retain per-node report streams (the exact query
+            currency).  Disabling keeps only frequency history.
+    """
+
+    freq_memory_kb: float = DEFAULT_FREQ_KB
+    freq_depth: int = 3
+    level_capacity: int = DEFAULT_LEVEL_CAPACITY
+    fidelity_windows: int = DEFAULT_FIDELITY_WINDOWS
+    spill_dir: Optional[str] = None
+    hot_payloads: int = 16
+    track_reports: bool = True
+
+    def __post_init__(self) -> None:
+        if self.freq_memory_kb <= 0:
+            raise ConfigurationError(
+                f"freq_memory_kb must be positive, got {self.freq_memory_kb}"
+            )
+        if self.freq_depth <= 0:
+            raise ConfigurationError(
+                f"freq_depth must be positive, got {self.freq_depth}"
+            )
+        if self.level_capacity < 1:
+            raise ConfigurationError(
+                f"level_capacity must be >= 1, got {self.level_capacity}"
+            )
+        if self.fidelity_windows < 0:
+            raise ConfigurationError(
+                f"fidelity_windows must be >= 0, got {self.fidelity_windows}"
+            )
+        if self.hot_payloads < 1:
+            raise ConfigurationError(
+                f"hot_payloads must be >= 1, got {self.hot_payloads}"
+            )
+
+    @property
+    def freq_bytes(self) -> int:
+        return int(self.freq_memory_kb * 1024)
+
+    def spec(self) -> dict:
+        """JSON-safe rendering for the cold-tier manifest."""
+        return {
+            "freq_memory_kb": self.freq_memory_kb,
+            "freq_depth": self.freq_depth,
+            "level_capacity": self.level_capacity,
+            "fidelity_windows": self.fidelity_windows,
+            "hot_payloads": self.hot_payloads,
+            "track_reports": self.track_reports,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, spill_dir: Optional[str] = None) -> "TemporalPolicy":
+        return cls(spill_dir=spill_dir, **spec)

@@ -1,0 +1,108 @@
+"""Range-query semantics over the dyadic ladder.
+
+Query grammar: a window range is ``a:b`` — two non-negative integers,
+``a <= b``, both *inclusive* window ids (window ids are 0-based and
+stamped on every report as ``report_window``).  Composition rules:
+
+reports
+    union of the covering nodes' report streams, filtered to
+    ``a <= report_window <= b``, canonical order.  Exact at any
+    coarsening, because reports keep their window stamps.
+frequency
+    ``merge_all`` over copies of the covering nodes' frequency
+    sketches, then one CM point query.  Exact relative to a direct
+    merge of the per-window sketches whenever the cover partitions
+    ``[a, b]`` exactly; when coarsening has merged past a bound the
+    cover is wider than the query and the answer is a one-sided upper
+    bound (never an undercount).
+growth
+    reports in range ranked by their leading fitted coefficient
+    ``a_k`` (for ``k = 1`` that is the linear growth rate), one row
+    per item keeping its steepest report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compat import FrozenSlots
+from repro.core.reports import SimplexReport
+from repro.core.xsketch import report_order
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RangeQuery(FrozenSlots):
+    """A validated inclusive window range."""
+
+    __slots__ = ("start", "end")
+
+    start: int
+    end: int
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+
+def parse_range(text: str) -> RangeQuery:
+    """Parse and validate ``"a:b"`` (raises :class:`ConfigurationError`).
+
+    The service maps the error to a 400; the CLI to an argument error.
+    """
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise ConfigurationError(
+            f"range must be 'a:b' (inclusive window ids), got {text!r}"
+        )
+    try:
+        start, end = int(head), int(tail)
+    except ValueError:
+        raise ConfigurationError(
+            f"range bounds must be integers, got {text!r}"
+        ) from None
+    if start < 0 or end < 0:
+        raise ConfigurationError(f"range bounds must be >= 0, got {text!r}")
+    if start > end:
+        raise ConfigurationError(
+            f"range start must not exceed end, got {text!r}"
+        )
+    return RangeQuery(start, end)
+
+
+def compose_reports(
+    nodes: Sequence, a: int, b: int
+) -> List[SimplexReport]:
+    """Exact range report stream from a covering node set."""
+    selected = [
+        report
+        for node in nodes
+        for report in node.reports
+        if a <= report.report_window <= b
+    ]
+    selected.sort(key=report_order)
+    return selected
+
+
+def rank_growth(
+    reports: Sequence[SimplexReport], top: int
+) -> List[Tuple[SimplexReport, float]]:
+    """The ``top`` steepest items by leading fitted coefficient.
+
+    One entry per item (its steepest report in the range), descending
+    by ``coefficients[-1]``; ties break on the canonical report order
+    so the ranking is deterministic across backends.
+    """
+    best: Dict = {}
+    for report in reports:
+        slope = report.coefficients[-1] if report.coefficients else 0.0
+        kept = best.get(report.item)
+        if kept is None or slope > kept[1] or (
+            slope == kept[1] and report_order(report) < report_order(kept[0])
+        ):
+            best[report.item] = (report, slope)
+    ranked = sorted(
+        best.values(), key=lambda entry: (-entry[1], report_order(entry[0]))
+    )
+    return ranked[:top]

@@ -1,0 +1,101 @@
+"""merged_sketch() memoization and the coordinator→temporal wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.errors import RuntimeShardError
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.sharded import ShardedXSketch
+from repro.temporal import TemporalPolicy, TemporalStore
+
+SEED = 11
+
+
+def _config(memory_kb=60.0):
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=memory_kb)
+
+
+def _engine(**kwargs):
+    return ShardedXSketch(
+        _config(), n_shards=2, seed=SEED, backend="inline", **kwargs
+    )
+
+
+class TestMergedSketchMemo:
+    def test_repeated_calls_return_same_object_within_window(self):
+        with _engine() as sharded:
+            sharded.run_window([f"i{n % 7}" for n in range(100)])
+            first = sharded.merged_sketch()
+            second = sharded.merged_sketch()
+            assert second is first
+            assert sharded.merge_count == 1  # one compaction, not two
+
+    def test_new_data_invalidates_the_memo(self):
+        with _engine() as sharded:
+            sharded.run_window([f"i{n % 7}" for n in range(100)])
+            cached = sharded.merged_sketch()
+            sharded.ingest_batch(["fresh"])
+            sharded.flush_window()
+            assert sharded.merged_sketch() is not cached
+
+    def test_window_boundary_invalidates_the_memo(self):
+        with _engine() as sharded:
+            sharded.run_window(["a", "b", "a"])
+            cached = sharded.merged_sketch()
+            sharded.flush_window()  # empty window still moves the boundary
+            assert sharded.merged_sketch() is not cached
+
+    def test_memoized_sketch_carries_fresh_reports(self, controlled_trace):
+        """The memo key is the window id; the report list is refreshed on
+        every call so it never lags the coordinator's."""
+        with _engine() as sharded:
+            for window in controlled_trace.windows():
+                sharded.run_window(window)
+            merged = sharded.merged_sketch()
+            assert merged.reports == sharded.report()
+            assert sharded.merged_sketch().reports == sharded.report()
+
+    def test_memo_respects_boundary_only_contract(self):
+        with _engine() as sharded:
+            sharded.run_window(["a"] * 10)
+            sharded.merged_sketch()
+            sharded.insert("pending")  # buffered, not yet dispatched
+            with pytest.raises(RuntimeShardError):
+                sharded.merged_sketch()
+
+
+class TestEngineTemporalWiring:
+    def test_engine_feeds_store_at_each_boundary(self):
+        store = TemporalStore(
+            TemporalPolicy(freq_memory_kb=1.0, fidelity_windows=2), seed=SEED
+        )
+        with _engine(temporal=store) as sharded:
+            for window in range(10):
+                sharded.run_window([f"i{n % 5}" for n in range(60)])
+        assert store.windows_observed == 10
+        assert store.items_observed == 600
+        assert store.snapshot.tip == 10
+        assert store.range_frequency("i0", 0, 9) >= 10 * 60 // 5
+
+    def test_engine_range_reports_match_report_stream(self):
+        store = TemporalStore(TemporalPolicy(freq_memory_kb=1.0), seed=SEED)
+        with _engine(temporal=store) as sharded:
+            base = [f"i{n % 9}" for n in range(80)]
+            for window in range(12):
+                sharded.run_window(base + ["grower"] * (4 * window + 1))
+            assert store.range_reports(0, 11) == sharded.report()
+
+    def test_asof_snapshot_rides_the_memo(self):
+        store = TemporalStore(
+            TemporalPolicy(freq_memory_kb=1.0, fidelity_windows=3), seed=SEED
+        )
+        with _engine(temporal=store) as sharded:
+            for window in range(8):
+                sharded.run_window([f"i{n % 5}" for n in range(40)])
+            got = store.sketch_asof(7)
+            assert got is not None
+            window, sketch = got
+            assert window == 7
+            assert sketch.window == sharded.window

@@ -1,0 +1,132 @@
+"""Cold-tier spill, transparent reload, and full save/restore round trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.temporal import TemporalPolicy, TemporalStore, restore_store
+from repro.temporal.coldtier import MANIFEST_NAME
+from tests.test_temporal.test_store import make_report
+
+SEED = 42
+
+
+def spilling_store(tmp_path, windows=64, hot_payloads=3, level_capacity=2):
+    policy = TemporalPolicy(
+        freq_memory_kb=1.0,
+        level_capacity=level_capacity,
+        hot_payloads=hot_payloads,
+        spill_dir=str(tmp_path / "spill"),
+        fidelity_windows=2,
+    )
+    store = TemporalStore(policy, seed=SEED)
+    rng = random.Random(SEED)
+    for window in range(windows):
+        store.observe_items([f"i{rng.randrange(20)}" for _ in range(50)])
+        store.on_window(
+            window,
+            [make_report(f"i{window % 4}", window, slope=0.2)],
+            snapshot_fn=lambda: {"marker": window},
+        )
+    return store
+
+
+class TestSpill:
+    def test_hot_payload_cap_enforced(self, tmp_path):
+        store = spilling_store(tmp_path)
+        hot = [n for n in store.snapshot.nodes if not n.spilled]
+        spilled = [n for n in store.snapshot.nodes if n.spilled]
+        assert len(hot) <= store.policy.hot_payloads
+        assert spilled, "64 windows with hot cap 3 must have spilled"
+        assert store.spills >= len(spilled)
+        for node in spilled:
+            assert node.freq is None and node.reports == ()
+            assert node.memory_bytes == 0
+        assert store.cold.bytes_on_disk > 0
+
+    def test_queries_transparent_over_spilled_region(self, tmp_path):
+        store = spilling_store(tmp_path)
+        before = store.cold_loads
+        reports = store.range_reports(0, 15)
+        assert [r.report_window for r in reports] == list(range(16))
+        assert store.cold_loads > before
+        # spilled nodes stay stubs after the read (load does not re-hydrate)
+        assert any(n.spilled for n in store.snapshot.covering(0, 15))
+        assert store.range_frequency("i0", 0, 63) > 0
+
+    def test_retired_files_are_discarded(self, tmp_path):
+        store = spilling_store(tmp_path)
+        spilled = sum(1 for n in store.snapshot.nodes if n.spilled)
+        on_disk = len(list((tmp_path / "spill").glob("node-*.json")))
+        # exactly one file per currently-spilled node: parents that
+        # absorbed spilled children removed the children's files.
+        assert on_disk == spilled
+        assert store.ladder.coarsenings > 0
+
+    def test_spilled_node_without_cold_tier_raises(self):
+        store = TemporalStore(TemporalPolicy(freq_memory_kb=1.0))
+        store.observe_items(["x"])
+        store.on_window(0, [])
+        node = store.snapshot.nodes[0]
+        node.spilled = True
+        try:
+            with pytest.raises(ConfigurationError):
+                store.payload_of(node)
+        finally:
+            node.spilled = False
+
+
+class TestSaveRestore:
+    def test_round_trip_is_lossless(self, tmp_path):
+        store = spilling_store(tmp_path)
+        save_dir = tmp_path / "saved"
+        store.save(save_dir)
+        restored = restore_store(save_dir)
+
+        assert restored.snapshot.base == store.snapshot.base
+        assert restored.snapshot.tip == store.snapshot.tip
+        assert restored.windows_observed == store.windows_observed
+        assert restored.items_observed == store.items_observed
+        assert restored.snapshot.coarsenings == store.snapshot.coarsenings
+        assert all(not n.spilled for n in restored.snapshot.nodes)
+        assert restored.range_reports(0, 63) == store.range_reports(0, 63)
+        for item in [f"i{i}" for i in range(20)]:
+            assert restored.range_frequency(item, 0, 63) == \
+                store.range_frequency(item, 0, 63)
+        # asof payloads survive the trip (spilled ones re-read from cold)
+        stamps = [n.asof for n in restored.snapshot.nodes if n.asof is not None]
+        assert stamps, "fidelity snapshots must be persisted"
+
+    def test_restored_store_keeps_ingesting(self, tmp_path):
+        store = spilling_store(tmp_path, windows=16)
+        save_dir = tmp_path / "saved"
+        store.save(save_dir)
+        restored = restore_store(save_dir)
+        restored.observe_items(["fresh"] * 7)
+        restored.on_window(16, [])
+        assert restored.snapshot.tip == 17
+        assert restored.range_frequency("fresh", 16, 16) == 7
+
+    def test_restore_rejects_foreign_manifest(self, tmp_path):
+        store = spilling_store(tmp_path, windows=8)
+        save_dir = tmp_path / "saved"
+        store.save(save_dir)
+        manifest = json.loads((save_dir / MANIFEST_NAME).read_text())
+        manifest["kind"] = "sharded-checkpoint"
+        (save_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError):
+            restore_store(save_dir)
+
+    def test_restore_with_spill_dir_can_spill_again(self, tmp_path):
+        store = spilling_store(tmp_path, windows=32)
+        save_dir = tmp_path / "saved"
+        store.save(save_dir)
+        restored = restore_store(save_dir, spill_dir=str(tmp_path / "spill2"))
+        for window in range(32, 48):
+            restored.observe_items(["y"] * 5)
+            restored.on_window(window, [])
+        hot = [n for n in restored.snapshot.nodes if not n.spilled]
+        assert len(hot) <= restored.policy.hot_payloads
+        assert restored.range_frequency("y", 32, 47) == 80

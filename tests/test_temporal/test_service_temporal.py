@@ -1,0 +1,254 @@
+"""Live-service temporal routes vs offline composition, and the 400 paths.
+
+Acceptance test lives here: a live ``GET /reports?range=a:b`` must be
+identical to the offline ``merge_all``-composed answer for disjoint
+ranges of the same seeded trace.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.xsketch import report_order
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.service.window import report_to_dict
+from repro.streams.datasets import make_dataset
+from repro.temporal import TemporalPolicy, TemporalStore
+
+from tests.test_service.helpers import RecordingEngine, http_request
+
+SEED = 42
+WINDOWS = 12
+WINDOW_SIZE = 400
+RANGES = [(0, 2), (4, 6), (8, 11)]  # >= 3 disjoint ranges
+
+BAD_PARAM_PATHS = [
+    "/reports?range=7:3",
+    "/reports?range=abc",
+    "/reports?range=5",
+    "/reports?range=-2:4",
+    "/reports?since=xyz",
+    "/reports?limit=--",
+    "/reports?range=0:3&limit=-1",
+    "/history?limit=nope",
+]
+
+
+def sketch_config():
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0)
+
+
+def temporal_policy():
+    return TemporalPolicy(freq_memory_kb=2.0, level_capacity=2,
+                          fidelity_windows=2)
+
+
+def temporal_engine():
+    return ShardedXSketch(
+        sketch_config(), n_shards=2, seed=SEED, backend="inline",
+        temporal=TemporalStore(temporal_policy(), seed=SEED),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_dataset("ip_trace", WINDOWS, WINDOW_SIZE, SEED)
+
+
+@pytest.fixture(scope="module")
+def offline(trace):
+    """The offline comparator: same trace, same engine, own store; range
+    answers composed with merge_all over the dyadic cover."""
+    engine = temporal_engine()
+    per_window = [engine.run_window(window) for window in trace.windows()]
+    engine.close()
+    return engine.temporal, per_window
+
+
+@pytest.fixture(scope="module")
+def served(trace):
+    """One drained service over the same trace; HTTP answers captured live."""
+
+    async def scenario():
+        service = StreamService(
+            temporal_engine(),
+            ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128),
+        )
+        await service.start()
+        in_host, in_port = service.ingest_address
+        await replay_trace(trace, in_host, in_port, connections=1, batch_size=100)
+        host, port = service.http_address
+        live = {}
+        for a, b in RANGES:
+            live[(a, b)] = await http_request(host, port, f"/reports?range={a}:{b}")
+        live["history"] = await http_request(host, port, "/history")
+        live["metrics"] = await http_request_text(host, port, "/metrics")
+        live["bad"] = {
+            path: await http_request(host, port, path) for path in BAD_PARAM_PATHS
+        }
+        live["filtered"] = await http_request(
+            host, port, f"/reports?range=0:{WINDOWS - 1}&limit=2"
+        )
+        await service.stop()
+        return service, live
+
+    return asyncio.run(scenario())
+
+
+async def http_request_text(host, port, path):
+    """Like helpers.http_request but for text bodies (/metrics)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, raw = response.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), raw.decode("utf-8")
+
+
+class TestLiveRangeQueries:
+    def test_live_ranges_match_offline_merge(self, served, offline):
+        """The acceptance criterion: three disjoint live range answers,
+        each identical to the offline merge_all composition AND to a
+        direct per-window filter."""
+        _, live = served
+        store, per_window = offline
+        for a, b in RANGES:
+            status, body = live[(a, b)]
+            assert status == 200
+            assert body["range"] == {"start": a, "end": b, "source": "temporal"}
+            composed = [report_to_dict(r) for r in store.range_reports(a, b)]
+            assert body["reports"] == composed, (a, b)
+            direct = sorted(
+                (r for w in range(a, b + 1) for r in per_window[w]),
+                key=report_order,
+            )
+            assert body["reports"] == [report_to_dict(r) for r in direct]
+            assert body["total"] == len(composed)
+
+    def test_live_temporal_store_tracks_every_window(self, served):
+        service, _ = served
+        assert service.temporal is not None
+        assert service.temporal.snapshot.tip == WINDOWS
+        assert service.temporal.windows_observed == WINDOWS
+        assert service.temporal.items_observed == WINDOWS * WINDOW_SIZE
+
+    def test_history_route(self, served):
+        _, live = served
+        status, body = live["history"]
+        assert status == 200
+        assert body["base"] == 0 and body["tip"] == WINDOWS
+        assert body["windows_observed"] == WINDOWS
+        assert body["nodes"], "ladder must not be empty"
+        edge = 0
+        for row in body["nodes"]:
+            assert row["start"] == edge
+            edge = row["end"]
+        assert edge == WINDOWS
+
+    def test_limit_applies_after_range(self, served):
+        _, live = served
+        status, body = live["filtered"]
+        assert status == 200
+        assert len(body["reports"]) <= 2
+        assert body["total"] >= len(body["reports"])
+
+    def test_metrics_expose_temporal_series(self, served):
+        _, live = served
+        status, text = live["metrics"]
+        assert status == 200
+        for name in (
+            "temporal_nodes",
+            "temporal_ladder_depth",
+            "temporal_windows_covered",
+            "temporal_windows_total",
+            "temporal_coarsenings_total",
+            "temporal_range_queries_total",
+            "temporal_query_nodes",
+        ):
+            assert name in text, name
+
+
+class TestBadParameters:
+    def test_malformed_params_are_400_json(self, served):
+        """Satellite: ``range=b:a`` and friends are client errors with a
+        JSON body, never 500s."""
+        _, live = served
+        for path, (status, body) in live["bad"].items():
+            assert status == 400, path
+            assert "error" in body, path
+
+    def test_reports_range_without_temporal_falls_back_to_snapshot(self):
+        """An engine with no store still answers range queries from the
+        published snapshot (filtered by report_window)."""
+
+        async def scenario():
+            service = StreamService(
+                RecordingEngine(), ServiceConfig(window_size=50, micro_batch=25)
+            )
+            await service.start()
+            host, port = service.http_address
+            ok = await http_request(host, port, "/reports?range=0:5")
+            bad = await http_request(host, port, "/reports?range=5:0")
+            history = await http_request(host, port, "/history")
+            await service.stop()
+            return service, ok, bad, history
+
+        service, ok, bad, history = asyncio.run(scenario())
+        assert service.temporal is None
+        assert ok[0] == 200
+        assert ok[1]["range"]["source"] == "snapshot"
+        assert bad[0] == 400
+        assert history[0] == 400
+        assert "temporal" in history[1]["error"]
+
+
+class TestExplicitStoreAttachment:
+    def test_service_feeds_store_for_plain_engine(self, trace):
+        """Passing ``temporal=`` to the service wires feeding through the
+        window manager when the engine has no store of its own."""
+        store = TemporalStore(temporal_policy(), seed=SEED)
+
+        async def scenario():
+            service = StreamService(
+                RecordingEngine(),
+                ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128),
+                temporal=store,
+            )
+            await service.start()
+            host, port = service.ingest_address
+            await replay_trace(trace, host, port, connections=1, batch_size=100)
+            await service.stop()
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.temporal is store
+        assert store.windows_observed == WINDOWS
+        assert store.items_observed == WINDOWS * WINDOW_SIZE
+        first_item = next(iter(trace.windows()))[0]
+        assert store.range_frequency(str(first_item), 0, WINDOWS - 1) > 0
+
+    def test_engine_store_not_double_fed(self, trace):
+        """When the engine owns the store, the manager must not feed it a
+        second time (window ids would collide immediately)."""
+        engine = temporal_engine()
+        store = engine.temporal
+
+        async def scenario():
+            service = StreamService(
+                engine, ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128)
+            )
+            await service.start()
+            host, port = service.ingest_address
+            await replay_trace(trace, host, port, connections=1, batch_size=100)
+            await service.stop()
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.temporal is store
+        assert store.windows_observed == WINDOWS
+        assert store.items_observed == WINDOWS * WINDOW_SIZE
