@@ -1,0 +1,273 @@
+"""Extension bench: read fan-out through the replica tier.
+
+Not a paper figure.  The replica tier (docs/REPLICA.md) exists to scale
+*reads* without taxing the write path, so this bench measures both
+halves of that claim on loopback:
+
+* **Aggregate query throughput** — the same pool of query worker
+  processes hammers ``/reports?range=a:b`` first against the primary
+  alone, then spread across two replica processes.  Each replica is its
+  own process (its own interpreter and event loop), so on a
+  multi-core host the aggregate should approach 2x; the acceptance
+  gate (>= 1.5x at 2 replicas) only applies when the host actually has
+  >= 2 CPUs — on a single core the processes time-slice one another
+  and the ratio is meaningless.
+* **Ingest cost of publishing** — the same trace is replayed into a
+  service without a publisher and into one publishing to two live
+  subscribers; the two Mops figures land side by side in
+  ``BENCH_replica.json``.  Publishing adds one slim summary + delta
+  fan-out per *boundary*, so the per-item cost should vanish.
+
+Workers are module-level functions spawned through the ``spawn``
+context (repo spawn-safety rules); results travel over queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import http.client
+import multiprocessing
+import os
+import time
+
+from conftest import BENCH_SEED, run_once, write_bench_json
+from repro.config import XSketchConfig
+from repro.experiments.harness import SeriesTable
+from repro.fitting.simplex import SimplexTask
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.runtime.sharded import ShardedXSketch
+from repro.streams.datasets import make_dataset
+from repro.temporal import TemporalPolicy, TemporalStore
+
+N_WINDOWS = 10
+WINDOW_SIZE = 4_000
+N_REPLICAS = 2
+QUERY_WORKERS = 4
+QUERY_SECONDS = 1.5
+QUERY_PATH = f"/reports?range=1:{N_WINDOWS - 2}"
+
+
+def _engine():
+    return ShardedXSketch(
+        XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=60.0),
+        n_shards=2, seed=BENCH_SEED, backend="inline",
+        temporal=TemporalStore(
+            TemporalPolicy(freq_memory_kb=2.0, level_capacity=2),
+            seed=BENCH_SEED,
+        ),
+    )
+
+
+def _service(publish: bool) -> StreamService:
+    return StreamService(
+        _engine(),
+        ServiceConfig(
+            window_size=WINDOW_SIZE, micro_batch=512,
+            publish_port=0 if publish else None, publish_heartbeat=0.25,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# worker processes (module-level: spawn-safe by construction)
+
+def replica_worker(subscribe_host, subscribe_port, ready_queue, stop_event):
+    """Run one ReplicaServer until ``stop_event`` is set; report its
+    HTTP address on ``ready_queue`` once the first sync lands."""
+    from repro.replica import ReplicaConfig, ReplicaServer
+
+    async def run():
+        replica = ReplicaServer(
+            ReplicaConfig(subscribe_host, subscribe_port,
+                          reconnect_seconds=0.1)
+        )
+        await replica.start()
+        await replica.wait_synced()
+        ready_queue.put(replica.http_address)
+        while not stop_event.is_set():
+            await asyncio.sleep(0.05)
+        await replica.stop()
+
+    asyncio.run(run())
+
+
+def query_worker(host, port, path, duration, result_queue):
+    """Issue sequential one-shot GETs for ``duration`` seconds; report
+    how many completed."""
+    count = 0
+    deadline = time.perf_counter() + duration
+    while time.perf_counter() < deadline:
+        conn = http.client.HTTPConnection(host, port)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status == 200:
+                response.read()
+                count += 1
+        finally:
+            conn.close()
+    result_queue.put(count)
+
+
+# ----------------------------------------------------------------------
+# phases
+
+async def _poll_healthz(host, port, want_seq, timeout=30.0):
+    """Wait until a replica's pinned sequence reaches ``want_seq``."""
+    import json
+
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        with contextlib.suppress(OSError, ValueError):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                f"GET /healthz HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            body = json.loads(raw.partition(b"\r\n\r\n")[2])
+            if body.get("snapshot_seq", -1) >= want_seq:
+                return
+        await asyncio.sleep(0.1)
+    raise AssertionError(f"replica at {host}:{port} never reached {want_seq}")
+
+
+async def _measure_queries(targets, duration):
+    """Aggregate completed queries/sec across QUERY_WORKERS processes
+    striped over ``targets`` (list of (host, port))."""
+    ctx = multiprocessing.get_context("spawn")
+    results = ctx.Queue()
+    workers = []
+    for i in range(QUERY_WORKERS):
+        host, port = targets[i % len(targets)]
+        proc = ctx.Process(
+            target=query_worker,
+            args=(host, port, QUERY_PATH, duration, results),
+        )
+        proc.start()
+        workers.append(proc)
+    total = 0
+    for _ in workers:
+        total += await asyncio.to_thread(results.get)
+    for proc in workers:
+        proc.join()
+    return total / duration
+
+
+async def _baseline_ingest(trace):
+    service = _service(publish=False)
+    await service.start()
+    stats = await replay_trace(
+        trace, *service.ingest_address, connections=1, batch_size=512
+    )
+    await service.stop()
+    assert service.failure is None
+    return stats.mops
+
+
+async def _replicated_run(trace):
+    """Ingest with two live subscribers, then race the query pool
+    against the primary alone and against the replica pair."""
+    ctx = multiprocessing.get_context("spawn")
+    service = _service(publish=True)
+    await service.start()
+    pub_host, pub_port = service.publish_address
+    stop_event = ctx.Event()
+    ready = ctx.Queue()
+    replicas = []
+    for _ in range(N_REPLICAS):
+        proc = ctx.Process(
+            target=replica_worker,
+            args=(pub_host, pub_port, ready, stop_event),
+        )
+        proc.start()
+        replicas.append(proc)
+    replica_http = [await asyncio.to_thread(ready.get) for _ in replicas]
+    try:
+        stats = await replay_trace(
+            trace, *service.ingest_address, connections=1, batch_size=512
+        )
+        published_mops = stats.mops
+        want = service.publisher.seq
+        for host, port in replica_http:
+            await _poll_healthz(host, port, want)
+        primary_qps = await _measure_queries(
+            [service.http_address], QUERY_SECONDS
+        )
+        replica_qps = await _measure_queries(replica_http, QUERY_SECONDS)
+    finally:
+        stop_event.set()
+        for proc in replicas:
+            proc.join(timeout=10)
+    await service.stop()
+    assert service.failure is None
+    return published_mops, primary_qps, replica_qps
+
+
+def _sweep():
+    trace = make_dataset("ip_trace", N_WINDOWS, WINDOW_SIZE, BENCH_SEED)
+    direct_mops = asyncio.run(_baseline_ingest(trace))
+    published_mops, primary_qps, replica_qps = asyncio.run(
+        _replicated_run(trace)
+    )
+    speedup = replica_qps / primary_qps if primary_qps else 0.0
+    ingest_ratio = published_mops / direct_mops if direct_mops else 0.0
+    cpus = os.cpu_count() or 1
+    write_bench_json(
+        "BENCH_replica.json",
+        params={
+            "n_windows": N_WINDOWS,
+            "window_size": WINDOW_SIZE,
+            "seed": BENCH_SEED,
+            "engine": "sharded/2-inline+temporal",
+            "replicas": N_REPLICAS,
+            "query_workers": QUERY_WORKERS,
+            "query_path": QUERY_PATH,
+            "query_seconds": QUERY_SECONDS,
+            "cpus": cpus,
+        },
+        results=[
+            {"path": "ingest/direct", "mops": round(direct_mops, 4)},
+            {
+                "path": "ingest/publishing",
+                "mops": round(published_mops, 4),
+                "ratio_vs_direct": round(ingest_ratio, 4),
+            },
+            {"path": "query/primary-only", "qps": round(primary_qps, 2)},
+            {
+                "path": f"query/{N_REPLICAS}-replicas",
+                "qps": round(replica_qps, 2),
+                "speedup": round(speedup, 4),
+            },
+        ],
+    )
+    table = SeriesTable(
+        title=f"Replica read fan-out ({N_REPLICAS} replicas, "
+              f"{QUERY_WORKERS} query workers, {cpus} CPU(s))",
+        x_label="Path",
+        x_values=["primary-only", f"{N_REPLICAS}-replicas"],
+        series={"queries/s": [round(primary_qps, 1), round(replica_qps, 1)]},
+    )
+    return table, direct_mops, published_mops, primary_qps, replica_qps
+
+
+def test_replica_fanout(benchmark, show):
+    table, direct_mops, published_mops, primary_qps, replica_qps = run_once(
+        benchmark, _sweep
+    )
+    show(table)
+    assert direct_mops > 0 and published_mops > 0
+    assert primary_qps > 0 and replica_qps > 0
+    if (os.cpu_count() or 1) >= 2:
+        # The acceptance gate only means something with real parallelism:
+        # each replica process needs a core of its own to add capacity.
+        assert replica_qps >= 1.5 * primary_qps, (
+            f"2-replica fan-out {replica_qps:.1f} q/s < 1.5x primary "
+            f"{primary_qps:.1f} q/s"
+        )
+        assert published_mops >= 0.75 * direct_mops, (
+            "publishing must not tax the ingest path"
+        )

@@ -63,6 +63,26 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _parse_addr(value: str, default_host: Optional[str] = None):
+    """Parse ``HOST:PORT`` (or bare ``PORT`` with a ``default_host``)."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = default_host, value
+    if not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad port in {value!r}: {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port out of range in {value!r}")
+    return host, port
+
+
 def _add_stream_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=ALL_DATASETS, default="ip_trace")
     parser.add_argument("--windows", type=int, default=40, help="number of windows")
@@ -331,10 +351,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # arrival, merged snapshots off its per-window memo); other
             # engines are fed by the window manager.
             engine.temporal = temporal
+    publish_port = None
+    if args.publish is not None:
+        publish_host, publish_port = _parse_addr(args.publish, args.host)
+        if publish_host != args.host:
+            raise SystemExit(
+                f"--publish host {publish_host!r} must match --host "
+                f"{args.host!r} (all listeners bind one interface)"
+            )
     config = ServiceConfig(
         host=args.host,
         ingest_port=args.ingest_port,
         http_port=args.http_port,
+        publish_port=publish_port,
+        publish_history=args.publish_history,
         window_size=args.window_size,
         window_seconds=args.window_seconds,
         micro_batch=args.micro_batch,
@@ -349,9 +379,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await service.start()
         ingest_host, ingest_port = service.ingest_address
         http_host, http_port = service.http_address
+        publish = ""
+        if service.publisher is not None:
+            pub_host, pub_port = service.publish_address
+            publish = f"publish={pub_host}:{pub_port} "
         print(
             f"serving ingest={ingest_host}:{ingest_port} "
-            f"http={http_host}:{http_port} "
+            f"http={http_host}:{http_port} {publish}"
             f"(engine={args.algorithm}, shards={args.shards}, "
             f"window_size={config.window_size}, overload={config.overload})",
             flush=True,
@@ -389,6 +423,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if service.failure is not None:
         print(f"engine failure: {service.failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_replica(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.replica import ReplicaConfig, ReplicaServer
+
+    try:
+        subscribe_host, subscribe_port = _parse_addr(args.subscribe)
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"--subscribe: {exc}") from None
+    config = ReplicaConfig(
+        subscribe_host=subscribe_host,
+        subscribe_port=subscribe_port,
+        host=args.host,
+        http_port=args.http_port,
+        reconnect_seconds=args.reconnect_seconds,
+    )
+
+    async def _run() -> ReplicaServer:
+        replica = ReplicaServer(config)
+        await replica.start()
+        http_host, http_port = replica.http_address
+        print(
+            f"replica http={http_host}:{http_port} "
+            f"subscribed={subscribe_host}:{subscribe_port}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # non-unix
+                loop.add_signal_handler(signum, stop.set)
+        if args.duration is not None:
+            loop.call_later(args.duration, stop.set)
+        await stop.wait()
+        await replica.stop()
+        return replica
+
+    replica = asyncio.run(_run())
+    state = replica.state
+    print(
+        f"replica stopped: seq={state.seq if state is not None else None} "
+        f"window={state.window if state is not None else None} "
+        f"full_syncs={replica.full_syncs} deltas={replica.deltas_applied} "
+        f"reconnects={replica.reconnects} queries={replica.queries}",
+        flush=True,
+    )
     return 0
 
 
@@ -719,7 +803,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the whole temporal store here on drain "
         "(readable by 'repro history --store DIR')",
     )
+    serve.add_argument(
+        "--publish", default=None, metavar="[HOST:]PORT",
+        help="stream sequenced slim snapshots to read replicas on this "
+        "port at every window boundary (0 = ephemeral; docs/REPLICA.md)",
+    )
+    serve.add_argument(
+        "--publish-history", type=_positive_int, default=512, metavar="N",
+        help="DELTA frames retained for replica resume-from-sequence "
+        "(default 512; older reconnects fall back to a full sync)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    replica = subparsers.add_parser(
+        "replica",
+        help="boot a read replica subscribed to a publishing service "
+        "(docs/REPLICA.md)",
+    )
+    replica.add_argument(
+        "--subscribe", required=True, metavar="HOST:PORT",
+        help="the primary's publish listener ('repro serve --publish')",
+    )
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument("--http-port", type=int, default=0, help="0 = ephemeral")
+    replica.add_argument(
+        "--reconnect-seconds", type=float, default=0.5, metavar="S",
+        help="delay between subscriber reconnect attempts (default 0.5)",
+    )
+    replica.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until signal)",
+    )
+    replica.set_defaults(handler=_cmd_replica)
 
     history = subparsers.add_parser(
         "history",

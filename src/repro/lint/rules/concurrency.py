@@ -80,6 +80,49 @@ class BlockingGetRule(Rule):
             )
 
 
+#: asyncio queue constructors that accept a ``maxsize`` bound.
+_ASYNC_QUEUE_FACTORIES = {"Queue", "PriorityQueue", "LifoQueue"}
+
+
+@register
+class UnboundedAsyncQueueRule(Rule):
+    """``asyncio.Queue()`` constructed without a ``maxsize`` bound."""
+
+    id = "unbounded-async-queue"
+    severity = Severity.ERROR
+    rationale = (
+        "an unbounded asyncio queue hides overload instead of surfacing "
+        "it: memory grows until the process dies; every service/replica "
+        "queue must pass maxsize= and pick a policy for the full case "
+        "(backpressure, drop, or disconnect)"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.is_src:
+            return
+        symbols = enclosing_symbols(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            # Only the asyncio flavors: a bare Queue() may be a
+            # multiprocessing/janus queue, and queue.Queue is covered by
+            # its blocking .get() anyway.
+            base, _, method = name.rpartition(".")
+            if base != "asyncio" or method not in _ASYNC_QUEUE_FACTORIES:
+                continue
+            if node.args or any(kw.arg == "maxsize" for kw in node.keywords):
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"{name}() without maxsize= grows without bound under "
+                f"overload; pass maxsize= and handle QueueFull "
+                f"(or full-queue backpressure) explicitly",
+                symbol=symbols.get(id(node), "<module>"),
+            )
+
+
 def _lambda_names(tree: ast.Module) -> Set[str]:
     """Names bound to a lambda anywhere in the module."""
     names: Set[str] = set()

@@ -136,6 +136,14 @@ def collect_sharded(sharded, registry: Optional[MetricsRegistry] = None) -> Metr
         "runtime_close_errors_total",
         "errors swallowed (but recorded) by the shutdown path",
     ).inc(len(getattr(sharded, "close_errors", ())))
+    registry.counter(
+        "runtime_merged_cache_hits_total",
+        "merged_sketch() calls answered from the per-window memo",
+    ).inc(getattr(sharded, "merged_cache_hits", 0))
+    registry.counter(
+        "runtime_merged_cache_misses_total",
+        "merged_sketch() calls that re-merged per-shard snapshots",
+    ).inc(getattr(sharded, "merged_cache_misses", 0))
     return registry
 
 
@@ -194,6 +202,86 @@ def collect_temporal(store, registry: Optional[MetricsRegistry] = None) -> Metri
         "temporal_range_queries_total", "range queries composed from the ladder"
     ).inc(store.range_queries)
     registry.merge(store.metrics)
+    return registry
+
+
+def collect_publisher(publisher, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Publish-side metrics of a slim-snapshot publisher.
+
+    Works on any object with the
+    :class:`~repro.replica.publisher.SnapshotPublisher` shape (sequence
+    and window gauges, fan-out counters, a live subscriber set).
+    Exposed on the *ingest* service's ``/metrics`` whenever publishing
+    is enabled, replicas connected or not.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.gauge(
+        "service_published_seq", "sequence number of the last published snapshot"
+    ).set(publisher.seq)
+    registry.gauge(
+        "service_published_window", "window of the last published snapshot"
+    ).set(publisher.window)
+    registry.gauge(
+        "service_publish_subscribers", "replica subscribers currently connected"
+    ).set(publisher.subscriber_count)
+    registry.counter(
+        "service_publish_deltas_total", "DELTA frames fanned out to subscribers"
+    ).inc(publisher.deltas_sent)
+    registry.counter(
+        "service_publish_snapshots_total",
+        "full SNAPSHOT frames sent (initial syncs and fallbacks)",
+    ).inc(publisher.snapshots_sent)
+    registry.counter(
+        "service_publish_heartbeats_total", "HEARTBEAT frames fanned out"
+    ).inc(publisher.heartbeats_sent)
+    registry.counter(
+        "service_publish_disconnects_total",
+        "subscribers dropped (slow consumers and dead sockets)",
+    ).inc(publisher.disconnects)
+    return registry
+
+
+def collect_replica(replica, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Read-side metrics of a :class:`~repro.replica.server.ReplicaServer`.
+
+    Duck-typed on the replica's counters and its pinned state, so the
+    collector needs no import of the replica package.  The staleness
+    bound surfaced by ``/healthz`` (sequence, age in windows, link
+    state) is mirrored here as gauges for dashboards.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    state = replica.state
+    registry.gauge(
+        "replica_snapshot_seq", "sequence of the snapshot answering queries"
+    ).set(state.seq if state is not None else -1)
+    registry.gauge(
+        "replica_snapshot_window", "window of the snapshot answering queries"
+    ).set(state.window if state is not None else -1)
+    registry.gauge(
+        "replica_snapshot_age_windows",
+        "publisher windows ahead of the applied snapshot (staleness bound)",
+    ).set(replica.snapshot_age_windows)
+    registry.gauge(
+        "replica_connected", "1 while the subscriber link is up"
+    ).set(1 if replica.connected else 0)
+    registry.gauge(
+        "replica_reports", "reports in the applied snapshot"
+    ).set(len(state.reports) if state is not None else 0)
+    registry.counter(
+        "replica_full_syncs_total", "full SNAPSHOT frames applied"
+    ).inc(replica.full_syncs)
+    registry.counter(
+        "replica_deltas_applied_total", "DELTA frames applied"
+    ).inc(replica.deltas_applied)
+    registry.counter(
+        "replica_heartbeats_total", "HEARTBEAT frames received"
+    ).inc(replica.heartbeats)
+    registry.counter(
+        "replica_reconnects_total", "subscriber reconnect attempts"
+    ).inc(replica.reconnects)
+    registry.counter(
+        "replica_queries_total", "HTTP queries answered from the snapshot"
+    ).inc(replica.queries)
     return registry
 
 

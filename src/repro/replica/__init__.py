@@ -1,0 +1,34 @@
+"""``repro.replica``: the slim read-replica tier (docs/REPLICA.md).
+
+The service's read path scales out without touching its write path: an
+ingest service with ``publish_port`` set runs a
+:class:`~repro.replica.publisher.SnapshotPublisher` that streams an
+immutable, monotonically-sequenced slim snapshot — canonical simplex
+reports, the slim frequency summary of the merged sketch
+(:mod:`repro.runtime.slim`), and per-window temporal-ladder deltas
+(:mod:`repro.temporal.wire`) — over the ingest listener's
+length-prefixed framing.  A :class:`~repro.replica.server.ReplicaServer`
+subscribes, mirrors the ladder, and answers ``/reports``, ``/stats``,
+``/reports?range=a:b`` and ``/history`` from its pinned snapshot through
+the *same* response builders as the primary
+(:mod:`repro.service.http`) — which is what makes same-sequence answers
+byte-identical rather than merely equivalent.
+
+Reconnects resume from the last applied sequence when the publisher's
+retained DELTA history still covers it, and fall back to a full
+SNAPSHOT sync otherwise.  Staleness is always visible: the publisher
+reports ``last_published_seq``/``windows_since_publish`` in the
+primary's ``/healthz`` even with zero replicas connected, and each
+replica reports its own ``snapshot_seq``/``snapshot_age_windows`` plus
+``replica_*`` metrics.
+"""
+
+from repro.replica.publisher import SnapshotPublisher
+from repro.replica.server import ReplicaConfig, ReplicaServer, ReplicaState
+
+__all__ = [
+    "ReplicaConfig",
+    "ReplicaServer",
+    "ReplicaState",
+    "SnapshotPublisher",
+]

@@ -1,0 +1,84 @@
+"""Pub/sub frame shapes of the replica stream (docs/REPLICA.md).
+
+The stream rides the ingest listener's binary framing
+(:mod:`repro.service.protocol`: ``MAGIC`` preamble, 4-byte big-endian
+length + UTF-8 JSON payload).  A subscriber opens with ``MAGIC`` and
+one SUBSCRIBE frame; the publisher answers with a stream of exactly
+three frame types:
+
+``{"type": "subscribe", "since": n | null}``
+    Client hello.  ``since`` is the last sequence the replica applied;
+    ``null`` asks for a full sync.
+``{"type": "snapshot", "seq", "window", "items_total", "reports",
+"summary", "temporal"}``
+    Full state at sequence ``seq``: every canonical report record, the
+    slim frequency summary, and the exported temporal ladder (``null``
+    when the primary runs without a temporal tier).
+``{"type": "delta", "seq", "window", "items_total", "new_reports",
+"summary", "ladder_deltas"}``
+    One window boundary: the report records appended by that boundary
+    (the canonical stream is append-only), the boundary's slim summary,
+    and the sealed window's ladder delta records.
+``{"type": "heartbeat", "seq", "window", "items_total"}``
+    Liveness between boundaries; replicas derive their staleness bound
+    (``snapshot_age_windows``) from the carried window.
+
+Sequences are contiguous: a replica applies ``delta seq = applied + 1``,
+skips ``seq <= applied`` (duplicates around a resume are expected), and
+treats any forward gap as a lost link — reconnect and let the publisher
+decide between resume and full sync.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ServiceError
+
+#: downstream frame types a subscriber may receive
+FRAME_TYPES = ("snapshot", "delta", "heartbeat")
+
+#: fields every downstream frame carries (non-negative integers)
+_COMMON_FIELDS = ("seq", "window", "items_total")
+
+#: list-valued payload fields per frame type
+_LIST_FIELDS = {"snapshot": ("reports",), "delta": ("new_reports", "ladder_deltas")}
+
+
+def subscribe_message(since: Optional[int]) -> dict:
+    """The client hello (``since`` = last applied sequence, or None)."""
+    return {"type": "subscribe", "since": since}
+
+
+def parse_subscribe(obj) -> Optional[int]:
+    """Validate a SUBSCRIBE frame; returns its ``since`` field."""
+    if not isinstance(obj, dict) or obj.get("type") != "subscribe":
+        raise ServiceError("expected a subscribe frame")
+    since = obj.get("since")
+    if since is not None and (not isinstance(since, int) or since < 0):
+        raise ServiceError(
+            f"subscribe.since must be a non-negative integer or null, got {since!r}"
+        )
+    return since
+
+
+def parse_frame(obj) -> dict:
+    """Validate one downstream frame (snapshot/delta/heartbeat)."""
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            f"replica frame must be an object, got {type(obj).__name__}"
+        )
+    kind = obj.get("type")
+    if kind not in FRAME_TYPES:
+        raise ServiceError(f"unknown replica frame type {kind!r}")
+    for field in _COMMON_FIELDS:
+        value = obj.get(field)
+        if not isinstance(value, int) or value < 0:
+            raise ServiceError(
+                f"{kind} frame field {field!r} must be a non-negative "
+                f"integer, got {value!r}"
+            )
+    for field in _LIST_FIELDS.get(kind, ()):
+        if not isinstance(obj.get(field), list):
+            raise ServiceError(f"{kind} frame field {field!r} must be a list")
+    return obj

@@ -1,0 +1,49 @@
+"""The subscribe side of the replica stream: one link, parsed frames.
+
+Thin connection plumbing shared by :class:`~repro.replica.server.
+ReplicaServer` and the tests: open a socket to a publisher, send the
+``MAGIC`` preamble plus one SUBSCRIBE frame, then iterate validated
+snapshot/delta/heartbeat frames until end-of-stream.  Reconnect policy
+(resume sequence, backoff, pause windows) lives in the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Optional, Tuple
+
+from repro.replica.protocol import parse_frame, subscribe_message
+from repro.service.protocol import (
+    MAGIC,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+
+async def open_subscription(
+    host: str, port: int, since: Optional[int], max_frame_bytes: int
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect and subscribe; the publisher answers on the same socket.
+
+    ``since`` is the last applied sequence (resume) or None (full sync
+    requested); the publisher may still answer a resume request with a
+    full SNAPSHOT when its retained history no longer covers ``since``.
+    """
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=max(65536, max_frame_bytes)
+    )
+    writer.write(MAGIC + encode_frame(subscribe_message(since)))
+    await writer.drain()
+    return reader, writer
+
+
+async def frames(
+    reader: asyncio.StreamReader, max_frame_bytes: int
+) -> AsyncIterator[dict]:
+    """Yield validated downstream frames until clean end-of-stream."""
+    while True:
+        payload = await read_frame(reader, max_frame_bytes)
+        if payload is None:
+            return
+        yield parse_frame(decode_payload(payload))

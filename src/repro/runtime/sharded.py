@@ -256,6 +256,9 @@ class ShardedXSketch:
         #: merged_sketch() memo: (window id, sketch); new data or a
         #: window boundary invalidates it
         self._merged_cache: Optional[Tuple[int, XSketch]] = None
+        #: memo effectiveness (runtime_merged_cache_* in /metrics)
+        self.merged_cache_hits = 0
+        self.merged_cache_misses = 0
         #: last auto-checkpoint per shard (restart restore point)
         self._shard_snapshots: List[Optional[Dict]] = (
             [dict(s) for s in snapshots] if snapshots else [None] * n_shards
@@ -852,9 +855,11 @@ class ShardedXSketch:
                 "call flush_window() first"
             )
         if self._merged_cache is not None and self._merged_cache[0] == self.window:
+            self.merged_cache_hits += 1
             merged = self._merged_cache[1]
             merged._reports = sorted(self._reports, key=report_order)
             return merged
+        self.merged_cache_misses += 1
         snapshots = self._cached_shard_snapshots()
         if snapshots is None:
             snapshots = self._collect_snapshots()
@@ -865,6 +870,17 @@ class ShardedXSketch:
         merged._reports = sorted(self._reports, key=report_order)
         self._merged_cache = (self.window, merged)
         return merged
+
+    def slim_summary(self) -> Dict:
+        """The slim read-side summary of the merged sketch.
+
+        See :func:`repro.runtime.slim.slim_summary`; rides the
+        ``merged_sketch()`` memo, so between boundaries repeated
+        summaries cost one dict build, not a shard round-trip.
+        """
+        from repro.runtime.slim import slim_summary
+
+        return slim_summary(self.merged_sketch())
 
     def _cached_shard_snapshots(self) -> Optional[List[Dict]]:
         """The auto-checkpoint's snapshots, when still at this boundary."""

@@ -54,11 +54,24 @@ class ServiceConfig:
             ``/healthz`` while further ingest is discarded.  A
             supervised sharded engine recovers *below* this policy —
             worker crashes it can heal never surface here.
+        publish_port: when set, a slim-snapshot publisher listens on
+            this TCP port (0 = ephemeral) and streams sequenced
+            SNAPSHOT/DELTA/HEARTBEAT frames to read replicas at every
+            window boundary (docs/REPLICA.md).  ``None`` disables
+            publishing entirely.
+        publish_history: DELTA frames retained for resume-from-sequence;
+            a reconnecting replica further behind than this falls back
+            to a full SNAPSHOT sync.
+        publish_heartbeat: seconds between HEARTBEAT frames (replicas
+            derive their staleness bound from these between windows).
     """
 
     host: str = "127.0.0.1"
     ingest_port: int = 0
     http_port: int = 0
+    publish_port: Optional[int] = None
+    publish_history: int = 512
+    publish_heartbeat: float = 1.0
     window_size: int = 2000
     window_seconds: Optional[float] = None
     micro_batch: int = 512
@@ -98,6 +111,18 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"ports must be in [0, 65535], got ingest={self.ingest_port} "
                 f"http={self.http_port}"
+            )
+        if self.publish_port is not None and not 0 <= self.publish_port <= 65535:
+            raise ConfigurationError(
+                f"publish_port must be in [0, 65535], got {self.publish_port}"
+            )
+        if self.publish_history < 1:
+            raise ConfigurationError(
+                f"publish_history must be >= 1, got {self.publish_history}"
+            )
+        if self.publish_heartbeat <= 0:
+            raise ConfigurationError(
+                f"publish_heartbeat must be positive, got {self.publish_heartbeat}"
             )
         if self.drain_timeout <= 0:
             raise ConfigurationError(

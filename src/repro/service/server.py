@@ -18,6 +18,14 @@ window manager's batch histogram and the engine's algorithm counters —
 in Prometheus text exposition format (this one does take the engine
 lock, like ``/stats?engine=1``).
 
+Publish path: with ``config.publish_port`` set, a
+:class:`~repro.replica.publisher.SnapshotPublisher` streams an
+immutable, monotonically-sequenced slim snapshot (reports + slim
+frequency summary + temporal-ladder deltas) to read replicas at every
+window boundary (docs/REPLICA.md); ``/healthz`` then carries the
+publish-side staleness fields (``last_published_seq``,
+``windows_since_publish``) whether or not any replica is connected.
+
 Lifecycle: ``stop()`` drains — stop accepting, sever producers, finish
 every queued batch, flush the open window, write a final checkpoint
 when configured, close the engine — and is idempotent.  An engine
@@ -42,12 +50,19 @@ import contextlib
 import dataclasses
 import json
 from typing import List, Optional, Set, Tuple
-from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ConfigurationError, ReproError, ServiceError
-from repro.obs.collect import collect_service, collect_temporal
+from repro.errors import ReproError, ServiceError
+from repro.obs.collect import collect_publisher, collect_service, collect_temporal
 from repro.obs.expo import render_text
 from repro.service.config import ServiceConfig
+from repro.service.http import (
+    BadParameter,
+    history_response,
+    make_http_handler,
+    query_int,
+    query_range,
+    reports_response,
+)
 from repro.service.protocol import (
     MAGIC,
     decode_payload,
@@ -57,54 +72,11 @@ from repro.service.protocol import (
     read_frame,
     read_lines,
 )
-from repro.service.window import WindowManager, report_to_dict
+from repro.service.window import WindowManager
 
-
-class BadParameter(ValueError):
-    """A malformed HTTP query parameter (rendered as a 400, never a 500)."""
-
-
-def query_int(query: dict, name: str, default=None, minimum: Optional[int] = None):
-    """Shared integer-parameter validation for the HTTP routes.
-
-    Missing parameters return ``default``; anything non-integer, or
-    below ``minimum``, raises :class:`BadParameter` with a message
-    naming the offending parameter — the routes map it to a 400 JSON
-    body instead of letting ``int()`` blow up into a 500.
-    """
-    raw = query.get(name)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except (TypeError, ValueError):
-        raise BadParameter(
-            f"bad query parameter {name!r}: must be an integer, got {raw!r}"
-        ) from None
-    if minimum is not None and value < minimum:
-        raise BadParameter(
-            f"bad query parameter {name!r}: must be >= {minimum}, got {value}"
-        )
-    return value
-
-
-def query_range(query: dict, name: str = "range"):
-    """Parse an ``a:b`` window-range parameter (None when absent).
-
-    Delegates to :func:`repro.temporal.query.parse_range` and converts
-    its :class:`~repro.errors.ConfigurationError` (non-integer bounds,
-    ``b < a``, negatives) into :class:`BadParameter`, so ``range=b:a``
-    is a client error, not a server one.
-    """
-    raw = query.get(name)
-    if raw is None:
-        return None
-    from repro.temporal.query import parse_range
-
-    try:
-        return parse_range(raw)
-    except ConfigurationError as exc:
-        raise BadParameter(f"bad query parameter {name!r}: {exc}") from None
+__all__ = [
+    "BadParameter", "StreamService", "query_int", "query_range", "serve",
+]
 
 
 class _Connection:
@@ -156,6 +128,26 @@ class StreamService:
         #: the temporal store serving /history and range queries (None
         #: when neither the engine nor the caller provided one)
         self.temporal = self.manager.temporal
+        #: slim-snapshot publisher streaming to read replicas (None
+        #: unless ``config.publish_port`` is set; docs/REPLICA.md)
+        self.publisher = None
+        if self.config.publish_port is not None:
+            from repro.replica.publisher import SnapshotPublisher
+
+            self.publisher = SnapshotPublisher(
+                host=self.config.host,
+                port=self.config.publish_port,
+                history=self.config.publish_history,
+                heartbeat_seconds=self.config.publish_heartbeat,
+                max_frame_bytes=self.config.max_frame_bytes,
+            )
+            if self.temporal is not None:
+                # Replicas mirror the ladder: per-window deltas ride
+                # every DELTA frame; a full export backs SNAPSHOT
+                # full-sync when a subscriber is too far behind.
+                self.temporal.capture_deltas = True
+                self.publisher.temporal_store = self.temporal
+            self.manager.publisher = self.publisher
         self.failure: Optional[BaseException] = None
         #: engine trace-ring events, captured just before the engine is
         #: closed on drain ([] unless the engine records observability)
@@ -179,8 +171,10 @@ class StreamService:
             self._handle_ingest, self.config.host, self.config.ingest_port, limit=limit
         )
         self._http_server = await asyncio.start_server(
-            self._handle_http, self.config.host, self.config.http_port
+            make_http_handler(self._route), self.config.host, self.config.http_port
         )
+        if self.publisher is not None:
+            await self.publisher.start()
         if self.config.window_seconds is not None:
             self._ticker_task = asyncio.create_task(self._ticker())
 
@@ -196,6 +190,10 @@ class StreamService:
     @property
     def http_address(self) -> Tuple[str, int]:
         return self._address(self._http_server)
+
+    @property
+    def publish_address(self) -> Tuple[str, int]:
+        return self._address(self.publisher.server)
 
     def request_stop(self) -> asyncio.Task:
         """Begin a graceful drain in the background; returns the stop task."""
@@ -246,6 +244,8 @@ class StreamService:
                 self.manager.adapter.trace_events
             )
         await self.manager.close_engine()
+        if self.publisher is not None:
+            await self.publisher.stop()
         self._http_server.close()
         await self._http_server.wait_closed()
         self._stopped.set()
@@ -404,55 +404,6 @@ class StreamService:
     # ------------------------------------------------------------------
     # HTTP query path
 
-    async def _handle_http(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            status, body = await self._http_response(reader)
-        except Exception as exc:  # pragma: no cover - defensive
-            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        if isinstance(body, str):
-            # Routes returning text (only /metrics) ship as-is.
-            payload = body.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            payload = json.dumps(body).encode("utf-8")
-            content_type = "application/json"
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed", 500: "Internal Server Error",
-                  503: "Service Unavailable"}.get(status, "OK")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: close\r\n\r\n"
-        )
-        with contextlib.suppress(ConnectionError):
-            writer.write(head.encode("ascii") + payload)
-            await writer.drain()
-        writer.close()
-
-    async def _http_response(self, reader: asyncio.StreamReader):
-        request_line = (await reader.readline()).decode("ascii", "replace").strip()
-        parts = request_line.split()
-        if len(parts) != 3:
-            return 400, {"error": f"malformed request line: {request_line!r}"}
-        method, target, _ = parts
-        content_length = 0
-        while True:
-            line = (await reader.readline()).decode("ascii", "replace").strip()
-            if not line:
-                break
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                content_length = int(value.strip() or 0)
-        body = b""
-        if content_length:
-            body = await reader.readexactly(min(content_length, 1 << 20))
-        url = urlsplit(target)
-        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
-        return await self._route(method, url.path, query, body)
-
     async def _route(self, method: str, path: str, query: dict, body: bytes):
         if path == "/healthz":
             if self.failure is not None:
@@ -477,6 +428,18 @@ class StreamService:
                 body["engine"] = engine_health
                 if engine_health.get("status") != "ok":
                     body["status"] = "degraded"
+            if self.publisher is not None:
+                # Publish-side staleness is visible with zero replicas
+                # connected: these fields describe the publisher, not
+                # its audience (docs/REPLICA.md "Staleness").
+                body["publisher"] = {
+                    "last_published_seq": self.publisher.seq,
+                    "last_published_window": self.publisher.window,
+                    "windows_since_publish": (
+                        self.manager.windows_closed - self.publisher.window
+                    ),
+                    "subscribers": self.publisher.subscriber_count,
+                }
             return 200, body
         if path == "/stats":
             if method != "GET":
@@ -498,6 +461,8 @@ class StreamService:
             collect_service(self, registry)
             if self.temporal is not None:
                 collect_temporal(self.temporal, registry)
+            if self.publisher is not None:
+                collect_publisher(self.publisher, registry)
             return 200, render_text(registry)
         if path == "/reports":
             if method != "GET":
@@ -530,66 +495,20 @@ class StreamService:
         return 404, {"error": f"unknown path {path!r}"}
 
     def _reports_response(self, query: dict):
+        # The body is built by the shared renderer in repro.service.http
+        # — the same one the replica tier uses, which is what makes a
+        # replica's answer at an equal snapshot sequence byte-identical.
         snapshot = self.manager.snapshot
-        try:
-            window_range = query_range(query)
-            since = query_int(query, "since", minimum=0)
-            limit = query_int(query, "limit", minimum=0)
-        except BadParameter as exc:
-            return 400, {"error": str(exc)}
-        if window_range is not None and self.temporal is not None:
-            # Served from the temporal store's immutable published
-            # snapshot: the dyadic cover of [a, b], report streams
-            # filtered by window stamp (exact at any coarsening).
-            reports = self.temporal.range_reports(
-                window_range.start, window_range.end
-            )
-        else:
-            reports = list(snapshot.reports)
-            if window_range is not None:
-                reports = [
-                    r for r in reports
-                    if window_range.start <= r.report_window <= window_range.end
-                ]
-        if "item" in query:
-            reports = [r for r in reports if str(r.item) == query["item"]]
-        if since is not None:
-            reports = [r for r in reports if r.report_window >= since]
-        total = len(reports)
-        if limit is not None:
-            reports = reports[:limit]
-        body = {
-            "window": snapshot.window,
-            "total": total,
-            "reports": [report_to_dict(r) for r in reports],
-        }
-        if window_range is not None:
-            body["range"] = {
-                "start": window_range.start, "end": window_range.end,
-                "source": "temporal" if self.temporal is not None else "snapshot",
-            }
-        return 200, body
+        range_reports = (
+            self.temporal.range_reports if self.temporal is not None else None
+        )
+        return reports_response(
+            snapshot.window, snapshot.reports, query, range_reports
+        )
 
     def _history_response(self, query: dict):
-        if self.temporal is None:
-            return 400, {"error": "temporal store not configured"}
-        try:
-            limit = query_int(query, "limit", minimum=0)
-        except BadParameter as exc:
-            return 400, {"error": str(exc)}
-        snapshot = self.temporal.snapshot
-        nodes = self.temporal.history()
-        if limit is not None:
-            nodes = nodes[-limit:]
-        return 200, {
-            "base": snapshot.base,
-            "tip": snapshot.tip,
-            "windows_observed": snapshot.windows_observed,
-            "items_observed": snapshot.items_observed,
-            "depth": snapshot.depth,
-            "coarsenings": snapshot.coarsenings,
-            "nodes": nodes,
-        }
+        snapshot = self.temporal.snapshot if self.temporal is not None else None
+        return history_response(snapshot, query)
 
     def _service_stats(self) -> dict:
         snapshot = self.manager.snapshot

@@ -200,6 +200,11 @@ class WindowManager:
         self.snapshot = ServiceSnapshot(
             window=0, items_at_boundary=0, reports=(), updated_at=0.0
         )
+        #: slim-snapshot publisher notified at every window boundary
+        #: (set by the service when ``config.publish_port`` is given;
+        #: the hook runs under the engine lock, after the snapshot is
+        #: published, so each sequence maps to exactly one boundary)
+        self.publisher = None
         # resequencer state (ordered ingest)
         self._seq_cond = asyncio.Condition()
         self._next_seq = 0
@@ -286,6 +291,14 @@ class WindowManager:
         self.windows_closed += 1
         self.items_window = 0
         self._publish_snapshot()
+        if self.publisher is not None:
+            summary = await asyncio.to_thread(self._slim_summary)
+            deltas = ()
+            if self.temporal is not None and getattr(
+                self.temporal, "capture_deltas", False
+            ):
+                deltas = self.temporal.take_deltas()
+            self.publisher.publish_boundary(self.snapshot, summary, deltas)
 
     def _engine_flush(self, closed_window: int) -> List[SimplexReport]:
         reports = self.adapter.flush_window()
@@ -314,6 +327,24 @@ class WindowManager:
             from repro.core.serialize import snapshot_xsketch
 
             return lambda: snapshot_xsketch(engine)
+        return None
+
+    def _slim_summary(self):
+        """The engine's slim frequency summary at this boundary.
+
+        Runs on the engine-lock thread.  A sharded engine compacts via
+        ``slim_summary()`` (riding the ``merged_sketch`` per-window
+        memo); a plain X-Sketch is summarized directly; stub engines
+        (tests) contribute no summary.
+        """
+        engine = self.adapter.engine
+        slim = getattr(engine, "slim_summary", None)
+        if slim is not None:
+            return slim()
+        if hasattr(engine, "stage1") and hasattr(engine, "stage2"):
+            from repro.runtime.slim import slim_summary
+
+            return slim_summary(engine)
         return None
 
     def _publish_snapshot(self) -> None:

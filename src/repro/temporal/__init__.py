@@ -31,6 +31,12 @@ from repro.temporal.node import LadderNode
 from repro.temporal.policy import TemporalPolicy
 from repro.temporal.query import RangeQuery, parse_range, rank_growth
 from repro.temporal.store import TemporalSnapshot, TemporalStore
+from repro.temporal.wire import (
+    apply_window_delta,
+    export_ladder_state,
+    import_ladder_state,
+    snapshot_range_reports,
+)
 
 __all__ = [
     "ColdTier",
@@ -40,7 +46,11 @@ __all__ = [
     "TemporalPolicy",
     "TemporalSnapshot",
     "TemporalStore",
+    "apply_window_delta",
+    "export_ladder_state",
+    "import_ladder_state",
     "parse_range",
     "rank_growth",
     "restore_store",
+    "snapshot_range_reports",
 ]

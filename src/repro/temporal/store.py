@@ -39,6 +39,8 @@ from repro.temporal.node import (
     LadderNode,
     copy_freq,
     make_freq_sketch,
+    report_to_record,
+    snapshot_freq,
 )
 from repro.temporal.policy import TemporalPolicy
 
@@ -91,6 +93,11 @@ class TemporalStore:
         #: frequency sketch of the currently-open window (lazy)
         self._open_freq = None
         self._open_items = 0
+        #: when True, each sealed window also leaves a JSON-safe wire
+        #: delta behind (:mod:`repro.temporal.wire`) for the replica
+        #: publisher; off by default so plain stores pay nothing
+        self.capture_deltas = False
+        self._pending_deltas: List[Dict] = []
         # lifetime counters (exposed by repro.obs.collect.collect_temporal)
         self.windows_observed = 0
         self.items_observed = 0
@@ -153,6 +160,16 @@ class TemporalStore:
         asof = None
         if snapshot_fn is not None and self.policy.fidelity_windows > 0:
             asof = snapshot_fn()
+        if self.capture_deltas:
+            # Captured before the ladder touches the node: coarsening
+            # copies payloads but a spill hands them away, and the wire
+            # delta must carry exactly what this boundary sealed.
+            self._pending_deltas.append({
+                "window": window,
+                "items": items,
+                "freq": snapshot_freq(freq),
+                "reports": [report_to_record(report) for report in kept],
+            })
         node = LadderNode(0, window, items=items, freq=freq,
                           reports=kept, asof=asof)
         self.ladder.append(node)
@@ -177,6 +194,16 @@ class TemporalStore:
         for node in hot[:max(excess, 0)]:
             self.cold.spill(node)
             self.spills += 1
+
+    def take_deltas(self) -> List[Dict]:
+        """Drain the wire deltas captured since the last call.
+
+        One record per sealed window (``capture_deltas`` on), in seal
+        order; see :func:`repro.temporal.wire.apply_window_delta` for
+        the consuming side.
+        """
+        deltas, self._pending_deltas = self._pending_deltas, []
+        return deltas
 
     def publish(self) -> TemporalSnapshot:
         """Freeze the current ladder into the query surface."""

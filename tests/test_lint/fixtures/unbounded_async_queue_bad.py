@@ -1,0 +1,16 @@
+"""Deliberate unbounded-async-queue violations (lint fixture, never executed)."""
+
+import asyncio
+
+
+class Connection:
+    def __init__(self):
+        self.queue = asyncio.Queue()  # EXPECT: unbounded-async-queue
+
+
+def build_backlog():
+    return asyncio.PriorityQueue()  # EXPECT: unbounded-async-queue
+
+
+def build_stack():
+    return asyncio.LifoQueue()  # EXPECT: unbounded-async-queue

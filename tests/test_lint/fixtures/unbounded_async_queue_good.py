@@ -1,0 +1,24 @@
+"""Bounded or non-asyncio queues that must not be flagged."""
+
+import asyncio
+import multiprocessing
+import queue
+
+
+class Connection:
+    def __init__(self, capacity):
+        self.queue = asyncio.Queue(maxsize=capacity)
+
+
+def build_backlog():
+    return asyncio.PriorityQueue(maxsize=64)
+
+
+def positional_bound():
+    return asyncio.LifoQueue(16)
+
+
+def other_queues(ctx: multiprocessing.context.BaseContext):
+    # Not asyncio: process queues are bounded by the OS pipe, and
+    # queue.Queue blocking reads are blocking-get's business.
+    return ctx.Queue(), queue.Queue()

@@ -31,6 +31,7 @@ MODULE_FOR_RULE = {
     "except-pass": "repro.service.example",
     "blocking-get": "repro.runtime.worker",
     "spawn-safety": "repro.runtime.example",
+    "unbounded-async-queue": "repro.replica.example",
     "wall-clock": "repro.core.example",
     "unseeded-rng": "repro.streams.example",
     "mergeable-protocol": "repro.sketch.example",

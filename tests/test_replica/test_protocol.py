@@ -1,0 +1,73 @@
+"""Replica frame validation: the wire contract, without sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.replica.protocol import (
+    FRAME_TYPES,
+    parse_frame,
+    parse_subscribe,
+    subscribe_message,
+)
+
+
+def _frame(kind: str, **overrides) -> dict:
+    base = {"type": kind, "seq": 3, "window": 3, "items_total": 1200}
+    if kind == "snapshot":
+        base.update(reports=[], summary=None, temporal=None)
+    elif kind == "delta":
+        base.update(new_reports=[], summary=None, ladder_deltas=[])
+    base.update(overrides)
+    return base
+
+
+class TestSubscribe:
+    def test_round_trip(self):
+        assert parse_subscribe(subscribe_message(7)) == 7
+        assert parse_subscribe(subscribe_message(None)) is None
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            {"type": "delta"},
+            {"since": 3},
+            "subscribe",
+            {"type": "subscribe", "since": -1},
+            {"type": "subscribe", "since": 1.5},
+            {"type": "subscribe", "since": "7"},
+        ],
+    )
+    def test_rejects_malformed(self, obj):
+        with pytest.raises(ServiceError):
+            parse_subscribe(obj)
+
+
+class TestDownstreamFrames:
+    @pytest.mark.parametrize("kind", FRAME_TYPES)
+    def test_well_formed_frames_pass_through(self, kind):
+        frame = _frame(kind)
+        assert parse_frame(frame) is frame
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            [],
+            {"type": "subscribe", "since": None},  # upstream-only type
+            _frame("heartbeat", type="gossip"),
+            _frame("delta", seq=-1),
+            _frame("delta", window="3"),
+            _frame("snapshot", items_total=None),
+            _frame("snapshot", reports=None),
+            _frame("delta", new_reports={}),
+            _frame("delta", ladder_deltas="[]"),
+        ],
+    )
+    def test_rejects_malformed(self, obj):
+        with pytest.raises(ServiceError):
+            parse_frame(obj)
+
+    def test_heartbeat_needs_no_list_fields(self):
+        parse_frame({"type": "heartbeat", "seq": 0, "window": 0,
+                     "items_total": 0})

@@ -1,0 +1,337 @@
+"""End-to-end replica stream: byte-identity, catch-up, staleness.
+
+The acceptance criterion for the replica tier: at an equal
+``snapshot_seq`` a replica's ``/reports`` and ``/reports?range=a:b``
+bodies are **byte-identical** to the primary's — both sides render
+through :mod:`repro.service.http`, so this pins the whole pipeline
+(slim frames → mirror ladder → shared builders), not just JSON-level
+equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.replica import ReplicaConfig, ReplicaServer
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams.datasets import make_dataset
+from repro.temporal import TemporalPolicy, TemporalStore
+from repro.temporal.wire import snapshot_range_reports
+
+SEED = 42
+WINDOWS = 12
+MORE_WINDOWS = 6
+WINDOW_SIZE = 400
+RANGES = [(0, 2), (4, 6), (8, 11)]
+
+#: read routes whose bodies must match the primary byte for byte
+IDENTITY_PATHS = ["/reports", "/history"] + [
+    f"/reports?range={a}:{b}" for a, b in RANGES
+]
+
+
+def sketch_config():
+    return XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0)
+
+
+def temporal_engine():
+    # fidelity_windows=0: asof payloads are primary-only by design (they
+    # never ride the replica stream), so /history byte-identity is only
+    # meaningful with fidelity off; /reports identity holds regardless.
+    return ShardedXSketch(
+        sketch_config(), n_shards=2, seed=SEED, backend="inline",
+        temporal=TemporalStore(
+            TemporalPolicy(freq_memory_kb=2.0, level_capacity=2,
+                           fidelity_windows=0), seed=SEED
+        ),
+    )
+
+
+async def http_raw(host, port, path, method="GET"):
+    """One exchange, body returned as raw bytes (for byte comparison)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: 0\r\n\r\n"
+    ).encode()
+    writer.write(request)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    head, _, body = response.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
+
+
+async def wait_for(predicate, message, timeout=20.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        await asyncio.sleep(0.02)
+
+
+async def capture_identity(service, replica, paths):
+    """(primary, replica) raw bodies for each path, plus both seqs."""
+    p_host, p_port = service.http_address
+    r_host, r_port = replica.http_address
+    pairs = {}
+    for path in paths:
+        pairs[path] = (
+            await http_raw(p_host, p_port, path),
+            await http_raw(r_host, r_port, path),
+        )
+    return {
+        "pairs": pairs,
+        "primary_seq": service.publisher.seq,
+        "replica_seq": replica.state.seq,
+    }
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    """One primary + one replica through the full drill: sync, ingest,
+    convergence, deliberate sever, reconnect catch-up."""
+
+    async def scenario():
+        captured = {}
+        service = StreamService(
+            temporal_engine(),
+            ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128,
+                          publish_port=0, publish_heartbeat=0.1),
+        )
+        await service.start()
+        pub_host, pub_port = service.publish_address
+        replica = ReplicaServer(
+            ReplicaConfig(pub_host, pub_port, reconnect_seconds=0.1)
+        )
+        await replica.start()
+        await replica.wait_synced()
+        captured["initial"] = {
+            "seq": replica.state.seq, "full_syncs": replica.full_syncs,
+        }
+
+        # Phase 1: ingest, converge, capture the identity surfaces.
+        trace = make_dataset("ip_trace", WINDOWS, WINDOW_SIZE, SEED)
+        in_host, in_port = service.ingest_address
+        await replay_trace(trace, in_host, in_port, connections=1,
+                           batch_size=100)
+        await wait_for(lambda: service.publisher.seq >= WINDOWS,
+                       "primary to publish every boundary")
+        await wait_for(
+            lambda: replica.state.seq >= service.publisher.seq,
+            "replica to converge on the published sequence",
+        )
+        captured["phase1"] = await capture_identity(
+            service, replica, IDENTITY_PATHS
+        )
+        p_host, p_port = service.http_address
+        r_host, r_port = replica.http_address
+        captured["primary_healthz"] = await http_raw(p_host, p_port, "/healthz")
+        captured["replica_healthz"] = await http_raw(r_host, r_port, "/healthz")
+        captured["replica_stats"] = await http_raw(r_host, r_port, "/stats")
+        captured["replica_metrics"] = await http_raw(r_host, r_port, "/metrics")
+        captured["primary_metrics"] = await http_raw(p_host, p_port, "/metrics")
+        captured["bad_range"] = await http_raw(r_host, r_port,
+                                               "/reports?range=9:2")
+
+        # Pin the sequence the satellite test inspects (satellite 4).
+        pinned = replica.state
+        captured["pinned_probe"] = snapshot_range_reports(
+            pinned.temporal, 0, WINDOWS - 1
+        )
+        counters_before = {
+            "full_syncs": replica.full_syncs,
+            "deltas_applied": replica.deltas_applied,
+            "reconnects": replica.reconnects,
+        }
+
+        # Phase 2: sever the link on purpose, keep ingesting, reconnect.
+        status, body = await http_raw(r_host, r_port,
+                                      "/disconnect?pause=1.0", method="POST")
+        captured["disconnect"] = (status, json.loads(body))
+        await wait_for(lambda: not replica.connected, "link to drop")
+        captured["stale_healthz"] = await http_raw(r_host, r_port, "/healthz")
+        more = make_dataset("ip_trace", MORE_WINDOWS, WINDOW_SIZE, SEED + 1)
+        await replay_trace(more, in_host, in_port, connections=1,
+                           batch_size=100)
+        total = WINDOWS + MORE_WINDOWS
+        await wait_for(lambda: service.publisher.seq >= total,
+                       "primary to publish the second batch")
+        await wait_for(
+            lambda: replica.connected
+            and replica.state.seq >= service.publisher.seq,
+            "replica to reconnect and catch up",
+        )
+        captured["phase2"] = await capture_identity(
+            service, replica,
+            ["/reports", f"/reports?range={WINDOWS - 2}:{total - 1}"],
+        )
+        captured["counters_before"] = counters_before
+        captured["counters_after"] = {
+            "full_syncs": replica.full_syncs,
+            "deltas_applied": replica.deltas_applied,
+            "reconnects": replica.reconnects,
+        }
+        captured["recovered_healthz"] = await http_raw(r_host, r_port,
+                                                       "/healthz")
+        await replica.stop()
+        await service.stop()
+        return service, replica, pinned, captured
+
+    return asyncio.run(scenario())
+
+
+class TestByteIdentity:
+    def test_replica_serves_byte_identical_reports(self, streamed):
+        """The tentpole acceptance check: every read route byte-equal to
+        the primary at the same sequence."""
+        _, _, _, captured = streamed
+        phase1 = captured["phase1"]
+        assert phase1["replica_seq"] == phase1["primary_seq"] == WINDOWS
+        for path, (primary, replica) in phase1["pairs"].items():
+            assert primary[0] == 200, path
+            assert replica[0] == 200, path
+            assert replica[1] == primary[1], path
+
+    def test_identity_survives_catch_up(self, streamed):
+        """After the sever/reconnect drill the bodies still match —
+        delta replay reconstructed the same state, bit for bit."""
+        _, _, _, captured = streamed
+        phase2 = captured["phase2"]
+        assert phase2["replica_seq"] == phase2["primary_seq"]
+        assert phase2["primary_seq"] == WINDOWS + MORE_WINDOWS
+        for path, (primary, replica) in phase2["pairs"].items():
+            assert replica[1] == primary[1], path
+
+    def test_reports_carry_real_findings(self, streamed):
+        """Guard against a vacuously-passing identity test: the trace
+        must actually produce simplex reports."""
+        _, _, _, captured = streamed
+        _, body = captured["phase1"]["pairs"]["/reports"][1]
+        assert json.loads(body)["total"] > 0
+
+    def test_bad_range_is_a_400_on_the_replica_too(self, streamed):
+        _, _, _, captured = streamed
+        status, body = captured["bad_range"]
+        assert status == 400
+        assert "error" in json.loads(body)
+
+
+class TestDeltaConvergence:
+    def test_initial_sync_then_deltas_only(self, streamed):
+        """One full sync at attach; every boundary after that arrives as
+        a DELTA — including the post-reconnect catch-up."""
+        _, _, _, captured = streamed
+        assert captured["initial"] == {"seq": 0, "full_syncs": 1}
+        before, after = (captured["counters_before"],
+                         captured["counters_after"])
+        assert before["full_syncs"] == 1
+        assert after["full_syncs"] == 1, "catch-up must resume, not resync"
+        assert before["deltas_applied"] == WINDOWS
+        assert after["deltas_applied"] == WINDOWS + MORE_WINDOWS
+        assert after["reconnects"] >= before["reconnects"] + 1
+
+    def test_healthz_staleness_drill(self, streamed):
+        """/disconnect marks the replica stale; reconnect heals it."""
+        _, _, _, captured = streamed
+        assert captured["disconnect"] == (200, {"disconnected": True,
+                                                "pause": 1.0})
+        status, body = captured["stale_healthz"]
+        stale = json.loads(body)
+        assert status == 200
+        assert stale["status"] == "stale" and stale["connected"] is False
+        assert stale["snapshot_seq"] == WINDOWS
+        status, body = captured["recovered_healthz"]
+        healed = json.loads(body)
+        assert status == 200
+        assert healed["status"] == "ok" and healed["connected"] is True
+        assert healed["snapshot_seq"] == WINDOWS + MORE_WINDOWS
+        assert healed["snapshot_age_windows"] == 0
+
+    def test_primary_healthz_reports_publish_side(self, streamed):
+        _, _, _, captured = streamed
+        status, body = captured["primary_healthz"]
+        publisher = json.loads(body)["publisher"]
+        assert status == 200
+        assert publisher["last_published_seq"] == WINDOWS
+        assert publisher["windows_since_publish"] == 0
+        assert publisher["subscribers"] == 1
+
+    def test_both_metric_families_exposed(self, streamed):
+        _, _, _, captured = streamed
+        _, replica_text = captured["replica_metrics"]
+        for name in ("replica_snapshot_seq", "replica_snapshot_age_windows",
+                     "replica_connected", "replica_deltas_applied_total",
+                     "replica_full_syncs_total", "temporal_nodes"):
+            assert name.encode() in replica_text, name
+        _, primary_text = captured["primary_metrics"]
+        for name in ("service_published_seq", "service_publish_subscribers",
+                     "service_publish_deltas_total"):
+            assert name.encode() in primary_text, name
+
+    def test_replica_stats_surface(self, streamed):
+        _, _, _, captured = streamed
+        _, body = captured["replica_stats"]
+        stats = json.loads(body)
+        assert stats["snapshot_seq"] == WINDOWS
+        assert stats["tracked_items"] > 0
+        assert stats["temporal"]["tip"] == WINDOWS
+        assert stats["reports"] == json.loads(
+            captured["phase1"]["pairs"]["/reports"][1][1]
+        )["total"]
+
+
+class TestSequencePinning:
+    """Satellite: a published sequence is immutable — a query pinned to
+    sequence ``n`` answers from ``n`` forever, however far the live
+    state advances."""
+
+    def test_pinned_state_is_frozen(self, streamed):
+        _, _, pinned, _ = streamed
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            pinned.seq = 999
+        assert isinstance(pinned.reports, tuple)
+
+    def test_pinned_sequence_unmoved_by_later_deltas(self, streamed):
+        """Six more boundaries landed after the pin; the pinned state
+        still describes sequence 12 exactly."""
+        _, replica, pinned, captured = streamed
+        assert pinned.seq == WINDOWS
+        assert replica.state.seq == WINDOWS + MORE_WINDOWS
+        assert replica.state is not pinned
+        assert len(replica.state.reports) >= len(pinned.reports)
+        # the live report stream extends the pinned one, never rewrites it
+        assert replica.state.reports[: len(pinned.reports)] == pinned.reports
+
+    def test_pinned_temporal_answers_do_not_drift(self, streamed):
+        _, _, pinned, captured = streamed
+        assert snapshot_range_reports(pinned.temporal, 0, WINDOWS - 1) == (
+            captured["pinned_probe"]
+        )
+        assert pinned.temporal.tip == WINDOWS
+
+
+class TestReplicaConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"subscribe_port": 0},
+            {"subscribe_port": 70000},
+            {"subscribe_port": 9000, "http_port": -1},
+            {"subscribe_port": 9000, "reconnect_seconds": 0.0},
+            {"subscribe_port": 9000, "max_frame_bytes": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ReplicaConfig(subscribe_host="127.0.0.1", **kwargs)

@@ -1,0 +1,182 @@
+"""Resume-window exhaustion and the temporal-free replica.
+
+Two scenarios the main drill cannot cover: a replica so far behind that
+the publisher's retained DELTA history no longer reaches it (must fall
+back to one full SNAPSHOT sync and still end byte-identical), and a
+primary running without a temporal tier (range queries answer from the
+report snapshot with ``"source": "snapshot"`` on both sides).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.replica import ReplicaConfig, ReplicaServer
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams.datasets import make_dataset
+
+from tests.test_replica.test_replication import (
+    SEED,
+    WINDOW_SIZE,
+    http_raw,
+    sketch_config,
+    temporal_engine,
+    wait_for,
+)
+
+PHASE_A = 12  # long enough for the ip_trace to produce simplex reports
+PHASE_B = 4
+
+
+def test_deep_lag_falls_back_to_full_sync():
+    """publish_history=2 retains two boundaries; a replica eight behind
+    cannot resume and must take a SNAPSHOT — exactly once."""
+
+    async def scenario():
+        service = StreamService(
+            temporal_engine(),
+            ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128,
+                          publish_port=0, publish_history=2,
+                          publish_heartbeat=0.1),
+        )
+        await service.start()
+        replica = ReplicaServer(
+            ReplicaConfig(*service.publish_address, reconnect_seconds=0.1)
+        )
+        await replica.start()
+        await replica.wait_synced()
+        in_host, in_port = service.ingest_address
+
+        await replay_trace(
+            make_dataset("ip_trace", PHASE_A, WINDOW_SIZE, SEED),
+            in_host, in_port, connections=1, batch_size=100,
+        )
+        await wait_for(lambda: replica.state.seq >= PHASE_A,
+                       "replica to reach the first phase")
+        synced = {"full_syncs": replica.full_syncs,
+                  "deltas_applied": replica.deltas_applied}
+
+        # A deterministic deep outage: stop the replica entirely, let
+        # the primary publish far past the retained history, restart.
+        await replica.stop()
+        await replay_trace(
+            make_dataset("ip_trace", PHASE_B, WINDOW_SIZE, SEED + 1),
+            in_host, in_port, connections=1, batch_size=100,
+        )
+        total = PHASE_A + PHASE_B
+        await wait_for(lambda: service.publisher.seq >= total,
+                       "primary to outrun the retained history")
+        await replica.start()
+        await wait_for(
+            lambda: replica.state is not None and replica.state.seq >= total,
+            "replica to full-sync back to the tip",
+        )
+
+        identity = (
+            await http_raw(*service.http_address, "/reports"),
+            await http_raw(*replica.http_address, "/reports"),
+            await http_raw(*service.http_address, f"/reports?range=2:{total - 2}"),
+            await http_raw(*replica.http_address, f"/reports?range=2:{total - 2}"),
+        )
+        counters = {"full_syncs": replica.full_syncs,
+                    "deltas_applied": replica.deltas_applied,
+                    "snapshots_sent": service.publisher.snapshots_sent}
+        await replica.stop()
+        await service.stop()
+        return synced, counters, identity
+
+    synced, counters, identity = asyncio.run(scenario())
+    assert synced == {"full_syncs": 1, "deltas_applied": PHASE_A}
+    assert counters["full_syncs"] == 2, "deep lag must resync exactly once"
+    assert counters["deltas_applied"] == PHASE_A, "no deltas bridge the gap"
+    assert counters["snapshots_sent"] == 2
+    primary_all, replica_all, primary_range, replica_range = identity
+    assert replica_all[1] == primary_all[1]
+    assert replica_range[1] == primary_range[1]
+    assert json.loads(primary_all[1])["total"] > 0
+
+
+def test_temporal_free_primary_replicates_snapshot_source():
+    """Without a temporal tier the stream carries no ladder; range
+    queries fall back to report-window filtering on both sides and stay
+    byte-identical; /history is the same 400 on both."""
+
+    async def scenario():
+        engine = ShardedXSketch(sketch_config(), n_shards=2, seed=SEED,
+                                backend="inline")
+        service = StreamService(
+            engine,
+            ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128,
+                          publish_port=0, publish_heartbeat=0.1),
+        )
+        await service.start()
+        replica = ReplicaServer(
+            ReplicaConfig(*service.publish_address, reconnect_seconds=0.1)
+        )
+        await replica.start()
+        await replica.wait_synced()
+        await replay_trace(
+            make_dataset("ip_trace", PHASE_A, WINDOW_SIZE, SEED),
+            *service.ingest_address, connections=1, batch_size=100,
+        )
+        await wait_for(lambda: service.publisher.seq >= PHASE_A,
+                       "primary to publish")
+        await wait_for(lambda: replica.state.seq >= service.publisher.seq,
+                       "replica to converge")
+        path = f"/reports?range=1:{PHASE_A - 1}"
+        captured = {
+            "primary_range": await http_raw(*service.http_address, path),
+            "replica_range": await http_raw(*replica.http_address, path),
+            "primary_history": await http_raw(*service.http_address, "/history"),
+            "replica_history": await http_raw(*replica.http_address, "/history"),
+        }
+        mirrored_temporal = replica.state.temporal
+        await replica.stop()
+        await service.stop()
+        return captured, mirrored_temporal
+
+    captured, mirrored_temporal = asyncio.run(scenario())
+    assert mirrored_temporal is None
+    status, body = captured["primary_range"]
+    assert status == 200
+    assert json.loads(body)["range"]["source"] == "snapshot"
+    assert captured["replica_range"] == captured["primary_range"]
+    assert captured["primary_history"][0] == 400
+    assert captured["replica_history"] == captured["primary_history"]
+
+
+def test_delta_before_snapshot_is_rejected():
+    """A replica must never apply a DELTA with no base state: the frame
+    handler forces a full resync instead of fabricating sequence 1."""
+    from repro.replica.server import _Resync
+
+    replica = ReplicaServer(ReplicaConfig("127.0.0.1", 9))
+    with pytest.raises(_Resync) as excinfo:
+        replica._apply_delta({"type": "delta", "seq": 1, "window": 1,
+                              "items_total": 0, "new_reports": [],
+                              "summary": None, "ladder_deltas": []})
+    assert excinfo.value.full is True
+
+
+def test_sequence_gap_forces_reconnect():
+    from repro.replica.server import _Resync
+    from repro.replica.server import ReplicaState
+
+    replica = ReplicaServer(ReplicaConfig("127.0.0.1", 9))
+    replica.state = ReplicaState(seq=4, window=4, items_total=0,
+                                 reports=(), summary=None, temporal=None)
+    # duplicates around a resume are silently skipped...
+    replica._apply_delta({"type": "delta", "seq": 3, "window": 3,
+                          "items_total": 0, "new_reports": [],
+                          "summary": None, "ladder_deltas": []})
+    assert replica.state.seq == 4 and replica.deltas_applied == 0
+    # ...but a forward gap can only mean lost frames
+    with pytest.raises(_Resync):
+        replica._apply_delta({"type": "delta", "seq": 6, "window": 6,
+                              "items_total": 0, "new_reports": [],
+                              "summary": None, "ladder_deltas": []})

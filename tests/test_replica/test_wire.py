@@ -1,0 +1,165 @@
+"""Temporal wire layer: delta replay lock-step and full-state round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.reports import SimplexReport
+from repro.errors import ConfigurationError
+from repro.temporal import TemporalPolicy, TemporalStore
+from repro.temporal.wire import (
+    WIRE_VERSION,
+    apply_window_delta,
+    export_ladder_state,
+    import_ladder_state,
+    snapshot_range_reports,
+)
+
+SEED = 42
+WINDOWS = 40
+
+
+def _policy():
+    return TemporalPolicy(
+        freq_memory_kb=2.0, level_capacity=2, track_reports=True,
+        fidelity_windows=0,
+    )
+
+
+def _reports_for(window: int):
+    return [
+        SimplexReport(
+            item=f"item-{window}-{i}", start_window=max(0, window - 3),
+            report_window=window, lasting_time=3,
+            coefficients=(1.0, 0.5 * i), mse=0.01 * i,
+        )
+        for i in range(window % 3)
+    ]
+
+
+def _drive(primary: TemporalStore, replica: TemporalStore, windows) -> None:
+    for window in windows:
+        primary.observe_items([f"x{n % 17}" for n in range(50)])
+        primary.on_window(window, _reports_for(window))
+        for delta in primary.take_deltas():
+            # force the JSON wire round trip the real stream performs
+            apply_window_delta(replica, json.loads(json.dumps(delta)))
+
+
+@pytest.fixture()
+def mirrored():
+    primary = TemporalStore(_policy(), seed=SEED)
+    primary.capture_deltas = True
+    replica = TemporalStore(TemporalPolicy.from_spec(_policy().spec()), seed=SEED)
+    _drive(primary, replica, range(WINDOWS))
+    return primary, replica
+
+
+class TestWindowDeltas:
+    def test_replayed_ladder_has_identical_layout(self, mirrored):
+        """Coarsening is deterministic in the level-0 append sequence, so
+        the mirror holds the same nodes — not merely the same answers."""
+        primary, replica = mirrored
+        assert primary.snapshot.tip == replica.snapshot.tip
+        assert primary.snapshot.coarsenings == replica.snapshot.coarsenings
+        primary_layout = [
+            (n.level, n.start, n.items) for n in primary.snapshot.nodes
+        ]
+        replica_layout = [
+            (n.level, n.start, n.items) for n in replica.snapshot.nodes
+        ]
+        assert replica_layout == primary_layout
+
+    def test_range_answers_identical(self, mirrored):
+        primary, replica = mirrored
+        for a, b in [(0, WINDOWS - 1), (3, 30), (17, 17)]:
+            assert replica.range_reports(a, b) == primary.range_reports(a, b)
+            assert replica.range_frequency("x3", a, b) == (
+                primary.range_frequency("x3", a, b)
+            )
+
+    def test_counters_mirror(self, mirrored):
+        primary, replica = mirrored
+        assert replica.windows_observed == primary.windows_observed
+        assert replica.items_observed == primary.items_observed
+
+    def test_out_of_order_delta_rejected(self, mirrored):
+        primary, replica = mirrored
+        primary.observe_items(["y"])
+        primary.on_window(WINDOWS, [])
+        (delta,) = primary.take_deltas()
+        skipped = dict(delta, window=WINDOWS + 5)
+        with pytest.raises(ConfigurationError):
+            apply_window_delta(replica, skipped)
+
+    def test_capture_off_by_default(self):
+        store = TemporalStore(_policy(), seed=SEED)
+        store.on_window(0, [])
+        assert store.take_deltas() == []
+
+
+class TestFullState:
+    def test_export_import_round_trip(self, mirrored):
+        primary, _ = mirrored
+        state = json.loads(json.dumps(export_ladder_state(primary)))
+        clone = import_ladder_state(state)
+        assert clone.range_reports(0, WINDOWS - 1) == (
+            primary.range_reports(0, WINDOWS - 1)
+        )
+        assert clone.snapshot.coarsenings == primary.snapshot.coarsenings
+        assert clone.windows_observed == primary.windows_observed
+
+    def test_imported_store_keeps_lock_step(self, mirrored):
+        """A full sync is a valid resume point: deltas applied after it
+        land exactly as on the primary."""
+        primary, _ = mirrored
+        clone = import_ladder_state(export_ladder_state(primary))
+        _drive(primary, clone, range(WINDOWS, WINDOWS + 10))
+        assert clone.range_reports(0, WINDOWS + 9) == (
+            primary.range_reports(0, WINDOWS + 9)
+        )
+        assert [n.describe()["level"] for n in clone.snapshot.nodes] == (
+            [n.describe()["level"] for n in primary.snapshot.nodes]
+        )
+
+    def test_asof_payloads_never_ride_the_wire(self):
+        """The replica is the slim half of the SF split: full merged
+        snapshots stay on the primary."""
+        policy = TemporalPolicy(
+            freq_memory_kb=2.0, track_reports=True, fidelity_windows=4
+        )
+        store = TemporalStore(policy, seed=SEED)
+        store.capture_deltas = True
+        store.on_window(0, [], snapshot_fn=lambda: {"fat": True})
+        assert any(n.asof is not None for n in store.snapshot.nodes)
+        (delta,) = store.take_deltas()
+        assert "asof" not in delta
+        exported = export_ladder_state(store)
+        assert all("asof" not in n for n in exported["nodes"])
+
+    def test_version_mismatch_rejected(self, mirrored):
+        primary, _ = mirrored
+        state = export_ladder_state(primary)
+        state["version"] = WIRE_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            import_ladder_state(state)
+
+
+class TestSnapshotRangeReports:
+    def test_matches_store_query_on_pinned_snapshot(self, mirrored):
+        _, replica = mirrored
+        pinned = replica.snapshot
+        for a, b in [(0, WINDOWS - 1), (5, 25)]:
+            assert snapshot_range_reports(pinned, a, b) == (
+                replica.range_reports(a, b)
+            )
+
+    def test_pinned_snapshot_survives_later_windows(self, mirrored):
+        primary, replica = mirrored
+        pinned = replica.snapshot
+        before = snapshot_range_reports(pinned, 0, WINDOWS - 1)
+        _drive(primary, replica, range(WINDOWS, WINDOWS + 8))
+        assert snapshot_range_reports(pinned, 0, WINDOWS - 1) == before
+        assert replica.snapshot.tip == WINDOWS + 8

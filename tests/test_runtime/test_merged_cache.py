@@ -65,6 +65,45 @@ class TestMergedSketchMemo:
             with pytest.raises(RuntimeShardError):
                 sharded.merged_sketch()
 
+    def test_hit_and_miss_counters_track_memo_effectiveness(self):
+        """runtime_merged_cache_* source of truth: a rebuild counts one
+        miss, every memoized answer counts one hit, and the collector
+        mirrors both."""
+        from repro.obs.collect import collect_sharded
+
+        with _engine() as sharded:
+            assert (sharded.merged_cache_hits, sharded.merged_cache_misses) == (0, 0)
+            sharded.run_window([f"i{n % 7}" for n in range(100)])
+            sharded.merged_sketch()
+            assert (sharded.merged_cache_hits, sharded.merged_cache_misses) == (0, 1)
+            sharded.merged_sketch()
+            sharded.merged_sketch()
+            assert (sharded.merged_cache_hits, sharded.merged_cache_misses) == (2, 1)
+            sharded.run_window(["fresh"])  # boundary invalidates
+            sharded.merged_sketch()
+            assert (sharded.merged_cache_hits, sharded.merged_cache_misses) == (2, 2)
+            registry = collect_sharded(sharded)
+            assert registry.value("runtime_merged_cache_hits_total") == 2
+            assert registry.value("runtime_merged_cache_misses_total") == 2
+
+    def test_slim_summary_rides_the_memo(self):
+        """slim_summary() must not force a second shard compaction."""
+        with _engine() as sharded:
+            base = [f"i{n % 9}" for n in range(80)]
+            for window in range(8):
+                sharded.run_window(base + ["grower"] * (4 * window + 1))
+            summary = sharded.slim_summary()
+            assert sharded.merged_cache_misses == 1
+            again = sharded.slim_summary()
+            assert sharded.merged_cache_misses == 1
+            assert sharded.merged_cache_hits == 1
+            assert again == summary
+            assert summary["window"] == 8
+            assert summary["tracked"] == sorted(
+                summary["tracked"], key=lambda entry: entry["item"]
+            )
+            assert summary["tracked_items"] == len(summary["tracked"])
+
 
 class TestEngineTemporalWiring:
     def test_engine_feeds_store_at_each_boundary(self):
