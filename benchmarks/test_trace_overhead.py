@@ -1,0 +1,143 @@
+"""Extension bench: what causal span tracing costs on the ingest path.
+
+Not a paper figure.  The tracing tier (``repro.obs.spans``,
+``docs/OBSERVABILITY.md`` "Pipeline spans") makes the same promise the
+recorder layer does: **off is free**.  The :class:`WindowManager`
+caches ``self.tracer = tracer if tracer.enabled else None`` at
+construction, so tracing off costs one ``is None`` test per wire
+batch; tracing on adds span-id generation, timestamp arithmetic and a
+bounded deque append per batch and per boundary — never per arrival.
+
+Method mirrors ``test_obs_overhead.py``: the same stream of wire
+batches runs through the manager in three interleaved configurations
+(off / off again / traced), best-of-N wall time each.  The off-vs-off
+spread is the noise floor; the acceptance budget says tracing off
+stays inside it and tracing on stays within 15 % of off.
+
+The phase profiler is deliberately *not* togglable — it observes per
+batch/boundary in both configurations, so this bench prices exactly
+the span machinery, matching what ``repro serve --trace`` toggles.
+"""
+
+import asyncio
+import time
+
+from conftest import BENCH_SEED, run_once, write_bench_json
+from repro.config import XSketchConfig
+from repro.core.xsketch import XSketch
+from repro.fitting.simplex import SimplexTask
+from repro.obs import Tracer
+from repro.service.window import WindowManager
+from repro.streams.datasets import synthetic_stream
+
+N_WINDOWS = 6
+WINDOW_SIZE = 8_000
+BATCH_SIZE = 200
+MICRO_BATCH = 512
+ROUNDS = 3
+
+#: tracing-on budget relative to tracing-off (acceptance criterion)
+MAX_TRACED_OVERHEAD_PCT = 15.0
+
+
+def _batches():
+    trace = synthetic_stream(
+        n_windows=N_WINDOWS, window_size=WINDOW_SIZE, seed=BENCH_SEED
+    )
+    batches = []
+    for window in trace.windows():
+        items = list(window)
+        for i in range(0, len(items), BATCH_SIZE):
+            batches.append(items[i:i + BATCH_SIZE])
+    return batches
+
+
+def _run(batches, tracer):
+    engine = XSketch(
+        XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=60.0),
+        seed=BENCH_SEED,
+    )
+    manager = WindowManager(
+        engine, window_size=WINDOW_SIZE, micro_batch=MICRO_BATCH,
+        tracer=tracer,
+    )
+
+    async def drive():
+        start = time.perf_counter()
+        for batch in batches:
+            await manager.submit(batch)
+        await manager.flush_window()
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(drive())
+    return elapsed, manager
+
+
+def _measure():
+    batches = _batches()
+    _run(batches, None)  # warmup
+    off, off2, on = [], [], []
+    manager_off = manager_on = None
+    for _ in range(ROUNDS):
+        t, manager_off = _run(batches, None)
+        off.append(t)
+        t, _ = _run(batches, None)
+        off2.append(t)
+        t, manager_on = _run(batches, Tracer(proc="bench"))
+        on.append(t)
+    best_off, best_off2, best_on = min(off), min(off2), min(on)
+    total_items = N_WINDOWS * WINDOW_SIZE
+    measurement = {
+        "items": total_items,
+        "batches": len(batches),
+        "off_seconds": round(best_off, 4),
+        "off_mops": round(total_items / best_off / 1e6, 4),
+        "on_seconds": round(best_on, 4),
+        "on_mops": round(total_items / best_on / 1e6, 4),
+        "noop_overhead_pct": round((best_off2 / best_off - 1.0) * 100.0, 2),
+        "traced_overhead_pct": round((best_on / best_off - 1.0) * 100.0, 2),
+    }
+    return measurement, manager_off, manager_on
+
+
+def test_trace_overhead(benchmark, show):
+    measurement, manager_off, manager_on = run_once(benchmark, _measure)
+
+    # Behaviour neutrality: identical snapshots with and without spans.
+    assert manager_on.snapshot.reports == manager_off.snapshot.reports
+    assert manager_on.windows_closed == manager_off.windows_closed
+    # The traced run produced a full span set: one frame span per wire
+    # batch plus the per-boundary spans, none dropped into the void.
+    events = manager_on.tracer.events()
+    names = [e["name"] for e in events]
+    assert names.count("ingest.frame") == measurement["batches"]
+    assert names.count("window") == N_WINDOWS
+    assert manager_off.tracer is None
+
+    write_bench_json(
+        "BENCH_trace_overhead.json",
+        params={
+            "n_windows": N_WINDOWS,
+            "window_size": WINDOW_SIZE,
+            "batch_size": BATCH_SIZE,
+            "micro_batch": MICRO_BATCH,
+            "seed": BENCH_SEED,
+            "rounds": ROUNDS,
+            "engine": "xs-cu via WindowManager.submit",
+            "memory_kb": 60.0,
+        },
+        results=measurement,
+    )
+    show(
+        "Span tracing overhead (WindowManager ingest path, best of "
+        f"{ROUNDS} interleaved rounds):\n"
+        f"  off:    {measurement['off_seconds']}s "
+        f"({measurement['off_mops']} Mops)\n"
+        f"  traced: {measurement['on_seconds']}s "
+        f"({measurement['on_mops']} Mops)\n"
+        f"  off-vs-off noise bound: {measurement['noop_overhead_pct']}%\n"
+        f"  traced overhead: {measurement['traced_overhead_pct']}%"
+    )
+    # Acceptance budget: off within noise (< 5%), traced within 15%.
+    assert abs(measurement["noop_overhead_pct"]) < 5.0
+    assert measurement["traced_overhead_pct"] < MAX_TRACED_OVERHEAD_PCT

@@ -24,7 +24,14 @@ Commands:
     Replay a dataset substitute against a running service.
 ``stats``
     Run an algorithm over a dataset and print its aggregated metrics
-    registry in Prometheus text format (docs/OBSERVABILITY.md).
+    registry in Prometheus text format (docs/OBSERVABILITY.md) — or,
+    with ``--port``, fetch a running tier's ``/metrics``.  ``--phases``
+    renders the ``pipeline_phase_seconds`` histograms as a per-phase
+    latency table instead.
+``trace``
+    Fetch a running tier's causal span trace (``serve --trace`` /
+    ``replica --trace``) and print or save it as span JSONL or
+    Chrome/Perfetto ``trace_event`` JSON.
 ``lint``
     Run the codebase-specific AST lint rules (docs/LINT.md).
 
@@ -290,8 +297,28 @@ def _cmd_ml(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.experiments.harness import make_algorithm
-    from repro.obs import render_text
+    from repro.obs import phase_table, render_text
 
+    if args.port is not None:
+        # Live mode: the registry is whatever a running tier exposes on
+        # /metrics — round-tripped through the exposition parser, so
+        # --phases works identically on fetched and locally-built views.
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        from repro.obs.expo import parse_text
+
+        url = f"http://{args.host}:{args.port}/metrics"
+        try:
+            with urlopen(url) as response:
+                text = response.read().decode("utf-8")
+        except URLError as exc:
+            raise SystemExit(f"cannot reach {url}: {exc}") from None
+        if args.phases:
+            print(phase_table(parse_text(text)))
+        else:
+            print(text, end="")
+        return 0
     task = SimplexTask(k=args.k, p=args.p, T=args.T, L=args.L)
     trace = make_dataset(args.dataset, args.windows, args.window_size, args.seed)
     algorithm = make_algorithm(
@@ -311,12 +338,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for window in trace.windows():
             algorithm.run_window(window)
         registry = collect()
+        # Coordinator-phase timings live outside the canonical registry
+        # (they would break cross-backend determinism); fold them in for
+        # the human-facing view.
+        coordinator_metrics = getattr(algorithm, "coordinator_metrics", None)
+        if coordinator_metrics is not None:
+            registry.merge(coordinator_metrics)
         if args.obs_trace is not None:
             _dump_trace(_trace_events(algorithm), args.obs_trace)
     finally:
         if hasattr(algorithm, "close"):
             algorithm.close()
-    print(render_text(registry), end="")
+    if args.phases:
+        print(phase_table(registry))
+    else:
+        print(render_text(registry), end="")
     return 0
 
 
@@ -372,6 +408,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overload=args.overload,
         checkpoint_dir=args.checkpoint_dir,
         on_engine_error=args.on_engine_error,
+        trace=args.trace,
+        trace_capacity=args.trace_capacity,
     )
 
     async def _run() -> StreamService:
@@ -442,6 +480,7 @@ def _cmd_replica(args: argparse.Namespace) -> int:
         host=args.host,
         http_port=args.http_port,
         reconnect_seconds=args.reconnect_seconds,
+        trace=args.trace,
     )
 
     async def _run() -> ReplicaServer:
@@ -612,6 +651,59 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return _cmd_history_live(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/trace"
+    params = []
+    if args.format == "chrome":
+        params.append("format=chrome")
+    if args.trace_id is not None:
+        params.append(f"trace_id={args.trace_id}")
+    if params:
+        url += "?" + "&".join(params)
+    try:
+        with urlopen(url) as response:
+            payload = json.loads(response.read())
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        with contextlib.suppress(ValueError, KeyError):
+            detail = json.loads(detail)["error"]
+        raise SystemExit(f"trace fetch failed ({exc.code}): {detail}") from None
+    except URLError as exc:
+        raise SystemExit(f"cannot reach {url}: {exc}") from None
+    if args.format == "chrome":
+        text = json.dumps(payload, indent=2)
+        n_events = len(payload.get("traceEvents", ()))
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(
+                f"wrote Chrome trace ({n_events} events) to {args.output} "
+                f"— load it in chrome://tracing or ui.perfetto.dev",
+                flush=True,
+            )
+        else:
+            print(text)
+        return 0
+    events = payload["events"]
+    if args.output is not None:
+        from repro.obs.spans import write_spans_jsonl
+
+        written = write_spans_jsonl(events, args.output)
+        print(
+            f"wrote {written} span events to {args.output} "
+            f"(recorded={payload['recorded']}, dropped={payload['dropped']})",
+            flush=True,
+        )
+    else:
+        for event in events:
+            print(json.dumps(event))
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import run_loadgen
 
@@ -692,6 +784,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--obs-trace", default=None, metavar="PATH",
         help="also dump the decision-trace ring as JSONL to PATH",
+    )
+    stats.add_argument(
+        "--host", default="127.0.0.1",
+        help="with --port: host of the live service to scrape",
+    )
+    stats.add_argument(
+        "--port", type=int, default=None,
+        help="scrape a live service's /metrics instead of running locally",
+    )
+    stats.add_argument(
+        "--phases", action="store_true",
+        help="render the per-window phase profile as a table instead of "
+             "the raw Prometheus text",
     )
     stats.set_defaults(handler=_cmd_stats)
 
@@ -813,6 +918,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="DELTA frames retained for replica resume-from-sequence "
         "(default 512; older reconnects fall back to a full sync)",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="record causal pipeline spans (ingest frame through replica "
+        "publish); export with 'repro trace' or GET /trace",
+    )
+    serve.add_argument(
+        "--trace-capacity", type=_positive_int, default=4096, metavar="N",
+        help="span events retained in the trace ring (default 4096)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     replica = subparsers.add_parser(
@@ -833,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
     replica.add_argument(
         "--duration", type=float, default=None,
         help="stop after this many seconds (default: run until signal)",
+    )
+    replica.add_argument(
+        "--trace", action="store_true",
+        help="record replica-apply spans that join the primary's trace "
+        "trees (export with 'repro trace' or GET /trace)",
     )
     replica.set_defaults(handler=_cmd_replica)
 
@@ -882,6 +1001,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the service to drain and stop after the replay",
     )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="export pipeline spans from a running --trace service",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument(
+        "--port", type=int, required=True,
+        help="HTTP port of the primary or replica to export from",
+    )
+    trace.add_argument(
+        "--format", choices=["spans", "chrome"], default="spans",
+        help="spans = one JSON span event per line; chrome = a "
+        "chrome://tracing / Perfetto trace_event document",
+    )
+    trace.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    trace.add_argument(
+        "--trace-id", default=None,
+        help="only export the span tree with this trace id",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     from repro.lint.cli import configure_parser as _configure_lint
 

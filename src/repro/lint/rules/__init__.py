@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401
     hygiene,
     obsdoc,
     protocol,
+    tracing,
 )
 from repro.lint.rules.base import Rule  # noqa: F401
 

@@ -1,0 +1,113 @@
+"""Tracing rules: span lifecycle discipline.
+
+A :class:`repro.obs.spans.Span` measures a duration — it is finished
+by ``Span.close()``, normally via the ``with`` protocol.  A span that
+is started and never closed records nothing (its events are emitted on
+close), silently punching a hole in the window's trace tree.  Pipeline
+code therefore starts spans only in one of two shapes: as a ``with``
+item, or assigned to a name that a ``finally`` block closes.
+One-shot spans whose timing is already known use ``Tracer.emit()``,
+which never creates a ``Span`` object at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import register
+from repro.lint.rules.base import Rule, call_name, enclosing_symbols
+
+#: Modules allowed to construct/return unclosed ``Span`` objects: the
+#: span machinery itself (``Tracer.span`` *is* the factory).
+SPAN_FACTORY_MODULES: Set[str] = {"repro.obs.spans"}
+
+_CLOSE_METHODS = {"close", "finish"}
+
+
+def _with_item_ids(tree: ast.Module) -> Set[int]:
+    """ids of every expression used as a ``with`` context item."""
+    ids: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                ids.add(id(item.context_expr))
+    return ids
+
+
+def _assigned_names(tree: ast.Module) -> Dict[int, str]:
+    """Map ``id(value) -> name`` for simple single-target assignments."""
+    names: Dict[int, str] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            names[id(node.value)] = node.targets[0].id
+    return names
+
+
+def _finally_closed_names(tree: ast.Module) -> Set[str]:
+    """Names on which ``.close()``/``.finish()`` runs in a ``finally``."""
+    closed: Set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Try) and node.finalbody):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = call_name(sub)
+                base, _, method = name.rpartition(".")
+                if base and method in _CLOSE_METHODS:
+                    closed.add(base)
+    return closed
+
+
+def _is_span_start(node: ast.Call) -> bool:
+    name = call_name(node)
+    base, _, last = name.rpartition(".")
+    if last == "span" and base:
+        return True
+    return last == "Span"
+
+
+@register
+class SpanUnclosedRule(Rule):
+    """``tracer.span(...)`` / ``Span(...)`` started without a ``with``
+    block or a ``finally`` close."""
+
+    id = "span-unclosed"
+    severity = Severity.ERROR
+    rationale = (
+        "a Span emits its event on close; one started outside a with "
+        "block (or without a finally close) never records and leaves a "
+        "hole in the trace tree — use 'with tracer.span(...)', or "
+        "Tracer.emit() for spans whose timing is already measured"
+    )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if not info.is_src or info.module in SPAN_FACTORY_MODULES:
+            return
+        symbols = enclosing_symbols(info.tree)
+        with_items = _with_item_ids(info.tree)
+        assigned = _assigned_names(info.tree)
+        closed = _finally_closed_names(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call) or not _is_span_start(node):
+                continue
+            if id(node) in with_items:
+                continue
+            if assigned.get(id(node)) in closed:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"span started by {call_name(node)}() is never closed: "
+                f"use it as a 'with' item, close it in a finally block, "
+                f"or emit the pre-timed event via Tracer.emit()",
+                symbol=symbols.get(id(node), "<module>"),
+            )

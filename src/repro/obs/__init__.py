@@ -37,9 +37,11 @@ from repro.obs.collect import (
     WMIN_BUCKETS,
     collect_service,
     collect_sharded,
+    collect_trace_ring,
     collect_xsketch,
 )
-from repro.obs.expo import parse_text, render_text, validate_text
+from repro.obs.expo import parse_labels, parse_text, render_text, validate_text
+from repro.obs.profile import PhaseProfiler, phase_rows, phase_table
 from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -48,6 +50,17 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.slo import Objective, SloEngine, primary_objectives, replica_objectives
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    chrome_trace,
+    span_trees,
+    write_spans_jsonl,
 )
 from repro.obs.trace import TraceRing, write_jsonl
 
@@ -60,17 +73,34 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_RECORDER",
+    "NULL_TRACER",
     "NullRecorder",
+    "NullTracer",
     "OCCUPANCY_BUCKETS",
+    "Objective",
+    "PhaseProfiler",
     "POTENTIAL_BUCKETS",
     "Recorder",
+    "SloEngine",
+    "Span",
+    "SpanContext",
     "TraceRing",
+    "Tracer",
     "WMIN_BUCKETS",
+    "chrome_trace",
     "collect_service",
     "collect_sharded",
+    "collect_trace_ring",
     "collect_xsketch",
+    "parse_labels",
     "parse_text",
+    "phase_rows",
+    "phase_table",
+    "primary_objectives",
     "render_text",
+    "replica_objectives",
+    "span_trees",
     "validate_text",
     "write_jsonl",
+    "write_spans_jsonl",
 ]

@@ -34,6 +34,28 @@ BATCH_BUCKETS = (16.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
                  4096.0, 8192.0, 16384.0)
 
 
+def collect_trace_ring(ring, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Expose a flight recorder's loss rate: ``obs_trace_events_total``
+    with ``status="recorded"`` / ``status="dropped"`` labels.
+
+    Works on anything with ``recorded``/``dropped`` counters — the
+    :class:`~repro.obs.trace.TraceRing` and the span
+    :class:`~repro.obs.spans.Tracer` alike.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.counter(
+        "obs_trace_events_total",
+        "trace events offered to the bounded flight recorder, by outcome",
+        labels={"status": "recorded"},
+    ).inc(ring.recorded - ring.dropped)
+    registry.counter(
+        "obs_trace_events_total",
+        "trace events offered to the bounded flight recorder, by outcome",
+        labels={"status": "dropped"},
+    ).inc(ring.dropped)
+    return registry
+
+
 def collect_xsketch(sketch, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Fold one X-Sketch's counters (and its live registry) into ``registry``.
 
@@ -92,6 +114,9 @@ def collect_xsketch(sketch, registry: Optional[MetricsRegistry] = None) -> Metri
     recorder = getattr(sketch, "recorder", None)
     if recorder is not None and recorder.registry is not None:
         registry.merge(recorder.registry)
+        trace = getattr(recorder, "trace", None)
+        if trace is not None:
+            collect_trace_ring(trace, registry)
     return registry
 
 
@@ -144,6 +169,11 @@ def collect_sharded(sharded, registry: Optional[MetricsRegistry] = None) -> Metr
         "runtime_merged_cache_misses_total",
         "merged_sketch() calls that re-merged per-shard snapshots",
     ).inc(getattr(sharded, "merged_cache_misses", 0))
+    # The coordinator's phase-profiler histograms deliberately stay out
+    # of this collector: the canonical registry is a cross-backend
+    # determinism surface (inline == process byte-for-byte), and wall
+    # timings can never satisfy that.  The service layer folds
+    # ``sharded.coordinator_metrics`` into its own exposition instead.
     return registry
 
 

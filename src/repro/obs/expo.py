@@ -12,7 +12,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    unescape_label_value,
+)
 
 
 def _format_value(value) -> str:
@@ -39,23 +44,48 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _label_text(labels, extra: str = "") -> str:
+    """``{k="v",...}`` suffix for a sample (empty when label-free)."""
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def render_text(registry: MetricsRegistry) -> str:
-    """Render every instrument of ``registry`` in exposition format."""
-    lines: List[str] = []
+    """Render every instrument of ``registry`` in exposition format.
+
+    Instruments sharing a family name (label sets of one metric) are
+    grouped so each family gets exactly one ``# HELP`` / ``# TYPE``
+    header, as the format requires.
+    """
+    families: Dict[str, List] = {}
     for instrument in registry:
-        name = instrument.name
-        if instrument.help:
-            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
-        lines.append(f"# TYPE {name} {instrument.kind}")
-        if isinstance(instrument, Histogram):
-            cumulative = instrument.cumulative()
-            for bound, count in zip(instrument.bounds, cumulative):
-                lines.append(f'{name}_bucket{{le="{_format_bound(bound)}"}} {count}')
-            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
-            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
-            lines.append(f"{name}_count {instrument.count}")
-        else:
-            lines.append(f"{name} {_format_value(instrument.value)}")
+        families.setdefault(instrument.name, []).append(instrument)
+    lines: List[str] = []
+    for name, instruments in families.items():
+        help_text = next((i.help for i in instruments if i.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {instruments[0].kind}")
+        for instrument in instruments:
+            labels = instrument.labels
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative()
+                for bound, count in zip(instrument.bounds, cumulative):
+                    le = f'le="{_format_bound(bound)}"'
+                    lines.append(f"{name}_bucket{_label_text(labels, le)} {count}")
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{name}_bucket{_label_text(labels, inf)} {instrument.count}"
+                )
+                lines.append(f"{name}_sum{_label_text(labels)} "
+                             f"{_format_value(instrument.sum)}")
+                lines.append(f"{name}_count{_label_text(labels)} "
+                             f"{instrument.count}")
+            else:
+                lines.append(f"{name}{_label_text(labels)} "
+                             f"{_format_value(instrument.value)}")
     return "\n".join(lines) + "\n"
 
 
@@ -85,6 +115,56 @@ def parse_text(text: str) -> Dict[str, float]:
             raise ValueError(f"line {lineno}: duplicate sample {key!r}")
         samples[key] = value
     return samples
+
+
+def parse_labels(sample_key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a sample key into ``(name, labels)``, unescaping values.
+
+    The inverse of the labeled sample names :func:`render_text` emits
+    (and of :func:`repro.obs.registry.labeled_name`): quoted values may
+    contain escaped ``\\``, ``"`` and newlines — and raw ``,``/``=``/
+    spaces, which never terminate a quoted value.
+    """
+    name, brace, rest = sample_key.partition("{")
+    if not brace:
+        return sample_key, {}
+    if not rest.endswith("}"):
+        raise ValueError(f"unterminated label set in {sample_key!r}")
+    body = rest[:-1]
+    labels: Dict[str, str] = {}
+    index = 0
+    try:
+        _parse_label_body(body, labels)
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"malformed label set in {sample_key!r}: {exc}") from None
+    return name, labels
+
+
+def _parse_label_body(body: str, labels: Dict[str, str]) -> None:
+    index = 0
+    while index < len(body):
+        eq = body.index("=", index)
+        label = body[index:eq]
+        if body[eq + 1] != '"':
+            raise ValueError("unquoted label value")
+        index = eq + 2
+        raw = []
+        while True:
+            ch = body[index]
+            if ch == "\\":
+                raw.append(body[index:index + 2])
+                index += 2
+            elif ch == '"':
+                index += 1
+                break
+            else:
+                raw.append(ch)
+                index += 1
+        labels[label] = unescape_label_value("".join(raw))
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError("garbage after label value")
+            index += 1
 
 
 def validate_text(text: str) -> Tuple[int, int]:

@@ -33,8 +33,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, MergeError
 
-#: Prometheus metric-name grammar (no labels in this registry).
+#: Prometheus metric-name grammar.
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Prometheus label-name grammar (no colons, unlike metric names).
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Default histogram bounds: log-ish spread covering counts and ratios.
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
@@ -54,15 +57,64 @@ def _check_name(name: str) -> str:
     return name
 
 
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _check_labels(labels) -> Labels:
+    """Canonicalise a label mapping: sorted ``((name, value), ...)``."""
+    if not labels:
+        return ()
+    items = labels.items() if hasattr(labels, "items") else labels
+    out = []
+    for key, value in items:
+        if not _LABEL_RE.match(key):
+            raise ConfigurationError(f"invalid label name {key!r}")
+        out.append((key, str(value)))
+    return tuple(sorted(out))
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (single left-to-right pass)."""
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def labeled_name(name: str, labels: Labels) -> str:
+    """The full exposition sample name: ``name`` or ``name{k="v",...}``.
+
+    This string doubles as the registry's storage key for labeled
+    instruments, so ``parse_text(render_text(r))`` keys match
+    ``registry.key`` exactly.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """Monotonically increasing value."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "key", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels=None):
         self.name = _check_name(name)
         self.help = help
+        self.labels: Labels = _check_labels(labels)
+        self.key = labeled_name(self.name, self.labels)
         self.value: Number = 0
 
     def inc(self, amount: Number = 1) -> None:
@@ -74,8 +126,11 @@ class Counter:
         self.value += other.value
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "name": self.name, "help": self.help,
-                "value": self.value}
+        state = {"kind": self.kind, "name": self.name, "help": self.help,
+                 "value": self.value}
+        if self.labels:
+            state["labels"] = dict(self.labels)
+        return state
 
     def restore(self, state: dict) -> None:
         self.value = state["value"]
@@ -85,11 +140,13 @@ class Gauge:
     """Point-in-time value.  Merges by addition (see module docstring)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "key", "value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels=None):
         self.name = _check_name(name)
         self.help = help
+        self.labels: Labels = _check_labels(labels)
+        self.key = labeled_name(self.name, self.labels)
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
@@ -102,8 +159,11 @@ class Gauge:
         self.value += other.value
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "name": self.name, "help": self.help,
-                "value": self.value}
+        state = {"kind": self.kind, "name": self.name, "help": self.help,
+                 "value": self.value}
+        if self.labels:
+            state["labels"] = dict(self.labels)
+        return state
 
     def restore(self, state: dict) -> None:
         self.value = state["value"]
@@ -118,11 +178,15 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("name", "help", "labels", "key", "bounds", "bucket_counts",
+                 "count", "sum")
 
-    def __init__(self, name: str, help: str = "", buckets: Sequence[Number] = DEFAULT_BUCKETS):
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS, labels=None):
         self.name = _check_name(name)
         self.help = help
+        self.labels: Labels = _check_labels(labels)
+        self.key = labeled_name(self.name, self.labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ConfigurationError(f"histogram {name} needs at least one bound")
@@ -161,9 +225,12 @@ class Histogram:
         return out
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "name": self.name, "help": self.help,
-                "bounds": list(self.bounds), "buckets": list(self.bucket_counts),
-                "count": self.count, "sum": self.sum}
+        state = {"kind": self.kind, "name": self.name, "help": self.help,
+                 "bounds": list(self.bounds), "buckets": list(self.bucket_counts),
+                 "count": self.count, "sum": self.sum}
+        if self.labels:
+            state["labels"] = dict(self.labels)
+        return state
 
     def restore(self, state: dict) -> None:
         if tuple(state["bounds"]) != self.bounds:  # pragma: no cover - defensive
@@ -179,47 +246,66 @@ _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
 
 
 class MetricsRegistry:
-    """A named collection of instruments, mergeable and snapshotable."""
+    """A named collection of instruments, mergeable and snapshotable.
+
+    Instruments may carry labels; each ``(name, labels)`` combination is
+    its own instrument, stored under the full exposition sample name
+    (``name{k="v"}``).  All label sets of a family share one kind —
+    exposition emits one ``TYPE`` line per family.
+    """
 
     def __init__(self):
         self._metrics: Dict[str, Instrument] = {}
+        #: family name -> kind, enforcing one kind per exposition family
+        self._family_kinds: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # instrument creation (get-or-create, kind-checked)
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Instrument:
-        existing = self._metrics.get(name)
+    def _get_or_create(self, cls, name: str, help: str, labels=None,
+                       **kwargs) -> Instrument:
+        key = labeled_name(_check_name(name), _check_labels(labels))
+        existing = self._metrics.get(key)
         if existing is not None:
             if not isinstance(existing, cls):
                 raise ConfigurationError(
-                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"metric {key!r} already registered as {existing.kind}, "
                     f"requested {cls.kind}"
                 )
             return existing
-        instrument = cls(name, help, **kwargs)
-        self._metrics[name] = instrument
+        family_kind = self._family_kinds.get(name)
+        if family_kind is not None and family_kind != cls.kind:
+            raise ConfigurationError(
+                f"metric family {name!r} already registered as {family_kind}, "
+                f"requested {cls.kind}"
+            )
+        instrument = cls(name, help, labels=labels, **kwargs)
+        self._metrics[instrument.key] = instrument
+        self._family_kinds[name] = cls.kind
         return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels=labels)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Sequence[Number] = DEFAULT_BUCKETS
+        self, name: str, help: str = "",
+        buckets: Sequence[Number] = DEFAULT_BUCKETS, labels=None,
     ) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        return self._get_or_create(Histogram, name, help, labels=labels,
+                                   buckets=buckets)
 
     # ------------------------------------------------------------------
     # reading
 
-    def get(self, name: str) -> Optional[Instrument]:
-        return self._metrics.get(name)
+    def get(self, name: str, labels=None) -> Optional[Instrument]:
+        return self._metrics.get(labeled_name(name, _check_labels(labels)))
 
-    def value(self, name: str, default: Number = 0) -> Number:
+    def value(self, name: str, default: Number = 0, labels=None) -> Number:
         """Scalar value of a counter/gauge (``default`` when absent)."""
-        instrument = self._metrics.get(name)
+        instrument = self.get(name, labels)
         if instrument is None:
             return default
         if isinstance(instrument, Histogram):
@@ -241,7 +327,7 @@ class MetricsRegistry:
         out: dict = {}
         for instrument in self._metrics.values():
             if isinstance(instrument, Histogram):
-                out[instrument.name] = {
+                out[instrument.key] = {
                     "count": instrument.count,
                     "sum": instrument.sum,
                     "buckets": dict(zip(
@@ -250,7 +336,7 @@ class MetricsRegistry:
                     )),
                 }
             else:
-                out[instrument.name] = instrument.value
+                out[instrument.key] = instrument.value
         return out
 
     # ------------------------------------------------------------------
@@ -262,18 +348,20 @@ class MetricsRegistry:
         Unknown metrics are adopted (same kind and, for histograms, same
         bounds as on the other side); known ones reduce kind-wise.
         """
-        for name, theirs in other._metrics.items():
-            mine = self._metrics.get(name)
+        for key, theirs in other._metrics.items():
+            mine = self._metrics.get(key)
             if mine is None:
+                labels = theirs.labels
                 if isinstance(theirs, Histogram):
-                    mine = self.histogram(name, theirs.help, buckets=theirs.bounds)
+                    mine = self.histogram(theirs.name, theirs.help,
+                                          buckets=theirs.bounds, labels=labels)
                 elif isinstance(theirs, Gauge):
-                    mine = self.gauge(name, theirs.help)
+                    mine = self.gauge(theirs.name, theirs.help, labels=labels)
                 else:
-                    mine = self.counter(name, theirs.help)
+                    mine = self.counter(theirs.name, theirs.help, labels=labels)
             elif mine.kind != theirs.kind:
                 raise MergeError(
-                    f"metric {name!r} kind mismatch: {mine.kind} vs {theirs.kind}"
+                    f"metric {key!r} kind mismatch: {mine.kind} vs {theirs.kind}"
                 )
             mine.merge(theirs)
         return self
@@ -291,14 +379,18 @@ class MetricsRegistry:
             kind = entry["kind"]
             if kind not in _KINDS:
                 raise ConfigurationError(f"unknown metric kind {kind!r}")
+            labels = entry.get("labels")
             if kind == "histogram":
                 instrument = registry.histogram(
-                    entry["name"], entry["help"], buckets=entry["bounds"]
+                    entry["name"], entry["help"], buckets=entry["bounds"],
+                    labels=labels,
                 )
             elif kind == "gauge":
-                instrument = registry.gauge(entry["name"], entry["help"])
+                instrument = registry.gauge(entry["name"], entry["help"],
+                                            labels=labels)
             else:
-                instrument = registry.counter(entry["name"], entry["help"])
+                instrument = registry.counter(entry["name"], entry["help"],
+                                              labels=labels)
             instrument.restore(entry)
         return registry
 

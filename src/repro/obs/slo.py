@@ -1,0 +1,300 @@
+"""Declarative SLOs with multi-window burn rates over registry metrics.
+
+An :class:`Objective` names a target fraction of *good events* and how
+to count good/total from a :class:`~repro.obs.registry.MetricsRegistry`:
+
+``latency``
+    good = histogram observations at or under ``threshold`` seconds
+    (the cumulative count of the tightest bucket bound >= threshold),
+    total = all observations.  Works on any registry histogram,
+    including labeled families like ``pipeline_phase_seconds{phase=...}``.
+
+``ratio``
+    good = total - bad, with ``bad_metrics`` / ``total_metrics`` each a
+    sum of counters (e.g. items lost out of items ingested).
+
+``gauge``
+    each evaluation is one event; good when every matching gauge
+    satisfies ``op``/``threshold`` (e.g. replica staleness <= 2).
+
+The :class:`SloEngine` samples the good/total counts on demand — every
+``/slo`` or ``/healthz`` evaluation appends one timestamped sample —
+and reports, per lookback window, the bad fraction of the events that
+*arrived inside that window* and the **burn rate**
+``bad_fraction / (1 - target)``: 1.0 burns the error budget exactly at
+the sustainable pace, >1 exhausts it early.  Multi-window burn rates
+(fast/mid/slow) are the standard alerting shape: a fault spikes the
+short window first, and recovery drains the windows in the same order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = ["Objective", "SloEngine", "primary_objectives", "replica_objectives"]
+
+_KINDS = ("latency", "ratio", "gauge")
+_OPS = ("le", "ge")
+
+#: default lookback windows (seconds): fast / mid / slow burn
+DEFAULT_WINDOWS = (60.0, 300.0, 900.0)
+
+
+class Objective:
+    """One service-level objective (treat as immutable; see module
+    docstring)."""
+
+    __slots__ = ("name", "description", "kind", "target", "metric",
+                 "labels", "threshold", "op", "bad_metrics", "total_metrics")
+
+    def __init__(self, name: str, description: str, kind: str, target: float,
+                 metric: str = "", labels: Optional[dict] = None,
+                 threshold: float = 0.0, op: str = "le",
+                 bad_metrics: Sequence[str] = (),
+                 total_metrics: Sequence[str] = ()):
+        if kind not in _KINDS:
+            raise ConfigurationError(f"objective {name!r}: unknown kind {kind!r}")
+        if not 0.0 < target < 1.0:
+            raise ConfigurationError(
+                f"objective {name!r}: target must be in (0, 1), got {target}"
+            )
+        if op not in _OPS:
+            raise ConfigurationError(f"objective {name!r}: unknown op {op!r}")
+        if kind == "ratio":
+            if not bad_metrics or not total_metrics:
+                raise ConfigurationError(
+                    f"objective {name!r}: ratio needs bad_metrics and total_metrics"
+                )
+        elif not metric:
+            raise ConfigurationError(f"objective {name!r}: metric is required")
+        self.name = name
+        self.description = description
+        self.kind = kind
+        self.target = float(target)
+        self.metric = metric
+        self.labels = tuple(sorted((labels or {}).items()))
+        self.threshold = float(threshold)
+        self.op = op
+        self.bad_metrics = tuple(bad_metrics)
+        self.total_metrics = tuple(total_metrics)
+
+    # ------------------------------------------------------------------
+
+    def _matching(self, registry: MetricsRegistry, name: str):
+        want = dict(self.labels)
+        for instrument in registry:
+            if instrument.name != name:
+                continue
+            have = dict(instrument.labels)
+            if all(have.get(k) == v for k, v in want.items()):
+                yield instrument
+
+    def counts(self, registry: MetricsRegistry) -> Tuple[float, float]:
+        """Cumulative ``(good, total)`` event counts from ``registry``."""
+        if self.kind == "latency":
+            good = total = 0.0
+            for histogram in self._matching(registry, self.metric):
+                if not isinstance(histogram, Histogram):
+                    continue
+                cumulative = histogram.cumulative()
+                within = histogram.count  # every bound above threshold
+                for bound, count in zip(histogram.bounds, cumulative):
+                    if bound >= self.threshold:
+                        within = count
+                        break
+                good += within
+                total += histogram.count
+            return good, total
+        if self.kind == "ratio":
+            bad = sum(
+                sum(i.value for i in self._matching(registry, name))
+                for name in self.bad_metrics
+            )
+            total = sum(
+                sum(i.value for i in self._matching(registry, name))
+                for name in self.total_metrics
+            )
+            total = max(total, bad)
+            return total - bad, total
+        # gauge: one event per evaluation, good when every sample passes
+        samples = [i.value for i in self._matching(registry, self.metric)]
+        if not samples:
+            return 0.0, 0.0
+        if self.op == "le":
+            ok = all(value <= self.threshold for value in samples)
+        else:
+            ok = all(value >= self.threshold for value in samples)
+        return (1.0 if ok else 0.0), 1.0
+
+    def describe(self) -> dict:
+        spec: Dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+            "kind": self.kind,
+            "target": self.target,
+        }
+        if self.kind == "ratio":
+            spec["bad_metrics"] = list(self.bad_metrics)
+            spec["total_metrics"] = list(self.total_metrics)
+        else:
+            spec["metric"] = self.metric
+            if self.labels:
+                spec["labels"] = dict(self.labels)
+            spec["threshold"] = self.threshold
+            if self.kind == "gauge":
+                spec["op"] = self.op
+        return spec
+
+
+class SloEngine:
+    """Burn-rate evaluation over on-demand samples of a registry.
+
+    ``registry_fn`` builds (or returns) the registry to read — for the
+    service that is the merged collector view, so sampling never blocks
+    the ingest path.  Gauge objectives accumulate one event per sample;
+    counter/histogram objectives difference cumulative counts across
+    the lookback window, so burn rates move as soon as bad events land
+    and recover once the window slides past them.
+    """
+
+    __slots__ = ("objectives", "_registry_fn", "windows", "_samples")
+
+    def __init__(self, objectives: Sequence[Objective],
+                 registry_fn: Callable[[], MetricsRegistry],
+                 windows: Sequence[float] = DEFAULT_WINDOWS,
+                 max_samples: int = 4096):
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate objective names in {names}")
+        self.objectives = tuple(objectives)
+        self._registry_fn = registry_fn
+        self.windows = tuple(float(w) for w in windows)
+        #: (monotonic_ts, {objective: (good, total)}), oldest first
+        self._samples: deque = deque(maxlen=max_samples)
+
+    def sample(self) -> None:
+        """Append one timestamped good/total snapshot per objective.
+
+        Gauge counts are accumulated (each sample is an event); counter
+        and histogram counts are cumulative and differenced later.
+        """
+        registry = self._registry_fn()
+        now = time.monotonic()
+        previous = self._samples[-1][1] if self._samples else {}
+        counts: Dict[str, Tuple[float, float]] = {}
+        for objective in self.objectives:
+            good, total = objective.counts(registry)
+            if objective.kind == "gauge":
+                prior_good, prior_total = previous.get(objective.name, (0.0, 0.0))
+                good, total = prior_good + good, prior_total + total
+            counts[objective.name] = (good, total)
+        self._samples.append((now, counts))
+
+    def evaluate(self) -> dict:
+        """Sample, then report burn rates per objective and window."""
+        self.sample()
+        now, latest = self._samples[-1]
+        report: Dict[str, object] = {"windows_seconds": list(self.windows)}
+        objectives: List[dict] = []
+        worst: Optional[dict] = None
+        for objective in self.objectives:
+            good_now, total_now = latest[objective.name]
+            budget = 1.0 - objective.target
+            entry = objective.describe()
+            entry["windows"] = {}
+            breaching = False
+            for window in self.windows:
+                base_good, base_total = 0.0, 0.0
+                for ts, counts in self._samples:
+                    if ts >= now - window:
+                        break
+                    base_good, base_total = counts.get(
+                        objective.name, (0.0, 0.0)
+                    )
+                good = good_now - base_good
+                total = total_now - base_total
+                bad_fraction = 1.0 - good / total if total > 0 else 0.0
+                burn = bad_fraction / budget
+                entry["windows"][str(int(window))] = {
+                    "events": round(total, 3),
+                    "bad_fraction": round(bad_fraction, 6),
+                    "burn_rate": round(burn, 4),
+                }
+                breaching = breaching or burn >= 1.0
+            entry["breaching"] = breaching
+            max_burn = max(
+                w["burn_rate"] for w in entry["windows"].values()
+            )
+            entry["max_burn_rate"] = max_burn
+            objectives.append(entry)
+            if worst is None or max_burn > worst["max_burn_rate"]:
+                worst = entry
+        report["objectives"] = objectives
+        report["breaching"] = sorted(
+            entry["name"] for entry in objectives if entry["breaching"]
+        )
+        report["worst"] = (
+            {"name": worst["name"], "max_burn_rate": worst["max_burn_rate"]}
+            if worst is not None else None
+        )
+        return report
+
+    def summary(self) -> dict:
+        """The compact ``/healthz`` block: worst burn + breaching names."""
+        report = self.evaluate()
+        return {
+            "breaching": report["breaching"],
+            "worst": report["worst"],
+        }
+
+
+def primary_objectives() -> Tuple[Objective, ...]:
+    """The primary tier's default SLO catalog (see docs/OBSERVABILITY.md)."""
+    return (
+        Objective(
+            "ingest-latency",
+            "99% of wire batches admitted into a window within 100ms",
+            kind="latency", target=0.99,
+            metric="pipeline_phase_seconds", labels={"phase": "ingest"},
+            threshold=0.1,
+        ),
+        Objective(
+            "window-latency",
+            "99% of window boundaries closed end-to-end within 2.5s",
+            kind="latency", target=0.99,
+            metric="pipeline_phase_seconds", labels={"phase": "window"},
+            threshold=2.5,
+        ),
+        Objective(
+            "item-loss",
+            "99.9% of routed items neither dropped by overload nor lost to restarts",
+            kind="ratio", target=0.999,
+            bad_metrics=("service_items_dropped_total",
+                         "runtime_items_lost_estimate"),
+            total_metrics=("service_items_ingested_total",
+                           "service_items_dropped_total"),
+        ),
+    )
+
+
+def replica_objectives() -> Tuple[Objective, ...]:
+    """The replica tier's default SLO catalog."""
+    return (
+        Objective(
+            "replica-staleness",
+            "99% of checks find the replica at most 2 windows behind",
+            kind="gauge", target=0.99,
+            metric="replica_snapshot_age_windows", threshold=2.0, op="le",
+        ),
+        Objective(
+            "replica-connected",
+            "99% of checks find the subscriber link up",
+            kind="gauge", target=0.99,
+            metric="replica_connected", threshold=1.0, op="ge",
+        ),
+    )

@@ -1,0 +1,365 @@
+"""Causal span tracing across the pipeline.
+
+One window boundary flows through three processes — ingest connections
+feeding the :class:`~repro.service.window.WindowManager`, shard workers
+closing their slice of the window, and replicas applying the published
+frame.  A :class:`Tracer` ties those steps into a single tree: every
+span carries the window's ``trace_id``, its own ``span_id`` and its
+parent's, so the exported events reassemble into one causal tree per
+window (:func:`span_trees`) and export to Chrome/Perfetto
+``trace_event`` JSON (:func:`chrome_trace`).
+
+Design constraints, mirroring the rest of ``repro.obs``:
+
+off is free
+    The default :data:`NULL_TRACER` is inert; components cache
+    ``tracer if tracer.enabled else None`` and skip all span work when
+    tracing is off, exactly like the :data:`~repro.obs.recorder.NULL_RECORDER`
+    gate.
+
+no wall clocks below the service layer
+    The tracer reads the wall clock once at construction and derives
+    every timestamp from ``time.perf_counter()`` offsets
+    (:meth:`Tracer.timestamp`), so hot packages never call
+    ``time.time()`` and timestamps within a process are strictly
+    monotonic.  Cross-process skew is bounded by dispatch latency: span
+    contexts shipped to workers carry the sender's timestamp as the
+    receiver's base.
+
+bounded memory
+    Events live in a ``deque(maxlen=capacity)`` like the
+    :class:`~repro.obs.trace.TraceRing`; ``recorded``/``dropped`` say
+    how lossy the window into the past is.
+
+Spans are always closed by scope: either ``with tracer.span(...)`` or a
+``try/finally`` calling :meth:`Span.close` (the ``span-unclosed`` lint
+rule enforces this).  Long-lived root spans — the per-window root that
+opens at the first arrival and closes at publish — are emitted directly
+via :meth:`Tracer.emit` with an explicit start/duration instead of
+holding a ``Span`` open across callbacks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace",
+    "new_span_id",
+    "new_trace_id",
+    "span_trees",
+    "write_spans_jsonl",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (hex).  ``os.urandom`` so ids never
+    collide across the primary, workers and replicas, and never touch
+    the seeded replacement RNG."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit span id (hex)."""
+    return os.urandom(4).hex()
+
+
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``.
+
+    This is what crosses process boundaries — the worker command queue
+    and the replica DELTA frame carry its :meth:`to_wire` dict, plus a
+    ``ts`` base so the receiver can stamp wall-clock-free timestamps.
+    """
+
+    __slots__ = ("trace_id", "span_id", "ts")
+
+    def __init__(self, trace_id: str, span_id: str, ts: float = 0.0):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.ts = ts
+
+    def to_wire(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "ts": self.ts}
+
+    @classmethod
+    def from_wire(cls, state: dict) -> "SpanContext":
+        return cls(state["trace_id"], state["span_id"],
+                   float(state.get("ts", 0.0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext({self.trace_id}/{self.span_id})"
+
+
+class Span:
+    """One timed operation; emits into its tracer when the scope exits.
+
+    Use as a context manager (``with tracer.span("merge") as span:``);
+    :attr:`context` is the handle child spans — possibly in another
+    process — parent themselves to.
+    """
+
+    __slots__ = ("_tracer", "name", "trace_id", "span_id", "parent_id",
+                 "attrs", "ts", "_start", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[str], attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.ts = tracer.timestamp()
+        self._start = time.perf_counter()
+        self._done = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id, self.ts)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes after the span started (counts, outcomes)."""
+        self.attrs.update(attrs)
+
+    def close(self) -> None:
+        """Emit the span (idempotent; the ``finally``-path closer)."""
+        if self._done:
+            return
+        self._done = True
+        self._tracer.emit(
+            self.name,
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            ts=self.ts,
+            dur=time.perf_counter() - self._start,
+            **self.attrs,
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.close()
+
+
+class _NullSpan:
+    """Inert span: ``with``-able, annotatable, emits nothing."""
+
+    __slots__ = ()
+
+    context = SpanContext("", "")
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """The default: tracing off, every operation a no-op."""
+
+    enabled = False
+    proc = ""
+
+    _span = _NullSpan()
+
+    def timestamp(self) -> float:
+        return 0.0
+
+    def span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return self._span
+
+    def emit(self, name: str, **fields) -> None:
+        pass
+
+    def adopt(self, events: Iterable[dict]) -> None:
+        pass
+
+    def events(self, trace_id: Optional[str] = None) -> List[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A per-process span sink with bounded memory.
+
+    ``proc`` names the process in exports (``primary``, ``shard-0``,
+    ``replica``); :meth:`adopt` merges span dicts built in other
+    processes (worker replies) into this sink.
+    """
+
+    enabled = True
+
+    __slots__ = ("proc", "capacity", "recorded", "_events", "_wall0",
+                 "_perf0")
+
+    def __init__(self, capacity: int = 4096, proc: str = "primary"):
+        self.proc = proc
+        self.capacity = capacity
+        self.recorded = 0
+        self._events: deque = deque(maxlen=capacity)
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # time
+
+    def timestamp(self) -> float:
+        """Wall-clock seconds, derived from the perf counter (the wall
+        clock itself is read once, at construction)."""
+        return self._wall0 + (time.perf_counter() - self._perf0)
+
+    # ------------------------------------------------------------------
+    # producing spans
+
+    def span(self, name: str, parent=None, **attrs) -> Span:
+        """Open a child span of ``parent`` (a :class:`Span`,
+        :class:`SpanContext` or ``None`` for a new trace)."""
+        if parent is None:
+            trace_id, parent_id = new_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(self, name, trace_id, parent_id, attrs)
+
+    def emit(self, name: str, *, trace_id: str, span_id: str,
+             parent_id: Optional[str] = None, ts: float, dur: float,
+             **attrs) -> None:
+        """Record a completed span directly (root spans whose lifetime
+        brackets multiple callbacks, and worker-built span dicts)."""
+        event = {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "ts": round(ts, 6),
+            "dur": round(dur, 6),
+            "proc": self.proc,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self.recorded += 1
+        self._events.append(event)
+
+    def adopt(self, events: Iterable[dict]) -> None:
+        """Merge span dicts produced by another process, keeping their
+        ``proc`` stamp (worker replies, replica-side exports)."""
+        for event in events:
+            self.recorded += 1
+            self._events.append(dict(event))
+
+    # ------------------------------------------------------------------
+    # reading
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._events)
+
+    def events(self, trace_id: Optional[str] = None) -> List[dict]:
+        if trace_id is None:
+            return list(self._events)
+        return [e for e in self._events if e.get("trace_id") == trace_id]
+
+    def dump_jsonl(self, path) -> int:
+        return write_spans_jsonl(self.events(), path)
+
+
+def write_spans_jsonl(events: Sequence[dict], path) -> int:
+    """Write span events as JSON-lines; returns the event count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)
+
+
+def span_trees(events: Iterable[dict]) -> Dict[str, dict]:
+    """Assemble events into ``{trace_id: tree}``.
+
+    Each tree node is ``{"span": event, "children": [nodes...]}``;
+    every trace's value is ``{"roots": [nodes], "orphans": [events]}``
+    where orphans name a ``parent_id`` absent from the trace (a dropped
+    or still-open parent).  Children sort by start timestamp.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for event in events:
+        by_trace.setdefault(event.get("trace_id", ""), []).append(event)
+    out: Dict[str, dict] = {}
+    for trace_id, trace_events in by_trace.items():
+        nodes = {
+            e["span_id"]: {"span": e, "children": []} for e in trace_events
+        }
+        roots, orphans = [], []
+        for event in trace_events:
+            parent_id = event.get("parent_id")
+            if parent_id is None:
+                roots.append(nodes[event["span_id"]])
+            elif parent_id in nodes:
+                nodes[parent_id]["children"].append(nodes[event["span_id"]])
+            else:
+                orphans.append(event)
+        for node in nodes.values():
+            node["children"].sort(key=lambda n: n["span"].get("ts", 0.0))
+        roots.sort(key=lambda n: n["span"].get("ts", 0.0))
+        out[trace_id] = {"roots": roots, "orphans": orphans}
+    return out
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Convert span events to Chrome/Perfetto ``trace_event`` JSON.
+
+    Complete events (``ph="X"``) with microsecond timestamps, one pid
+    per originating process plus ``process_name`` metadata, so
+    ``chrome://tracing`` and https://ui.perfetto.dev render the
+    pipeline timeline directly.
+    """
+    pids: Dict[str, int] = {}
+    trace_events: List[dict] = []
+    for event in events:
+        proc = event.get("proc", "") or "unknown"
+        if proc not in pids:
+            pids[proc] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[proc],
+                "tid": 0,
+                "args": {"name": proc},
+            })
+        args = dict(event.get("attrs") or {})
+        args["trace_id"] = event.get("trace_id")
+        args["span_id"] = event.get("span_id")
+        if event.get("parent_id"):
+            args["parent_id"] = event["parent_id"]
+        trace_events.append({
+            "name": event.get("name", "?"),
+            "cat": "pipeline",
+            "ph": "X",
+            "ts": round(event.get("ts", 0.0) * 1e6, 1),
+            "dur": round(event.get("dur", 0.0) * 1e6, 1),
+            "pid": pids[proc],
+            "tid": 0,
+            "args": args,
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -125,13 +125,17 @@ class SnapshotPublisher:
     # boundary publishing (called under the engine lock, exactly once
     # per closed window, so each sequence maps to one boundary)
 
-    def publish_boundary(self, snapshot, summary, ladder_deltas: Sequence[dict]) -> dict:
+    def publish_boundary(self, snapshot, summary, ladder_deltas: Sequence[dict],
+                         span: Optional[dict] = None) -> dict:
         """Stamp one window boundary and fan its DELTA frame out.
 
         ``snapshot`` is the manager's just-published
         :class:`~repro.service.window.ServiceSnapshot`; its report tuple
         is canonical and append-only, so the delta carries only the
-        tail this boundary appended.
+        tail this boundary appended.  ``span`` (tracing on) is the
+        publish span's wire context; it rides the frame so the replica's
+        apply span joins the window's trace tree across the process
+        boundary.
         """
         from repro.service.window import report_to_dict
 
@@ -160,6 +164,8 @@ class SnapshotPublisher:
             "summary": summary,
             "ladder_deltas": list(ladder_deltas),
         }
+        if span is not None:
+            frame["span"] = span
         self._history.append(frame)
         for sub in list(self._subscribers):
             if sub.enqueue(frame):

@@ -11,8 +11,11 @@ newer deltas land, and two reads of one state can never disagree.
 the same builders as the primary (:mod:`repro.service.http`), so at an
 equal ``snapshot_seq`` the bodies are byte-identical to the primary's.
 ``/healthz`` surfaces the staleness triple (``snapshot_seq``,
-``snapshot_age_windows``, ``connected``); ``/metrics`` exposes the
-``replica_*`` family plus the mirrored ladder's ``temporal_*`` metrics.
+``snapshot_age_windows``, ``connected``) plus the replica SLO summary;
+``/metrics`` exposes the ``replica_*`` family plus the mirrored
+ladder's ``temporal_*`` metrics; ``/slo`` reports burn rates for the
+staleness and link objectives, and ``/trace`` (with ``trace=True``)
+serves the apply spans continuing the primary's window trace trees.
 
 The link self-heals: a lost connection reconnects with
 ``since = state.seq`` and catches up via retained DELTA frames when the
@@ -27,13 +30,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
-from repro.obs.collect import collect_replica, collect_temporal
+from repro.obs.collect import collect_replica, collect_temporal, collect_trace_ring
 from repro.obs.expo import render_text
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloEngine, replica_objectives
+from repro.obs.spans import Tracer, new_span_id
 from repro.replica.subscriber import frames, open_subscription
 from repro.service.config import DEFAULT_MAX_FRAME_BYTES
 from repro.service.http import (
@@ -41,6 +47,8 @@ from repro.service.http import (
     make_http_handler,
     query_float,
     reports_response,
+    slo_response,
+    trace_response,
     BadParameter,
 )
 from repro.temporal.node import report_from_record
@@ -62,6 +70,11 @@ class ReplicaConfig:
         http_port: HTTP query port (0 = ephemeral).
         reconnect_seconds: delay between reconnect attempts.
         max_frame_bytes: inbound frame size limit (match the primary's).
+        trace: record an ``apply.delta`` span for every DELTA frame
+            carrying a publish-span context, continuing the primary's
+            window trace tree across the process boundary (``GET
+            /trace`` on the replica).  Off by default.
+        trace_capacity: bounded span-sink size (events).
     """
 
     subscribe_host: str
@@ -70,6 +83,8 @@ class ReplicaConfig:
     http_port: int = 0
     reconnect_seconds: float = 0.5
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    trace: bool = False
+    trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if not 0 < self.subscribe_port <= 65535:
@@ -87,6 +102,10 @@ class ReplicaConfig:
         if self.max_frame_bytes <= 0:
             raise ConfigurationError(
                 f"max_frame_bytes must be positive, got {self.max_frame_bytes}"
+            )
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
 
@@ -134,6 +153,15 @@ class ReplicaServer:
         #: severed/poisoned links seen (the latest reason kept for /stats)
         self.link_errors = 0
         self.last_link_error: Optional[str] = None
+        #: the replica's own span sink; apply spans continue the trees
+        #: whose publish contexts ride the DELTA frames
+        self.tracer: Optional[Tracer] = None
+        if config.trace:
+            self.tracer = Tracer(
+                capacity=config.trace_capacity, proc="replica"
+            )
+        #: burn-rate evaluator over the replica's collector view
+        self.slo = SloEngine(replica_objectives(), self._slo_registry)
         #: mirror of the primary's ladder (advanced by deltas)
         self._store = None
         #: publisher's window as last seen on any frame (staleness bound)
@@ -268,6 +296,7 @@ class ReplicaServer:
             raise _Resync(
                 f"sequence gap: applied {state.seq}, received {frame['seq']}"
             )
+        apply_start = time.perf_counter()
         if self._store is not None:
             try:
                 for record in frame["ladder_deltas"]:
@@ -284,6 +313,23 @@ class ReplicaServer:
             summary=frame["summary"],
         )
         self.deltas_applied += 1
+        span_ctx = frame.get("span")
+        if self.tracer is not None and span_ctx is not None:
+            # Continue the primary's window tree: parented to the
+            # publish span whose context rode the frame.  The replica
+            # has no clock synced to the primary, so the span starts at
+            # the publish timestamp and the duration is its own
+            # perf-counter measurement of the apply.
+            self.tracer.emit(
+                "replica.apply",
+                trace_id=span_ctx["trace_id"],
+                span_id=new_span_id(),
+                parent_id=span_ctx["span_id"],
+                ts=span_ctx["ts"],
+                dur=time.perf_counter() - apply_start,
+                seq=frame["seq"],
+                window=frame["window"],
+            )
 
     def _install_state(self, frame: dict, reports: tuple, summary) -> None:
         self.state = ReplicaState(
@@ -314,6 +360,7 @@ class ReplicaServer:
                 "source": (
                     f"{self.config.subscribe_host}:{self.config.subscribe_port}"
                 ),
+                "slo": self.slo.summary(),
             }
         if path == "/reports":
             if method != "GET":
@@ -351,7 +398,17 @@ class ReplicaServer:
             collect_replica(self, registry)
             if self._store is not None:
                 collect_temporal(self._store, registry)
+            if self.tracer is not None:
+                collect_trace_ring(self.tracer, registry)
             return 200, render_text(registry)
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return trace_response(self.tracer, query)
+        if path == "/slo":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return slo_response(self.slo)
         if path == "/disconnect":
             if method != "POST":
                 return 405, {"error": "POST only"}
@@ -364,6 +421,12 @@ class ReplicaServer:
             self._sever()
             return 200, {"disconnected": True, "pause": pause}
         return 404, {"error": f"unknown path {path!r}"}
+
+    def _slo_registry(self) -> MetricsRegistry:
+        """The registry the replica's SLO engine reads (no link I/O)."""
+        registry = MetricsRegistry()
+        collect_replica(self, registry)
+        return registry
 
     def _replica_stats(self) -> dict:
         state = self.state

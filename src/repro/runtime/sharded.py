@@ -58,6 +58,9 @@ from repro.core.serialize import restore_xsketch, snapshot_xsketch
 from repro.core.xsketch import XSketch, report_order
 from repro.errors import ConfigurationError, RuntimeShardError
 from repro.hashing.family import ItemId
+from repro.obs.profile import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import new_span_id
 from repro.runtime.faults import Fault
 from repro.runtime.partition import KeyPartitioner
 from repro.runtime.worker import WorkerReport, shard_worker_main
@@ -253,6 +256,15 @@ class ShardedXSketch:
         self._memory_bytes: Optional[float] = None
         self.observability = observability
         self.temporal = temporal
+        #: live span tracer (assigned by the service layer when tracing
+        #: is on; coordinator spans and adopted worker spans share its
+        #: sink, so /trace sees one tree per window boundary)
+        self.tracer = None
+        #: always-on coordinator-phase timings (window granularity only:
+        #: dispatch / shard / merge / temporal / checkpoint), folded
+        #: into :meth:`metrics_registry` by the sharded collector
+        self.coordinator_metrics = MetricsRegistry()
+        self.profiler = PhaseProfiler(self.coordinator_metrics)
         #: merged_sketch() memo: (window id, sketch); new data or a
         #: window boundary invalidates it
         self._merged_cache: Optional[Tuple[int, XSketch]] = None
@@ -598,23 +610,31 @@ class ShardedXSketch:
                 self._dispatch(shard, buffer)
                 self._buffers[shard] = []
 
-    def flush_window(self) -> List[SimplexReport]:
-        """Close the current window on every shard; merged reports back."""
+    def flush_window(self, span_ctx=None) -> List[SimplexReport]:
+        """Close the current window on every shard; merged reports back.
+
+        ``span_ctx`` is the parent :class:`~repro.obs.spans.SpanContext`
+        (the service's ``window.flush`` span) — with a live ``tracer``
+        attached, the coordinator wraps the close in its own span,
+        ships that context to every worker inside the ``end_window``
+        command, and adopts the per-shard spans the workers return, so
+        the whole fan-out lands in one tree.  Without either, the close
+        runs exactly as before (the NULL_TRACER gate).
+        """
         self._flush_buffers()
-        if self.backend == "inline":
-            merged: List[SimplexReport] = []
-            for shard, sketch in enumerate(self._locals):
-                start = time.perf_counter()
-                merged.extend(sketch.end_window())
-                self._inline_busy[shard] += time.perf_counter() - start
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled or span_ctx is None:
+            tracer = None
+        if tracer is not None:
+            with tracer.span(
+                "coordinator.end_window", parent=span_ctx,
+                window=self.window, shards=self.n_shards,
+            ) as coordinator_span:
+                merged = self._close_shards(tracer, coordinator_span.context)
         else:
-            self._broadcast(("end_window",))
-            merged = [
-                report
-                for reports in self._collect("end_window")
-                for report in reports
-            ]
-        merged.sort(key=report_order)
+            merged = self._close_shards(None, None)
+        with self.profiler.phase("merge"):
+            merged.sort(key=report_order)
         self._reports.extend(merged)
         closed_window = self.window
         self.window += 1
@@ -625,17 +645,67 @@ class ShardedXSketch:
             and self.auto_checkpoint_interval
             and self.window % self.auto_checkpoint_interval == 0
         ):
-            self._auto_checkpoint()
+            with self.profiler.phase("checkpoint"):
+                self._auto_checkpoint()
         if self.temporal is not None:
             # The snapshot thunk rides the merged_sketch() memo (and the
             # auto-checkpoint just taken, when there was one), so deep
             # time-travel fidelity costs at most one compaction per
             # boundary — and nothing once the store stops asking.
-            self.temporal.on_window(
-                closed_window,
-                merged,
-                snapshot_fn=lambda: snapshot_xsketch(self.merged_sketch()),
-            )
+            with self.profiler.phase("temporal"):
+                self.temporal.on_window(
+                    closed_window,
+                    merged,
+                    snapshot_fn=lambda: snapshot_xsketch(self.merged_sketch()),
+                )
+        return merged
+
+    def _close_shards(self, tracer, ctx) -> List[SimplexReport]:
+        """End the window on every shard; unsorted union of reports.
+
+        With a tracer, each shard's close is timed where it runs: the
+        inline backend emits the span directly, the process backend
+        sends ``ctx`` on the wire and adopts the span dict each worker
+        returns alongside its reports.  A freshly restarted shard
+        answers the bare resent command with bare reports (no span) —
+        its close simply goes untimed for that window.
+        """
+        if self.backend == "inline":
+            merged: List[SimplexReport] = []
+            with self.profiler.phase("shard"):
+                for shard, sketch in enumerate(self._locals):
+                    start = time.perf_counter()
+                    reports = sketch.end_window()
+                    elapsed = time.perf_counter() - start
+                    self._inline_busy[shard] += elapsed
+                    if tracer is not None:
+                        tracer.emit(
+                            "shard.end_window",
+                            trace_id=ctx.trace_id,
+                            span_id=new_span_id(),
+                            parent_id=ctx.span_id,
+                            ts=tracer.timestamp() - elapsed,
+                            dur=elapsed,
+                            shard=shard,
+                        )
+                    merged.extend(reports)
+            return merged
+        command = (
+            ("end_window", ctx.to_wire()) if tracer is not None
+            else ("end_window",)
+        )
+        with self.profiler.phase("dispatch"):
+            self._broadcast(command)
+        with self.profiler.phase("shard"):
+            payloads = self._collect("end_window")
+        merged = []
+        for payload in payloads:
+            if isinstance(payload, dict):
+                if tracer is not None and payload.get("span") is not None:
+                    tracer.adopt([payload["span"]])
+                merged.extend(payload["reports"])
+            else:
+                merged.extend(payload)
         return merged
 
     #: alias so the coordinator matches the engine protocol

@@ -20,8 +20,13 @@ Command protocol (tuples on ``command_queue``; replies on the worker's
 
 ``("ingest", items)``
     Insert a batch into the current window.  No reply (pipelined).
-``("end_window",)``
-    Close the window; replies ``("end_window", shard, reports)``.
+``("end_window",)`` / ``("end_window", span_ctx)``
+    Close the window; replies ``("end_window", shard, reports)``.  With
+    a span context dict (the coordinator's wire
+    :class:`~repro.obs.spans.SpanContext`, tracing on), the reply
+    payload is instead ``{"reports": reports, "span": span_dict}`` — the
+    worker times its own close and hands back one span for the
+    coordinator to adopt.  Restart resends are always the bare form.
 ``("advance", target_window)``
     Recovery fast-forward: close empty windows until the sketch reaches
     ``target_window``.  Reports produced by those catch-up closes are
@@ -160,10 +165,32 @@ def shard_worker_main(
                 items_ingested += len(items)
                 batches += 1
             elif op == "end_window":
+                span_ctx = command[1] if len(command) > 1 else None
                 start = perf_counter()
                 reports = sketch.end_window()
-                busy_seconds += perf_counter() - start
-                reply("end_window", op, reports)
+                elapsed = perf_counter() - start
+                busy_seconds += elapsed
+                if span_ctx is not None:
+                    # The worker has no synced wall clock; the span
+                    # starts at the coordinator's dispatch timestamp
+                    # (span_ctx["ts"]) and the duration is its own
+                    # perf-counter measurement.  Built inline instead of
+                    # through a Tracer — one dict per window close.
+                    from repro.obs.spans import new_span_id
+
+                    span = {
+                        "name": "shard.end_window",
+                        "trace_id": span_ctx["trace_id"],
+                        "span_id": new_span_id(),
+                        "parent_id": span_ctx["span_id"],
+                        "ts": round(span_ctx["ts"], 6),
+                        "dur": round(elapsed, 6),
+                        "proc": f"shard-{shard_id}",
+                        "attrs": {"shard": shard_id, "window": window_at_receipt},
+                    }
+                    reply("end_window", op, {"reports": reports, "span": span})
+                else:
+                    reply("end_window", op, reports)
             elif op == "advance":
                 target = command[1]
                 base = len(sketch._reports)

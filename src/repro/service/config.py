@@ -64,6 +64,14 @@ class ServiceConfig:
             to a full SNAPSHOT sync.
         publish_heartbeat: seconds between HEARTBEAT frames (replicas
             derive their staleness bound from these between windows).
+        trace: enable causal span tracing (docs/OBSERVABILITY.md,
+            "Pipeline spans"): one span tree per window boundary from
+            ingest frame to publish, exported by ``GET /trace`` and
+            ``repro trace``.  Off by default — the off path keeps the
+            ``NULL_TRACER`` gate and records nothing.
+        trace_capacity: bounded span-sink size (events); the oldest
+            spans are dropped first, and the loss is visible as
+            ``obs_trace_events_total{status="dropped"}``.
     """
 
     host: str = "127.0.0.1"
@@ -81,6 +89,8 @@ class ServiceConfig:
     checkpoint_dir: Optional[str] = None
     drain_timeout: float = 30.0
     on_engine_error: str = "shutdown"
+    trace: bool = False
+    trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.window_size <= 0:
@@ -132,4 +142,8 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"on_engine_error must be one of {ENGINE_ERROR_POLICIES}, "
                 f"got {self.on_engine_error!r}"
+            )
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )

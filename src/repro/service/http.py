@@ -9,10 +9,10 @@ JSON-safe object (rendered as ``application/json``) or a ``str``
 route).
 
 The module also owns the shared response builders for the routes both
-tiers answer (``/reports``, ``/history``): the replica's report-identity
-contract — byte-identical bodies at the same snapshot sequence — holds
-*by construction* because primary and replica render through the same
-functions here.
+tiers answer (``/reports``, ``/history``, ``/trace``, ``/slo``): the
+replica's report-identity contract — byte-identical bodies at the same
+snapshot sequence — holds *by construction* because primary and replica
+render through the same functions here.
 """
 
 from __future__ import annotations
@@ -218,6 +218,47 @@ def reports_response(
             "source": "temporal" if range_reports is not None else "snapshot",
         }
     return 200, body
+
+
+def trace_response(tracer, query: dict):
+    """The ``/trace`` body over a live span tracer.
+
+    Default shape is the raw span-event list (one dict per closed span,
+    newest last) plus the recorder's loss counters; ``?format=chrome``
+    renders the same events as a Chrome/Perfetto ``trace_event`` JSON
+    document, and ``?trace_id=`` filters to one window's tree.  Both
+    tiers answer through this builder, so a primary span tree and the
+    replica's adopted continuation render identically.
+    """
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return 400, {"error": "tracing not enabled (start with --trace)"}
+    events = tracer.events(trace_id=query.get("trace_id"))
+    fmt = query.get("format", "spans")
+    if fmt == "chrome":
+        from repro.obs.spans import chrome_trace
+
+        return 200, chrome_trace(events)
+    if fmt != "spans":
+        return 400, {
+            "error": f"bad query parameter 'format': expected spans or chrome, got {fmt!r}"
+        }
+    return 200, {
+        "recorded": tracer.recorded,
+        "dropped": tracer.dropped,
+        "events": events,
+    }
+
+
+def slo_response(engine):
+    """The ``/slo`` body: the engine's full burn-rate evaluation.
+
+    ``engine`` is a :class:`repro.obs.slo.SloEngine` (or None when the
+    tier has no objectives configured — a 400, mirroring the disabled
+    ``/trace`` shape).
+    """
+    if engine is None:
+        return 400, {"error": "no SLO engine configured"}
+    return 200, engine.evaluate()
 
 
 def history_response(snapshot, query: dict):

@@ -11,8 +11,9 @@ producer) or drops the incoming batch and counts it
 ``queue_batches`` frames per connection.
 
 Read path: a minimal HTTP/1.1 listener answers ``/reports``, ``/stats``,
-``/healthz`` and ``/checkpoint`` from the manager's published snapshot,
-so queries never contend with ingest for the engine.  ``/metrics``
+``/healthz``, ``/slo``, ``/trace`` and ``/checkpoint`` from the
+manager's published snapshot (plus lock-free collectors and the span
+sink), so queries never contend with ingest for the engine.  ``/metrics``
 renders the aggregated observability registry — service counters, the
 window manager's batch histogram and the engine's algorithm counters —
 in Prometheus text exposition format (this one does take the engine
@@ -49,11 +50,21 @@ import asyncio
 import contextlib
 import dataclasses
 import json
+import time
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import ReproError, ServiceError
-from repro.obs.collect import collect_publisher, collect_service, collect_temporal
+from repro.obs.collect import (
+    collect_publisher,
+    collect_service,
+    collect_sharded,
+    collect_temporal,
+    collect_trace_ring,
+)
 from repro.obs.expo import render_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloEngine, primary_objectives
+from repro.obs.spans import Tracer
 from repro.service.config import ServiceConfig
 from repro.service.http import (
     BadParameter,
@@ -62,6 +73,8 @@ from repro.service.http import (
     query_int,
     query_range,
     reports_response,
+    slo_response,
+    trace_response,
 )
 from repro.service.protocol import (
     MAGIC,
@@ -119,11 +132,24 @@ class StreamService:
     def __init__(self, engine, config: Optional[ServiceConfig] = None,
                  temporal=None):
         self.config = config or ServiceConfig()
+        #: causal span tracer (None unless ``config.trace``; the off
+        #: path keeps the NULL_TRACER gate everywhere downstream)
+        self.tracer: Optional[Tracer] = None
+        if self.config.trace:
+            self.tracer = Tracer(
+                capacity=self.config.trace_capacity, proc="primary"
+            )
+            # A sharded coordinator declares a ``tracer`` slot and emits
+            # its dispatch/merge spans (plus adopted worker spans) into
+            # the same sink, so /trace sees one tree per window.
+            if hasattr(engine, "tracer"):
+                engine.tracer = self.tracer
         self.manager = WindowManager(
             engine,
             window_size=self.config.window_size,
             micro_batch=self.config.micro_batch,
             temporal=temporal,
+            tracer=self.tracer,
         )
         #: the temporal store serving /history and range queries (None
         #: when neither the engine nor the caller provided one)
@@ -148,6 +174,9 @@ class StreamService:
                 self.temporal.capture_deltas = True
                 self.publisher.temporal_store = self.temporal
             self.manager.publisher = self.publisher
+        #: burn-rate evaluator over the lock-free collector view; every
+        #: /slo and /healthz hit appends one sample (docs/OBSERVABILITY.md)
+        self.slo = SloEngine(primary_objectives(), self._slo_registry)
         self.failure: Optional[BaseException] = None
         #: engine trace-ring events, captured just before the engine is
         #: closed on drain ([] unless the engine records observability)
@@ -350,11 +379,14 @@ class StreamService:
         if kind == "shutdown":
             return True
         if kind == "flush":
-            await conn.queue.put(("flush", None, None))
+            await conn.queue.put(("flush", None, None, None))
             return False
         _, items, seq = message
         conn.frames += 1
-        entry = ("batch", items, seq)
+        # The receipt stamp rides the queue entry so the ingest phase
+        # (and the ingest.frame span) covers queueing + resequencer
+        # wait, not just the engine hand-off.
+        entry = ("batch", items, seq, time.perf_counter())
         if self.config.overload == "pushback":
             await conn.queue.put(entry)
         else:
@@ -374,7 +406,7 @@ class StreamService:
             try:
                 if entry is None:
                     return
-                kind, items, seq = entry
+                kind, items, seq, received = entry
                 if self.failure is not None:
                     # Discard after failure so the drain still unwinds.
                     if seq is not None:
@@ -384,7 +416,7 @@ class StreamService:
                     if kind == "flush":
                         await self.manager.flush_window()
                     else:
-                        await self.manager.submit(items, seq)
+                        await self.manager.submit(items, seq, received=received)
                         conn.received_items += len(items)
                 except ReproError as exc:
                     self._fail(exc)
@@ -440,6 +472,9 @@ class StreamService:
                     ),
                     "subscribers": self.publisher.subscriber_count,
                 }
+            # Worst burn rate + breaching objectives, evaluated over the
+            # lock-free collector view (no engine lock, no worker IPC).
+            body["slo"] = self.slo.summary()
             return 200, body
         if path == "/stats":
             if method != "GET":
@@ -459,11 +494,28 @@ class StreamService:
                 return 405, {"error": "GET only"}
             registry = await self.manager.engine_metrics()
             collect_service(self, registry)
+            # Coordinator-phase timings live outside the engine's
+            # canonical (deterministic) registry; fold them in here.
+            coordinator_metrics = getattr(
+                self.manager.adapter.engine, "coordinator_metrics", None
+            )
+            if coordinator_metrics is not None:
+                registry.merge(coordinator_metrics)
             if self.temporal is not None:
                 collect_temporal(self.temporal, registry)
             if self.publisher is not None:
                 collect_publisher(self.publisher, registry)
+            if self.tracer is not None:
+                collect_trace_ring(self.tracer, registry)
             return 200, render_text(registry)
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return trace_response(self.tracer, query)
+        if path == "/slo":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return slo_response(self.slo)
         if path == "/reports":
             if method != "GET":
                 return 405, {"error": "GET only"}
@@ -509,6 +561,29 @@ class StreamService:
     def _history_response(self, query: dict):
         snapshot = self.temporal.snapshot if self.temporal is not None else None
         return history_response(snapshot, query)
+
+    def _slo_registry(self) -> MetricsRegistry:
+        """The registry the SLO engine reads: lock-free collectors only.
+
+        Everything here comes from coordinator-side counters and the
+        manager's always-on registry (which carries the
+        ``pipeline_phase_seconds`` histograms), so burn-rate evaluation
+        never takes the engine lock or blocks on worker IPC — ``/slo``
+        and ``/healthz`` stay cheap even mid-window.
+        """
+        registry = MetricsRegistry()
+        collect_service(self, registry)
+        engine = self.manager.adapter.engine
+        if hasattr(engine, "n_shards") and hasattr(engine, "items_routed"):
+            collect_sharded(engine, registry)
+        coordinator_metrics = getattr(engine, "coordinator_metrics", None)
+        if coordinator_metrics is not None:
+            registry.merge(coordinator_metrics)
+        if self.temporal is not None:
+            collect_temporal(self.temporal, registry)
+        if self.publisher is not None:
+            collect_publisher(self.publisher, registry)
+        return registry
 
     def _service_stats(self) -> dict:
         snapshot = self.manager.snapshot

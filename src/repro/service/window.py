@@ -38,7 +38,9 @@ from repro.core.reports import SimplexReport
 from repro.errors import ServiceError
 from repro.hashing.family import ItemId
 from repro.obs.collect import BATCH_BUCKETS
+from repro.obs.profile import PhaseProfiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanContext, new_span_id, new_trace_id
 
 
 def report_to_dict(report: SimplexReport) -> dict:
@@ -74,9 +76,14 @@ class EngineAdapter:
             for item in items:
                 insert(item)
 
-    def flush_window(self) -> List[SimplexReport]:
+    def flush_window(self, span_ctx=None) -> List[SimplexReport]:
         flush = getattr(self.engine, "flush_window", None)
         if flush is not None:
+            # Propagate the span context only to engines that carry a
+            # live tracer (the sharded coordinator); plain engines keep
+            # their zero-argument signature.
+            if span_ctx is not None and getattr(self.engine, "tracer", None) is not None:
+                return flush(span_ctx=span_ctx)
             return flush()
         return self.engine.end_window()
 
@@ -172,10 +179,13 @@ class WindowManager:
     """
 
     def __init__(self, engine, window_size: int, micro_batch: int,
-                 temporal=None):
+                 temporal=None, tracer=None):
         self.adapter = engine if isinstance(engine, EngineAdapter) else EngineAdapter(engine)
         self.window_size = window_size
         self.micro_batch = micro_batch
+        #: live span tracer, or None (the NULL_TRACER gate: off costs
+        #: one attribute test per wire batch)
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
         engine_store = getattr(self.adapter.engine, "temporal", None)
         self.temporal = temporal if temporal is not None else engine_store
         #: True when the manager (not the engine) drives the store
@@ -197,6 +207,10 @@ class WindowManager:
             "items per wire batch submitted to the window manager",
             buckets=BATCH_BUCKETS,
         )
+        #: always-on phase profiler (window/batch granularity only)
+        self.profiler = PhaseProfiler(self.metrics)
+        #: open-window trace state: perf start always, span ids when tracing
+        self._window_trace: Optional[dict] = None
         self.snapshot = ServiceSnapshot(
             window=0, items_at_boundary=0, reports=(), updated_at=0.0
         )
@@ -250,17 +264,51 @@ class WindowManager:
     # ------------------------------------------------------------------
     # write path
 
-    async def submit(self, items: Sequence[ItemId], seq: Optional[int] = None) -> None:
-        """Route one wire batch into the open window (splits at boundaries)."""
+    def _ensure_window_trace(self) -> dict:
+        """Open-window trace state, created at the first arrival.
+
+        Always carries the perf-counter start (the always-on ``window``
+        phase); with a live tracer it also mints the window's trace id
+        and root span id, the parent every pipeline span hangs off.
+        """
+        state = self._window_trace
+        if state is None:
+            state = {"start": time.perf_counter(), "window": self.windows_closed}
+            if self.tracer is not None:
+                state["trace_id"] = new_trace_id()
+                state["span_id"] = new_span_id()
+                state["ts"] = self.tracer.timestamp()
+            self._window_trace = state
+        return state
+
+    async def submit(self, items: Sequence[ItemId], seq: Optional[int] = None,
+                     received: Optional[float] = None) -> None:
+        """Route one wire batch into the open window (splits at boundaries).
+
+        ``received`` is the server's perf-counter stamp at frame
+        receipt, so the ingest phase (and, when tracing, the
+        ``ingest.frame`` span) covers queueing and resequencer wait,
+        not just the engine hand-off.
+        """
         self._h_batch.observe(len(items))
+        start = received if received is not None else time.perf_counter()
+        tracer = self.tracer
+        frame_span_id = new_span_id() if tracer is not None else None
+        wait_dur = 0.0
         if seq is not None:
+            wait_start = time.perf_counter()
             await self._admit(seq)
+            wait_dur = time.perf_counter() - wait_start
+        frame_parent: Optional[dict] = None
         try:
             async with self._lock:
                 offset = 0
                 while offset < len(items):
                     space = self.window_size - self.items_window
                     chunk = items[offset:offset + space]
+                    state = self._ensure_window_trace()
+                    if frame_parent is None:
+                        frame_parent = state
                     offset += len(chunk)
                     self._pending.extend(chunk)
                     self.items_window += len(chunk)
@@ -272,6 +320,30 @@ class WindowManager:
         finally:
             if seq is not None:
                 await self._advance_seq(seq)
+            elapsed = time.perf_counter() - start
+            self.profiler.observe("ingest", elapsed)
+            if tracer is not None and frame_parent is not None:
+                now_ts = tracer.timestamp()
+                tracer.emit(
+                    "ingest.frame",
+                    trace_id=frame_parent["trace_id"],
+                    span_id=frame_span_id,
+                    parent_id=frame_parent["span_id"],
+                    ts=now_ts - elapsed,
+                    dur=elapsed,
+                    items=len(items),
+                    seq=seq,
+                )
+                if seq is not None:
+                    tracer.emit(
+                        "resequencer.wait",
+                        trace_id=frame_parent["trace_id"],
+                        span_id=new_span_id(),
+                        parent_id=frame_span_id,
+                        ts=now_ts - elapsed,
+                        dur=wait_dur,
+                        seq=seq,
+                    )
 
     async def _ingest_pending(self) -> None:
         if not self._pending:
@@ -286,28 +358,86 @@ class WindowManager:
         self.adapter.ingest_batch(batch)
 
     async def _close_window_locked(self) -> None:
+        state = self._ensure_window_trace()
+        tracer = self.tracer
+        root_ctx = (
+            SpanContext(state["trace_id"], state["span_id"], state["ts"])
+            if tracer is not None else None
+        )
         await self._ingest_pending()
-        await asyncio.to_thread(self._engine_flush, self.windows_closed)
+        with self.profiler.phase("flush"):
+            await asyncio.to_thread(
+                self._engine_flush, self.windows_closed, root_ctx
+            )
         self.windows_closed += 1
         self.items_window = 0
-        self._publish_snapshot()
+        self._window_trace = None
+        with self.profiler.phase("snapshot"):
+            self._publish_snapshot()
         if self.publisher is not None:
+            publish_start = time.perf_counter()
             summary = await asyncio.to_thread(self._slim_summary)
             deltas = ()
             if self.temporal is not None and getattr(
                 self.temporal, "capture_deltas", False
             ):
                 deltas = self.temporal.take_deltas()
-            self.publisher.publish_boundary(self.snapshot, summary, deltas)
-
-    def _engine_flush(self, closed_window: int) -> List[SimplexReport]:
-        reports = self.adapter.flush_window()
-        if self._feed_temporal:
-            self.temporal.on_window(
-                closed_window,
-                reports if reports is not None else [],
-                snapshot_fn=self._temporal_snapshot_fn(),
+            span_wire = None
+            publish_span_id = None
+            if tracer is not None:
+                # The publish span's context rides the DELTA frame so
+                # the replica's apply span joins this window's tree.
+                publish_span_id = new_span_id()
+                span_wire = {
+                    "trace_id": state["trace_id"],
+                    "span_id": publish_span_id,
+                    "ts": tracer.timestamp(),
+                    "window": state["window"],
+                }
+            self.publisher.publish_boundary(
+                self.snapshot, summary, deltas, span=span_wire
             )
+            publish_dur = time.perf_counter() - publish_start
+            self.profiler.observe("publish", publish_dur)
+            if tracer is not None:
+                tracer.emit(
+                    "publish.frame",
+                    trace_id=state["trace_id"],
+                    span_id=publish_span_id,
+                    parent_id=state["span_id"],
+                    ts=tracer.timestamp() - publish_dur,
+                    dur=publish_dur,
+                    window=state["window"],
+                )
+        window_dur = time.perf_counter() - state["start"]
+        self.profiler.observe("window", window_dur)
+        if tracer is not None:
+            tracer.emit(
+                "window",
+                trace_id=state["trace_id"],
+                span_id=state["span_id"],
+                parent_id=None,
+                ts=state["ts"],
+                dur=window_dur,
+                window=state["window"],
+                items=self.snapshot.items_at_boundary,
+            )
+
+    def _engine_flush(self, closed_window: int, span_ctx=None) -> List[SimplexReport]:
+        tracer = self.tracer
+        if tracer is not None and span_ctx is not None:
+            with tracer.span("window.flush", parent=span_ctx,
+                             window=closed_window) as flush_span:
+                reports = self.adapter.flush_window(span_ctx=flush_span.context)
+        else:
+            reports = self.adapter.flush_window()
+        if self._feed_temporal:
+            with self.profiler.phase("temporal"):
+                self.temporal.on_window(
+                    closed_window,
+                    reports if reports is not None else [],
+                    snapshot_fn=self._temporal_snapshot_fn(),
+                )
         return reports
 
     def _temporal_snapshot_fn(self):

@@ -1,0 +1,23 @@
+"""Deliberate span-lifecycle violations (lint fixture, never executed)."""
+
+
+def leak_scoped(tracer):
+    span = tracer.span("window.flush")  # EXPECT: span-unclosed
+    span.attrs["window"] = 7
+    return span
+
+
+def leak_constructed(tracer, ctx):
+    from repro.obs.spans import Span
+
+    return Span(tracer, "merge", ctx.trace_id, ctx.span_id, {})  # EXPECT: span-unclosed
+
+
+def close_outside_finally(tracer):
+    span = tracer.span("coordinator.end_window")  # EXPECT: span-unclosed
+    do_work()
+    span.close()  # an exception in do_work() skips this close
+
+
+def do_work():
+    raise RuntimeError("boom")

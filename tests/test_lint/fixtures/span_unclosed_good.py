@@ -1,0 +1,25 @@
+"""Span lifecycle done right (lint fixture, never executed)."""
+
+
+def scoped(tracer):
+    with tracer.span("window.flush", window=7) as span:
+        return span.context
+
+
+def finally_closed(tracer):
+    span = tracer.span("coordinator.end_window")
+    try:
+        return span.context
+    finally:
+        span.close()
+
+
+def pre_timed(tracer, ctx, elapsed):
+    # one-shot events with already-measured timing bypass Span entirely
+    tracer.emit(
+        "shard.end_window",
+        trace_id=ctx.trace_id,
+        parent_id=ctx.span_id,
+        ts=ctx.ts,
+        dur=elapsed,
+    )

@@ -40,6 +40,7 @@ MODULE_FOR_RULE = {
     "assert-stmt": "repro.core.example",
     "hot-loop-alloc": "repro.sketch.example",
     "missing-slots": "repro.sketch.example",
+    "span-unclosed": "repro.service.example",
 }
 
 ALL_RULES = sorted(MODULE_FOR_RULE)

@@ -1,0 +1,128 @@
+"""Labeled instruments and the escaping round-trip of the exposition.
+
+Prometheus label values may contain every character Python strings do;
+the text format escapes backslash, double-quote and newline.  These
+tests pin that ``render_text`` → ``parse_text`` → ``parse_labels``
+recovers the original values exactly — including the nasty ones — and
+that the flight-recorder loss counter rides the same machinery.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    collect_trace_ring,
+    parse_labels,
+    parse_text,
+    render_text,
+)
+from repro.obs.registry import escape_label_value, unescape_label_value
+
+NASTY_VALUES = [
+    'quote " inside',
+    "back\\slash",
+    "new\nline",
+    'all \\ of " them\n at once',
+    "\\n literal backslash-n",
+    "trailing backslash \\",
+    "",
+    "plain",
+]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("value", NASTY_VALUES)
+    def test_escape_roundtrip(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escaped_text_is_single_line(self):
+        assert "\n" not in escape_label_value("a\nb")
+
+    def test_literal_backslash_n_survives(self):
+        # '\\n' (two characters) and '\n' (one) must escape differently.
+        assert escape_label_value("\\n") != escape_label_value("\n")
+
+
+class TestLabeledExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", "requests by outcome", labels={"status": "ok"}
+        ).inc(7)
+        registry.counter(
+            "requests_total", "requests by outcome", labels={"status": "err"}
+        ).inc(2)
+        registry.histogram(
+            "phase_seconds", "time per phase", buckets=(0.1, 1.0),
+            labels={"phase": "merge"},
+        ).observe(0.05)
+        return registry
+
+    def test_one_help_type_per_family(self):
+        text = render_text(self.build())
+        assert text.count("# HELP requests_total") == 1
+        assert text.count("# TYPE requests_total") == 1
+
+    def test_parse_recovers_labeled_samples(self):
+        samples = parse_text(render_text(self.build()))
+        assert samples['requests_total{status="ok"}'] == 7
+        assert samples['requests_total{status="err"}'] == 2
+        assert samples['phase_seconds_bucket{phase="merge",le="0.1"}'] == 1
+
+    @pytest.mark.parametrize("value", NASTY_VALUES)
+    def test_nasty_label_values_roundtrip(self, value):
+        registry = MetricsRegistry()
+        registry.counter(
+            "events_total", "labeled events", labels={"path": value}
+        ).inc(3)
+        samples = parse_text(render_text(registry))
+        (key,) = samples
+        assert samples[key] == 3
+        name, labels = parse_labels(key)
+        assert name == "events_total"
+        assert labels == {"path": value}
+
+    def test_parse_labels_bare_sample(self):
+        assert parse_labels("plain_total") == ("plain_total", {})
+
+    def test_parse_labels_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_labels('broken{oops')
+
+    def test_family_kind_conflict_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", labels={"a": "1"})
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing_total", labels={"a": "2"})
+
+    def test_merge_sums_matching_label_sets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total", labels={"s": "x"}).inc(1)
+        b.counter("c_total", labels={"s": "x"}).inc(2)
+        b.counter("c_total", labels={"s": "y"}).inc(5)
+        a.merge(b)
+        assert a.value('c_total{s="x"}') == 3
+        assert a.value('c_total{s="y"}') == 5
+
+
+class TestTraceRingCollector:
+    def test_recorded_and_dropped_exposed(self):
+        tracer = Tracer(capacity=2, proc="test")
+        for n in range(5):
+            tracer.emit(
+                "step", trace_id="t", span_id=f"s{n}", ts=0.0, dur=0.1
+            )
+        registry = collect_trace_ring(tracer)
+        samples = parse_text(render_text(registry))
+        assert samples['obs_trace_events_total{status="recorded"}'] == 2
+        assert samples['obs_trace_events_total{status="dropped"}'] == 3
+
+    def test_additive_into_existing_registry(self):
+        tracer = Tracer(capacity=8, proc="test")
+        tracer.emit("step", trace_id="t", span_id="s", ts=0.0, dur=0.1)
+        registry = MetricsRegistry()
+        collect_trace_ring(tracer, registry)
+        collect_trace_ring(tracer, registry)
+        assert registry.value('obs_trace_events_total{status="recorded"}') == 2

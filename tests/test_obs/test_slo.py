@@ -1,0 +1,148 @@
+"""Unit tests for the declarative SLO engine and its burn rates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, Objective, SloEngine
+from repro.obs.slo import primary_objectives, replica_objectives
+
+
+def latency_objective(threshold=0.1, target=0.9):
+    return Objective(
+        "lat", "latency objective", "latency", target,
+        metric="pipeline_phase_seconds", labels={"phase": "ingest"},
+        threshold=threshold,
+    )
+
+
+def registry_with_phase(observations):
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "pipeline_phase_seconds", "", buckets=(0.1, 1.0),
+        labels={"phase": "ingest"},
+    )
+    for value in observations:
+        histogram.observe(value)
+    return registry
+
+
+class TestObjectiveValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            Objective("x", "", "weird", 0.9, metric="m")
+
+    def test_rejects_target_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Objective("x", "", "gauge", 1.0, metric="m")
+
+    def test_ratio_needs_both_metric_lists(self):
+        with pytest.raises(ConfigurationError):
+            Objective("x", "", "ratio", 0.99, bad_metrics=["b"])
+
+    def test_non_ratio_needs_metric(self):
+        with pytest.raises(ConfigurationError):
+            Objective("x", "", "latency", 0.99)
+
+
+class TestObjectiveCounts:
+    def test_latency_counts_within_threshold(self):
+        objective = latency_objective(threshold=0.1)
+        registry = registry_with_phase([0.05, 0.08, 0.5, 2.0])
+        good, total = objective.counts(registry)
+        assert (good, total) == (2.0, 4.0)
+
+    def test_latency_label_mismatch_counts_nothing(self):
+        objective = Objective(
+            "lat", "", "latency", 0.9, metric="pipeline_phase_seconds",
+            labels={"phase": "merge"}, threshold=0.1,
+        )
+        good, total = objective.counts(registry_with_phase([0.05]))
+        assert (good, total) == (0.0, 0.0)
+
+    def test_ratio_counts(self):
+        objective = Objective(
+            "loss", "", "ratio", 0.999,
+            bad_metrics=["items_dropped_total"],
+            total_metrics=["items_in_total", "items_dropped_total"],
+        )
+        registry = MetricsRegistry()
+        registry.counter("items_in_total").inc(990)
+        registry.counter("items_dropped_total").inc(10)
+        good, total = objective.counts(registry)
+        assert (good, total) == (990.0, 1000.0)
+
+    def test_gauge_le_and_ge(self):
+        low = Objective("g", "", "gauge", 0.9, metric="age", threshold=2.0)
+        high = Objective("c", "", "gauge", 0.9, metric="age",
+                         threshold=2.0, op="ge")
+        registry = MetricsRegistry()
+        registry.gauge("age").set(1.0)
+        assert low.counts(registry) == (1.0, 1.0)
+        assert high.counts(registry) == (0.0, 1.0)
+
+
+class TestSloEngine:
+    def test_burn_moves_on_bad_events_and_recovers(self):
+        observations = []
+        engine = SloEngine(
+            [latency_objective(target=0.9)],
+            lambda: registry_with_phase(observations),
+            windows=(60.0,),
+        )
+        observations.extend([0.01] * 10)
+        report = engine.evaluate()
+        (entry,) = report["objectives"]
+        assert entry["windows"]["60"]["burn_rate"] == 0.0
+        assert report["breaching"] == []
+
+        # ten slow batches: bad_fraction 0.5 over the window, burn 5.0
+        observations.extend([0.5] * 10)
+        report = engine.evaluate()
+        (entry,) = report["objectives"]
+        assert entry["windows"]["60"]["burn_rate"] == pytest.approx(5.0)
+        assert report["breaching"] == ["lat"]
+        assert report["worst"]["name"] == "lat"
+
+    def test_gauge_objectives_accumulate_per_sample(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("replica_snapshot_age_windows")
+        objective = Objective(
+            "stale", "", "gauge", 0.5,
+            metric="replica_snapshot_age_windows", threshold=2.0,
+        )
+        engine = SloEngine([objective], lambda: registry, windows=(60.0,))
+        gauge.set(0)
+        engine.sample()
+        gauge.set(10)  # one bad sample out of two
+        report = engine.evaluate()
+        (entry,) = report["objectives"]
+        assert entry["windows"]["60"]["events"] == 2.0
+        assert entry["windows"]["60"]["bad_fraction"] == pytest.approx(0.5)
+
+    def test_duplicate_objective_names_rejected(self):
+        objective = latency_objective()
+        with pytest.raises(ConfigurationError):
+            SloEngine([objective, latency_objective()], MetricsRegistry)
+
+    def test_summary_shape(self):
+        engine = SloEngine([latency_objective()], MetricsRegistry)
+        summary = engine.summary()
+        assert set(summary) == {"breaching", "worst"}
+
+
+class TestDefaultCatalogs:
+    def test_primary_catalog_names(self):
+        names = [o.name for o in primary_objectives()]
+        assert names == ["ingest-latency", "window-latency", "item-loss"]
+
+    def test_replica_catalog_names(self):
+        names = [o.name for o in replica_objectives()]
+        assert names == ["replica-staleness", "replica-connected"]
+
+    def test_catalog_evaluates_on_empty_registry(self):
+        engine = SloEngine(primary_objectives(), MetricsRegistry)
+        report = engine.evaluate()
+        assert report["breaching"] == []
+        for entry in report["objectives"]:
+            for window in entry["windows"].values():
+                assert window["burn_rate"] == 0.0

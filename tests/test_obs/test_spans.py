@@ -1,0 +1,159 @@
+"""Unit tests for the span tracer and its export shapes."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SpanContext,
+    Tracer,
+    chrome_trace,
+    span_trees,
+    write_spans_jsonl,
+)
+
+
+class TestTracer:
+    def test_with_scoped_span_emits_on_exit(self):
+        tracer = Tracer(proc="primary")
+        with tracer.span("window.flush", window=3) as span:
+            child_ctx = span.context
+        (event,) = tracer.events()
+        assert event["name"] == "window.flush"
+        assert event["trace_id"] == child_ctx.trace_id
+        assert event["span_id"] == child_ctx.span_id
+        assert event["parent_id"] is None
+        assert event["proc"] == "primary"
+        assert event["attrs"] == {"window": 3}
+        assert event["dur"] >= 0.0
+
+    def test_child_span_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child", parent=root.context):
+                pass
+        child, parent = tracer.events()  # child closes first
+        assert child["parent_id"] == parent["span_id"]
+        assert child["trace_id"] == parent["trace_id"]
+
+    def test_error_annotated_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("merge"):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event["attrs"]["error"] == "ValueError"
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("step")
+        try:
+            pass
+        finally:
+            span.close()
+        span.close()
+        assert len(tracer.events()) == 1
+
+    def test_bounded_ring_counts_drops(self):
+        tracer = Tracer(capacity=2)
+        for n in range(5):
+            tracer.emit("e", trace_id="t", span_id=str(n), ts=0.0, dur=0.0)
+        assert tracer.recorded == 5
+        assert tracer.dropped == 3
+        assert [e["span_id"] for e in tracer.events()] == ["3", "4"]
+
+    def test_adopt_keeps_foreign_proc_stamp(self):
+        tracer = Tracer(proc="primary")
+        tracer.adopt([{"name": "shard.end_window", "trace_id": "t",
+                       "span_id": "s", "parent_id": "p", "ts": 1.0,
+                       "dur": 0.5, "proc": "shard-1"}])
+        (event,) = tracer.events()
+        assert event["proc"] == "shard-1"
+
+    def test_events_filter_by_trace_id(self):
+        tracer = Tracer()
+        tracer.emit("a", trace_id="t1", span_id="1", ts=0.0, dur=0.0)
+        tracer.emit("b", trace_id="t2", span_id="2", ts=0.0, dur=0.0)
+        assert [e["name"] for e in tracer.events(trace_id="t2")] == ["b"]
+
+    def test_timestamps_monotonic_without_wall_clock_reads(self):
+        tracer = Tracer()
+        first = tracer.timestamp()
+        second = tracer.timestamp()
+        assert second >= first
+
+    def test_context_wire_roundtrip(self):
+        ctx = SpanContext("t" * 16, "s" * 8, 12.5)
+        back = SpanContext.from_wire(json.loads(json.dumps(ctx.to_wire())))
+        assert (back.trace_id, back.span_id, back.ts) == \
+            (ctx.trace_id, ctx.span_id, ctx.ts)
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything") as span:
+            span.annotate(x=1)
+        NULL_TRACER.emit("e", trace_id="t", span_id="s", ts=0.0, dur=0.0)
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.enabled is False
+
+
+def _event(name, trace, span, parent=None, ts=0.0):
+    return {"name": name, "trace_id": trace, "span_id": span,
+            "parent_id": parent, "ts": ts, "dur": 0.1, "proc": "p"}
+
+
+class TestSpanTrees:
+    def test_assembles_one_tree_per_trace(self):
+        events = [
+            _event("root", "t1", "r", ts=0.0),
+            _event("late-child", "t1", "b", parent="r", ts=2.0),
+            _event("early-child", "t1", "a", parent="r", ts=1.0),
+            _event("other", "t2", "x"),
+        ]
+        trees = span_trees(events)
+        assert set(trees) == {"t1", "t2"}
+        (root,) = trees["t1"]["roots"]
+        assert root["span"]["name"] == "root"
+        assert [c["span"]["name"] for c in root["children"]] == \
+            ["early-child", "late-child"]
+        assert trees["t1"]["orphans"] == []
+
+    def test_orphans_name_missing_parents(self):
+        trees = span_trees([_event("lost", "t", "s", parent="gone")])
+        assert trees["t"]["roots"] == []
+        assert trees["t"]["orphans"][0]["name"] == "lost"
+
+
+class TestChromeTrace:
+    def test_shape_and_metadata(self):
+        events = [
+            _event("window", "t", "r", ts=1.0),
+            dict(_event("apply", "t", "s", parent="r", ts=1.5),
+                 proc="replica"),
+        ]
+        doc = chrome_trace(events)
+        assert doc["displayTimeUnit"] == "ms"
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metas} == {"p", "replica"}
+        assert len(slices) == 2
+        window = next(e for e in slices if e["name"] == "window")
+        assert window["ts"] == 1.0 * 1e6  # microseconds
+        assert window["args"]["trace_id"] == "t"
+        # the two procs get distinct pids
+        assert len({e["pid"] for e in slices}) == 2
+
+    def test_json_serializable(self):
+        doc = chrome_trace([_event("a", "t", "s")])
+        json.dumps(doc)
+
+
+class TestJsonlExport:
+    def test_write_spans_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        count = write_spans_jsonl(
+            [_event("a", "t", "1"), _event("b", "t", "2")], path
+        )
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]

@@ -1,0 +1,258 @@
+"""End-to-end pipeline tracing: one span tree per window boundary.
+
+The acceptance criterion for the tracing tier: a loadgen run against a
+publishing primary with one replica yields, for every window boundary,
+a single exportable span tree covering ingest → window → flush →
+coordinator → shard → publish → replica-apply, with parent/child ids
+consistent across process boundaries.  This drives the whole pipeline
+in-process (inline sharded engine, real TCP between the tiers) and
+pins exactly that, plus the `/trace` and `/slo` read surfaces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.fitting.simplex import SimplexTask
+from repro.obs.spans import span_trees
+from repro.replica import ReplicaConfig, ReplicaServer
+from repro.runtime.sharded import ShardedXSketch
+from repro.service import ServiceConfig, StreamService
+from repro.service.loadgen import replay_trace
+from repro.streams.datasets import make_dataset
+
+from .helpers import http_request
+
+SEED = 23
+WINDOWS = 6
+WINDOW_SIZE = 300
+
+#: every complete window tree contains these spans, parent to child
+PRIMARY_SPANS = {
+    "window", "ingest.frame", "window.flush",
+    "coordinator.end_window", "shard.end_window", "publish.frame",
+}
+
+
+def traced_engine():
+    return ShardedXSketch(
+        XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0),
+        n_shards=2, seed=SEED, backend="inline",
+    )
+
+
+async def wait_for(predicate, message, timeout=20.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() >= deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        await asyncio.sleep(0.02)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """Primary (trace on, publishing) + traced replica, driven to
+    WINDOWS boundaries; captures every read surface before teardown."""
+
+    async def scenario():
+        captured = {}
+        service = StreamService(
+            traced_engine(),
+            ServiceConfig(window_size=WINDOW_SIZE, micro_batch=128,
+                          publish_port=0, publish_heartbeat=0.1,
+                          trace=True),
+        )
+        await service.start()
+        pub_host, pub_port = service.publish_address
+        replica = ReplicaServer(
+            ReplicaConfig(pub_host, pub_port, reconnect_seconds=0.1,
+                          trace=True)
+        )
+        await replica.start()
+        await replica.wait_synced()
+
+        trace = make_dataset("ip_trace", WINDOWS, WINDOW_SIZE, SEED)
+        in_host, in_port = service.ingest_address
+        await replay_trace(trace, in_host, in_port, connections=1,
+                           batch_size=100)
+        await wait_for(lambda: service.publisher.seq >= WINDOWS,
+                       "primary to publish every boundary")
+        await wait_for(
+            lambda: replica.deltas_applied + replica.full_syncs
+            >= WINDOWS,
+            "replica to apply every boundary",
+        )
+
+        p_host, p_port = service.http_address
+        r_host, r_port = replica.http_address
+        captured["primary_trace"] = await http_request(
+            p_host, p_port, "/trace"
+        )
+        captured["replica_trace"] = await http_request(
+            r_host, r_port, "/trace"
+        )
+        captured["chrome"] = await http_request(
+            p_host, p_port, "/trace?format=chrome"
+        )
+        captured["bad_format"] = await http_request(
+            p_host, p_port, "/trace?format=nonsense"
+        )
+        first_tid = captured["primary_trace"][1]["events"][0]["trace_id"]
+        captured["filtered"] = await http_request(
+            p_host, p_port, f"/trace?trace_id={first_tid}"
+        )
+        captured["filtered_tid"] = first_tid
+        captured["primary_slo"] = await http_request(p_host, p_port, "/slo")
+        captured["replica_slo"] = await http_request(r_host, r_port, "/slo")
+        captured["primary_healthz"] = await http_request(
+            p_host, p_port, "/healthz"
+        )
+        captured["replica_healthz"] = await http_request(
+            r_host, r_port, "/healthz"
+        )
+        captured["primary_metrics"] = await http_request(
+            p_host, p_port, "/stats"
+        )
+        status, _ = await http_request(p_host, p_port, "/trace",
+                                       method="POST")
+        captured["post_trace_status"] = status
+        await replica.stop()
+        await service.stop()
+        return captured
+
+    return asyncio.run(scenario())
+
+
+def all_events(captured):
+    return (captured["primary_trace"][1]["events"]
+            + captured["replica_trace"][1]["events"])
+
+
+class TestSpanTreeCompleteness:
+    def test_one_complete_tree_per_window_boundary(self, traced):
+        trees = span_trees(all_events(traced))
+        complete = 0
+        for tree in trees.values():
+            names = set()
+
+            def collect(node):
+                names.add(node["span"]["name"])
+                for child in node["children"]:
+                    collect(child)
+
+            for root in tree["roots"]:
+                collect(root)
+            if PRIMARY_SPANS | {"replica.apply"} <= names:
+                complete += 1
+        assert complete == WINDOWS
+
+    def test_every_tree_has_exactly_one_root(self, traced):
+        trees = span_trees(all_events(traced))
+        for tree in trees.values():
+            assert len(tree["roots"]) == 1
+            assert tree["roots"][0]["span"]["name"] == "window"
+            assert tree["orphans"] == []
+
+    def test_parent_ids_consistent_across_processes(self, traced):
+        events = all_events(traced)
+        by_id = {(e["trace_id"], e["span_id"]) for e in events}
+        for event in events:
+            if event["parent_id"] is not None:
+                assert (event["trace_id"], event["parent_id"]) in by_id
+
+    def test_shard_spans_cover_every_shard(self, traced):
+        events = traced["primary_trace"][1]["events"]
+        shard_spans = [e for e in events if e["name"] == "shard.end_window"]
+        assert {e["attrs"]["shard"] for e in shard_spans} == {0, 1}
+
+    def test_replica_apply_parents_are_publish_frames(self, traced):
+        publish = {
+            (e["trace_id"], e["span_id"])
+            for e in traced["primary_trace"][1]["events"]
+            if e["name"] == "publish.frame"
+        }
+        applies = [e for e in traced["replica_trace"][1]["events"]
+                   if e["name"] == "replica.apply"]
+        assert len(applies) >= WINDOWS - 1  # first boundary may full-sync
+        for event in applies:
+            assert (event["trace_id"], event["parent_id"]) in publish
+            assert event["proc"] == "replica"
+
+
+class TestTraceEndpoint:
+    def test_spans_payload_shape(self, traced):
+        status, payload = traced["primary_trace"]
+        assert status == 200
+        assert set(payload) == {"recorded", "dropped", "events"}
+        assert payload["recorded"] >= len(payload["events"])
+
+    def test_chrome_format(self, traced):
+        status, doc = traced["chrome"]
+        assert status == 200
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+        json.dumps(doc)  # round-trippable
+
+    def test_trace_id_filter(self, traced):
+        status, payload = traced["filtered"]
+        assert status == 200
+        assert payload["events"]
+        assert {e["trace_id"] for e in payload["events"]} == \
+            {traced["filtered_tid"]}
+
+    def test_bad_format_is_400(self, traced):
+        status, payload = traced["bad_format"]
+        assert status == 400
+        assert "format" in payload["error"]
+
+    def test_post_is_405(self, traced):
+        assert traced["post_trace_status"] == 405
+
+    def test_trace_disabled_is_400(self):
+        async def scenario():
+            service = StreamService(
+                traced_engine(), ServiceConfig(window_size=WINDOW_SIZE)
+            )
+            await service.start()
+            host, port = service.http_address
+            result = await http_request(host, port, "/trace")
+            await service.stop()
+            return result
+
+        status, payload = asyncio.run(scenario())
+        assert status == 400
+        assert "--trace" in payload["error"]
+
+
+class TestSloEndpoint:
+    def test_primary_objectives_reported(self, traced):
+        status, report = traced["primary_slo"]
+        assert status == 200
+        names = [o["name"] for o in report["objectives"]]
+        assert names == ["ingest-latency", "window-latency", "item-loss"]
+        for objective in report["objectives"]:
+            assert set(objective["windows"]) == {"60", "300", "900"}
+            for window in objective["windows"].values():
+                assert window["burn_rate"] >= 0.0
+
+    def test_replica_objectives_reported(self, traced):
+        status, report = traced["replica_slo"]
+        assert status == 200
+        names = [o["name"] for o in report["objectives"]]
+        assert names == ["replica-staleness", "replica-connected"]
+
+    def test_healthz_carries_slo_summary(self, traced):
+        for key in ("primary_healthz", "replica_healthz"):
+            status, body = traced[key]
+            assert status == 200
+            assert set(body["slo"]) == {"breaching", "worst"}
+
+    def test_healthy_run_is_not_breaching(self, traced):
+        _, body = traced["replica_healthz"]
+        assert body["slo"]["breaching"] == []
