@@ -35,8 +35,12 @@ Commands:
 ``lint``
     Run the codebase-specific AST lint rules (docs/LINT.md).
 
-``run``, ``serve`` and ``stats`` accept ``--obs-trace <path>``: attach
-a live recorder and dump the decision-trace ring as JSONL on exit.
+``run``, ``serve`` and ``stats`` accept
+``--engine xsketch|batched|vectorized`` to pick the ingest
+representation for xs-cm / xs-cu (applies per shard with
+``--shards > 1``; see docs/RUNTIME.md "Engine selection"), and
+``--obs-trace <path>``: attach a live recorder and dump the
+decision-trace ring as JSONL on exit.
 With ``--shards > 1`` they also accept the sharded runtime's
 self-healing knobs (``--supervise``, ``--auto-checkpoint-interval``,
 ``--max-restarts``) and deterministic fault injection
@@ -95,6 +99,16 @@ def _add_stream_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--windows", type=int, default=40, help="number of windows")
     parser.add_argument("--window-size", type=int, default=2000, help="items per window")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=["xsketch", "batched", "vectorized"],
+        default="xsketch",
+        help="ingest representation for xs-cm/xs-cu: per-arrival "
+        "(xsketch), dict-batched or numpy-vectorized; applies per shard "
+        "with --shards > 1 (docs/RUNTIME.md, 'Engine selection')",
+    )
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
@@ -162,6 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     algorithm = make_algorithm(
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
+        engine=args.engine,
         observability=args.obs_trace is not None,
         **_shard_kwargs(args),
     )
@@ -324,6 +339,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     algorithm = make_algorithm(
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
+        engine=args.engine,
         observability=True,
         **_shard_kwargs(args),
     )
@@ -367,6 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = make_algorithm(
         args.algorithm, task, args.memory_kb, seed=args.seed,
         shards=args.shards, shard_backend=args.shard_backend,
+        engine=args.engine,
         observability=args.obs_trace is not None,
         **_shard_kwargs(args),
     )
@@ -424,7 +441,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving ingest={ingest_host}:{ingest_port} "
             f"http={http_host}:{http_port} {publish}"
-            f"(engine={args.algorithm}, shards={args.shards}, "
+            f"(algorithm={args.algorithm}, engine={args.engine}, "
+            f"shards={args.shards}, "
             f"window_size={config.window_size}, overload={config.overload})",
             flush=True,
         )
@@ -750,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-backend", choices=["process", "inline"], default="process",
         help="run shards as worker processes or in-process",
     )
+    _add_engine_arg(run)
     _add_supervision_args(run)
     run.add_argument("--quiet", action="store_true", help="metrics only, no reports")
     run.add_argument(
@@ -780,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--shard-backend", choices=["process", "inline"], default="process"
     )
+    _add_engine_arg(stats)
     _add_supervision_args(stats)
     stats.add_argument(
         "--obs-trace", default=None, metavar="PATH",
@@ -850,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shard-backend", choices=["process", "inline"], default="process"
     )
+    _add_engine_arg(serve)
     _add_supervision_args(serve)
     serve.add_argument(
         "--on-engine-error", choices=["shutdown", "degrade"], default="degrade",

@@ -31,7 +31,8 @@ from repro.config import XSketchConfig
 from repro.core.reports import SimplexReport
 from repro.core.stage1 import Stage1
 from repro.core.stage2 import Stage2
-from repro.core.xsketch import XSketchStats
+from repro.core.xsketch import XSketchStats, report_order
+from repro.errors import MergeError
 from repro.hashing.family import HashFamily, ItemId, make_family
 
 
@@ -74,6 +75,12 @@ class BatchedXSketch:
         buffer = self._buffer
         buffer[item] = buffer.get(item, 0) + 1
 
+    def ingest_batch(self, items) -> None:
+        """Buffer a batch of arrivals (the runtime/service hot path)."""
+        buffer = self._buffer
+        for item in items:
+            buffer[item] = buffer.get(item, 0) + 1
+
     def end_window(self) -> List[SimplexReport]:
         """Flush the window buffer, then run the Stage-2 transition."""
         window = self.window
@@ -107,6 +114,35 @@ class BatchedXSketch:
     def reports(self) -> List[SimplexReport]:
         """All reports emitted so far, in emission order."""
         return list(self._reports)
+
+    def merge(self, other: "BatchedXSketch") -> "BatchedXSketch":
+        """Fold another batched sketch into this one.
+
+        The sharded runtime's compaction / re-shard path; requirements
+        mirror :meth:`repro.core.xsketch.XSketch.merge` plus the batched
+        invariant that both peers sit at a window boundary (empty
+        arrival buffers -- a buffer is working state and has no merge
+        semantics).
+        """
+        if not isinstance(other, BatchedXSketch):
+            raise MergeError(
+                f"cannot merge BatchedXSketch with {type(other).__name__}"
+            )
+        if self.config != other.config:
+            raise MergeError("cannot merge batched sketches with different configurations")
+        if self.window != other.window:
+            raise MergeError(
+                f"cannot merge batched sketches at different windows "
+                f"({self.window} vs {other.window}); merge at a window boundary"
+            )
+        if self._buffer or other._buffer:
+            raise MergeError(
+                "merge only at a window boundary (arrival buffer not empty)"
+            )
+        self.stage1.merge(other.stage1)
+        self.stage2.merge(other.stage2, self.window)
+        self._reports = sorted(self._reports + other._reports, key=report_order)
+        return self
 
     @property
     def memory_bytes(self) -> float:

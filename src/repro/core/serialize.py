@@ -9,6 +9,11 @@ continues the stream bit-for-bit.
 
 Only the Stage-1 structures backed by :class:`CounterArray` rings
 (tower / cm / cu / cold / loglog -- i.e. all of them) are supported.
+The vectorized engine's numpy tower serializes through the same flat
+per-level layout: its ``(n_logical, s)`` matrices flatten C-order to
+exactly the ``pos * s + slot`` indexing of a :class:`CounterArray`
+ring, so vectorized snapshots are geometry-compatible with scalar
+tower snapshots of the same configuration.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.config import XSketchConfig
 from repro.core.batched import BatchedXSketch
 from repro.core.reports import SimplexReport
 from repro.core.stage2 import Stage2Cell
+from repro.core.vectorized import VectorizedXSketch
 from repro.core.xsketch import XSketch
 from repro.errors import ConfigurationError
 from repro.fitting.simplex import SimplexTask
@@ -29,6 +35,13 @@ from repro.sketch.counters import CounterArray
 from repro.sketch.windowed import WindowedColdFilter, WindowedLogLog, _WindowedArrays
 
 FORMAT_VERSION = 1
+
+#: snapshot ``variant`` tag per engine class (and back).
+_VARIANTS = {
+    XSketch: "per-arrival",
+    BatchedXSketch: "batched",
+    VectorizedXSketch: "vectorized",
+}
 
 
 def _counter_arrays_of(filter_) -> List[CounterArray]:
@@ -44,24 +57,57 @@ def _counter_arrays_of(filter_) -> List[CounterArray]:
     )
 
 
+def _stage1_arrays(sketch) -> List[List[int]]:
+    """Flat per-level Stage-1 counter lists, engine-independent."""
+    if isinstance(sketch, VectorizedXSketch):
+        # C-order flatten of (n_logical, s) == CounterArray's pos*s+slot
+        return [[int(v) for v in level.reshape(-1)] for level in sketch.tower.levels]
+    return [list(array) for array in _counter_arrays_of(sketch.stage1.filter)]
+
+
+def _load_stage1(sketch, saved: List[List[int]]) -> None:
+    """Restore flat per-level counter lists into a rebuilt sketch."""
+    if isinstance(sketch, VectorizedXSketch):
+        levels = sketch.tower.levels
+        if len(levels) != len(saved) or any(
+            level.size != len(values) for level, values in zip(levels, saved)
+        ):
+            raise ConfigurationError("snapshot geometry does not match the rebuilt sketch")
+        import numpy as np
+
+        for level, values in zip(levels, saved):
+            level[:] = np.asarray(values, dtype=np.int64).reshape(level.shape)
+        return
+    arrays = _counter_arrays_of(sketch.stage1.filter)
+    if len(arrays) != len(saved) or any(
+        len(array) != len(values) for array, values in zip(arrays, saved)
+    ):
+        raise ConfigurationError("snapshot geometry does not match the rebuilt sketch")
+    for array, values in zip(arrays, saved):
+        for index, value in enumerate(values):
+            array.set(index, value)
+
+
 def snapshot_xsketch(sketch, shard: Dict = None) -> Dict:
     """Capture the complete state of ``sketch`` as a JSON-able dict.
 
-    Accepts both :class:`XSketch` and :class:`BatchedXSketch` (the
-    batched variant must be snapshotted at a window boundary -- a
-    non-empty arrival buffer is working state, not sketch state).
+    Accepts every engine -- :class:`XSketch`, :class:`BatchedXSketch`
+    and :class:`VectorizedXSketch`.  The buffered engines (batched,
+    vectorized) must be snapshotted at a window boundary: a non-empty
+    arrival buffer is working state, not sketch state.
 
     ``shard`` optionally embeds shard metadata (shard id, partitioner
     spec) so a snapshot taken inside the sharded runtime is
     self-describing; :func:`restore_xsketch` ignores the entry, which
     keeps single-shard snapshots restorable on their own.
     """
-    if isinstance(sketch, BatchedXSketch) and sketch._buffer:
+    if getattr(sketch, "_buffer", None):
         raise ConfigurationError(
-            "snapshot a BatchedXSketch only at a window boundary (buffer not empty)"
+            f"snapshot a {type(sketch).__name__} only at a window boundary "
+            "(arrival buffer not empty)"
         )
     config = sketch.config
-    stage1_arrays = [list(array) for array in _counter_arrays_of(sketch.stage1.filter)]
+    stage1_arrays = _stage1_arrays(sketch)
     cells = []
     for bucket_index, bucket in enumerate(sketch.stage2.buckets):
         for cell in bucket:
@@ -76,7 +122,7 @@ def snapshot_xsketch(sketch, shard: Dict = None) -> Dict:
     reports = [dataclasses.asdict(report) for report in sketch.reports]
     snapshot = {
         "format_version": FORMAT_VERSION,
-        "variant": "batched" if isinstance(sketch, BatchedXSketch) else "per-arrival",
+        "variant": _VARIANTS.get(type(sketch), "per-arrival"),
         "task": dataclasses.asdict(config.task),
         "config": {
             field.name: getattr(config, field.name)
@@ -110,23 +156,18 @@ def restore_xsketch(snapshot: Dict, seed: int = 0, recorder=None) -> XSketch:
     task = SimplexTask(**snapshot["task"])
     config = XSketchConfig(task=task, **snapshot["config"])
     variant = snapshot.get("variant", "per-arrival")
-    sketch = (
-        BatchedXSketch(config, seed=seed, recorder=recorder)
-        if variant == "batched"
-        else XSketch(config, seed=seed, recorder=recorder)
-    )
+    if variant == "batched":
+        sketch = BatchedXSketch(config, seed=seed, recorder=recorder)
+    elif variant == "vectorized":
+        sketch = VectorizedXSketch(config, seed=seed, recorder=recorder)
+    elif variant == "per-arrival":
+        sketch = XSketch(config, seed=seed, recorder=recorder)
+    else:
+        raise ConfigurationError(f"unknown snapshot variant {variant!r}")
     sketch.window = snapshot["window"]
     sketch.stage2._rng.setstate(_decode_state(snapshot["seed_state"]))
 
-    arrays = _counter_arrays_of(sketch.stage1.filter)
-    saved = snapshot["stage1_arrays"]
-    if len(arrays) != len(saved) or any(
-        len(array) != len(values) for array, values in zip(arrays, saved)
-    ):
-        raise ConfigurationError("snapshot geometry does not match the rebuilt sketch")
-    for array, values in zip(arrays, saved):
-        for index, value in enumerate(values):
-            array.set(index, value)
+    _load_stage1(sketch, snapshot["stage1_arrays"])
 
     for record in snapshot["stage2_cells"]:
         cell = Stage2Cell(record["item"], record["w_str"], config.task.p)

@@ -36,8 +36,8 @@ from repro.config import XSketchConfig
 from repro.core.reports import SimplexReport
 from repro.core.stage1 import Promotion
 from repro.core.stage2 import Stage2
-from repro.core.xsketch import XSketchStats
-from repro.errors import ConfigurationError
+from repro.core.xsketch import XSketchStats, report_order
+from repro.errors import ConfigurationError, MergeError
 from repro.fitting.design import pseudo_inverse, residual_projector
 from repro.hashing.family import HashFamily, ItemId, make_family
 from repro.sketch.vectorized_tower import VectorizedTower
@@ -55,6 +55,7 @@ class VectorizedXSketch:
         seed: int = 0,
         family: HashFamily = None,
         rng: random.Random = None,
+        recorder=None,
     ):
         if config.stage1_structure != "tower":
             raise ConfigurationError(
@@ -64,6 +65,12 @@ class VectorizedXSketch:
         self.config = config
         shared_family = family if family is not None else make_family(config.hash_family, seed)
         shared_rng = rng if rng is not None else random.Random(seed)
+        from repro.obs.recorder import NULL_RECORDER
+
+        # The numpy hot path runs uninstrumented; the recorder still
+        # reaches Stage 2 (the few tracked/promoted items) and keeps the
+        # engine drop-in for recorder-carrying construction sites.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.tower = VectorizedTower(
             memory_bytes=config.stage1_bytes,
             s=config.s,
@@ -73,7 +80,10 @@ class VectorizedXSketch:
             seed=seed,
             hash_family=config.hash_family,
         )
-        self.stage2 = Stage2(config, family=shared_family, seed=seed, rng=shared_rng)
+        self.stage2 = Stage2(
+            config, family=shared_family, seed=seed, rng=shared_rng,
+            recorder=self.recorder,
+        )
         self.window = 0
         self._reports: List[SimplexReport] = []
         self._buffer: Dict[ItemId, int] = {}
@@ -90,6 +100,12 @@ class VectorizedXSketch:
         """Buffer one arrival."""
         buffer = self._buffer
         buffer[item] = buffer.get(item, 0) + 1
+
+    def ingest_batch(self, items) -> None:
+        """Buffer a batch of arrivals (the runtime/service hot path)."""
+        buffer = self._buffer
+        for item in items:
+            buffer[item] = buffer.get(item, 0) + 1
 
     def end_window(self) -> List[SimplexReport]:
         """Flush the buffer through the batched Stage-1/Stage-2 pipeline."""
@@ -158,6 +174,39 @@ class VectorizedXSketch:
     @property
     def reports(self) -> List[SimplexReport]:
         return list(self._reports)
+
+    def merge(self, other: "VectorizedXSketch") -> "VectorizedXSketch":
+        """Fold another vectorized sketch into this one.
+
+        The sharded runtime's compaction / re-shard path.  Requirements
+        mirror :meth:`repro.core.xsketch.XSketch.merge`: identical
+        configuration, identical hash seed, both paused at the same
+        window boundary (empty arrival buffers).  The tower merges
+        counter-wise saturating, Stage 2 by weight election, and the
+        report streams interleave in canonical report order.
+        """
+        if not isinstance(other, VectorizedXSketch):
+            raise MergeError(
+                f"cannot merge VectorizedXSketch with {type(other).__name__}"
+            )
+        if self.config != other.config:
+            raise MergeError("cannot merge vectorized sketches with different configurations")
+        if self.window != other.window:
+            raise MergeError(
+                f"cannot merge vectorized sketches at different windows "
+                f"({self.window} vs {other.window}); merge at a window boundary"
+            )
+        if self._buffer or other._buffer:
+            raise MergeError(
+                "merge only at a window boundary (arrival buffer not empty)"
+            )
+        self.tower.merge(other.tower)
+        self.stage2.merge(other.stage2, self.window)
+        self._stage1_arrivals += other._stage1_arrivals
+        self._stage1_fits += other._stage1_fits
+        self._promotions += other._promotions
+        self._reports = sorted(self._reports + other._reports, key=report_order)
+        return self
 
     @property
     def memory_bytes(self) -> float:

@@ -127,6 +127,17 @@ class XSketch:
         if promotion is not None:
             self.stage2.try_insert(promotion, self.window)
 
+    def ingest_batch(self, items) -> None:
+        """Process a batch of arrivals (per-arrival semantics item by item).
+
+        Exists so every engine speaks the batch protocol the runtime and
+        service layers dispatch on; for the per-arrival engine it is the
+        plain insert loop.
+        """
+        insert = self.insert
+        for item in items:
+            insert(item)
+
     def end_window(self) -> List[SimplexReport]:
         """Close the current window; returns this window's reports."""
         reports = self.stage2.end_window(self.window)

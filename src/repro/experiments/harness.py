@@ -10,7 +10,6 @@ from repro.config import XSketchConfig
 from repro.core.baseline import BaselineConfig, BaselineSolution
 from repro.core.batched import BatchedXSketch
 from repro.core.oracle import SimplexOracle
-from repro.core.xsketch import XSketch
 from repro.errors import ConfigurationError
 from repro.fitting.simplex import SimplexTask
 from repro.metrics.classification import ClassificationScores, score_reports
@@ -29,6 +28,7 @@ def make_algorithm(
     stage1_structure: str = "tower",
     shards: int = 1,
     shard_backend: str = "process",
+    engine: str = "xsketch",
     observability: bool = False,
     supervise: bool = True,
     auto_checkpoint_interval: int = 1,
@@ -47,10 +47,18 @@ def make_algorithm(
     gets the full ``memory_kb`` budget.  Remember to ``close()`` the
     returned coordinator when using the process backend.
 
+    ``engine`` selects the ingest representation for ``xs-cm`` /
+    ``xs-cu`` (``"xsketch"``, ``"batched"`` or ``"vectorized"``;
+    :mod:`repro.core.engines`), single-process or sharded.  The
+    ``xs-batched`` / ``xs-vectorized`` names are CU-rule shorthands that
+    already pin the engine, so pairing them (or ``baseline``) with a
+    non-default ``engine`` is a configuration error, not a silent
+    ignore.
+
     ``observability=True`` attaches a live ``repro.obs`` recorder
     (registry + trace ring) to the X-Sketch variants that support one
-    (xs-cm / xs-cu / xs-batched and their sharded forms); the
-    vectorized engine and the baseline run uninstrumented either way.
+    (every engine and the sharded forms); the baseline runs
+    uninstrumented either way.
 
     ``supervise`` / ``auto_checkpoint_interval`` / ``max_restarts`` /
     ``shard_faults`` configure the sharded runtime's self-healing and
@@ -67,6 +75,11 @@ def make_algorithm(
 
         return Recorder(MetricsRegistry(), trace=TraceRing())
 
+    if engine != "xsketch" and name not in ("xs-cm", "xs-cu"):
+        raise ConfigurationError(
+            f"engine={engine!r} applies to xs-cm / xs-cu only; "
+            f"{name!r} already fixes its engine"
+        )
     if shards > 1:
         from repro.runtime.sharded import ShardedXSketch
 
@@ -79,6 +92,7 @@ def make_algorithm(
             stage1_structure=stage1_structure, **overrides,
         )
         kwargs = dict(
+            engine=engine,
             observability=observability,
             supervised=supervise,
             auto_checkpoint_interval=auto_checkpoint_interval,
@@ -90,18 +104,14 @@ def make_algorithm(
             config, n_shards=shards, seed=seed, backend=shard_backend,
             **kwargs,
         )
-    if name == "xs-cm":
+    if name in ("xs-cm", "xs-cu"):
+        from repro.core.engines import make_engine
+
         config = XSketchConfig(
-            task=task, memory_kb=memory_kb, update_rule="cm",
+            task=task, memory_kb=memory_kb, update_rule=name[3:],
             stage1_structure=stage1_structure, **overrides,
         )
-        return XSketch(config, seed=seed, recorder=_recorder())
-    if name == "xs-cu":
-        config = XSketchConfig(
-            task=task, memory_kb=memory_kb, update_rule="cu",
-            stage1_structure=stage1_structure, **overrides,
-        )
-        return XSketch(config, seed=seed, recorder=_recorder())
+        return make_engine(config, seed=seed, engine=engine, recorder=_recorder())
     if name == "xs-batched":
         config = XSketchConfig(
             task=task, memory_kb=memory_kb, update_rule="cu",
@@ -115,7 +125,7 @@ def make_algorithm(
             task=task, memory_kb=memory_kb, update_rule="cu",
             stage1_structure=stage1_structure, **overrides,
         )
-        return VectorizedXSketch(config, seed=seed)
+        return VectorizedXSketch(config, seed=seed, recorder=_recorder())
     if name == "baseline":
         return BaselineSolution(BaselineConfig(task=task, memory_kb=memory_kb), seed=seed)
     raise ConfigurationError(f"unknown algorithm {name!r}; expected one of {ALGORITHMS}")

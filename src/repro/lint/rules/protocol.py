@@ -5,6 +5,12 @@ fold per-shard states with ``merge()``; two-stage designs only keep
 their accuracy guarantees when *every* counting structure participates.
 A sketch that can be updated and queried but not merged silently pins
 the runtime to single-shard operation the day someone swaps it in.
+
+The rule covers both the counting substrate (``repro.sketch``) and the
+engines built on it (``repro.core``), and recognizes the batched update
+and query spellings (``bulk_insert`` / ``insert_batch``,
+``query_recent`` / ``query_slot``) -- the vectorized tower's whole API
+-- not just the scalar ``insert`` / ``query`` pair.
 """
 
 from __future__ import annotations
@@ -17,8 +23,8 @@ from repro.lint.findings import Finding, Severity
 from repro.lint.registry import register
 from repro.lint.rules.base import Rule
 
-_UPDATE_METHODS = {"insert", "update"}
-_QUERY_METHODS = {"query"}
+_UPDATE_METHODS = {"insert", "update", "insert_batch", "bulk_insert"}
+_QUERY_METHODS = {"query", "query_recent", "query_slot"}
 _ABSTRACT_DECORATORS = {"abstractmethod", "abc.abstractmethod"}
 
 
@@ -48,13 +54,13 @@ class MergeableProtocolRule(Rule):
     id = "mergeable-protocol"
     severity = Severity.ERROR
     rationale = (
-        "every counting structure in repro.sketch must fold into the "
-        "sharded runtime's compaction path; define merge() (geometry- "
-        "and seed-checked) or baseline the class with a reason"
+        "every counting structure in repro.sketch and repro.core must "
+        "fold into the sharded runtime's compaction path; define merge() "
+        "(geometry- and seed-checked) or baseline the class with a reason"
     )
 
     def check(self, info: ModuleInfo) -> Iterator[Finding]:
-        if not info.in_package("repro.sketch"):
+        if not (info.in_package("repro.sketch") or info.in_package("repro.core")):
             return
         for node in info.tree.body:
             if not isinstance(node, ast.ClassDef):

@@ -60,6 +60,7 @@ def save_sharded_checkpoint(sharded, directory: Union[str, Path]) -> Path:
         "format_version": FORMAT_VERSION,
         "kind": "sharded-xsketch",
         "n_shards": sharded.n_shards,
+        "engine": sharded.engine,
         "seed": sharded.seed,
         "window": sharded.window,
         "partitioner": sharded.partitioner.spec(),
@@ -111,6 +112,7 @@ def load_sharded_checkpoint(
         seed=manifest["seed"],
         backend=backend,
         snapshots=snapshots,
+        engine=manifest.get("engine", "xsketch"),
         **kwargs,
     )
     sharded.partitioner = partitioner

@@ -53,6 +53,7 @@ from queue import Empty
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import XSketchConfig
+from repro.core.engines import make_engine, validate_engine
 from repro.core.reports import SimplexReport
 from repro.core.serialize import restore_xsketch, snapshot_xsketch
 from repro.core.xsketch import XSketch, report_order
@@ -168,6 +169,11 @@ class ShardedXSketch:
         faults: deterministic fault plan (:mod:`repro.runtime.faults`)
             handed to the initial worker processes; replacements are
             always spawned fault-free.  Process backend only.
+        engine: ingest representation per shard (``"xsketch"``,
+            ``"batched"`` or ``"vectorized"``; see
+            :mod:`repro.core.engines` and the engine-selection matrix in
+            docs/RUNTIME.md).  All shards run the same engine; restarts
+            restore the engine recorded in the shard snapshot.
         temporal: a :class:`repro.temporal.store.TemporalStore` to feed
             with the window lifecycle: every dispatched arrival goes to
             its open-window frequency sketch, and each
@@ -193,7 +199,9 @@ class ShardedXSketch:
         max_restarts: int = DEFAULT_MAX_RESTARTS,
         faults: Optional[Sequence[Fault]] = None,
         temporal=None,
+        engine: str = "xsketch",
     ):
+        validate_engine(engine, config)
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
         if backend not in ("process", "inline"):
@@ -225,6 +233,7 @@ class ShardedXSketch:
         self.config = config
         self.n_shards = n_shards
         self.seed = seed
+        self.engine = engine
         self.backend = backend
         self.batch_size = batch_size
         self.reply_timeout = reply_timeout
@@ -284,7 +293,9 @@ class ShardedXSketch:
                 if snapshots:
                     sketch = restore_xsketch(snapshots[i], seed=seed, recorder=recorder)
                 else:
-                    sketch = XSketch(config, seed=seed, recorder=recorder)
+                    sketch = make_engine(
+                        config, seed=seed, engine=engine, recorder=recorder
+                    )
                 self._locals.append(sketch)
             self._inline_busy = [0.0] * n_shards
             if snapshots:
@@ -324,6 +335,7 @@ class ShardedXSketch:
                     snapshots[shard_id] if snapshots else None,
                     self.observability,
                     self.faults or None,
+                    self.engine,
                 ),
                 daemon=True,
                 name=f"xsketch-shard-{shard_id}",
@@ -455,6 +467,7 @@ class ShardedXSketch:
                     self._shard_snapshots[shard],
                     self.observability,
                     None,  # replacements run fault-free
+                    self.engine,
                 ),
                 daemon=True,
                 name=f"xsketch-shard-{shard}-r{restarts}",
@@ -596,9 +609,7 @@ class ShardedXSketch:
             self.temporal.observe_items(items)
         if self.backend == "inline":
             start = time.perf_counter()
-            insert = self._locals[shard].insert
-            for item in items:
-                insert(item)
+            self._locals[shard].ingest_batch(items)
             self._inline_busy[shard] += time.perf_counter() - start
         else:
             self._items_since_snapshot[shard] += len(items)
@@ -869,7 +880,7 @@ class ShardedXSketch:
             if self.backend == "inline":
                 self._memory_bytes = sum(s.memory_bytes for s in self._locals)
             else:
-                probe = XSketch(self.config, seed=self.seed)
+                probe = make_engine(self.config, seed=self.seed, engine=self.engine)
                 self._memory_bytes = self.n_shards * probe.memory_bytes
         return self._memory_bytes
 
@@ -902,7 +913,12 @@ class ShardedXSketch:
         return load_sharded_checkpoint(directory, backend=backend, **kwargs)
 
     def merged_sketch(self) -> XSketch:
-        """Compact all shards into one single-process :class:`XSketch`.
+        """Compact all shards into one single-process sketch.
+
+        The result's class matches the runtime's ``engine`` (an
+        :class:`XSketch`, :class:`~repro.core.batched.BatchedXSketch`
+        or :class:`~repro.core.vectorized.VectorizedXSketch` -- each
+        implements the same ``merge()`` protocol).
 
         The documented fallback merge path: per-shard states are
         snapshotted at the current window boundary, rebuilt locally and

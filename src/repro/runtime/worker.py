@@ -66,8 +66,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.config import XSketchConfig
+from repro.core.engines import make_engine
 from repro.core.serialize import restore_xsketch, snapshot_xsketch
-from repro.core.xsketch import XSketch, XSketchStats
+from repro.core.xsketch import XSketchStats
 from repro.runtime.faults import Fault, FaultInjector
 
 
@@ -106,6 +107,7 @@ def shard_worker_main(
     snapshot: Optional[dict] = None,
     observability: bool = False,
     faults: Optional[Sequence[Fault]] = None,
+    engine: str = "xsketch",
 ) -> None:
     """Run one shard's X-Sketch until a ``stop`` command arrives.
 
@@ -115,6 +117,11 @@ def shard_worker_main(
     commands.  Off by default: the sketch runs with the no-op recorder
     and the ``metrics`` reply still carries the exact decision counters
     (synced from plain ints at collect time).
+
+    ``engine`` selects the ingest representation for a *fresh* shard
+    (:mod:`repro.core.engines`); a restart restores whatever engine the
+    snapshot's ``variant`` tag names, so a respawned shard always
+    continues with the engine it crashed with.
     """
     try:
         injector = FaultInjector(faults, shard_id) if faults else None
@@ -130,7 +137,7 @@ def shard_worker_main(
         if snapshot is not None:
             sketch = restore_xsketch(snapshot, seed=seed, recorder=recorder)
         else:
-            sketch = XSketch(config, seed=seed, recorder=recorder)
+            sketch = make_engine(config, seed=seed, engine=engine, recorder=recorder)
         items_ingested = 0
         batches = 0
         busy_seconds = 0.0
@@ -158,9 +165,7 @@ def shard_worker_main(
             if op == "ingest":
                 items = command[1]
                 start = perf_counter()
-                insert = sketch.insert
-                for item in items:
-                    insert(item)
+                sketch.ingest_batch(items)
                 busy_seconds += perf_counter() - start
                 items_ingested += len(items)
                 batches += 1

@@ -8,20 +8,41 @@ s-window queries as fancy-indexed gathers.  Saturating batch adds equal
 sequential saturating adds (add-then-clip), so results match the scalar
 structure exactly under the CM rule; the CU rule is approximated
 order-independently (documented on :meth:`bulk_insert`).
+
+Position hashing is batched too.  For the default ``crc`` family the
+seed folds out of the CRC via its affine property --
+``crc32(msg, seed) == crc32(msg, 0) ^ C(seed, len(msg))`` where
+``C(seed, n) = crc32(0^n, seed) ^ crc32(0^n, 0)`` -- so a batch costs
+one C-speed ``zlib.crc32`` call per item plus a vectorized xor /
+finalization / modulo per level, bit-identical to the scalar
+:meth:`~repro.hashing.family.CrcHashFamily.hash32`.  Other families
+fall back to the per-item loop.  Computed rows are memoized in a
+bounded LRU cache (:attr:`DEFAULT_POS_CACHE_CAPACITY` items by
+default); hit/miss/eviction counts surface as the
+``vectorized_hash_cache_*`` metrics via :meth:`cache_info`.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.hashing.family import HashFamily, ItemId, make_family
+from repro.errors import ConfigurationError, MergeError
+from repro.hashing.family import CrcHashFamily, HashFamily, ItemId, encode_item, make_family
 from repro.sketch.tower import tower_level_widths
 
 #: Sentinel larger than any counter value, used to mask overflow reads.
 _BIG = np.int64(1) << 40
+
+#: Default bound on the position cache (distinct items memoized).  At
+#: ``d=3`` a full cache is ~a few MB of tuples -- bounded working
+#: storage, not sketch state, so it is not part of ``memory_bytes``.
+DEFAULT_POS_CACHE_CAPACITY = 65536
+
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MIX = np.uint64(0x85EBCA6B)
 
 
 class VectorizedTower:
@@ -34,6 +55,9 @@ class VectorizedTower:
         d: number of levels / hash functions.
         update_rule: ``"cm"`` (exact) or ``"cu"`` (order-independent
             approximation).
+        pos_cache_capacity: bound on the memoized position rows; least
+            recently used entries are evicted past it (0 disables
+            caching entirely).
     """
 
     def __init__(
@@ -45,11 +69,16 @@ class VectorizedTower:
         family: HashFamily = None,
         seed: int = 0,
         hash_family: str = "crc",
+        pos_cache_capacity: int = DEFAULT_POS_CACHE_CAPACITY,
     ):
         if s <= 0:
             raise ConfigurationError(f"s must be positive, got {s}")
         if update_rule not in ("cm", "cu"):
             raise ConfigurationError(f"update_rule must be 'cm' or 'cu', got {update_rule!r}")
+        if pos_cache_capacity < 0:
+            raise ConfigurationError(
+                f"pos_cache_capacity must be >= 0, got {pos_cache_capacity}"
+            )
         self.s = s
         self.d = d
         self.update_rule = update_rule
@@ -67,22 +96,114 @@ class VectorizedTower:
             self.levels.append(np.zeros((n_logical, s), dtype=np.int64))
             self.max_values.append((1 << bits) - 1)
             self.level_counters.append(n_logical)
+        self.pos_cache_capacity = pos_cache_capacity
         self._pos_cache: Dict[ItemId, Tuple[int, ...]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        #: per-(level, byte-length) CRC seed constants for batched hashing
+        self._crc_consts: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # position hashing
 
     def positions(self, items: Sequence[ItemId]) -> np.ndarray:
         """Hash positions per level for a batch of items: ``(n, d)``."""
+        n = len(items)
+        out = np.empty((n, self.d), dtype=np.int64)
+        if n == 0:
+            return out
         cache = self._pos_cache
+        capacity = self.pos_cache_capacity
+        miss_items: List[ItemId] = []
+        miss_rows: List[int] = []
+        hits = 0
+        for row, item in enumerate(items):
+            cached = cache.get(item)
+            if cached is None:
+                miss_items.append(item)
+                miss_rows.append(row)
+            else:
+                out[row] = cached
+                # refresh recency so hot items survive eviction (LRU)
+                cache[item] = cache.pop(item)
+                hits += 1
+        self.cache_hits += hits
+        self.cache_misses += len(miss_items)
+        if miss_items:
+            hashed = self._hash_rows(miss_items)
+            out[miss_rows] = hashed
+            if capacity > 0:
+                for item, row in zip(miss_items, hashed):
+                    cache[item] = tuple(int(v) for v in row)
+                overflow = len(cache) - capacity
+                if overflow > 0:
+                    iterator = iter(cache)
+                    for key in [next(iterator) for _ in range(overflow)]:
+                        del cache[key]
+                    self.cache_evictions += overflow
+        return out
+
+    def _hash_rows(self, items: Sequence[ItemId]) -> np.ndarray:
+        """Fresh position rows for ``items`` (no cache involvement)."""
+        if isinstance(self.family, CrcHashFamily):
+            return self._hash_rows_crc(items)
         family = self.family
         counters = self.level_counters
         d = self.d
-        rows = []
-        for item in items:
-            cached = cache.get(item)
-            if cached is None:
-                cached = tuple(family.hash32(item, i) % counters[i] for i in range(d))
-                cache[item] = cached
-            rows.append(cached)
+        rows = [
+            tuple(family.hash32(item, i) % counters[i] for i in range(d))
+            for item in items
+        ]
         return np.asarray(rows, dtype=np.int64).reshape(len(rows), d)
+
+    def _crc_const(self, index: int, length: int) -> int:
+        """``crc32(0^length, derived_seed) ^ crc32(0^length, 0)``, memoized."""
+        key = (index, length)
+        const = self._crc_consts.get(key)
+        if const is None:
+            zeros = b"\x00" * length
+            const = zlib.crc32(zeros, self.family._derive_seed(index)) ^ zlib.crc32(zeros)
+            self._crc_consts[key] = const
+        return const
+
+    def _hash_rows_crc(self, items: Sequence[ItemId]) -> np.ndarray:
+        """Batched CRC positions, bit-identical to the scalar family."""
+        n = len(items)
+        bases = np.empty(n, dtype=np.uint64)
+        lengths = np.empty(n, dtype=np.int64)
+        for row, item in enumerate(items):
+            encoded = encode_item(item)
+            bases[row] = zlib.crc32(encoded)
+            lengths[row] = len(encoded)
+        unique_lengths = np.unique(lengths)
+        rows = np.empty((n, self.d), dtype=np.int64)
+        consts = np.empty(n, dtype=np.uint64)
+        for index in range(self.d):
+            if unique_lengths.shape[0] == 1:
+                consts[:] = self._crc_const(index, int(unique_lengths[0]))
+            else:
+                for length in unique_lengths:
+                    consts[lengths == length] = self._crc_const(index, int(length))
+            raw = bases ^ consts
+            raw ^= raw >> np.uint64(16)
+            raw = (raw * _MIX) & _MASK32
+            raw ^= raw >> np.uint64(13)
+            rows[:, index] = (raw % np.uint64(self.level_counters[index])).astype(np.int64)
+        return rows
+
+    def cache_info(self) -> Dict[str, int]:
+        """Position-cache effectiveness counters (metrics source)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "size": len(self._pos_cache),
+            "capacity": self.pos_cache_capacity,
+        }
+
+    # ------------------------------------------------------------------
+    # counter updates and queries
 
     def bulk_insert(self, positions: np.ndarray, counts: np.ndarray, slot: int) -> None:
         """Add ``counts[j]`` to item ``j``'s counters in ``slot``.
@@ -95,6 +216,8 @@ class VectorizedTower:
         compounding them, i.e. a slightly *more* conservative update
         than sequential CU (never below it for the items' own reads).
         """
+        if positions.shape[0] == 0:
+            return
         if self.update_rule == "cm":
             for index, (level, max_value) in enumerate(zip(self.levels, self.max_values)):
                 np.add.at(level[:, slot], positions[:, index], counts)
@@ -128,6 +251,8 @@ class VectorizedTower:
         """
         n = positions.shape[0]
         estimates = np.empty((n, len(slots)), dtype=np.int64)
+        if n == 0:
+            return estimates
         largest_cap = max(self.max_values)
         for column, slot in enumerate(slots):
             readings = self._gather_slot(positions, slot)
@@ -138,6 +263,39 @@ class VectorizedTower:
     def clear_slot(self, slot: int) -> None:
         for level in self.levels:
             level[:, slot] = 0
+
+    def merge(self, other: "VectorizedTower") -> "VectorizedTower":
+        """Saturating counter-wise add of every sub-counter.
+
+        Same semantics as :meth:`repro.sketch.counters.CounterArray.merge`
+        (``min(a + b, max_value)``): exact for the CM rule barring
+        saturation, an upper bound for CU, and overflow markers on
+        either side stay pinned at the marker.  Requires identical
+        geometry (s, d, level widths) and hash seed so counters align.
+        """
+        if type(self) is not type(other):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.s != other.s or self.d != other.d:
+            raise MergeError(
+                f"tower geometry differs: s={self.s}/d={self.d} vs "
+                f"s={other.s}/d={other.d}"
+            )
+        if self.update_rule != other.update_rule:
+            raise MergeError(
+                f"update rules differ: {self.update_rule} vs {other.update_rule}"
+            )
+        if self.level_counters != other.level_counters:
+            raise MergeError("vectorized-tower level geometries differ")
+        if self.family.seed != other.family.seed:
+            raise MergeError(
+                f"hash seeds differ ({self.family.seed} vs {other.family.seed}); "
+                "counters would not align"
+            )
+        for level, theirs, max_value in zip(self.levels, other.levels, self.max_values):
+            np.minimum(level + theirs, max_value, out=level)
+        return self
 
     @property
     def memory_bytes(self) -> float:

@@ -114,3 +114,50 @@ class TestBatchedSnapshot:
         sketch.insert("x")  # buffer non-empty
         with pytest.raises(ConfigurationError):
             snapshot_xsketch(sketch)
+
+
+class TestVectorizedSnapshot:
+    def _vectorized(self, seed=9):
+        from repro.core.vectorized import VectorizedXSketch
+
+        config = XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=20.0)
+        return VectorizedXSketch(config, seed=seed)
+
+    def test_vectorized_roundtrip_continues_identically(self):
+        trace = make_dataset("ip_trace", n_windows=20, window_size=500, seed=4)
+        windows = list(trace.windows())
+        uninterrupted = self._vectorized()
+        for window in windows:
+            uninterrupted.run_window(window)
+        half = self._vectorized()
+        for window in windows[:10]:
+            half.run_window(window)
+        snapshot = snapshot_xsketch(half)
+        assert snapshot["variant"] == "vectorized"
+        resumed = restore_xsketch(snapshot, seed=9)
+        assert type(resumed).__name__ == "VectorizedXSketch"
+        for window in windows[10:]:
+            resumed.run_window(window)
+        assert [r.instance for r in resumed.reports] == [
+            r.instance for r in uninterrupted.reports
+        ]
+
+    def test_snapshot_geometry_matches_scalar_tower(self):
+        """The numpy tower flattens to the scalar CounterArray layout, so
+        a vectorized snapshot restores as a per-arrival sketch (and back)
+        with identical Stage-1 counters."""
+        trace = make_dataset("ip_trace", n_windows=8, window_size=400, seed=6)
+        sketch = self._vectorized()
+        for window in trace.windows():
+            sketch.run_window(window)
+        snapshot = snapshot_xsketch(sketch)
+        crossed = dict(snapshot, variant="per-arrival")
+        scalar = restore_xsketch(crossed, seed=9)
+        assert type(scalar).__name__ == "XSketch"
+        assert snapshot_xsketch(scalar)["stage1_arrays"] == snapshot["stage1_arrays"]
+
+    def test_mid_window_snapshot_rejected(self):
+        sketch = self._vectorized()
+        sketch.insert("x")  # buffer non-empty
+        with pytest.raises(ConfigurationError):
+            snapshot_xsketch(sketch)

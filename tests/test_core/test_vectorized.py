@@ -124,3 +124,217 @@ class TestVectorizedXSketch:
             oracle.end_window()
         oracle.finalize()
         assert {r.instance for r in sketch.reports} == oracle.instances
+
+
+class TestBatchedPositionHashing:
+    """The batched hash path must be bit-identical to the scalar family."""
+
+    ITEMS = [1, -5, 0, 2**40, "hello", "x", "longer-string-item", b"\x01\x02", b""]
+
+    @pytest.mark.parametrize("seed", [0, 7, 123456])
+    def test_crc_rows_match_scalar_hash32(self, seed):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=seed)
+        rows = tower._hash_rows(self.ITEMS)
+        for row, item in zip(rows, self.ITEMS):
+            for index in range(tower.d):
+                expected = tower.family.hash32(item, index) % tower.level_counters[index]
+                assert int(row[index]) == expected
+
+    @pytest.mark.parametrize("name", ["bob", "murmur"])
+    def test_fallback_families_match_scalar_hash32(self, name):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=3, hash_family=name)
+        rows = tower._hash_rows(self.ITEMS)
+        for row, item in zip(rows, self.ITEMS):
+            for index in range(tower.d):
+                expected = tower.family.hash32(item, index) % tower.level_counters[index]
+                assert int(row[index]) == expected
+
+    def test_positions_bypass_and_cache_agree(self):
+        """Cached reads return exactly what the fresh hash computed."""
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=1)
+        first = tower.positions(self.ITEMS)
+        second = tower.positions(self.ITEMS)  # all hits now
+        assert (first == second).all()
+        assert tower.cache_info()["hits"] == len(self.ITEMS)
+
+
+class TestPositionCache:
+    def test_capacity_bound_and_eviction_count(self):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=1, pos_cache_capacity=10)
+        tower.positions([f"i{j}" for j in range(25)])
+        info = tower.cache_info()
+        assert info["size"] == 10
+        assert info["evictions"] == 15
+        assert info["misses"] == 25
+        assert info["capacity"] == 10
+
+    def test_lru_refresh_keeps_hot_items(self):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=1, pos_cache_capacity=4)
+        tower.positions(["a", "b", "c", "d"])
+        tower.positions(["a"])  # refresh "a"; "b" is now the oldest
+        tower.positions(["e"])  # evicts exactly one: "b"
+        hits_before = tower.cache_info()["hits"]
+        tower.positions(["a"])
+        assert tower.cache_info()["hits"] == hits_before + 1
+        misses_before = tower.cache_info()["misses"]
+        tower.positions(["b"])
+        assert tower.cache_info()["misses"] == misses_before + 1
+
+    def test_zero_capacity_disables_caching(self):
+        tower = VectorizedTower(memory_bytes=20000, s=4, d=3, seed=1, pos_cache_capacity=0)
+        tower.positions(["a", "b"])
+        tower.positions(["a", "b"])
+        info = tower.cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 4
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedTower(memory_bytes=20000, s=4, d=3, pos_cache_capacity=-1)
+
+
+class TestVectorizedTowerMerge:
+    def test_split_inserts_equal_single_tower(self):
+        rng = random.Random(4)
+        single = VectorizedTower(memory_bytes=20000, s=3, d=3, seed=2)
+        left = VectorizedTower(memory_bytes=20000, s=3, d=3, seed=2)
+        right = VectorizedTower(memory_bytes=20000, s=3, d=3, seed=2)
+        items = [f"i{j}" for j in range(60)]
+        for item in items:
+            count = rng.randrange(1, 9)
+            slot = rng.randrange(3)
+            positions = single.positions([item])
+            single.bulk_insert(positions, np.array([count]), slot)
+            side = left if sum(item.encode()) % 2 == 0 else right
+            side.bulk_insert(side.positions([item]), np.array([count]), slot)
+        left.merge(right)
+        for item in items:
+            for slot in range(3):
+                assert (
+                    left.query_recent(left.positions([item]), [slot])[0, 0]
+                    == single.query_recent(single.positions([item]), [slot])[0, 0]
+                )
+
+    def test_mismatches_rejected(self):
+        from repro.errors import MergeError
+
+        base = VectorizedTower(memory_bytes=20000, s=3, d=3, seed=2)
+        with pytest.raises(MergeError):
+            base.merge(VectorizedTower(memory_bytes=20000, s=4, d=3, seed=2))
+        with pytest.raises(MergeError):
+            base.merge(VectorizedTower(memory_bytes=40000, s=3, d=3, seed=2))
+        with pytest.raises(MergeError):
+            base.merge(VectorizedTower(memory_bytes=20000, s=3, d=3, seed=3))
+        with pytest.raises(MergeError):
+            base.merge(
+                VectorizedTower(memory_bytes=20000, s=3, d=3, seed=2, update_rule="cu")
+            )
+
+
+class TestVectorizedSketchMerge:
+    def _config(self, **overrides):
+        overrides.setdefault("memory_kb", 80.0)
+        return XSketchConfig(task=SimplexTask.paper_default(1), **overrides)
+
+    @staticmethod
+    def _side(item):
+        text = item if isinstance(item, str) else repr(item)
+        return sum(text.encode()) % 2
+
+    def test_merge_combines_report_streams_in_canonical_order(self, controlled_trace):
+        config = self._config()
+        windows = list(controlled_trace.windows())
+        left_stream = [[i for i in w if self._side(i) == 0] for w in windows]
+        right_stream = [[i for i in w if self._side(i) == 1] for w in windows]
+        a = VectorizedXSketch(config, seed=31)
+        b = VectorizedXSketch(config, seed=31)
+        for left, right in zip(left_stream, right_stream):
+            a.run_window(left)
+            b.run_window(right)
+        expected = sorted(
+            [(r.report_window, str(r.item)) for r in a.reports + b.reports]
+        )
+        a.merge(b)
+        assert [(r.report_window, str(r.item)) for r in a.reports] == expected
+        assert any(expected)  # the split stream actually produced reports
+
+    def test_merge_requires_same_window_config_and_boundary(self):
+        from repro.errors import MergeError
+
+        config = self._config()
+        a = VectorizedXSketch(config, seed=31)
+        b = VectorizedXSketch(config, seed=31)
+        b.run_window(["x"] * 10)
+        with pytest.raises(MergeError):
+            a.merge(b)
+        with pytest.raises(MergeError):
+            a.merge(VectorizedXSketch(self._config(memory_kb=50.0), seed=31))
+        c = VectorizedXSketch(config, seed=31)
+        c.insert("pending")
+        with pytest.raises(MergeError):
+            a.merge(c)
+
+    def test_satisfies_mergeable_protocol(self):
+        from repro.runtime.mergeable import Mergeable
+
+        assert isinstance(VectorizedXSketch(self._config(), seed=31), Mergeable)
+
+
+class TestDegenerateBatches:
+    def _sketch(self, memory_kb=40.0):
+        return VectorizedXSketch(
+            XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=memory_kb), seed=7
+        )
+
+    def test_empty_window_emits_no_reports_and_advances(self):
+        sketch = self._sketch()
+        assert sketch.run_window([]) == []
+        assert sketch.window == 1
+        for _ in range(10):
+            assert sketch.run_window([]) == []
+        assert sketch.window == 11
+
+    def test_empty_windows_match_scalar_engines(self):
+        from repro.core.batched import BatchedXSketch
+        from repro.core.xsketch import XSketch
+
+        config = XSketchConfig(task=SimplexTask.paper_default(1), memory_kb=40.0)
+        engines = [
+            XSketch(config, seed=7),
+            BatchedXSketch(config, seed=7),
+            self._sketch(),
+        ]
+        for engine in engines:
+            for _ in range(8):
+                engine.run_window([])
+        assert {e.window for e in engines} == {8}
+        assert all(e.reports == [] for e in engines)
+
+    def test_single_item_windows(self):
+        sketch = self._sketch()
+        for window in range(12):
+            sketch.run_window(["solo"])
+        assert sketch.window == 12
+        assert sketch.stats.stage1_arrivals == 12
+
+    def test_all_tracked_window_skips_stage1(self):
+        """Once every arrival hits Stage 2, the Stage-1 batch is empty
+        and the numpy path must cope with (0, d) arrays."""
+        sketch = self._sketch()
+        for window in range(12):
+            sketch.run_window(["lin"] * (5 + 3 * window))
+        assert sketch.stage2.lookup("lin") is not None
+        arrivals_before = sketch.stats.stage1_arrivals
+        sketch.run_window(["lin"] * 50)  # tracked: bypasses Stage 1 entirely
+        assert sketch.stats.stage1_arrivals == arrivals_before
+
+    def test_ingest_batch_equals_per_item_inserts(self):
+        a = self._sketch()
+        b = self._sketch()
+        stream = [f"i{j % 7}" for j in range(40)]
+        a.ingest_batch(stream)
+        for item in stream:
+            b.insert(item)
+        assert a._buffer == b._buffer
+        assert a.end_window() == b.end_window()

@@ -1,0 +1,200 @@
+"""Engine selection in the sharded runtime: report identity across
+``engine="xsketch" | "batched" | "vectorized"``, checkpoint round-trips
+that preserve the engine, compaction classes, and supervised respawn
+continuing with the engine the shard crashed with."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import XSketchConfig
+from repro.core.engines import ENGINE_NAMES, make_engine, validate_engine
+from repro.errors import ConfigurationError
+from repro.fitting.simplex import SimplexTask
+from repro.runtime.faults import Fault
+from repro.runtime.sharded import ShardedXSketch
+
+SEED = 11
+N_WINDOWS = 12
+
+
+def _config(memory_kb=60.0, **overrides):
+    return XSketchConfig(
+        task=SimplexTask.paper_default(1), memory_kb=memory_kb, **overrides
+    )
+
+
+def _report_keys(reports):
+    return [(r.report_window, str(r.item)) for r in reports]
+
+
+def _run_trace(algorithm, windows):
+    for window in windows:
+        algorithm.run_window(window)
+    return algorithm
+
+
+@pytest.fixture(scope="module")
+def planted_windows(controlled_trace):
+    return list(controlled_trace.windows())[:N_WINDOWS]
+
+
+@pytest.fixture(scope="module")
+def inline_keys_by_engine(planted_windows):
+    keys = {}
+    for engine in ENGINE_NAMES:
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline", engine=engine
+        ) as sharded:
+            _run_trace(sharded, planted_windows)
+            keys[engine] = sorted(_report_keys(sharded.reports))
+    return keys
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            validate_engine("turbo")
+
+    def test_vectorized_requires_tower(self):
+        config = _config(stage1_structure="cold")
+        with pytest.raises(ConfigurationError, match="tower"):
+            validate_engine("vectorized", config)
+
+    def test_sharded_rejects_bad_engine_before_spawn(self):
+        with pytest.raises(ConfigurationError):
+            ShardedXSketch(_config(), n_shards=2, backend="inline", engine="turbo")
+        with pytest.raises(ConfigurationError):
+            ShardedXSketch(
+                _config(stage1_structure="cold"),
+                n_shards=2,
+                backend="inline",
+                engine="vectorized",
+            )
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_factory_builds_the_named_engine(self, engine):
+        expected = {
+            "xsketch": "XSketch",
+            "batched": "BatchedXSketch",
+            "vectorized": "VectorizedXSketch",
+        }[engine]
+        assert type(make_engine(_config(), engine=engine)).__name__ == expected
+
+    def test_make_algorithm_threads_engine(self):
+        from repro.experiments.harness import make_algorithm
+
+        task = SimplexTask.paper_default(1)
+        single = make_algorithm("xs-cu", task, 40.0, engine="vectorized")
+        assert type(single).__name__ == "VectorizedXSketch"
+        with pytest.raises(ConfigurationError, match="fixes its engine"):
+            make_algorithm("xs-batched", task, 40.0, engine="vectorized")
+        with pytest.raises(ConfigurationError, match="fixes its engine"):
+            make_algorithm("baseline", task, 40.0, engine="batched")
+
+
+class TestCrossEngineReportIdentity:
+    def test_batched_and_vectorized_identical_inline(self, inline_keys_by_engine):
+        assert inline_keys_by_engine["batched"] == inline_keys_by_engine["vectorized"]
+        assert inline_keys_by_engine["batched"]  # the trace produced reports
+
+    def test_per_arrival_covers_batched_reports(self, inline_keys_by_engine):
+        """Per-arrival evaluates the Potential on partially accumulated
+        counts, so it can promote strictly more -- never less -- than
+        the boundary-evaluating engines on the same stream."""
+        assert set(inline_keys_by_engine["batched"]) <= set(
+            inline_keys_by_engine["xsketch"]
+        )
+
+    @pytest.mark.parametrize("engine", ["batched", "vectorized"])
+    def test_process_backend_matches_inline(
+        self, engine, planted_windows, inline_keys_by_engine
+    ):
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="process",
+            reply_timeout=60.0, engine=engine,
+        ) as sharded:
+            _run_trace(sharded, planted_windows)
+            keys = sorted(_report_keys(sharded.reports))
+        assert keys == inline_keys_by_engine[engine]
+
+
+class TestEngineCheckpoint:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_roundtrip_preserves_engine_and_reports(
+        self, engine, planted_windows, tmp_path
+    ):
+        directory = tmp_path / engine
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline", engine=engine
+        ) as sharded:
+            _run_trace(sharded, planted_windows[:8])
+            sharded.checkpoint(directory)
+            expected = _report_keys(sharded.reports)
+            _run_trace(sharded, planted_windows[8:])
+            full = _report_keys(sharded.reports)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["engine"] == engine
+        restored = ShardedXSketch.restore(directory, backend="inline")
+        assert restored.engine == engine
+        assert _report_keys(restored.reports) == expected
+        _run_trace(restored, planted_windows[8:])
+        assert _report_keys(restored.reports) == full
+        restored.close()
+
+    def test_legacy_manifest_defaults_to_per_arrival(self, planted_windows, tmp_path):
+        directory = tmp_path / "legacy"
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline"
+        ) as sharded:
+            _run_trace(sharded, planted_windows[:4])
+            sharded.checkpoint(directory)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["engine"]
+        manifest_path.write_text(json.dumps(manifest))
+        restored = ShardedXSketch.restore(directory, backend="inline")
+        assert restored.engine == "xsketch"
+        restored.close()
+
+
+class TestMergedSketchPerEngine:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_compaction_class_matches_engine(self, engine, planted_windows):
+        expected = {
+            "xsketch": "XSketch",
+            "batched": "BatchedXSketch",
+            "vectorized": "VectorizedXSketch",
+        }[engine]
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="inline", engine=engine
+        ) as sharded:
+            _run_trace(sharded, planted_windows[:8])
+            merged = sharded.merged_sketch()
+            assert type(merged).__name__ == expected
+            assert _report_keys(merged.reports) == _report_keys(sharded.report())
+
+
+class TestSupervisedRespawnKeepsEngine:
+    def test_boundary_kill_report_identical_vectorized(
+        self, planted_windows, inline_keys_by_engine
+    ):
+        """SIGKILL a vectorized shard at a checkpoint boundary: the
+        respawned worker restores the ``vectorized`` snapshot variant and
+        the run stays report-identical with zero estimated loss."""
+        fault = Fault(kind="kill", shard=0, window=4, point="checkpoint")
+        with ShardedXSketch(
+            _config(), n_shards=2, seed=SEED, backend="process",
+            reply_timeout=60.0, faults=[fault], engine="vectorized",
+        ) as sharded:
+            with pytest.warns(RuntimeWarning, match="restarted shard 0"):
+                _run_trace(sharded, planted_windows)
+            keys = sorted(_report_keys(sharded.reports))
+            health = sharded.health()
+            merged = sharded.merged_sketch()
+            assert type(merged).__name__ == "VectorizedXSketch"
+        assert keys == inline_keys_by_engine["vectorized"]
+        assert health["restarts_total"] == 1
+        assert health["items_lost_estimate"] == 0
