@@ -7,14 +7,25 @@ mergeable-protocol completeness across the sketch substrate, spawn-safe
 worker arguments, documented Prometheus metric names, and
 allocation-free per-item code.
 
+Two layers of analysis share one engine:
+
+- **per-file rules** (``repro.lint.rules``) check one module at a time;
+- **contract rules** (``repro.lint.contracts``, backed by the
+  whole-program index in ``repro.lint.graph``) check *matched
+  inventories across process and file boundaries* — coordinator ops vs
+  worker handler branches, publisher frame fields vs replica reads,
+  engine names vs snapshot restore arms, served routes and span phases
+  vs their doc tables.
+
 The rules are deliberately codebase-specific — this is not a general
 Python linter, it is the mechanical form of bug classes PRs 1–4 fixed
 by hand (blanket ``except Exception`` swallowing ``queue.Empty``,
-sentinel-vs-``None`` reply tracking, unseeded stream generators).
+sentinel-vs-``None`` reply tracking, unseeded stream generators),
+extended to the cross-process drift no per-file tool can see.
 
 Entry points:
 
-- CLI: ``repro lint [--strict] [--format text|json] [paths ...]``
+- CLI: ``repro lint [--strict] [--format text|json|github] [paths ...]``
 - API: :func:`run_lint` over paths, :func:`lint_source` over a string
   (used by the golden fixture tests).
 

@@ -50,8 +50,9 @@ def configure_parser(subparsers) -> None:
         help="exit 1 on any finding or stale baseline entry",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format (json is what CI consumes)",
+        "--format", choices=["text", "json", "github"], default="text",
+        help="report format (json for the CI artifact, github for "
+        "::error annotations on pull-request diffs)",
     )
     lint.add_argument(
         "--rule", dest="enable", action="append", metavar="ID",

@@ -1,0 +1,36 @@
+"""``repro.lint.contracts``: distributed-contract rules.
+
+Where the per-file rules (:mod:`repro.lint.rules`) catch local hazards,
+the contract rules check that both sides of every cross-process seam
+still agree — as *matched producer/consumer inventories* built from the
+whole-program view in :mod:`repro.lint.graph`:
+
+==================  ==================================================
+``command-protocol``  coordinator command ops vs worker handler
+                      branches, worker reply keys vs coordinator reads
+``wire-frames``       published frame fields vs replica reads, plus
+                      ``export_*``/``import_*`` key symmetry
+``metric-surface``    constant-resolved metric names, instrument-kind
+                      consistency, stale catalog rows in the docs
+``snapshot-variants`` engine names vs serializer save/restore arms and
+                      per-module manifest key symmetry
+``surface-drift``     HTTP routes and CLI commands/flags vs their doc
+                      tables, span phases vs the ``PHASE_NAMES`` catalog
+==================  ==================================================
+
+Each family lives in its own module and registers through the ordinary
+rule registry, so suppression comments, the baseline file, ``--enable``
+/ ``--disable`` and ``--strict`` all apply unchanged.  Importing this
+package registers every family.
+"""
+
+from repro.lint.contracts import (  # noqa: F401  (imported to register)
+    commands,
+    frames,
+    metrics,
+    snapshots,
+    surfaces,
+)
+from repro.lint.contracts.base import ContractRule
+
+__all__ = ["ContractRule"]

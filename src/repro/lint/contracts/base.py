@@ -1,0 +1,107 @@
+"""Base class shared by the contract-family rules.
+
+A contract rule reasons about the *whole project* — its findings name
+sites in several modules (and sometimes lines in a Markdown doc), not
+just the module currently being checked.  The engine, though, drives
+rules module-by-module so that suppression comments and the baseline
+match against the right file.  :class:`ContractRule` bridges the two:
+
+- the project-wide analysis (:meth:`collect`) runs once, on the first
+  ``check()`` call, against the shared :class:`ProjectIndex`;
+- each finding is then *emitted* by the ``check()`` call for the module
+  whose path it names, so ``# lint: ignore[...]`` and baseline entries
+  behave exactly as they do for per-file rules;
+- findings that point into a doc file (``docs/SERVICE.md:17``) have no
+  module of their own — they ride along with a designated *anchor
+  module* (:meth:`doc_anchor_module`), the code side of that doc's
+  contract, and are only reported when the anchor is in the linted set.
+
+Every check direction must gate on both sides of its contract being
+present in the project: linting one file in isolation must never make
+the absent half look orphaned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.context import ModuleInfo, ProjectContext
+from repro.lint.findings import Finding
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.rules.base import Rule, enclosing_symbols
+
+
+class ContractRule(Rule):
+    """A rule whose findings come from one project-wide analysis."""
+
+    def __init__(self, project: ProjectContext):
+        super().__init__(project)
+        self._computed: Optional[List[Finding]] = None
+        self._symbols: dict = {}
+
+    # ------------------------------------------------------------------
+    # engine interface
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        if self._computed is None:
+            index = ProjectIndex.of(self.project)
+            seen = set()
+            computed: List[Finding] = []
+            for finding in self.collect(index):
+                key = (finding.path, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    computed.append(finding)
+            self._computed = computed
+        for finding in self._computed:
+            if finding.path == info.path:
+                yield finding
+            elif not finding.path.endswith(".py") and info.module == (
+                self.doc_anchor_module(finding.path)
+            ):
+                yield finding
+
+    def collect(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Yield every finding for the whole project (run once)."""
+        raise NotImplementedError
+
+    def doc_anchor_module(self, doc_path: str) -> str:
+        """The module whose ``check()`` reports findings in ``doc_path``."""
+        return ""
+
+    # ------------------------------------------------------------------
+    # finding constructors
+
+    def site(self, info: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at a source node, with its enclosing
+        qualified symbol resolved (the baseline matches on symbol)."""
+        table = self._symbols.get(info.path)
+        if table is None:
+            table = enclosing_symbols(info.tree)
+            self._symbols[info.path] = table
+        return self.finding(
+            info, node, message, symbol=table.get(id(node), "<module>")
+        )
+
+    def doc_finding(
+        self, doc_path: str, line: int, message: str, symbol: str
+    ) -> Finding:
+        """A finding anchored at a line of a Markdown doc."""
+        return Finding(
+            path=doc_path,
+            line=line,
+            col=0,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            symbol=symbol,
+        )
+
+
+def doc_line(text: str, needle: str) -> int:
+    """1-based number of the first doc line containing ``needle``."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return lineno
+    return 1

@@ -1,0 +1,177 @@
+"""Contract family: the coordinator ↔ worker command protocol.
+
+The sharded runtime talks to its worker processes over two queues:
+commands go down as ``("op", ...)`` tuples, replies come back as
+``(kind, shard_id, payload)`` with dict payloads.  Both ends are plain
+string literals in different files — ``sharded.py`` (and the fault
+injector's op list) on one side, ``worker.py``'s dispatch chain on the
+other — so nothing but this rule stops an op from being dispatched into
+the ``unknown worker command`` crash, or a handler/reply field from
+going quietly dead.
+
+Inventories:
+
+- **dispatched ops** — ``("op", ...)`` tuples put on a receiver whose
+  dotted text contains ``command``, arguments of ``_broadcast(...)``
+  (including a local variable resolved through its assignments), the
+  first elements of ``_RESEND_COMMANDS`` values, and the ``FAULT_OPS``
+  constant;
+- **handled ops** — literal comparisons against ``op`` inside any
+  function named ``shard_worker_main``;
+- **reply keys produced** — direct keys of dict-literal payloads at
+  ``reply(...)`` sites in the worker;
+- **reply keys read** — literal subscript/``.get`` reads on variables
+  the coordinator assigned from ``_collect``/``_collect_from``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.context import ModuleInfo
+from repro.lint.contracts.base import ContractRule
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.graph.sites import (
+    call_tail,
+    collected_reply_reads,
+    compare_literals,
+    iter_scoped_functions,
+    local_assignment_commands,
+    own_dict_keys,
+    receiver_text,
+    tuple_first_strings,
+)
+from repro.lint.registry import register
+
+_WORKER_FUNC = "shard_worker_main"
+_COLLECT_FUNCS = ("_collect", "_collect_from")
+
+Sites = List[Tuple[str, ModuleInfo, ast.AST]]
+
+
+def _enclosing_function_map(tree: ast.Module) -> dict:
+    """``id(node) -> innermost enclosing function`` for every node."""
+    owners: dict = {}
+    for _name, func in iter_scoped_functions(tree):
+        for child in ast.walk(func):
+            # later (inner) functions overwrite outer entries, so the
+            # innermost scope wins
+            owners[id(child)] = func
+    return owners
+
+
+@register
+class CommandProtocolRule(ContractRule):
+    """Ops and reply fields must match across the process boundary."""
+
+    id = "command-protocol"
+    severity = Severity.ERROR
+    rationale = (
+        "every op dispatched to shard workers needs a handler branch in "
+        "shard_worker_main (an unknown op kills the worker at runtime), "
+        "every handler needs a dispatcher, and reply payload keys must "
+        "be produced and read on both sides of the result queue"
+    )
+
+    def collect(self, index: ProjectIndex) -> Iterator[Finding]:
+        handler_sites: Sites = []
+        reply_keys: Sites = []
+        for info, func in index.functions_named(_WORKER_FUNC):
+            for op, node in compare_literals(func, "op"):
+                handler_sites.append((op, info, node))
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call) or call_tail(call) != "reply":
+                    continue
+                for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                    if isinstance(arg, ast.Dict):
+                        for key, knode in own_dict_keys(arg):
+                            reply_keys.append((key, info, knode))
+
+        dispatch_sites = list(self._dispatch_sites(index))
+        read_sites: Sites = []
+        for info in index.modules.values():
+            for _name, func in iter_scoped_functions(info.tree):
+                for key, node in collected_reply_reads(func, _COLLECT_FUNCS):
+                    read_sites.append((key, info, node))
+
+        handled = {op for op, _, _ in handler_sites}
+        dispatched = {op for op, _, _ in dispatch_sites}
+        if handler_sites:
+            for op, info, node in dispatch_sites:
+                if op not in handled:
+                    yield self.site(
+                        info,
+                        node,
+                        f"op {op!r} is dispatched to shard workers but "
+                        f"{_WORKER_FUNC} has no handler branch for it "
+                        f"(the worker would die on 'unknown worker command')",
+                    )
+        if dispatch_sites:
+            for op, info, node in handler_sites:
+                if op not in dispatched:
+                    yield self.site(
+                        info,
+                        node,
+                        f"{_WORKER_FUNC} handles op {op!r} but no "
+                        f"coordinator site dispatches it (dead handler)",
+                    )
+
+        produced = {key for key, _, _ in reply_keys}
+        read = {key for key, _, _ in read_sites}
+        if read_sites:
+            for key, info, node in reply_keys:
+                if key not in read:
+                    yield self.site(
+                        info,
+                        node,
+                        f"worker reply payload key {key!r} is produced "
+                        f"but the coordinator never reads it",
+                    )
+        if reply_keys:
+            for key, info, node in read_sites:
+                if key not in produced:
+                    yield self.site(
+                        info,
+                        node,
+                        f"coordinator reads reply payload key {key!r} "
+                        f"that no worker reply(...) site produces",
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_sites(self, index: ProjectIndex):
+        for info in index.modules.values():
+            owners = None
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                tail = call_tail(node)
+                if tail == "put" and "command" in receiver_text(node.func):
+                    for arg in node.args:
+                        for op, site in tuple_first_strings(arg):
+                            yield op, info, site
+                elif tail == "_broadcast" and node.args:
+                    arg = node.args[0]
+                    found = tuple_first_strings(arg)
+                    if not found and isinstance(arg, ast.Name):
+                        if owners is None:
+                            owners = _enclosing_function_map(info.tree)
+                        owner = owners.get(id(node))
+                        if owner is not None:
+                            found = local_assignment_commands(owner, arg.id)
+                    for op, site in found:
+                        yield op, info, site
+        resend = index.find_constant_dict("_RESEND_COMMANDS")
+        if resend is not None:
+            rinfo, rnode, _const = resend
+            # the dict's values are ("op", ...) resend tuples; their
+            # first elements are the ops that can reach a worker
+            for op, site in tuple_first_strings(rnode):
+                yield op, rinfo, site
+        faults = index.find_constant_tuple("FAULT_OPS")
+        if faults is not None:
+            finfo, fnode, values = faults
+            for op in values:
+                yield op, finfo, fnode

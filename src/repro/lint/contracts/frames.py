@@ -1,0 +1,153 @@
+"""Contract family: publisher wire frames and state export/import.
+
+The replication link is a stream of JSON frames tagged with a literal
+``"type"`` (``delta`` / ``snapshot`` / ``heartbeat`` going down,
+``subscribe`` going up).  The publisher builds them as dict literals,
+the replica reads them as subscripts on a variable conventionally named
+``frame`` (``obj`` on the handshake path) — two files, no shared
+schema.  The temporal tier has the same shape in miniature: each
+``export_X`` function's dict keys must be exactly what the paired
+``import_X`` reads back.
+
+Read markers are asymmetric on purpose:
+
+- the *unknown-read* direction (consumer reads a field no frame
+  carries) only trusts reads on ``frame`` — the ingest protocol also
+  reads ``obj["op"]`` on dicts that are not frames at all;
+- the *unread-field* direction (field published, nobody reads it)
+  accepts reads on ``frame`` or ``obj``, so handshake fields parsed
+  under ``obj`` still count as consumed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.context import ModuleInfo
+from repro.lint.contracts.base import ContractRule
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.graph.sites import (
+    dict_literal_keys,
+    frame_dicts,
+    iter_scoped_functions,
+    own_dict_keys,
+    subscript_reads,
+    subscript_writes,
+)
+from repro.lint.registry import register
+
+#: variables whose reads may *introduce* a field requirement
+_STRICT_READ_VARS = ("frame",)
+#: variables whose reads *satisfy* a published field
+_LOOSE_READ_VARS = ("frame", "obj")
+
+Sites = List[Tuple[str, ModuleInfo, ast.AST]]
+
+
+@register
+class WireFrameRule(ContractRule):
+    """Frame fields and export/import keys must match end to end."""
+
+    id = "wire-frames"
+    severity = Severity.ERROR
+    rationale = (
+        "publisher frame fields and replica reads are string literals "
+        "in different processes; a missing field surfaces as a replica "
+        "KeyError mid-stream, an unread one is silent wire bloat — and "
+        "export_*/import_* pairs must round-trip exactly"
+    )
+
+    def collect(self, index: ProjectIndex) -> Iterator[Finding]:
+        yield from self._frame_fields(index)
+        yield from self._export_import(index)
+
+    # ------------------------------------------------------------------
+
+    def _frame_fields(self, index: ProjectIndex) -> Iterator[Finding]:
+        produced: Sites = []
+        for info in index.modules.values():
+            frames = frame_dicts(info.tree)
+            if not frames:
+                continue
+            frame_nodes = {id(node) for _, node in frames}
+            for _ftype, dnode in frames:
+                for key, knode in own_dict_keys(dnode):
+                    produced.append((key, info, knode))
+            # fields added after construction: frame["span"] = span on a
+            # variable assigned from a frame dict, in the same function
+            for _name, func in iter_scoped_functions(info.tree):
+                frame_vars = set()
+                for child in ast.walk(func):
+                    if isinstance(child, ast.Assign) and id(child.value) in frame_nodes:
+                        frame_vars.update(
+                            target.id
+                            for target in child.targets
+                            if isinstance(target, ast.Name)
+                        )
+                for key, wnode in subscript_writes(func, sorted(frame_vars)):
+                    produced.append((key, info, wnode))
+
+        strict_reads: Sites = []
+        loose_reads: Sites = []
+        for info in index.modules.values():
+            for key, node in subscript_reads(info.tree, _STRICT_READ_VARS):
+                strict_reads.append((key, info, node))
+            for key, node in subscript_reads(info.tree, _LOOSE_READ_VARS):
+                loose_reads.append((key, info, node))
+
+        produced_fields = {key for key, _, _ in produced}
+        read_fields = {key for key, _, _ in loose_reads}
+        if produced and loose_reads:
+            for key, info, node in produced:
+                if key not in read_fields:
+                    yield self.site(
+                        info,
+                        node,
+                        f"frame field {key!r} is published but no "
+                        f"consumer ever reads it (wire bloat or missed "
+                        f"apply-side plumbing)",
+                    )
+        if produced and strict_reads:
+            for key, info, node in strict_reads:
+                if key not in produced_fields:
+                    yield self.site(
+                        info,
+                        node,
+                        f"consumer reads frame field {key!r} that no "
+                        f"published frame carries (KeyError on the "
+                        f"apply path)",
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _export_import(self, index: ProjectIndex) -> Iterator[Finding]:
+        for name, info, func in index.iter_functions():
+            if not name.startswith("export_"):
+                continue
+            suffix = name[len("export_"):]
+            partners = index.functions_named("import_" + suffix)
+            if not partners:
+                continue
+            pinfo, pfunc = partners[0]
+            exported = dict_literal_keys(func)
+            imported = subscript_reads(pfunc, None)
+            exported_keys = {key for key, _ in exported}
+            imported_keys = {key for key, _ in imported}
+            for key, node in exported:
+                if key not in imported_keys:
+                    yield self.site(
+                        info,
+                        node,
+                        f"{name} exports key {key!r} that "
+                        f"import_{suffix} never reads back",
+                    )
+            for key, node in imported:
+                if key not in exported_keys:
+                    yield self.site(
+                        pinfo,
+                        node,
+                        f"import_{suffix} reads key {key!r} that {name} "
+                        f"never exports",
+                    )

@@ -1,0 +1,157 @@
+"""Contract family: the metric surface, cross-file.
+
+The per-file ``metric-name`` rule checks instrument registrations whose
+name is a string literal at the call site.  This family widens that to
+the project view the per-file rule cannot have:
+
+- **constant-resolved names** — ``registry.counter(PHASE_METRIC, ...)``
+  resolves through module-level constants and ``from X import NAME``
+  chains; the resolved name must satisfy the Prometheus grammar and be
+  documented (literal-name sites stay with ``metric-name`` so no site
+  is reported twice);
+- **kind consistency** — one name registered as two different
+  instrument kinds anywhere in src is a merge-time type clash
+  (registries add counter-to-counter; a counter/gauge split corrupts
+  the aggregated ``/metrics`` view);
+- **catalog staleness** — every row of the ``docs/OBSERVABILITY.md``
+  metric tables (rows whose Kind column is counter/gauge/histogram)
+  must name a metric some src site actually emits; the doc is the
+  dashboard ground truth and dead rows get dashboards built on air.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.context import ModuleInfo
+from repro.lint.contracts.base import ContractRule
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.graph.sites import call_tail, literal_string
+from repro.lint.registry import register
+
+#: mirror of repro.obs.registry._NAME_RE (Prometheus metric grammar)
+_PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+_INSTRUMENT_KINDS = ("counter", "gauge", "histogram")
+
+_DOC_PATH = "docs/OBSERVABILITY.md"
+_DOC_ANCHOR = "repro.obs.collect"
+
+#: (kind, info, node, name_was_literal)
+Site = Tuple[str, ModuleInfo, ast.AST, bool]
+
+
+@register
+class MetricSurfaceRule(ContractRule):
+    """Cross-file metric-name flow: resolution, kinds, doc catalog."""
+
+    id = "metric-surface"
+    severity = Severity.ERROR
+    rationale = (
+        "metric names that reach the registry through constants must "
+        "still be Prometheus-valid and documented, one name must map "
+        "to one instrument kind project-wide (registries merge "
+        "additively by kind), and every documented catalog row must "
+        "correspond to a metric src actually emits"
+    )
+
+    def doc_anchor_module(self, doc_path: str) -> str:
+        return _DOC_ANCHOR
+
+    def collect(self, index: ProjectIndex) -> Iterator[Finding]:
+        sites_by_name: Dict[str, List[Site]] = {}
+        for info in index.modules.values():
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind = call_tail(node)
+                if kind not in _INSTRUMENT_KINDS:
+                    continue
+                name_node = None
+                if node.args:
+                    name_node = node.args[0]
+                else:
+                    for keyword in node.keywords:
+                        if keyword.arg == "name":
+                            name_node = keyword.value
+                if name_node is None:
+                    continue
+                literal = literal_string(name_node)
+                name = (
+                    literal
+                    if literal is not None
+                    else index.resolve_string(info.module, name_node)
+                )
+                if name is None:
+                    # dynamically-named instruments (merge/restore
+                    # paths, f-strings) are out of static reach
+                    continue
+                sites_by_name.setdefault(name, []).append(
+                    (kind, info, node, literal is not None)
+                )
+
+        doc = self.project.doc_text(_DOC_PATH)
+        for name in sorted(sites_by_name):
+            for kind, info, node, was_literal in sites_by_name[name]:
+                if was_literal:
+                    continue  # metric-name already covers literal sites
+                if not _PROM_NAME_RE.match(name):
+                    yield self.site(
+                        info,
+                        node,
+                        f"metric name {name!r} (resolved from a "
+                        f"constant) is not a valid Prometheus "
+                        f"identifier ([a-zA-Z_:][a-zA-Z0-9_:]*)",
+                    )
+                elif doc is not None and f"`{name}`" not in doc and name not in doc:
+                    yield self.site(
+                        info,
+                        node,
+                        f"metric {name!r} (resolved from a constant) "
+                        f"is not documented in {_DOC_PATH}",
+                    )
+
+        for name in sorted(sites_by_name):
+            sites = sites_by_name[name]
+            kinds = sorted({kind for kind, _, _, _ in sites})
+            if len(kinds) > 1:
+                label = "/".join(kinds)
+                for _kind, info, node, _lit in sites:
+                    yield self.site(
+                        info,
+                        node,
+                        f"metric {name!r} is registered as more than "
+                        f"one instrument kind ({label}); merged "
+                        f"registries need exactly one",
+                    )
+
+        if doc is not None and sites_by_name and _DOC_ANCHOR in index.modules:
+            emitted = set(sites_by_name)
+            for lineno, name in _doc_metric_rows(doc):
+                if name not in emitted:
+                    yield self.doc_finding(
+                        _DOC_PATH,
+                        lineno,
+                        f"documented metric {name!r} is not emitted "
+                        f"anywhere in src (stale catalog row)",
+                        symbol=name,
+                    )
+
+
+def _doc_metric_rows(doc: str) -> Iterator[Tuple[int, str]]:
+    """``(line, metric_name)`` for catalog table rows — rows whose
+    second cell is an instrument kind.  A ``{label=...}`` suffix on the
+    name is stripped (the family name is what gets emitted)."""
+    for lineno, line in enumerate(doc.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if len(cells) < 2 or cells[1].strip("`") not in _INSTRUMENT_KINDS:
+            continue
+        name = cells[0].strip("`").partition("{")[0]
+        if name and _PROM_NAME_RE.match(name):
+            yield lineno, name

@@ -1,0 +1,199 @@
+"""Contract family: outward-facing surfaces vs their documentation.
+
+Routes, CLI commands and flags, and span phase names are all string
+literals the docs repeat by hand.  This family keeps the two in sync,
+in both directions where a table makes the doc side parseable:
+
+- **HTTP routes** — every ``path == "/x"`` dispatch arm in
+  ``repro.service`` / ``repro.replica`` must appear in that tier's doc
+  (``docs/SERVICE.md`` / ``docs/REPLICA.md``); every ``GET /x`` row of
+  the SERVICE.md query-API table must have a live handler;
+- **CLI** — every ``add_parser("name")`` subcommand must be in the
+  ``docs/API.md`` command synopsis (the ``repro a|b|c`` pipe list), and
+  every ``--flag`` the doc mentions must exist as an ``add_argument``
+  option somewhere;
+- **span phases** — every ``profiler.phase("x")`` /
+  ``profiler.observe("x", ...)`` label must be in the ``PHASE_NAMES``
+  catalog, every catalog entry must be observed somewhere and
+  documented in the ``docs/OBSERVABILITY.md`` phase table.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.context import ModuleInfo
+from repro.lint.contracts.base import ContractRule
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.graph.sites import calls_named, compare_literals, literal_string
+from repro.lint.registry import register
+
+#: code package -> the doc that must mention its routes
+_ROUTE_DOCS = (
+    ("repro.service", "docs/SERVICE.md"),
+    ("repro.replica", "docs/REPLICA.md"),
+)
+_API_DOC = "docs/API.md"
+_OBS_DOC = "docs/OBSERVABILITY.md"
+_PHASE_CONST = "PHASE_NAMES"
+
+#: doc path -> module whose check() reports that doc's stale rows
+_DOC_ANCHORS = {
+    "docs/SERVICE.md": "repro.service.server",
+    _API_DOC: "repro.cli",
+}
+
+#: flags that exist without an add_argument site
+_FLAG_ALLOWLIST = {"--help"}
+
+_DOC_ROUTE_RE = re.compile(r"`(GET|POST) (/[a-z0-9_-]+)`")
+_DOC_SYNOPSIS_RE = re.compile(r"repro ([a-z0-9_|-]+)")
+_DOC_FLAG_RE = re.compile(r"--[a-z0-9][a-z0-9-]*")
+
+
+@register
+class SurfaceDriftRule(ContractRule):
+    """Served/parsed surfaces and their doc tables must agree."""
+
+    id = "surface-drift"
+    severity = Severity.ERROR
+    rationale = (
+        "HTTP routes, CLI commands/flags and span phase names are "
+        "repeated by hand in the docs; drift ships a surface nobody "
+        "can discover or documents one that 404s"
+    )
+
+    def doc_anchor_module(self, doc_path: str) -> str:
+        return _DOC_ANCHORS.get(doc_path, "")
+
+    def collect(self, index: ProjectIndex) -> Iterator[Finding]:
+        yield from self._routes(index)
+        yield from self._cli(index)
+        yield from self._phases(index)
+
+    # ------------------------------------------------------------------
+
+    def _routes(self, index: ProjectIndex) -> Iterator[Finding]:
+        service_routes = set()
+        for package, doc_path in _ROUTE_DOCS:
+            sites: List[Tuple[str, ModuleInfo, object]] = []
+            for info in index.modules.values():
+                if not info.in_package(package):
+                    continue
+                for route, node in compare_literals(info.tree, "path"):
+                    if route.startswith("/"):
+                        sites.append((route, info, node))
+            if package == "repro.service":
+                service_routes = {route for route, _, _ in sites}
+            doc = self.project.doc_text(doc_path)
+            if doc is None or not sites:
+                continue
+            for route, info, node in sites:
+                if route not in doc:
+                    yield self.site(
+                        info,
+                        node,
+                        f"HTTP route {route!r} is served but not "
+                        f"documented in {doc_path}",
+                    )
+        # doc -> code, where the doc side is a parseable table
+        doc = self.project.doc_text("docs/SERVICE.md")
+        if doc is not None and service_routes:
+            for lineno, line in enumerate(doc.splitlines(), start=1):
+                for match in _DOC_ROUTE_RE.finditer(line):
+                    route = match.group(2)
+                    if route not in service_routes:
+                        yield self.doc_finding(
+                            "docs/SERVICE.md",
+                            lineno,
+                            f"documented route `{match.group(1)} {route}` "
+                            f"has no handler in repro.service (stale row)",
+                            symbol=route,
+                        )
+
+    # ------------------------------------------------------------------
+
+    def _cli(self, index: ProjectIndex) -> Iterator[Finding]:
+        commands: List[Tuple[str, ModuleInfo, object]] = []
+        flags = set(_FLAG_ALLOWLIST)
+        for info in index.modules.values():
+            for call in calls_named(info.tree, "add_parser"):
+                if call.args:
+                    name = literal_string(call.args[0])
+                    if name is not None:
+                        commands.append((name, info, call))
+            for call in calls_named(info.tree, "add_argument"):
+                for arg in call.args:
+                    option = literal_string(arg)
+                    if option is not None and option.startswith("--"):
+                        flags.add(option)
+        doc = self.project.doc_text(_API_DOC)
+        if doc is None or not commands:
+            return
+        documented = set()
+        for match in _DOC_SYNOPSIS_RE.finditer(doc):
+            if "|" in match.group(1):
+                documented.update(match.group(1).split("|"))
+        if documented:
+            for name, info, node in commands:
+                if name not in documented:
+                    yield self.site(
+                        info,
+                        node,
+                        f"CLI subcommand {name!r} is not listed in the "
+                        f"{_API_DOC} command synopsis",
+                    )
+        if "repro.cli" in index.modules:
+            for lineno, line in enumerate(doc.splitlines(), start=1):
+                for match in _DOC_FLAG_RE.finditer(line):
+                    if match.group(0) not in flags:
+                        yield self.doc_finding(
+                            _API_DOC,
+                            lineno,
+                            f"documented flag {match.group(0)} is not an "
+                            f"option of any CLI command (stale doc)",
+                            symbol=match.group(0),
+                        )
+
+    # ------------------------------------------------------------------
+
+    def _phases(self, index: ProjectIndex) -> Iterator[Finding]:
+        catalog = index.find_constant_tuple(_PHASE_CONST)
+        uses: List[Tuple[str, ModuleInfo, object]] = []
+        for info in index.modules.values():
+            for call in calls_named(info.tree, "phase"):
+                if call.args and literal_string(call.args[0]) is not None:
+                    uses.append((literal_string(call.args[0]), info, call))
+            for call in calls_named(info.tree, "observe"):
+                if call.args and literal_string(call.args[0]) is not None:
+                    uses.append((literal_string(call.args[0]), info, call))
+        if catalog is None or not uses:
+            return
+        cinfo, cnode, names = catalog
+        for name, info, node in uses:
+            if name not in names:
+                yield self.site(
+                    info,
+                    node,
+                    f"span phase {name!r} is not in the {_PHASE_CONST} "
+                    f"catalog ({cinfo.path})",
+                )
+        used = {name for name, _, _ in uses}
+        doc = self.project.doc_text(_OBS_DOC)
+        for name in names:
+            if name not in used:
+                yield self.site(
+                    cinfo,
+                    cnode,
+                    f"catalog phase {name!r} is never observed by any "
+                    f"profiler site (dead catalog entry)",
+                )
+            elif doc is not None and f"`{name}`" not in doc:
+                yield self.site(
+                    cinfo,
+                    cnode,
+                    f"catalog phase {name!r} is not documented in the "
+                    f"{_OBS_DOC} phase table",
+                )

@@ -150,10 +150,17 @@ class LintEngine:
         except OSError as exc:
             self.errors.append(f"{rel}: unreadable: {exc}")
             return None
+        except UnicodeDecodeError as exc:
+            self.errors.append(f"{rel}: not UTF-8: {exc.reason}")
+            return None
         try:
             tree = ast.parse(source, filename=rel)
         except SyntaxError as exc:
             self.errors.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
+            return None
+        except ValueError as exc:
+            # ast.parse raises bare ValueError on e.g. null bytes
+            self.errors.append(f"{rel}: unparseable: {exc}")
             return None
         return ModuleInfo(
             path=rel,
@@ -291,6 +298,42 @@ def render_json(
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _gh_escape(text: str) -> str:
+    """Escape a workflow-command message (the documented %-encoding)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(
+    findings: Sequence[Finding], engine: Optional[LintEngine] = None
+) -> str:
+    """GitHub Actions workflow commands: one ``::error``/``::warning``
+    annotation per finding, anchored to file and line in the PR diff."""
+    lines = []
+    for finding in findings:
+        level = "error" if finding.severity is Severity.ERROR else "warning"
+        lines.append(
+            f"::{level} file={_gh_escape(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_gh_escape(f'lint [{finding.rule}]')}"
+            f"::{_gh_escape(finding.message)}"
+        )
+    if engine is not None:
+        for error in engine.errors:
+            lines.append(f"::error title=lint::{_gh_escape(error)}")
+        for key in engine.stale_baseline:
+            lines.append(
+                f"::warning file={_gh_escape(key.path)},"
+                f"title=lint stale baseline"
+                f"::{_gh_escape(f'stale baseline entry: {key.render()}')}"
+            )
+    lines.append(
+        f"{len(findings)} finding(s) annotated"
+        if findings
+        else "0 finding(s)"
+    )
+    return "\n".join(lines)
+
+
 def run_lint(
     paths: Sequence[str],
     root: Optional[Path] = None,
@@ -315,6 +358,8 @@ def run_lint(
     findings = engine.run([Path(p) for p in paths])
     if output_format == "json":
         report = render_json(findings, engine)
+    elif output_format == "github":
+        report = render_github(findings, engine)
     else:
         report = render_text(findings, engine)
     failed = bool(engine.errors)

@@ -1,0 +1,28 @@
+"""``repro.lint.graph``: the whole-program view behind the contract rules.
+
+The per-file rules in :mod:`repro.lint.rules` see one module at a time.
+The contract rules (:mod:`repro.lint.contracts`) instead check *matched
+inventories* across process boundaries — ops dispatched vs ops handled,
+frame fields written vs frame fields read — and for that they need a
+project-wide index:
+
+- :class:`~repro.lint.graph.index.ProjectIndex` — built once per lint
+  run from the :class:`~repro.lint.context.ProjectContext`; resolves
+  module-level string constants (including ``from X import NAME``
+  aliases) and finds functions by name across every parsed module.
+- :class:`~repro.lint.graph.constants.ModuleEnv` — one module's
+  top-level string/tuple/dict constant environment, the substrate of
+  the intraprocedural constant propagation.
+- :mod:`~repro.lint.graph.sites` — AST extraction helpers for the
+  shapes contracts are written in: dict-literal keys, subscript
+  reads/writes, literal comparisons, tuple-command first elements.
+
+Everything here is rule-agnostic on purpose: a future contract family
+(new frame type, new command op) composes these pieces instead of
+re-walking the AST by hand.
+"""
+
+from repro.lint.graph.constants import ModuleEnv, build_env
+from repro.lint.graph.index import ProjectIndex
+
+__all__ = ["ModuleEnv", "ProjectIndex", "build_env"]

@@ -1,0 +1,133 @@
+"""Module-level string-constant environments.
+
+The distributed contracts live as string literals bound to module-level
+names — ``FAULT_OPS = ("ingest", ...)``, ``_RESEND_COMMANDS = {...}``,
+``ENGINE_NAMES = (...)`` — and the code that *uses* them often does so
+through the name, not the literal.  A :class:`ModuleEnv` records, for
+one module, every top-level binding of:
+
+- a string literal,
+- a tuple/list of string literals,
+- a dict literal (keys and values kept when they are string literals,
+  ``None`` placeholders otherwise, so ``{XSketch: "per-arrival"}``
+  still exposes its value inventory),
+- a ``from X import NAME [as ALIAS]`` alias (resolved lazily by the
+  :class:`~repro.lint.graph.index.ProjectIndex`).
+
+Resolution is deliberately *flow-free*: only module-scope assignments
+count, the last one wins, and anything dynamic resolves to ``None`` —
+a contract rule must never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DictConst:
+    """A module-level dict literal: constant parts of keys and values.
+
+    ``keys[i]`` / ``values[i]`` are the string value when entry ``i``'s
+    key/value is a string literal, ``None`` otherwise (class reference,
+    computed expression, ``**`` splat dropped entirely).
+    """
+
+    keys: Tuple[Optional[str], ...]
+    values: Tuple[Optional[str], ...]
+    line: int
+
+    def string_keys(self) -> Tuple[str, ...]:
+        return tuple(k for k in self.keys if k is not None)
+
+    def string_values(self) -> Tuple[str, ...]:
+        return tuple(v for v in self.values if v is not None)
+
+
+@dataclass
+class ModuleEnv:
+    """One module's top-level constant bindings."""
+
+    strings: Dict[str, str] = field(default_factory=dict)
+    tuples: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    dicts: Dict[str, DictConst] = field(default_factory=dict)
+    #: ``alias -> (source_module, source_name)`` from ``from X import Y``
+    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: binding name -> the assignment node (for finding anchors)
+    nodes: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+def _string_tuple(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``("a", "b")`` / ``["a", "b"]`` -> its values; else ``None``.
+
+    Every element must be a string literal — a mixed tuple is not a
+    string inventory and resolves to nothing.
+    """
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            values.append(element.value)
+        else:
+            return None
+    return tuple(values)
+
+
+def _dict_const(node: ast.expr) -> Optional[DictConst]:
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: List[Optional[str]] = []
+    values: List[Optional[str]] = []
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ** splat: no static inventory
+            continue
+        keys.append(
+            key.value
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            else None
+        )
+        values.append(
+            value.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str)
+            else None
+        )
+    return DictConst(keys=tuple(keys), values=tuple(values), line=node.lineno)
+
+
+def build_env(tree: ast.Module) -> ModuleEnv:
+    """The constant environment of one parsed module."""
+    env = ModuleEnv()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                env.imports[alias.asname or alias.name] = (stmt.module, alias.name)
+            continue
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            env.nodes[name] = stmt
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                env.strings[name] = value.value
+                continue
+            as_tuple = _string_tuple(value)
+            if as_tuple is not None:
+                env.tuples[name] = as_tuple
+                continue
+            as_dict = _dict_const(value)
+            if as_dict is not None:
+                env.dicts[name] = as_dict
+    return env

@@ -1,0 +1,153 @@
+"""The project-wide index the contract rules run against.
+
+One :class:`ProjectIndex` is built lazily per lint run (cached on the
+:class:`~repro.lint.context.ProjectContext` instance, so the five
+contract rules share it) and answers the cross-module questions:
+
+- which module binds this constant, and to what strings?
+- where are the functions named ``shard_worker_main`` / ``export_*``?
+- what does this name resolve to *here*, following ``from X import Y``?
+
+Inventory gathering is restricted to shipped library modules
+(``repro.*``): tests and examples construct partial frames and fake
+ops on purpose, and must neither widen nor poison a contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.context import ModuleInfo, ProjectContext
+from repro.lint.graph.constants import DictConst, ModuleEnv, build_env
+
+#: attribute slot used to cache the index on the ProjectContext
+_CACHE_ATTR = "_contract_index"
+
+_MAX_IMPORT_HOPS = 8
+
+
+class ProjectIndex:
+    """Constant resolution and symbol lookup over every src module."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        #: dotted module name -> ModuleInfo, src modules only
+        self.modules: Dict[str, ModuleInfo] = {}
+        self._envs: Dict[str, ModuleEnv] = {}
+        #: function name -> [(module info, function node)], sorted by module
+        self._functions: Dict[str, List[Tuple[ModuleInfo, ast.AST]]] = {}
+        for info in sorted(project.modules, key=lambda m: m.module):
+            if not info.in_package("repro"):
+                continue
+            self.modules[info.module] = info
+            for node in ast.walk(info.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._functions.setdefault(node.name, []).append((info, node))
+
+    @classmethod
+    def of(cls, project: ProjectContext) -> "ProjectIndex":
+        """The run-wide shared index (built on first use)."""
+        index = getattr(project, _CACHE_ATTR, None)
+        if index is None:
+            index = cls(project)
+            setattr(project, _CACHE_ATTR, index)
+        return index
+
+    # ------------------------------------------------------------------
+    # environments and constants
+
+    def env(self, module: str) -> ModuleEnv:
+        if module not in self._envs:
+            info = self.modules.get(module)
+            self._envs[module] = (
+                build_env(info.tree) if info is not None else ModuleEnv()
+            )
+        return self._envs[module]
+
+    def find_constant_tuple(
+        self, name: str
+    ) -> Optional[Tuple[ModuleInfo, ast.AST, Tuple[str, ...]]]:
+        """First src module (by dotted name) binding ``name`` to a
+        string tuple: ``(module info, assignment node, values)``."""
+        for module, info in self.modules.items():
+            env = self.env(module)
+            if name in env.tuples:
+                return info, env.nodes[name], env.tuples[name]
+        return None
+
+    def find_constant_dict(
+        self, name: str
+    ) -> Optional[Tuple[ModuleInfo, ast.AST, DictConst]]:
+        """Like :meth:`find_constant_tuple`, for dict literals."""
+        for module, info in self.modules.items():
+            env = self.env(module)
+            if name in env.dicts:
+                return info, env.nodes[name], env.dicts[name]
+        return None
+
+    # ------------------------------------------------------------------
+    # name resolution
+
+    def resolve_string(self, module: str, node: ast.expr) -> Optional[str]:
+        """A string literal, or a name that resolves to one — following
+        module-level bindings and ``from X import Y`` chains."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._resolve_named_string(module, node.id, _MAX_IMPORT_HOPS)
+        return None
+
+    def _resolve_named_string(
+        self, module: str, name: str, hops: int
+    ) -> Optional[str]:
+        if hops <= 0:
+            return None
+        env = self.env(module)
+        if name in env.strings:
+            return env.strings[name]
+        if name in env.imports:
+            source_module, source_name = env.imports[name]
+            return self._resolve_named_string(source_module, source_name, hops - 1)
+        return None
+
+    def resolve_string_tuple(
+        self, module: str, node: ast.expr
+    ) -> Optional[Tuple[str, ...]]:
+        """A literal string tuple, or a name resolving to one."""
+        from repro.lint.graph.constants import _string_tuple
+
+        direct = _string_tuple(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return self._resolve_named_tuple(module, node.id, _MAX_IMPORT_HOPS)
+        return None
+
+    def _resolve_named_tuple(
+        self, module: str, name: str, hops: int
+    ) -> Optional[Tuple[str, ...]]:
+        if hops <= 0:
+            return None
+        env = self.env(module)
+        if name in env.tuples:
+            return env.tuples[name]
+        if name in env.imports:
+            source_module, source_name = env.imports[name]
+            return self._resolve_named_tuple(source_module, source_name, hops - 1)
+        return None
+
+    # ------------------------------------------------------------------
+    # symbols
+
+    def functions_named(
+        self, name: str
+    ) -> List[Tuple[ModuleInfo, ast.AST]]:
+        """Every src function/method with this name, in module order."""
+        return list(self._functions.get(name, ()))
+
+    def iter_functions(self) -> Iterator[Tuple[str, ModuleInfo, ast.AST]]:
+        """``(name, module info, node)`` for every src function."""
+        for name, entries in sorted(self._functions.items()):
+            for info, node in entries:
+                yield name, info, node

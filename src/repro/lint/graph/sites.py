@@ -1,0 +1,292 @@
+"""AST extraction for send/receive sites.
+
+The cross-process contracts in this codebase are written in a small
+number of recurring shapes — command tuples put on a queue, reply
+payload dicts, frame dicts tagged with a literal ``"type"``, subscript
+reads on a well-known variable, literal comparisons in a dispatch
+chain.  This module turns each shape into a plain inventory of
+``(string, node)`` pairs so the contract rules compare sets and anchor
+findings on real source lines.
+
+All helpers are pure functions over AST nodes; none touch the project
+index (callers resolve names through it when a site is indirect).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+SiteList = List[Tuple[str, ast.AST]]
+
+
+def receiver_text(node: ast.expr) -> str:
+    """Dotted text of a call receiver, descending through subscripts.
+
+    ``self._command_queues[shard].put`` -> ``self._command_queues.put``
+    — the slice is erased so naming conventions on the container still
+    classify the call.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = receiver_text(node.value)
+        return f"{prefix}.{node.attr}" if prefix else node.attr
+    if isinstance(node, ast.Subscript):
+        return receiver_text(node.value)
+    if isinstance(node, ast.Call):
+        return receiver_text(node.func)
+    return ""
+
+
+def call_tail(node: ast.Call) -> str:
+    """Last segment of the call target (``self._broadcast`` -> ``_broadcast``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def literal_string(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def tuple_first_strings(node: ast.expr) -> SiteList:
+    """First elements of every tuple literal under ``node`` that start
+    with a string literal — the shape of a command ``("op", ...)``.
+
+    Walking the whole expression means conditional commands
+    (``("a", x) if flag else ("a",)``) contribute every arm.
+    """
+    sites: SiteList = []
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Tuple)
+            and child.elts
+            and literal_string(child.elts[0]) is not None
+        ):
+            sites.append((literal_string(child.elts[0]), child))
+    return sites
+
+
+def local_assignment_commands(func: ast.AST, varname: str) -> SiteList:
+    """Command strings a local variable can hold inside one function.
+
+    Finds every ``varname = <expr>`` in the function body and extracts
+    :func:`tuple_first_strings` of the right-hand side — the
+    intraprocedural constant propagation behind
+    ``command = ("end_window", ctx) if tracing else ("end_window",)``
+    followed by ``self._broadcast(command)``.
+    """
+    sites: SiteList = []
+    for child in ast.walk(func):
+        if not isinstance(child, ast.Assign):
+            continue
+        if any(
+            isinstance(target, ast.Name) and target.id == varname
+            for target in child.targets
+        ):
+            sites.extend(tuple_first_strings(child.value))
+    return sites
+
+
+def own_dict_keys(node: ast.Dict) -> SiteList:
+    """``(key, key_node)`` for the dict's *direct* literal-string keys
+    (nested dicts excluded — a payload's sub-document is not part of
+    the payload's own key contract)."""
+    sites: SiteList = []
+    for key in node.keys:
+        if key is not None and literal_string(key) is not None:
+            sites.append((literal_string(key), key))
+    return sites
+
+
+def dict_literal_keys(node: ast.expr) -> SiteList:
+    """``(key, key_node)`` for every literal-string dict key under ``node``."""
+    sites: SiteList = []
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Dict):
+            continue
+        for key in child.keys:
+            if key is not None and literal_string(key) is not None:
+                sites.append((literal_string(key), key))
+    return sites
+
+
+def frame_dicts(scope: ast.AST) -> List[Tuple[str, ast.Dict]]:
+    """Dict literals tagged with a literal ``"type"`` entry.
+
+    Returns ``(type_value, dict_node)`` — the producer side of every
+    wire frame (``{"type": "delta", ...}``).
+    """
+    frames: List[Tuple[str, ast.Dict]] = []
+    for child in ast.walk(scope):
+        if not isinstance(child, ast.Dict):
+            continue
+        for key, value in zip(child.keys, child.values):
+            if (
+                key is not None
+                and literal_string(key) == "type"
+                and literal_string(value) is not None
+            ):
+                frames.append((literal_string(value), child))
+                break
+    return frames
+
+
+def _subscript_key(node: ast.Subscript) -> Optional[str]:
+    return literal_string(node.slice)
+
+
+def subscript_reads(
+    scope: ast.AST, names: Optional[Sequence[str]] = None
+) -> SiteList:
+    """Literal-key reads on the named variables: ``v["k"]`` (Load
+    context) and ``v.get("k")``.  ``names=None`` matches reads on any
+    simple name (used where one function *is* the consumer side and
+    every read in it belongs to the contract)."""
+    wanted: Optional[Set[str]] = None if names is None else set(names)
+    sites: SiteList = []
+    for child in ast.walk(scope):
+        if (
+            isinstance(child, ast.Subscript)
+            and isinstance(child.ctx, ast.Load)
+            and isinstance(child.value, ast.Name)
+            and (wanted is None or child.value.id in wanted)
+        ):
+            key = _subscript_key(child)
+            if key is not None:
+                sites.append((key, child))
+        elif (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "get"
+            and isinstance(child.func.value, ast.Name)
+            and (wanted is None or child.func.value.id in wanted)
+            and child.args
+        ):
+            key = literal_string(child.args[0])
+            if key is not None:
+                sites.append((key, child))
+    return sites
+
+
+def subscript_writes(scope: ast.AST, names: Sequence[str]) -> SiteList:
+    """Literal-key writes: ``v["k"] = ...`` on the named variables."""
+    wanted: Set[str] = set(names)
+    sites: SiteList = []
+    for child in ast.walk(scope):
+        if (
+            isinstance(child, ast.Subscript)
+            and isinstance(child.ctx, ast.Store)
+            and isinstance(child.value, ast.Name)
+            and child.value.id in wanted
+        ):
+            key = _subscript_key(child)
+            if key is not None:
+                sites.append((key, child))
+    return sites
+
+
+def compare_literals(scope: ast.AST, varname: str) -> SiteList:
+    """Literal strings a variable is dispatched on inside ``scope``.
+
+    Covers the equality chain (``op == "ingest"``, either side) and
+    literal-tuple membership (``op in ("a", "b")``) — the consumer side
+    of a command protocol.
+    """
+    sites: SiteList = []
+    for child in ast.walk(scope):
+        if not isinstance(child, ast.Compare) or len(child.ops) != 1:
+            continue
+        left, right = child.left, child.comparators[0]
+        if isinstance(child.ops[0], ast.Eq):
+            if isinstance(left, ast.Name) and left.id == varname:
+                value = literal_string(right)
+                if value is not None:
+                    sites.append((value, child))
+            elif isinstance(right, ast.Name) and right.id == varname:
+                value = literal_string(left)
+                if value is not None:
+                    sites.append((value, child))
+        elif isinstance(child.ops[0], ast.In):
+            if isinstance(left, ast.Name) and left.id == varname:
+                for value, node in tuple_first_strings(right):
+                    sites.append((value, node))
+                if isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+                    for element in right.elts:
+                        value = literal_string(element)
+                        if value is not None:
+                            sites.append((value, element))
+    return sites
+
+
+def calls_named(scope: ast.AST, name: str) -> List[ast.Call]:
+    """Every call whose target's last segment is ``name``."""
+    return [
+        child
+        for child in ast.walk(scope)
+        if isinstance(child, ast.Call) and call_tail(child) == name
+    ]
+
+
+def collected_reply_reads(
+    func: ast.AST, collect_names: Sequence[str]
+) -> SiteList:
+    """Reply-payload keys a coordinator function reads.
+
+    Tracks variables assigned from ``self._collect(...)`` /
+    ``self._collect_from(...)`` calls (exact-name match), follows one
+    ``for element in collection:`` binding, and returns the literal
+    subscript / ``.get`` keys read from either — the consumer half of
+    the worker reply contract.
+    """
+    wanted = set(collect_names)
+    primaries: Set[str] = set()
+    elements: Set[str] = set()
+
+    def is_collect_call(node: ast.expr) -> bool:
+        return isinstance(node, ast.Call) and call_tail(node) in wanted
+
+    # two passes: ast.walk is breadth-first, so a `for` statement can be
+    # visited before the assignment nested deeper that defines its
+    # collection variable
+    for child in ast.walk(func):
+        if isinstance(child, ast.Assign) and is_collect_call(child.value):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    primaries.add(target.id)
+    for child in ast.walk(func):
+        if isinstance(child, (ast.For, ast.AsyncFor)):
+            over_primary = (
+                isinstance(child.iter, ast.Name) and child.iter.id in primaries
+            )
+            if (over_primary or is_collect_call(child.iter)) and isinstance(
+                child.target, ast.Name
+            ):
+                elements.add(child.target.id)
+    if not primaries and not elements:
+        return []
+    return subscript_reads(func, sorted(primaries | elements))
+
+
+def iter_scoped_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """``(qualified_name, node)`` for every function in a module."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name if not prefix else f"{prefix}.{child.name}"
+                yield name, child
+                yield from visit(child, name)
+            elif isinstance(child, ast.ClassDef):
+                name = child.name if not prefix else f"{prefix}.{child.name}"
+                yield from visit(child, name)
+
+    yield from visit(tree, "")

@@ -1,5 +1,6 @@
 """Rule modules. Importing this package populates the registry."""
 
+from repro.lint import contracts  # noqa: F401  (registers contract rules)
 from repro.lint.rules import (  # noqa: F401
     concurrency,
     determinism,

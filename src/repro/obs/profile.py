@@ -22,6 +22,7 @@ from repro.obs.registry import DURATION_BUCKETS, Histogram, MetricsRegistry
 
 __all__ = [
     "PHASE_METRIC",
+    "PHASE_NAMES",
     "PhaseProfiler",
     "phase_rows",
     "phase_rows_from_samples",
@@ -30,6 +31,23 @@ __all__ = [
 
 #: the one histogram family every layer's profiler feeds
 PHASE_METRIC = "pipeline_phase_seconds"
+
+#: every phase label the pipeline observes — the catalog the
+#: ``surface-drift`` contract rule checks profiler call sites and the
+#: docs/OBSERVABILITY.md phase table against; add the label here (and
+#: to the doc table) before observing a new phase
+PHASE_NAMES = (
+    "checkpoint",
+    "dispatch",
+    "flush",
+    "ingest",
+    "merge",
+    "publish",
+    "shard",
+    "snapshot",
+    "temporal",
+    "window",
+)
 
 _HELP = "wall seconds spent per pipeline phase"
 

@@ -182,6 +182,18 @@ def restore_store(directory: Union[str, Path], spill_dir: Optional[str] = None):
             asof=record.get("asof"),
         )
         store.ladder.nodes.append(node)
+    # base/tip are derived from the node list; comparing them to the
+    # manifest catches a truncated or reordered node set before the
+    # store starts answering range queries from it
+    if (
+        store.ladder.base != manifest["base"]
+        or store.ladder.tip != manifest["tip"]
+    ):
+        raise ConfigurationError(
+            f"ladder span mismatch: manifest covers "
+            f"[{manifest['base']}, {manifest['tip']}), rebuilt nodes cover "
+            f"[{store.ladder.base}, {store.ladder.tip})"
+        )
     store.windows_observed = manifest["windows_observed"]
     store.items_observed = manifest["items_observed"]
     store.ladder.coarsenings = manifest["coarsenings"]

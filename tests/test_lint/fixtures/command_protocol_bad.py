@@ -1,0 +1,34 @@
+"""Command-protocol drift on both queues (lint fixture, never executed)."""
+
+
+def shard_worker_main(command_queue, result_queue):
+    def reply(payload):
+        result_queue.put(("reply", 0, payload))
+
+    while True:
+        command = command_queue.get()
+        op = command[0]
+        if op == "ingest":
+            reply({"survivors": 1, "evicted": 2})  # EXPECT: command-protocol
+        elif op == "compact":  # EXPECT: command-protocol
+            reply({"survivors": 0})
+        elif op == "stop":
+            break
+
+
+class ExampleCoordinator:
+    def __init__(self, queues):
+        self.command_queue = queues
+
+    def _collect(self, kind):
+        return []
+
+    def run_window(self, items):
+        self.command_queue.put(("ingest", items))
+        self.command_queue.put(("end_window",))  # EXPECT: command-protocol
+        self.command_queue.put(("stop",))
+        payloads = self._collect("ingest")
+        total = 0
+        for payload in payloads:
+            total += payload["survivors"] + payload["missing"]  # EXPECT: command-protocol
+        return total

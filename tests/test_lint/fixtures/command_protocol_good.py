@@ -1,0 +1,31 @@
+"""Dispatched ops, handlers and reply keys all matched."""
+
+
+def shard_worker_main(command_queue, result_queue):
+    def reply(payload):
+        result_queue.put(("reply", 0, payload))
+
+    while True:
+        command = command_queue.get()
+        op = command[0]
+        if op == "ingest":
+            reply({"survivors": 1})
+        elif op == "stop":
+            break
+
+
+class ExampleCoordinator:
+    def __init__(self, queues):
+        self.command_queue = queues
+
+    def _collect(self, kind):
+        return []
+
+    def run_window(self, items):
+        self.command_queue.put(("ingest", items))
+        self.command_queue.put(("stop",))
+        payloads = self._collect("ingest")
+        total = 0
+        for payload in payloads:
+            total += payload["survivors"]
+        return total

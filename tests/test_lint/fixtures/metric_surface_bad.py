@@ -1,0 +1,11 @@
+"""Constant-resolved metric names gone wrong (lint fixture)."""
+
+PHANTOM_METRIC = "example_phantom_total"
+BAD_NAME = "0bad-example"
+
+
+def register_instruments(registry):
+    registry.counter(PHANTOM_METRIC, "help text")  # EXPECT: metric-surface
+    registry.gauge(BAD_NAME, "help text")  # EXPECT: metric-surface
+    registry.counter("example_clash_total", "help text")  # EXPECT: metric-surface
+    registry.gauge("example_clash_total", "help text")  # EXPECT: metric-surface

@@ -1,0 +1,7 @@
+"""A constant-resolved name that is valid, documented and one-kinded."""
+
+WINDOW_METRIC = "xsketch_windows_total"
+
+
+def register_instruments(registry):
+    registry.counter(WINDOW_METRIC, "windows closed")

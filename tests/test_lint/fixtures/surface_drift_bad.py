@@ -1,0 +1,13 @@
+"""Routes and span phases drifting from their docs (lint fixture)."""
+
+PHASE_NAMES = ("flush", "phantom")  # EXPECT: surface-drift
+
+
+def handle(path, profiler):
+    if path == "/healthz":
+        with profiler.phase("flush"):
+            return "ok"
+    if path == "/shadow":  # EXPECT: surface-drift
+        profiler.observe("rogue", 1.0)  # EXPECT: surface-drift
+        return "shadow"
+    return "missing"

@@ -1,0 +1,10 @@
+"""Routes and span phases matching their documentation."""
+
+PHASE_NAMES = ("flush",)
+
+
+def handle(path, profiler):
+    if path == "/healthz":
+        with profiler.phase("flush"):
+            return "ok"
+    return "missing"

@@ -1,0 +1,37 @@
+"""Frame fields and export/import keys out of sync (lint fixture)."""
+
+
+def publish_delta(seq, reports, span):
+    frame = {
+        "type": "delta",
+        "seq": seq,
+        "reports": reports,
+        "shadow": None,  # EXPECT: wire-frames
+    }
+    frame["span"] = span
+    return frame
+
+
+def apply_frame(frame):
+    if frame["type"] != "delta":
+        return None
+    seq = frame["seq"]
+    reports = frame["reports"]
+    span = frame.get("span")
+    window = frame["window"]  # EXPECT: wire-frames
+    return seq, reports, span, window
+
+
+def export_example(state):
+    return {
+        "version": 1,
+        "items": list(state),
+        "orphan": 0,  # EXPECT: wire-frames
+    }
+
+
+def import_example(record):
+    items = record["items"]
+    version = record["version"]
+    phantom = record["phantom"]  # EXPECT: wire-frames
+    return version, items, phantom

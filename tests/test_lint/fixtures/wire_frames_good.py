@@ -1,0 +1,33 @@
+"""Every published field read, every exported key imported back."""
+
+
+def publish_delta(seq, reports, span):
+    frame = {
+        "type": "delta",
+        "seq": seq,
+        "reports": reports,
+    }
+    frame["span"] = span
+    return frame
+
+
+def apply_frame(frame):
+    if frame["type"] != "delta":
+        return None
+    seq = frame["seq"]
+    reports = frame["reports"]
+    span = frame.get("span")
+    return seq, reports, span
+
+
+def export_example(state):
+    return {
+        "version": 1,
+        "items": list(state),
+    }
+
+
+def import_example(record):
+    version = record["version"]
+    items = record["items"]
+    return version, items

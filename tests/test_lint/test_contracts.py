@@ -1,0 +1,202 @@
+"""Contract-layer tests: the project index, site extraction, gating.
+
+The golden fixtures pin each family's findings line-by-line; these pin
+the machinery underneath — constant resolution across modules, the
+send/receive extraction helpers, and the both-sides-present gates that
+keep partial lint runs from reporting half a contract as drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.context import ModuleInfo, ProjectContext
+from repro.lint.engine import LintEngine
+from repro.lint.graph.index import ProjectIndex
+from repro.lint.graph.sites import (
+    collected_reply_reads,
+    compare_literals,
+    frame_dicts,
+    receiver_text,
+    tuple_first_strings,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _module(name: str, source: str) -> ModuleInfo:
+    source = textwrap.dedent(source)
+    return ModuleInfo(
+        path=name.replace(".", "/") + ".py",
+        module=name,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+    )
+
+
+def _project(*modules: ModuleInfo) -> ProjectContext:
+    project = ProjectContext(root=REPO_ROOT)
+    for info in modules:
+        project.add_module(info)
+    return project
+
+
+def _write(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# site extraction
+
+
+def test_receiver_text_erases_subscripts():
+    call = ast.parse("self._command_queues[shard].put(x)").body[0].value
+    assert receiver_text(call.func) == "self._command_queues.put"
+
+
+def test_tuple_first_strings_walks_ifexp_arms():
+    node = ast.parse('("a", ctx) if flag else ("b",)').body[0].value
+    assert {op for op, _ in tuple_first_strings(node)} == {"a", "b"}
+
+
+def test_compare_literals_covers_eq_both_sides_and_membership():
+    func = ast.parse(
+        'def f(op):\n'
+        '    if op == "x" or "y" == op or op in ("z", "w"):\n'
+        '        pass\n'
+    ).body[0]
+    assert {v for v, _ in compare_literals(func, "op")} == {"x", "y", "z", "w"}
+
+
+def test_collected_reads_survive_nested_assignment():
+    # Regression: the assignment sits deeper (inside `with`) than the
+    # loop that consumes it, so a single breadth-first walk visits the
+    # `for` before the binding it depends on.
+    func = ast.parse(
+        "def flush(self):\n"
+        "    with self.profiler.phase('shard'):\n"
+        "        payloads = self._collect('end_window')\n"
+        "    for payload in payloads:\n"
+        "        use(payload['reports'], payload.get('span'))\n"
+    ).body[0]
+    keys = {k for k, _ in collected_reply_reads(func, ("_collect",))}
+    assert keys == {"reports", "span"}
+
+
+def test_frame_dicts_require_literal_type_tag():
+    tree = ast.parse(
+        'a = {"type": "delta", "seq": 1}\n'
+        'b = {"type": kind}\n'
+        'c = {"seq": 2}\n'
+    )
+    assert [ftype for ftype, _ in frame_dicts(tree)] == ["delta"]
+
+
+# ----------------------------------------------------------------------
+# the project index
+
+
+def test_index_resolves_strings_through_import_chains():
+    a = _module("repro.obs.profile", 'PHASE_METRIC = "pipeline_phase_seconds"\n')
+    b = _module(
+        "repro.runtime.sharded",
+        "from repro.obs.profile import PHASE_METRIC\n",
+    )
+    index = ProjectIndex.of(_project(a, b))
+    name_node = ast.Name(id="PHASE_METRIC", ctx=ast.Load())
+    assert (
+        index.resolve_string("repro.runtime.sharded", name_node)
+        == "pipeline_phase_seconds"
+    )
+    assert index.resolve_string("repro.runtime.sharded", ast.Name(id="NOPE")) is None
+
+
+def test_index_is_cached_per_project_and_skips_foreign_modules():
+    info = _module("repro.core.thing", "X = 1\n")
+    foreign = _module("tests.test_thing", "Y = 2\n")
+    project = _project(info, foreign)
+    index = ProjectIndex.of(project)
+    assert ProjectIndex.of(project) is index
+    assert set(index.modules) == {"repro.core.thing"}
+
+
+# ----------------------------------------------------------------------
+# gating: half a contract is never drift
+
+
+def test_worker_without_coordinator_reports_nothing(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/runtime/worker.py",
+        """
+        def shard_worker_main(command_queue, result_queue):
+            def reply(payload):
+                result_queue.put(payload)
+            op = command_queue.get()[0]
+            if op == "ingest":
+                reply({"survivors": 1})
+        """,
+    )
+    engine = LintEngine(root=tmp_path, enable=["command-protocol"])
+    assert engine.run([tmp_path / "src"]) == []
+
+
+def test_dispatch_without_handler_reports_unknown_op(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/runtime/worker.py",
+        """
+        def shard_worker_main(command_queue, result_queue):
+            op = command_queue.get()[0]
+            if op == "ingest":
+                pass
+        """,
+    )
+    _write(
+        tmp_path,
+        "src/repro/runtime/sharded.py",
+        """
+        class Coordinator:
+            def kick(self):
+                self.command_queue.put(("ingest", []))
+                self.command_queue.put(("mystery",))
+        """,
+    )
+    engine = LintEngine(root=tmp_path, enable=["command-protocol"])
+    findings = engine.run([tmp_path / "src"])
+    assert len(findings) == 1
+    assert "'mystery'" in findings[0].message
+    assert findings[0].path == "src/repro/runtime/sharded.py"
+
+
+def test_stale_doc_route_anchors_on_the_server_module(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/service/server.py",
+        """
+        def handle(path):
+            if path == "/reports":
+                return "ok"
+            return "missing"
+        """,
+    )
+    _write(
+        tmp_path,
+        "docs/SERVICE.md",
+        """
+        | Route | Body |
+        |---|---|
+        | `GET /reports` | the reports |
+        | `GET /ghost` | gone since v2 |
+        """,
+    )
+    engine = LintEngine(root=tmp_path, enable=["surface-drift"])
+    findings = engine.run([tmp_path / "src"])
+    assert len(findings) == 1
+    assert findings[0].path == "docs/SERVICE.md"
+    assert "/ghost" in findings[0].message

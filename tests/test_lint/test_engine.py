@@ -14,7 +14,12 @@ import pytest
 
 from repro.cli import main
 from repro.lint import Finding, LintEngine, Severity, lint_source, run_lint
-from repro.lint.engine import load_baseline, render_json, render_text
+from repro.lint.engine import (
+    load_baseline,
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.lint.findings import BaselineKey
 from repro.lint.registry import get_rule, select_rules
 
@@ -160,6 +165,38 @@ def test_syntax_error_fails_even_without_strict(tmp_path):
     assert "syntax error" in report
 
 
+def test_non_utf8_file_reports_clean_diagnostic(tmp_path):
+    path = tmp_path / "latin.py"
+    path.write_bytes(b"# caf\xe9\nX = 1\n")
+    engine = LintEngine(root=tmp_path, enable=["assert-stmt"])
+    findings = engine.run([path])
+    assert findings == []
+    assert len(engine.errors) == 1
+    assert "not UTF-8" in engine.errors[0]
+    code, report = run_lint([str(path)], root=tmp_path, strict=False)
+    assert code == 1  # unparseable files always fail, like syntax errors
+    assert "not UTF-8" in report
+
+
+def test_null_byte_file_reports_clean_diagnostic(tmp_path):
+    path = tmp_path / "nulls.py"
+    path.write_bytes(b"X = 1\x00\n")
+    engine = LintEngine(root=tmp_path, enable=["assert-stmt"])
+    findings = engine.run([path])
+    assert findings == []
+    assert len(engine.errors) == 1
+    # SyntaxError on current CPython, bare ValueError on older ones —
+    # either way a one-line diagnostic, never a traceback
+    assert engine.errors[0].startswith("nulls.py")
+    assert "null bytes" in engine.errors[0]
+
+
+def test_empty_module_lints_clean(tmp_path):
+    _write_module(tmp_path, "empty.py", "")
+    code, report = run_lint([str(tmp_path)], root=tmp_path, strict=True)
+    assert code == 0, report
+
+
 def test_unknown_rule_id_raises():
     with pytest.raises(KeyError, match="unknown rule"):
         select_rules(enable=["no-such-rule"])
@@ -202,6 +239,64 @@ def test_render_json_shape():
 def test_render_text_summary_line():
     report = render_text([])
     assert report.splitlines()[-1] == "0 finding(s): 0 error(s), 0 warning(s)"
+
+
+def test_render_github_annotation_shape():
+    findings = [
+        Finding(
+            path="src/x.py",
+            line=3,
+            col=7,
+            rule="assert-stmt",
+            message="first line\nsecond % line",
+            severity=Severity.ERROR,
+            symbol="f",
+        ),
+        Finding(
+            path="src/y.py",
+            line=9,
+            rule="missing-slots",
+            message="warn msg",
+            severity=Severity.WARNING,
+            symbol="C",
+        ),
+    ]
+    lines = render_github(findings).splitlines()
+    assert lines[0] == (
+        "::error file=src/x.py,line=3,col=7,"
+        "title=lint [assert-stmt]::first line%0Asecond %25 line"
+    )
+    assert lines[1].startswith("::warning file=src/y.py,line=9,")
+    assert lines[-1] == "2 finding(s) annotated"
+
+
+def test_render_github_reports_parse_errors_and_stale_entries(tmp_path):
+    _write_module(tmp_path, "broken.py", "def oops(:\n")
+    code, report = run_lint(
+        [str(tmp_path)], root=tmp_path, strict=False, output_format="github"
+    )
+    assert code == 1
+    assert report.splitlines()[0].startswith("::error title=lint::")
+
+
+def test_cli_lint_github_format(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["lint", "--strict", "--format", "github", "src"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "::error" not in out
+
+
+def test_repo_baseline_has_no_stale_entries():
+    """The baseline may only shrink: every entry must still match a
+    live finding on today's tree (delete entries whose finding is
+    fixed — run ``repro lint --strict`` to see which)."""
+    engine = LintEngine(root=REPO_ROOT)
+    engine.run(
+        [REPO_ROOT / part for part in ("src", "tests", "benchmarks", "examples")]
+    )
+    assert engine.errors == []
+    assert engine.stale_baseline == []
 
 
 # ----------------------------------------------------------------------

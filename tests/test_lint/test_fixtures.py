@@ -41,6 +41,13 @@ MODULE_FOR_RULE = {
     "hot-loop-alloc": "repro.sketch.example",
     "missing-slots": "repro.sketch.example",
     "span-unclosed": "repro.service.example",
+    # contract families (project-wide rules, run against a one-module
+    # project whose module name routes them into the right package)
+    "command-protocol": "repro.runtime.example",
+    "wire-frames": "repro.replica.example",
+    "metric-surface": "repro.obs.example",
+    "snapshot-variants": "repro.core.example",
+    "surface-drift": "repro.service.example",
 }
 
 ALL_RULES = sorted(MODULE_FOR_RULE)
